@@ -1,0 +1,32 @@
+# Convenience targets for the repro package.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench report examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report --output report.md
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/characterize_device.py
+	$(PYTHON) examples/zswap_offload.py
+	$(PYTHON) examples/ksm_dedup.py
+	$(PYTHON) examples/bias_modes.py
+	$(PYTHON) examples/tail_latency_study.py
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+experiment once inside pytest-benchmark (the experiments are full
+simulations, so rounds=1), prints the same rows the paper reports, and
+asserts the *shape* against :mod:`repro.analysis.expected` with generous
+slack — the substrate is a simulator, not the authors' testbed.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline; they are also appended to ``bench_tables.txt``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+TABLES_FILE = pathlib.Path(__file__).parent / "bench_tables.txt"
+
+
+def pytest_configure(config):
+    # Fresh capture file per run so EXPERIMENTS.md regeneration is clean.
+    if TABLES_FILE.exists():
+        TABLES_FILE.unlink()
+
+
+@pytest.fixture
+def record_table():
+    """Print a result table and append it to the capture file."""
+
+    def _record(text: str) -> None:
+        print()
+        print(text)
+        with TABLES_FILE.open("a") as fh:
+            fh.write(text + "\n\n")
+
+    return _record

@@ -1,0 +1,22 @@
+"""Extension bench: the cost of bias-mode thrash (SIV-B / Insight 2)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_bias_thrash
+
+
+def test_bias_thrash(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: ext_bias_thrash.run(), rounds=1, iterations=1)
+    record_table(ext_bias_thrash.format_table(result))
+
+    # Device bias pays off handsomely when the host stays away...
+    assert result.slowdown("host-bias") > 1.8
+    # ...but the moment the host keeps touching the region, the drop +
+    # re-arm cycle erases the advantage: thrashing is no better than
+    # simply staying in host bias (Insight 2's programming-effort
+    # caveat, quantified).
+    assert result.slowdown("thrash") >= result.slowdown("host-bias") * 0.95
+    thrash = result.points["thrash"]
+    assert thrash.bias_switches_to_host > 0
+    assert thrash.switch_cost_ns > 0

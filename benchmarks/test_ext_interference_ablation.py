@@ -1,0 +1,29 @@
+"""Extension bench: decomposing Fig 8's interference channels."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_interference_ablation
+from repro.experiments.fig8_tail_latency import ScenarioConfig
+
+
+def test_interference_ablation(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: ext_interference_ablation.run(scenario=ScenarioConfig()),
+        rounds=1, iterations=1)
+    record_table(ext_interference_ablation.format_table(result))
+
+    norm = result.normalized_p99
+    # Every variant still inflates the tail: queueing behind the cpu
+    # backend's compression work is the dominant channel.
+    assert norm["queueing-only"] > 3.0
+    # Each disabled channel lowers the tail relative to the full model.
+    assert norm["no-pollution"] < norm["full"]
+    assert norm["no-direct"] <= norm["full"]
+    assert norm["queueing-only"] <= norm["no-pollution"]
+    # Both secondary channels contribute measurably.
+    assert result.contribution("no-pollution") > 0.03
+    assert result.contribution("queueing-only") >= result.contribution(
+        "no-pollution")
+    # Disabling direct reclaim really removes the inline entries.
+    assert result.direct_reclaims["no-direct"] == 0
+    assert result.direct_reclaims["full"] > 0

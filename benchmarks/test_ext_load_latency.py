@@ -1,0 +1,22 @@
+"""Extension bench: the latency-throughput curve per zswap backend."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_load_latency
+
+
+def test_load_latency_curves(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: ext_load_latency.run(), rounds=1, iterations=1)
+    record_table(ext_load_latency.format_table(result))
+
+    low, high = result.rates[0], result.rates[-1]
+    # At every load, cxl hugs the baseline while cpu sits far above.
+    for rate in result.rates:
+        assert result.slowdown("cxl", rate) < 1.5, rate
+        assert result.slowdown("cpu", rate) > 3.0, rate
+    # The cpu backend collapses at high load (compression steals the
+    # capacity the extra requests need); cxl degrades gracefully.
+    assert result.slowdown("cpu", high) > 5 * result.slowdown("cpu", low)
+    assert result.get("cpu", high).p99_ns > 1_000_000.0       # > 1 ms
+    assert result.get("cxl", high).p99_ns < 300_000.0

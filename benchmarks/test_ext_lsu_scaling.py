@@ -1,0 +1,24 @@
+"""Extension bench: D2H bandwidth scaling with multiple LSUs (SV-A)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_lsu_scaling
+
+
+def test_lsu_scaling(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: ext_lsu_scaling.run(counts=(1, 2, 4, 8, 16)),
+        rounds=1, iterations=1)
+    record_table(ext_lsu_scaling.format_table(result))
+
+    bw = result.bandwidth_gbps
+    # One 400 MHz LSU cannot exceed its 25.6 GB/s issue ceiling.
+    assert bw[1] < 25.6
+    # Two LSUs roughly double the single-LSU bandwidth.
+    assert 1.7 <= bw[2] / bw[1] <= 2.1
+    # The curve saturates well below the raw link rate (protocol
+    # overhead: 64 B of payload ride ~80 B of wire) ...
+    assert result.saturates
+    assert bw[16] < result.link_raw_gbps
+    # ... but reaches the high-utilization regime the paper predicts.
+    assert result.efficiency_at(16) > 0.6

@@ -1,0 +1,24 @@
+"""Extension bench: sweeping kswapd's device-wait sleep (SVI-A)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_sleep_tuning
+
+
+def test_sleep_tuning(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: ext_sleep_tuning.run(), rounds=1, iterations=1)
+    record_table(ext_sleep_tuning.format_table(result))
+
+    points = result.points
+    short, paper, long_, longest = (points[s] for s in (2.0, 10.0, 40.0,
+                                                        160.0))
+    # Too short: kswapd wakes early over and over, burning host checks.
+    assert short.wake_checks > 4 * paper.wake_checks
+    # Too long: reclaim throughput collapses and requests pay for it
+    # with direct reclaims and a much worse tail.
+    assert longest.pages_reclaimed < 0.7 * paper.pages_reclaimed
+    assert longest.direct_reclaims > 0
+    assert longest.p99_ns > 2.0 * paper.p99_ns
+    # The paper's ~10 us choice sits on the flat part of the curve.
+    assert paper.p99_ns < 1.5 * result.best_p99()

@@ -1,0 +1,71 @@
+"""Fig 3 bench: D2H latency/bandwidth, true CXL Type-2 vs emulated NUMA."""
+
+from __future__ import annotations
+
+from repro.analysis.compare import same_direction, within_band
+from repro.analysis.expected import PAPER
+from repro.core.requests import D2HOp
+from repro.experiments import fig3_d2h
+
+OPS = {"nc-rd": D2HOp.NC_READ, "cs-rd": D2HOp.CS_READ,
+       "nc-wr": D2HOp.NC_WRITE, "co-wr": D2HOp.CO_WRITE}
+
+
+def test_fig3(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: fig3_d2h.run(reps=30), rounds=1, iterations=1)
+    record_table(fig3_d2h.format_table(result))
+
+    # Latency deltas: direction must always hold; magnitude within slack.
+    for key, band in PAPER.items():
+        if not key.startswith("fig3/latency-delta/"):
+            continue
+        __, __, llc, op_name = key.split("/")
+        hit = llc == "llc-1"
+        measured = result.latency_delta(OPS[op_name], hit)
+        assert same_direction(measured, band.midpoint()), (key, measured)
+        assert within_band(measured, band, slack=0.60), (key, measured)
+
+    # Bandwidth shapes (SV-A): CXL reads beat emulated reads at LLC-0 ...
+    assert within_band(result.bandwidth_ratio(D2HOp.CS_READ, False),
+                       PAPER["fig3/bw-ratio/llc-0/cs-rd"], slack=0.5)
+    assert within_band(result.bandwidth_ratio(D2HOp.NC_READ, False),
+                       PAPER["fig3/bw-ratio/llc-0/nc-rd"], slack=0.5)
+    # ... and NC-write stays below nt-st at N=16.
+    for hit in (True, False):
+        assert result.bandwidth_ratio(D2HOp.NC_WRITE, hit) < 1.05, hit
+
+
+def test_fig3_write_queue_ablation(benchmark, record_table):
+    """DESIGN.md ablation: writes beat reads while the burst fits the
+    posted-write queues; once the burst exceeds the queues' ability to
+    absorb it, the write stream throttles to the DRAM random-write drain
+    rate (SV-A).  Run on the SVII sub-NUMA half system (4 channels),
+    where the aggregate drain sits below the DCOH write-issue rate."""
+    from repro.config import sub_numa_half_system
+    from repro.core.microbench import Microbench
+    from repro.core.platform import Platform
+
+    def sweep():
+        platform = Platform(sub_numa_half_system(), seed=53)
+        rows = {}
+        for n in (16, 64, 512, 2048):
+            mb_n = Microbench(platform, reps=4, accesses=n)
+            write = mb_n.d2h(D2HOp.NC_WRITE, llc_hit=False)
+            read = mb_n.d2h(D2HOp.CS_READ, llc_hit=False)
+            rows[n] = (write.bandwidth.median, read.bandwidth.median)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Fig 3 ablation (sub-NUMA, 4 channels): D2H bandwidth (GB/s) "
+             "vs burst size",
+             f"{'N':>6s} {'nc-wr':>8s} {'cs-rd':>8s}"]
+    for n, (wr, rd) in rows.items():
+        lines.append(f"{n:6d} {wr:8.2f} {rd:8.2f}")
+    record_table("\n".join(lines))
+
+    assert rows[16][0] > rows[16][1] * 0.8          # small: writes strong
+    # Past the write-queue capacity the stream throttles to the drain
+    # rate: per-access bandwidth stops improving and falls back.
+    write_bw = [rows[n][0] for n in (16, 64, 512, 2048)]
+    assert write_bw[-1] < max(write_bw) * 0.999

@@ -1,0 +1,68 @@
+"""Fig 4 bench: D2D latency/bandwidth, host- vs device-bias."""
+
+from __future__ import annotations
+
+from repro.analysis.compare import within_band
+from repro.analysis.expected import PAPER
+from repro.core.requests import BiasMode, D2HOp
+from repro.experiments import fig4_d2d
+
+
+def test_fig4(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: fig4_d2d.run(reps=12), rounds=1, iterations=1)
+    record_table(fig4_d2d.format_table(result))
+
+    # Writes hitting DMC: device bias ~60% lower latency.
+    for op in (D2HOp.NC_WRITE, D2HOp.CO_WRITE):
+        gain = result.device_bias_latency_gain(op, dmc_hit=True)
+        key = f"fig4/device-bias-latency-gain/dmc-1/{op.value}"
+        assert within_band(gain, PAPER[key], slack=0.25), (op, gain)
+
+    # Reads hitting DMC: no notable difference in either metric.
+    for op in (D2HOp.NC_READ, D2HOp.CS_READ):
+        gain = result.device_bias_latency_gain(op, dmc_hit=True)
+        assert abs(gain) < 0.06, (op, gain)
+
+    # Reads missing DMC are slower in host-bias mode (the LLC check).
+    for op in (D2HOp.NC_READ, D2HOp.CS_READ):
+        assert result.device_bias_latency_gain(op, dmc_hit=False) > 0.15
+
+    # Write bandwidth: device bias ahead by roughly the paper's 8-13%.
+    assert within_band(result.device_bias_bw_gain(D2HOp.CO_WRITE, True),
+                       PAPER["fig4/device-bias-bw-gain/co-wr"], slack=0.8)
+    assert result.device_bias_bw_gain(D2HOp.NC_WRITE, True) >= 0.0
+
+
+def test_fig4_bias_switch_ablation(benchmark, record_table):
+    """DESIGN.md ablation: the host->device bias switch is not free —
+    software must flush the region from host cache first (SIV-B) — and
+    an H2D touch silently reverts the region."""
+    from repro.core.platform import Platform
+    from repro.core.requests import HostOp
+    from repro.units import kib
+
+    def run():
+        platform = Platform(seed=61)
+        region = platform.t2.carve_region("bias-abl", kib(16))
+        from repro.mem.coherence import LineState
+        for line in region.lines():
+            platform.home.preload_llc(line, LineState.MODIFIED)
+        t0 = platform.sim.now
+        platform.sim.run_process(platform.t2.bias.enter_device_bias(
+            "bias-abl", platform.core, platform.home))
+        switch_ns = platform.sim.now - t0
+        # The H2D fallback is immediate and unprompted.
+        platform.sim.run_process(platform.core.cxl_op(
+            HostOp.LOAD, region.base, platform.t2))
+        reverted = platform.t2.bias.mode_of_region("bias-abl")
+        return switch_ns, reverted
+
+    switch_ns, reverted = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "Fig 4 ablation: bias-mode switching\n"
+        f"host->device switch of a 16 KiB region: {switch_ns / 1000:.1f} us "
+        f"(cache flush)\n"
+        f"device->host on first H2D touch: mode={reverted.value}")
+    assert switch_ns > 10_000.0            # 256 lines x CLFLUSH
+    assert reverted is BiasMode.HOST

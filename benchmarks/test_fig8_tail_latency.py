@@ -1,0 +1,43 @@
+"""Fig 8 bench: Redis p99 latency under zswap/ksm across backends.
+
+The headline end-to-end result: cpu-based kernel features inflate Redis
+p99 by 4.5-10.3x; PCIe offload leaves 16-93%; CXL offload nearly
+eliminates the penalty (14-30%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import within_band
+from repro.analysis.expected import PAPER
+from repro.experiments import fig8_tail_latency
+from repro.units import ms
+
+SCENARIO = fig8_tail_latency.ScenarioConfig(duration_ns=ms(400.0))
+# Slack per backend: the cpu band is wide and saturation-sensitive.
+SLACK = {"cpu": 0.45, "pcie-rdma": 0.35, "pcie-dma": 0.35, "cxl": 0.25}
+
+
+@pytest.mark.parametrize("feature", ("zswap", "ksm"))
+def test_fig8(benchmark, record_table, feature):
+    result = benchmark.pedantic(
+        lambda: fig8_tail_latency.run(
+            features=(feature,), scenario=SCENARIO),
+        rounds=1, iterations=1)
+    record_table(fig8_tail_latency.format_table(result))
+
+    for workload in fig8_tail_latency.WORKLOAD_NAMES:
+        norms = {
+            backend: result.normalized_p99(feature, workload, backend)
+            for backend in ("cpu", "pcie-rdma", "pcie-dma", "cxl")
+        }
+        # Who wins: cxl <= both pcie <= cpu, with cpu far above.
+        assert norms["cxl"] <= norms["pcie-rdma"] * 1.1, (workload, norms)
+        assert norms["cxl"] <= norms["pcie-dma"] * 1.1, (workload, norms)
+        assert norms["cpu"] > 3.0 * norms["cxl"], (workload, norms)
+        # Magnitudes within the paper's (widened) bands.
+        for backend, norm in norms.items():
+            band = PAPER[f"fig8/{feature}/{backend}"]
+            assert within_band(norm, band, slack=SLACK[backend]), (
+                workload, backend, norm, band)

@@ -1,0 +1,39 @@
+"""SVII bench: host-CPU cycle consumption and LLC-pollution parity."""
+
+from __future__ import annotations
+
+from repro.analysis.compare import within_band
+from repro.analysis.expected import PAPER
+from repro.experiments import fig8_tail_latency, sec7_accounting
+from repro.units import ms
+
+SCENARIO = fig8_tail_latency.ScenarioConfig(duration_ns=ms(400.0))
+
+
+def test_sec7(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: sec7_accounting.run(scenario=SCENARIO),
+        rounds=1, iterations=1)
+    record_table(sec7_accounting.format_table(result))
+
+    for feature in ("zswap", "ksm"):
+        shares = {backend: result.get(feature, backend).cpu_share
+                  for backend in sec7_accounting.BACKENDS}
+        # Ordering: cpu >> dma > rdma > cxl (the paper's 25/19/16/11 and
+        # 21/9/7/5 patterns).
+        assert shares["cpu"] > shares["pcie-dma"] > shares["cxl"]
+        assert shares["pcie-rdma"] > shares["cxl"]
+        # Relative reductions within widened paper ratios.
+        for backend in ("pcie-rdma", "pcie-dma", "cxl"):
+            ratio = result.share_vs_cpu(feature, backend)
+            key = f"sec7/{feature}-share-vs-cpu/{backend}"
+            assert within_band(ratio, PAPER[key], slack=0.55), (
+                feature, backend, ratio)
+
+    # LLC pollution: all offloads reduce it "to a similar degree" —
+    # every offload's pollution index sits well below the cpu backend's.
+    for feature in ("zswap", "ksm"):
+        cpu_pollution = result.get(feature, "cpu").pollution_index
+        for backend in ("pcie-rdma", "pcie-dma", "cxl"):
+            offload = result.get(feature, backend).pollution_index
+            assert offload < cpu_pollution, (feature, backend)

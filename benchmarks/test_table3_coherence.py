@@ -1,0 +1,13 @@
+"""Table III bench: the coherence-state matrix, regenerated."""
+
+from __future__ import annotations
+
+from repro.experiments import table3_coherence
+
+
+def test_table3(benchmark, record_table):
+    result = benchmark.pedantic(table3_coherence.run, rounds=1, iterations=1)
+    record_table(table3_coherence.format_table(result))
+    mismatches = [key for key, ok in result.matches_expected().items()
+                  if not ok]
+    assert not mismatches, f"cells differing from the paper: {mismatches}"

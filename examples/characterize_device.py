@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Full device characterization: regenerate the SV figures as text.
+
+Sweeps every access path and every transfer mechanism, printing the
+Fig 3/4/5/6 tables and the Table III coherence matrix — the complete
+"demystification" of the simulated Type-2 device.
+
+Run:  python examples/characterize_device.py   (~1 minute)
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    fig3_d2h,
+    fig4_d2d,
+    fig5_h2d,
+    fig6_transfer,
+    table3_coherence,
+)
+
+
+def main() -> None:
+    print(table3_coherence.format_table(table3_coherence.run()))
+    print()
+    print(fig3_d2h.format_table(fig3_d2h.run(reps=10)))
+    print()
+    print(fig4_d2d.format_table(fig4_d2d.run(reps=6)))
+    print()
+    print(fig5_h2d.format_table(fig5_h2d.run(reps=6)))
+    print()
+    print(fig6_transfer.format_table(
+        fig6_transfer.run(reps=3, sizes=(64, 256, 1024, 4096, 65536))))
+    print()
+    print("Insights (SV):")
+    print(" 1. emulated-NUMA CXL can mislead: true D2H pays more latency")
+    print("    but wins bandwidth for reads.")
+    print(" 2. device-bias D2D is faster but pushes coherence to software.")
+    print(" 3. keep DMC lines shared/flushed or H2D accesses pay for it.")
+    print(" 4. NC-P pre-pushes make H2D loads ~6x cheaper.")
+    print(" 5. CXL crushes PCIe for small transfers; D2H beats H2D.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""cxl-ksm end to end: deduplicating a fleet of VMs on the device.
+
+Builds 12 VMs whose address spaces share OS/library template pages,
+then runs the ksm scanner with the xxhash and byte-compare functions
+offloaded to the CXL Type-2 device (SVI-B).  Shows the scan converging,
+the physical pages saved, copy-on-write unsharing, and the host-CPU
+cost difference between the cpu and cxl transports.
+
+Run:  python examples/ksm_dedup.py
+"""
+
+from __future__ import annotations
+
+from repro import Platform
+from repro.analysis.tables import render_table
+from repro.core.offload import OffloadEngine
+from repro.kernel.ksm import Ksm
+from repro.kernel.vm import make_vm_fleet
+from repro.units import PAGE_SIZE
+
+
+def run_scanner(transport: str, seed: int = 7):
+    platform = Platform(seed=seed)
+    vms = make_vm_fleet(12, pages_per_vm=24, shared_fraction=0.4,
+                        rng=platform.rng.fork(1))
+    engine = OffloadEngine(platform, functional=True)
+    ksm = Ksm(engine, transport, vms, functional=True)
+    # Two passes: the first records checksums, the second merges.
+    platform.sim.run_process(ksm.full_scan())
+    platform.sim.run_process(ksm.full_scan())
+    return platform, vms, ksm
+
+
+def main() -> None:
+    print("=== cxl-ksm over a 12-VM fleet (24 pages each, 40% shared) ===")
+    platform, vms, ksm = run_scanner("cxl")
+    total_pages = sum(len(vm.pages()) for vm in vms)
+    print(f"guest pages scanned: {ksm.stats.pages_scanned} "
+          f"({total_pages} mapped)")
+    print(f"stable-tree nodes: {ksm.stats.stable_nodes}")
+    print(f"pages merged: {ksm.stats.pages_merged}, "
+          f"physical frames saved: {ksm.saved_pages} "
+          f"({ksm.saved_pages * PAGE_SIZE // 1024} KiB)")
+
+    print()
+    print("=== copy-on-write: a guest writes a merged page ===")
+    before = ksm.saved_pages
+    ksm.unshare(vms[0], 0, b"\xAB" * PAGE_SIZE)
+    print(f"saved pages {before} -> {ksm.saved_pages}; "
+          f"vm0 cow breaks: {vms[0].cow_breaks}")
+    assert vms[0].read(0) != vms[1].read(0)
+
+    print()
+    print("=== host-CPU cost: cpu vs cxl transport, same merges ===")
+    rows = []
+    for transport in ("cpu", "pcie-rdma", "pcie-dma", "cxl"):
+        __, __, scanner = run_scanner(transport)
+        rows.append([
+            transport,
+            scanner.saved_pages,
+            f"{scanner.stats.host_cpu_ns / 1e6:.2f} ms",
+        ])
+    print(render_table(["transport", "frames saved", "host CPU burned"],
+                       rows))
+    print("(same dedup outcome; the cxl transport leaves the host cores "
+          "to the VMs.\n Note: per-page PCIe offload burns *more* host "
+          "cycles than doing the work locally -- descriptors and "
+          "interrupts dominate the tiny hash; STYX-style batching, which "
+          "the kernel daemons apply, is what makes PCIe offload pay off.)")
+
+
+if __name__ == "__main__":
+    main()

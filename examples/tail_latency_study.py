@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The paper's headline (Fig 8): what zswap/ksm do to Redis tail latency.
+
+Runs the SVII methodology at reduced scale — Redis servers under a YCSB
+workload sharing cores with kernel-feature daemons — for the five
+backends, and prints the normalized p99 table plus the SVII host-CPU
+accounting.
+
+Run:  python examples/tail_latency_study.py          (~1 minute)
+      python examples/tail_latency_study.py --full   (all 4 workloads)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import render_table
+from repro.experiments import fig8_tail_latency, sec7_accounting
+from repro.units import ms
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    workloads = ("a", "b", "c", "d") if full else ("a",)
+    scenario = fig8_tail_latency.ScenarioConfig(
+        duration_ns=ms(400.0 if full else 250.0))
+
+    print(f"=== Fig 8: Redis p99 under zswap/ksm "
+          f"(YCSB {', '.join(workloads)}) ===")
+    result = fig8_tail_latency.run(workloads=workloads, scenario=scenario)
+    print(fig8_tail_latency.format_table(result))
+
+    print()
+    rows = []
+    for feature in ("zswap", "ksm"):
+        for backend in ("cpu", "pcie-rdma", "pcie-dma", "cxl"):
+            cell = result.get(feature, workloads[0], backend)
+            rows.append([
+                feature, backend,
+                f"{cell.p99_ns / 1000:.0f} us",
+                f"{result.normalized_p99(feature, workloads[0], backend):.2f}x",
+                cell.direct_reclaims,
+                cell.pages_processed,
+            ])
+    print(render_table(
+        ["feature", "backend", "p99", "normalized", "direct reclaims",
+         "pages"], rows,
+        title=f"Detail for YCSB-{workloads[0]}"))
+
+    print()
+    print("=== SVII: host-CPU share and pollution ===")
+    acct = sec7_accounting.run(scenario=scenario, workload=workloads[0])
+    print(sec7_accounting.format_table(acct))
+    print()
+    print("Reading: cpu-* steals whole cores and pollutes the LLC; "
+          "pcie-* still burns host cycles per page on descriptors and "
+          "interrupts; cxl-* submits with a few posted stores and sleeps "
+          "while the device works.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""cxl-zswap end to end: real pages, real compression, device-memory zpool.
+
+Walks the full Fig-7 story with functional payloads:
+
+1. allocate pages with real content through the memory manager;
+2. drive reclaim so zswap compresses them — over the CXL transport the
+   device pulls each page with D2H NC-read, compresses it on the
+   streaming IP, and parks it in the zpool *in device memory*;
+3. overflow the pool to watch LRU writeback to the swap SSD;
+4. fault everything back and verify byte-exact contents;
+5. compare the offload latency breakdown across transports (Table IV).
+
+Run:  python examples/zswap_offload.py
+"""
+
+from __future__ import annotations
+
+from repro import Platform
+from repro.analysis.tables import render_table
+from repro.core.offload import OffloadEngine
+from repro.kernel.mm import MemoryManager
+from repro.kernel.page import FrameAllocator, Watermarks
+from repro.kernel.swapdev import SwapDevice
+from repro.kernel.zswap import Zswap
+from repro.units import PAGE_SIZE
+
+
+def build(platform: Platform, transport: str) -> MemoryManager:
+    engine = OffloadEngine(platform, functional=True)
+    zswap = Zswap(engine, SwapDevice(platform.sim), transport,
+                  managed_pages=96, max_pool_percent=25)
+    allocator = FrameAllocator(96, Watermarks(4, 8, 16))
+    return MemoryManager(platform.sim, allocator, zswap)
+
+
+def main() -> None:
+    platform = Platform(seed=42)
+    mm = build(platform, "cxl")
+    sim = platform.sim
+
+    print("=== 1+2. allocate and reclaim 48 content-bearing pages ===")
+    refs = []
+    body_rng = platform.rng.fork(9)
+    for i in range(48):
+        # Realistic page entropy: a text header, a random body (as in a
+        # serialized object), and a zero tail -> ~1.5-2x compressible.
+        header = (f"redis-object-{i}|".encode() * 40)[:640]
+        body = body_rng.random_bytes(2100)
+        payload = (header + body).ljust(PAGE_SIZE, b"\x00")
+        refs.append((payload, sim.run_process(mm.alloc_page("redis",
+                                                            payload))))
+    sim.run_process(mm.reclaim(48))
+    stats = mm.zswap.stats
+    print(f"pages compressed into the zpool: {stats.stores}")
+    print(f"zpool bytes: {mm.zswap.pool_bytes} "
+          f"(avg ratio {48 * PAGE_SIZE / mm.zswap.pool_bytes:.1f}x)")
+    print(f"zpool host-DRAM footprint: {mm.zswap.host_dram_pool_bytes} B "
+          "(it lives in CXL device memory)")
+
+    print()
+    print("=== 3. pool overflow -> LRU writeback to the swap SSD ===")
+    print(f"pool limit: {mm.zswap.pool_limit_bytes} B; "
+          f"writebacks so far: {stats.writebacks}; "
+          f"SSD slots used: {mm.zswap.swapdev.used_slots}")
+
+    print()
+    print("=== 4. fault every page back and verify ===")
+    corrupted = 0
+    for payload, ref in refs:
+        sim.run_process(mm.touch(ref))
+        if ref.content != payload:
+            corrupted += 1
+    print(f"major faults: {mm.stats.major_faults}, "
+          f"pool hits: {stats.pool_hits}, pool misses: {stats.pool_misses}")
+    print(f"corrupted pages: {corrupted} (must be 0)")
+    assert corrupted == 0
+
+    print()
+    print("=== 5. Table IV: offload latency breakdown per transport ===")
+    engine = OffloadEngine(platform)
+    rows = []
+    for transport in ("cpu", "pcie-rdma", "pcie-dma", "cxl"):
+        report = sim.run_process(engine.compress_page(transport))
+        rows.append([transport,
+                     f"{report.total_ns / 1000:.2f} us",
+                     f"{report.host_cpu_ns / 1000:.2f} us"])
+    print(render_table(["transport", "total latency", "host CPU consumed"],
+                       rows))
+    print("(cxl pipelines transfer+compress+store and leaves the host "
+          "nearly idle)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline (no wheel
+package available for PEP-660 editable builds); all metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro: a full-system reproduction of "Demystifying a CXL Type-2 Device:
+A Heterogeneous Cooperative Computing Perspective" (MICRO 2024).
+
+The package provides:
+
+* a deterministic discrete-event simulator of the paper's testbed -- host
+  CPU, caches, memory controllers, UPI/PCIe/CXL interconnects, and the
+  Agilex-7 CXL Type-2 device (DCOH, HMC/DMC, bias modes) --
+  (:mod:`repro.sim`, :mod:`repro.mem`, :mod:`repro.interconnect`,
+  :mod:`repro.host`, :mod:`repro.devices`);
+* the cooperative-computing offload framework of SVI (:mod:`repro.core`);
+* functional Linux kernel-feature models -- zswap and ksm -- with real
+  compression and hashing (:mod:`repro.kernel`);
+* the Redis/YCSB end-to-end workloads (:mod:`repro.apps`); and
+* one experiment module per paper table/figure
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import Platform, Microbench, D2HOp
+    mb = Microbench(Platform(), reps=10)
+    print(mb.d2h(D2HOp.CS_READ, llc_hit=True))
+"""
+
+from repro.config import SystemConfig, default_system, sub_numa_half_system
+from repro.core.microbench import Measurement, Microbench
+from repro.core.platform import Platform
+from repro.core.requests import BiasMode, D2HOp, HostOp, MemLevel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "default_system",
+    "sub_numa_half_system",
+    "Platform",
+    "Microbench",
+    "Measurement",
+    "BiasMode",
+    "D2HOp",
+    "HostOp",
+    "MemLevel",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Result analysis: paper-expected shapes, comparison helpers, and table
+formatting shared by the benchmark suite and EXPERIMENTS.md."""
+
+from repro.analysis.expected import PAPER
+from repro.analysis.compare import Band, within_band
+
+__all__ = ["PAPER", "Band", "within_band"]

@@ -1,0 +1,104 @@
+"""Calibration inspector: show the component model's 'work'.
+
+Prints every timing constant the simulator composes figures from, plus
+the analytic path sums for a handful of headline accesses — the same
+derivations documented in ``docs/TIMING_MODEL.md``, but computed live
+from a :class:`~repro.config.SystemConfig` so drift between docs and
+code is impossible.  Exposed via ``python -m repro calibration``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.analysis.tables import render_table
+from repro.config import SystemConfig, default_system
+from repro.interconnect.cxl import DATA_BYTES, REQ_BYTES
+from repro.interconnect import upi as upi_mod
+
+
+def component_table(cfg: Optional[SystemConfig] = None) -> str:
+    """Every latency constant, grouped by subsystem."""
+    cfg = cfg or default_system()
+    host, t2 = cfg.host, cfg.cxl_t2
+    rows = [
+        ("host", "core issue", host.issue_ns),
+        ("host", "L1 / L2 / LLC", f"{host.l1_ns} / {host.l2_ns} / {host.llc_ns}"),
+        ("host", "home agent (CHA)", host.home_agent_ns),
+        ("host", "DDR5 random read", host.dram.read_ns),
+        ("host", "posted-write accept", host.dram.write_enqueue_ns),
+        ("host", "nt-ld extra / nt-st hand-off",
+         f"{host.nt_load_extra_ns} / {host.nt_store_post_ns}"),
+        ("host", "remote-miss extra (directory+snoop)",
+         host.remote_miss_extra_ns),
+        ("upi", "propagation (one way)", cfg.upi.propagation_ns),
+        ("upi", "rate (B/ns)", cfg.upi.bytes_per_ns),
+        ("cxl", "propagation (one way)", t2.link.propagation_ns),
+        ("cxl", "rate (B/ns)", t2.link.bytes_per_ns),
+        ("t2", "DCOH engine / lookup",
+         f"{t2.dcoh.engine_ns} / {t2.dcoh.lookup_ns}"),
+        ("t2", "write-issue gap", t2.dcoh.write_issue_gap_ns),
+        ("t2", "host agent rd / wr / miss-extra",
+         f"{t2.host_agent_ns} / {t2.host_agent_write_ns} / "
+         f"{t2.host_agent_miss_extra_ns}"),
+        ("t2", "H2D fabric / DMC check",
+         f"{t2.h2d_fabric_ns} / {t2.h2d_dmc_check_ns}"),
+        ("t2", "H2D state change / mod. writeback",
+         f"{t2.h2d_state_change_ns} / {t2.h2d_modified_writeback_ns}"),
+        ("t2", "device DDR4 random read", t2.dram.read_ns),
+        ("t2", "LSU issue period", t2.lsu_issue_ns),
+        ("pcie", "MMIO 64B read RT", cfg.pcie_dev.mmio_read_rt_ns),
+        ("pcie", "DMA setup / completion",
+         f"{cfg.pcie_dev.dma_setup_ns} / {cfg.pcie_dev.dma_completion_ns}"),
+        ("snic", "RDMA post / NIC processing",
+         f"{cfg.snic.rdma_post_ns} / {cfg.snic.rdma_nic_ns}"),
+        ("snic", "host interrupt", cfg.snic.interrupt_ns),
+    ]
+    return render_table(["subsystem", "component", "ns"], rows,
+                        title="Component latencies")
+
+
+def path_sums(cfg: Optional[SystemConfig] = None) -> str:
+    """Analytic sums for headline paths (cross-check the simulator)."""
+    cfg = cfg or default_system()
+    host, t2, upi = cfg.host, cfg.cxl_t2, cfg.upi
+
+    def upi_ser(payload):
+        return upi.serialization_ns(payload)
+
+    def cxl_ser(payload):
+        return t2.link.serialization_ns(payload)
+
+    emul_ld_hit = (host.issue_ns + upi_ser(upi_mod.REQ_BYTES)
+                   + upi.propagation_ns + host.home_agent_ns + host.llc_ns
+                   + upi_ser(64) + upi.propagation_ns)
+    emul_ld_miss = (emul_ld_hit + host.remote_miss_extra_ns
+                    + host.dram.read_ns + 64 / host.dram.bytes_per_ns)
+    cs_rd_hit = (t2.lsu_issue_ns + t2.dcoh.engine_ns + t2.dcoh.lookup_ns
+                 + cxl_ser(REQ_BYTES) + t2.link.propagation_ns
+                 + t2.host_agent_ns + host.llc_ns
+                 + cxl_ser(DATA_BYTES) + t2.link.propagation_ns)
+    cs_rd_miss = (cs_rd_hit + t2.host_agent_miss_extra_ns
+                  + host.dram.read_ns + 64 / host.dram.bytes_per_ns)
+    t3_ld = (host.issue_ns + cxl_ser(REQ_BYTES) + t2.link.propagation_ns
+             + t2.h2d_fabric_ns + t2.dram.read_ns + 64 / t2.dram.bytes_per_ns
+             + cxl_ser(DATA_BYTES) + t2.link.propagation_ns)
+    rows = [
+        ("emulated ld, LLC hit", f"{emul_ld_hit:.0f}"),
+        ("emulated ld, LLC miss", f"{emul_ld_miss:.0f}"),
+        ("D2H CS-read, LLC hit", f"{cs_rd_hit:.0f}"),
+        ("D2H CS-read, LLC miss", f"{cs_rd_miss:.0f}"),
+        ("CS-rd/ld delta, hit", f"{cs_rd_hit / emul_ld_hit - 1:+.0%}"),
+        ("CS-rd/ld delta, miss", f"{cs_rd_miss / emul_ld_miss - 1:+.0%}"),
+        ("H2D ld to Type-3 (anchor ~390ns)", f"{t3_ld:.0f}"),
+    ]
+    return render_table(["path", "ns"], rows, title="Analytic path sums")
+
+
+def render(cfg: Optional[SystemConfig] = None) -> str:
+    out = io.StringIO()
+    out.write(component_table(cfg))
+    out.write("\n\n")
+    out.write(path_sums(cfg))
+    return out.getvalue()

@@ -1,0 +1,61 @@
+"""Comparison helpers: bands and tolerance checks.
+
+The reproduction targets *shapes*, not the authors' nanoseconds: every
+check is either a direction ("cxl below pcie"), a band the paper quotes
+("+38 %" checked within a tolerance factor), or an ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Band:
+    """An inclusive numeric band, optionally widened by a tolerance.
+
+    ``Band(0.38)`` is a point target; ``Band(0.76, 1.20)`` a paper range.
+    ``contains(x, slack)`` widens both edges multiplicatively, because a
+    simulator reproducing a +38 % delta as +28 % or +50 % has preserved
+    the shape.
+    """
+
+    low: float
+    high: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.high != self.high:  # NaN -> point band
+            object.__setattr__(self, "high", self.low)
+        if self.high < self.low:
+            raise ValueError(f"band inverted: {self}")
+
+    def contains(self, value: float, slack: float = 0.0) -> bool:
+        low, high = self.low, self.high
+        if slack > 0:
+            span = max(abs(low), abs(high), 1e-12)
+            low -= slack * span
+            high += slack * span
+        return low <= value <= high
+
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+def within_band(value: float, band: Band, slack: float = 0.35) -> bool:
+    """Default shape check: inside the paper band widened by 35 %."""
+    return band.contains(value, slack)
+
+
+def same_direction(value: float, reference: float) -> bool:
+    """Do two deltas at least agree in sign?"""
+    if reference == 0:
+        return True
+    return (value > 0) == (reference > 0)
+
+
+def ordering_holds(values: list[float], ascending: bool = True) -> bool:
+    """Is a sequence monotone (the who-beats-whom check)?"""
+    pairs = zip(values, values[1:])
+    if ascending:
+        return all(a <= b for a, b in pairs)
+    return all(a >= b for a, b in pairs)

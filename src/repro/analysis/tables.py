@@ -1,0 +1,47 @@
+"""Plain-text table rendering shared by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table with auto-sized columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(name: str, xs: Sequence[float],
+                  ys: Sequence[float], width: int = 50) -> str:
+    """A crude ASCII sparkline for a figure series (log-ish scale)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("series must be non-empty and aligned")
+    top = max(ys)
+    lines = [f"{name}:"]
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(width * y / top)) if top > 0 else ""
+        lines.append(f"  {x:>10g} | {bar} {y:g}")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""End-to-end application workloads (SVII): a Redis-like KVS served on
+simulated cores, YCSB A-D request generators, the antagonist allocator
+that creates memory pressure, and open-loop latency clients."""
+
+from repro.apps.kvs import KeyValueStore, RedisServer
+from repro.apps.ycsb import YcsbOp, YcsbWorkload, WORKLOADS
+from repro.apps.node import ServerNode, MemoryPressure
+from repro.apps.antagonist import Antagonist
+from repro.apps.latency import OpenLoopClient
+
+__all__ = [
+    "KeyValueStore",
+    "RedisServer",
+    "YcsbOp",
+    "YcsbWorkload",
+    "WORKLOADS",
+    "ServerNode",
+    "MemoryPressure",
+    "Antagonist",
+    "OpenLoopClient",
+]

@@ -1,0 +1,53 @@
+"""The antagonist workload (SVII methodology).
+
+"An antagonist workload, which allocates and frees memory space
+periodically" runs on the other half of the cores and is what pushes
+free memory below the watermarks, forcing zswap activity while Redis
+serves requests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.apps.node import MemoryPressure
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.rng import DeterministicRng
+from repro.units import ms
+
+
+class Antagonist:
+    """Periodic allocate/hold/free cycle against the shared pressure."""
+
+    def __init__(self, sim: Simulator, pressure: MemoryPressure,
+                 rng: DeterministicRng,
+                 burst_pages: int = 4096,
+                 period_ns: float = ms(12.0),
+                 hold_fraction: float = 0.75,
+                 release_fraction: float = 0.5):
+        self.sim = sim
+        self.pressure = pressure
+        self.rng = rng
+        self.burst_pages = burst_pages
+        self.period_ns = period_ns
+        self.hold_fraction = hold_fraction
+        self.release_fraction = release_fraction
+        self.cycles = 0
+
+    def run(self, until_ns: float) -> Generator[Any, Any, None]:
+        """Allocate a burst, hold it, free most of it, repeat.
+
+        Frees less than it allocates early on (a growing footprint), so
+        pressure ratchets up the way a co-located batch job's RSS does.
+        """
+        while self.sim.now < until_ns:
+            burst = int(self.rng.jitter(self.burst_pages, 0.2))
+            granted = self.pressure.consume(burst)
+            self.cycles += 1
+            yield Timeout(self.rng.jitter(self.period_ns * self.hold_fraction,
+                                          0.15))
+            # Keep part of the burst resident: net footprint growth that
+            # only reclaim can push back against.
+            self.pressure.release(int(granted * self.release_fraction))
+            yield Timeout(self.rng.jitter(
+                self.period_ns * (1.0 - self.hold_fraction), 0.15))

@@ -1,0 +1,75 @@
+"""A Redis-like in-memory key-value store.
+
+Functional half: a real hash map storing byte values, so integration
+tests can assert reads-after-writes across the zswap fault path.
+Timing half: a per-operation service-time model for the latency
+experiments (single-threaded event loop, like Redis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.apps.ycsb import YcsbOp
+from repro.errors import WorkloadError
+from repro.sim.rng import DeterministicRng
+from repro.units import us
+
+# Service-time anchors for one request on a 2.2 GHz core (network stack +
+# command parse + hash-map op).  Real Redis does ~80-120k op/s/core.
+BASE_SERVICE_NS = us(9.0)
+UPDATE_EXTRA_NS = us(1.5)      # allocation + copy on writes
+INSERT_EXTRA_NS = us(2.0)
+
+
+class KeyValueStore:
+    """The functional store."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, bytes] = {}
+        self.gets = 0
+        self.sets = 0
+
+    def get(self, key: str) -> Optional[bytes]:
+        self.gets += 1
+        return self._data.get(key)
+
+    def set(self, key: str, value: bytes) -> None:
+        self.sets += 1
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class RedisServer:
+    """One single-threaded server instance pinned to a core."""
+
+    def __init__(self, name: str, rng: DeterministicRng):
+        self.name = name
+        self.rng = rng
+        self.store = KeyValueStore()
+        self.requests_served = 0
+
+    def service_ns(self, op: YcsbOp) -> float:
+        """Base service time for one request (before interference)."""
+        base = BASE_SERVICE_NS
+        if op is YcsbOp.UPDATE:
+            base += UPDATE_EXTRA_NS
+        elif op is YcsbOp.INSERT:
+            base += INSERT_EXTRA_NS
+        # Natural service-time variation (value sizes, dict rehash, ...)
+        return self.rng.jitter(base, 0.12)
+
+    def execute(self, op: YcsbOp, key: str,
+                value: Optional[bytes] = None) -> Optional[bytes]:
+        """Functional execution of one request."""
+        self.requests_served += 1
+        if op is YcsbOp.READ:
+            return self.store.get(key)
+        if op in (YcsbOp.UPDATE, YcsbOp.INSERT):
+            if value is None:
+                raise WorkloadError(f"{op} requires a value")
+            self.store.set(key, value)
+            return None
+        raise WorkloadError(f"unsupported op {op}")

@@ -1,0 +1,97 @@
+"""Open-loop latency clients (SVII, tail latency).
+
+YCSB clients issue requests at a Poisson rate regardless of completions
+(open loop), so queueing delays show up fully in the measured latency —
+the standard way to expose tail effects.  p99 is read from the recorded
+distribution, normalized against a no-feature baseline by the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.apps.kvs import RedisServer
+from repro.apps.node import ServerNode
+from repro.apps.ycsb import YcsbOp, YcsbWorkload
+from repro.errors import WorkloadError
+from repro.sim.engine import Timeout
+from repro.sim.resources import Resource
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import LatencyStats
+
+# Probability that an UPDATE/INSERT needs a fresh page (slab refill).
+ALLOC_PROBABILITY = 0.06
+
+
+class OpenLoopClient:
+    """Drives one Redis server pinned to one core."""
+
+    def __init__(self, node: ServerNode, server: RedisServer, core: Resource,
+                 workload: YcsbWorkload, rng: DeterministicRng,
+                 rate_per_s: float,
+                 direct_reclaim: Optional[Callable[[Resource],
+                                                   Generator]] = None,
+                 functional: bool = False):
+        if rate_per_s <= 0:
+            raise WorkloadError(f"arrival rate must be positive: {rate_per_s}")
+        self.node = node
+        self.server = server
+        self.core = core
+        self.workload = workload
+        self.rng = rng
+        self.interarrival_ns = 1e9 / rate_per_s
+        self.direct_reclaim = direct_reclaim
+        # functional mode really executes each request against the KVS,
+        # so end-to-end runs can assert read-your-writes alongside p99.
+        self.functional = functional
+        self.stats = LatencyStats()
+        self.direct_reclaim_hits = 0
+        self.functional_errors = 0
+        self._written: dict[str, bytes] = {}
+
+    # -- driving ------------------------------------------------------------------
+
+    def run(self, until_ns: float) -> Generator[Any, Any, None]:
+        """Generate Poisson arrivals until the deadline."""
+        sim = self.node.sim
+        while sim.now < until_ns:
+            yield Timeout(self.rng.exponential(self.interarrival_ns))
+            request = self.workload.next_request()
+            sim.spawn(self._request(request.op, request.key), "redis.request")
+
+    def _request(self, op: YcsbOp, key: str) -> Generator[Any, Any, None]:
+        sim = self.node.sim
+        arrived = sim.now
+        yield self.core.acquire()
+        try:
+            service = self.server.service_ns(op) * self.node.service_factor()
+            yield Timeout(service)
+            self.node.app_core_busy_ns += service
+            if self.functional:
+                self._execute(op, key)
+            else:
+                self.server.requests_served += 1
+            if (op is not YcsbOp.READ
+                    and self.direct_reclaim is not None
+                    and self.rng.random() < ALLOC_PROBABILITY):
+                granted = self.node.pressure.consume(1)
+                if self.node.pressure.below_min or granted == 0:
+                    # The allocation cannot be satisfied: this request
+                    # performs direct reclaim itself (SVI-A direct path).
+                    self.direct_reclaim_hits += 1
+                    yield from self.direct_reclaim(self.core)
+        finally:
+            self.core.release()
+        self.stats.record(sim.now - arrived)
+
+    def _execute(self, op: YcsbOp, key: str) -> None:
+        """Really run the request against the KVS (functional mode)."""
+        if op is YcsbOp.READ:
+            value = self.server.execute(op, key)
+            expected = self._written.get(key)
+            if expected is not None and value != expected:
+                self.functional_errors += 1
+        else:
+            value = self.workload.make_value()
+            self.server.execute(op, key, value)
+            self._written[key] = value

@@ -1,0 +1,139 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro <experiment> [options]
+
+Experiments: ``fig3 fig4 fig5 fig6 fig8 table3 table4 sec7 all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    fig3_d2h,
+    fig4_d2d,
+    fig5_h2d,
+    fig6_transfer,
+    fig8_tail_latency,
+    sec7_accounting,
+    table3_coherence,
+    table4_breakdown,
+)
+from repro.units import ms
+
+
+def _run_fig3(args) -> str:
+    return fig3_d2h.format_table(fig3_d2h.run(reps=args.reps))
+
+
+def _run_fig4(args) -> str:
+    return fig4_d2d.format_table(fig4_d2d.run(reps=args.reps))
+
+
+def _run_fig5(args) -> str:
+    return fig5_h2d.format_table(fig5_h2d.run(reps=args.reps))
+
+
+def _run_fig6(args) -> str:
+    return fig6_transfer.format_table(fig6_transfer.run(reps=max(2, args.reps // 4)))
+
+
+def _run_fig8(args) -> str:
+    scenario = fig8_tail_latency.ScenarioConfig(
+        duration_ns=ms(args.duration_ms))
+    workloads = tuple(args.workloads)
+    result = fig8_tail_latency.run(workloads=workloads, scenario=scenario)
+    return fig8_tail_latency.format_table(result)
+
+
+def _run_table3(args) -> str:
+    return table3_coherence.format_table(table3_coherence.run())
+
+
+def _run_table4(args) -> str:
+    return table4_breakdown.format_table(table4_breakdown.run(reps=args.reps))
+
+
+def _run_sec7(args) -> str:
+    scenario = fig8_tail_latency.ScenarioConfig(
+        duration_ns=ms(args.duration_ms))
+    return sec7_accounting.format_table(
+        sec7_accounting.run(scenario=scenario))
+
+
+def _run_report(args) -> str:
+    from repro.analysis.report import generate
+    report = generate(fig8_duration_ms=args.duration_ms,
+                      reps=args.reps, include_fig8=not args.quick)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+        return f"report written to {args.output}"
+    return report
+
+
+def _run_calibration(args) -> str:
+    from repro.analysis.calibration import render
+    return render()
+
+
+RUNNERS: Dict[str, Callable] = {
+    "report": _run_report,
+    "calibration": _run_calibration,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig8": _run_fig8,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "sec7": _run_sec7,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of 'Demystifying a CXL "
+                    "Type-2 Device' (MICRO 2024) from the simulator.",
+    )
+    parser.add_argument("experiment",
+                        choices=sorted(RUNNERS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--reps", type=int, default=20,
+                        help="microbenchmark repetitions (default 20)")
+    parser.add_argument("--duration-ms", type=float, default=300.0,
+                        help="fig8/sec7 simulated duration per cell")
+    parser.add_argument("--workloads", nargs="+", default=["a"],
+                        choices=["a", "b", "c", "d"],
+                        help="YCSB workloads for fig8")
+    parser.add_argument("--quick", action="store_true",
+                        help="report: skip the (slow) fig8/sec7 section")
+    parser.add_argument("--output", default=None,
+                        help="report: write markdown to this file")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        names = [name for name in sorted(RUNNERS) if name != "report"]
+    else:
+        names = [args.experiment]
+    for name in names:
+        start = time.time()
+        output = RUNNERS[name](args)
+        print(output)
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]",
+              file=sys.stderr)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

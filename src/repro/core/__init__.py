@@ -1,0 +1,21 @@
+"""The paper's primary contribution: the CXL Type-2 cooperative-computing
+framework.
+
+* :mod:`repro.core.requests` — the D2H/D2D request taxonomy (NC-P, NC,
+  CO, CS) and host operation types (SIV-A);
+* :mod:`repro.core.platform` — wiring of host, links, and devices into the
+  Table-II testbed;
+* :mod:`repro.core.microbench` — the memo-style latency/bandwidth
+  characterization harness (SV);
+* :mod:`repro.core.doorbell` — the shared-memory command protocol that
+  zswap/ksm offload rides on (SVI, Fig 7);
+* :mod:`repro.core.offload` — the offload engine with cpu / cxl /
+  pcie-dma / pcie-rdma transports;
+* :mod:`repro.core.transfer` — bulk host<->device transfer paths for the
+  Fig-6 efficiency comparison.
+"""
+
+from repro.core.requests import BiasMode, D2HOp, HostOp, MemLevel
+from repro.core.platform import Platform
+
+__all__ = ["BiasMode", "D2HOp", "HostOp", "MemLevel", "Platform"]

@@ -1,0 +1,83 @@
+"""Request taxonomy of the CXL Type-2 device (SIV).
+
+A device accelerator annotates each D2H/D2D request with a *desired DCOH
+cache state* via an AXI user-signal hint; the DCOH then performs the
+Table-III coherence actions.  Host cores issue four x86-level operations.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class D2HOp(enum.Enum):
+    """Device-originated request types (also used for D2D)."""
+
+    NC_P = "nc-p"        # non-cacheable push: write straight into host LLC
+    NC_READ = "nc-rd"    # non-cacheable read (RdCurr): no state change
+    NC_WRITE = "nc-wr"   # non-cacheable write: invalidate copies, write DRAM
+    CO_READ = "co-rd"    # cacheable-owned read (RdOwn): exclusive into HMC
+    CO_WRITE = "co-wr"   # cacheable-owned write: modified into HMC
+    CS_READ = "cs-rd"    # cacheable-shared read (RdShared): shared into HMC
+
+    @property
+    def is_read(self) -> bool:
+        return self in (D2HOp.NC_READ, D2HOp.CO_READ, D2HOp.CS_READ)
+
+    @property
+    def is_write(self) -> bool:
+        return not self.is_read
+
+    @property
+    def caches_in_device(self) -> bool:
+        """Does the request leave a valid line in the device cache?"""
+        return self in (D2HOp.CO_READ, D2HOp.CO_WRITE, D2HOp.CS_READ)
+
+
+class HostOp(enum.Enum):
+    """Host-core memory operations used throughout SV."""
+
+    LOAD = "ld"
+    STORE = "st"
+    NT_LOAD = "nt-ld"
+    NT_STORE = "nt-st"
+
+    @property
+    def is_read(self) -> bool:
+        return self in (HostOp.LOAD, HostOp.NT_LOAD)
+
+    @property
+    def is_temporal(self) -> bool:
+        return self in (HostOp.LOAD, HostOp.STORE)
+
+
+# The paper's D2H <-> emulated-op correspondence (SV-A): each CXL request
+# type is compared against the "equivalent" instruction a remote NUMA core
+# would use.
+EQUIVALENT_HOST_OP = {
+    D2HOp.NC_READ: HostOp.NT_LOAD,
+    D2HOp.CS_READ: HostOp.LOAD,
+    D2HOp.NC_WRITE: HostOp.NT_STORE,
+    D2HOp.CO_WRITE: HostOp.STORE,
+    D2HOp.CO_READ: HostOp.LOAD,
+    D2HOp.NC_P: HostOp.STORE,
+}
+
+
+class BiasMode(enum.Enum):
+    """D2D coherence-management mode of a device-memory region (SIV-B)."""
+
+    HOST = "host-bias"      # hardware checks host cache before every access
+    DEVICE = "device-bias"  # host bypassed; software owns coherence
+
+
+class MemLevel(enum.Enum):
+    """Where a line was ultimately served from (for assertions/telemetry)."""
+
+    L1 = "l1"
+    L2 = "l2"
+    HMC = "hmc"
+    DMC = "dmc"
+    LLC = "llc"
+    HOST_DRAM = "host-dram"
+    DEV_DRAM = "dev-dram"

@@ -1,0 +1,162 @@
+"""Bulk host<->device transfer paths for the Fig-6 efficiency comparison.
+
+Six mechanisms move ``n`` bytes between host memory and device memory:
+
+========================  =============================================
+mechanism                 model
+========================  =============================================
+``pcie-mmio``             uncacheable ld/st beats over PCIe (ordered)
+``pcie-dma``              descriptor DMA on the Agilex-7 PCIe IP
+``pcie-rdma``             one-sided RDMA via BF-3 (x32 lanes)
+``pcie-doca-dma``         the same engine behind the DOCA stack
+``cxl-ldst``              the host core's ld/st (H2D) or the device
+                          LSU's CS-rd/NC-P (D2H) at cache-line grain
+``cxl-dsa``               DSA descriptor DMA into CXL memory
+========================  =============================================
+
+Latency is one whole transfer; bandwidth is the back-to-back streaming
+rate.  The CXL ld/st paths reuse the exact per-line machinery of the
+microbenchmark, so Fig 6's crossovers (CPU LD/ST queues beyond ~1 KB,
+DMA setup amortization, RDMA's x32 edge) all emerge from shared models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.core.platform import Platform
+from repro.core.requests import D2HOp, HostOp
+from repro.errors import WorkloadError
+from repro.sim.stats import Summary, bandwidth_gbps, summarize
+from repro.units import CACHELINE
+
+H2D_MECHANISMS = ("pcie-mmio", "pcie-dma", "pcie-rdma", "pcie-doca-dma",
+                  "cxl-ldst", "cxl-dsa")
+D2H_MECHANISMS = ("pcie-mmio", "pcie-rdma", "pcie-doca-dma", "cxl-ldst",
+                  "cxl-dsa")
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    mechanism: str
+    direction: str            # "h2d" | "d2h"
+    size_bytes: int
+    latency: Summary          # ns for one whole transfer
+    bandwidth: Summary        # GB/s streaming
+
+
+class TransferBench:
+    """Fig-6 harness: sweep mechanisms x sizes on one platform."""
+
+    def __init__(self, platform: Platform, reps: int = 15):
+        if reps < 1:
+            raise WorkloadError("reps must be positive")
+        self.p = platform
+        self.reps = reps
+
+    # ------------------------------------------------------------------
+    # whole-transfer generators
+    # ------------------------------------------------------------------
+
+    def _h2d_once(self, mechanism: str, nbytes: int) -> Generator[Any, Any, None]:
+        p = self.p
+        if mechanism == "pcie-mmio":
+            yield from p.pcie.mmio_write(nbytes)
+        elif mechanism == "pcie-dma":
+            yield from p.pcie.dma_to_device(nbytes)
+        elif mechanism == "pcie-rdma":
+            yield from p.snic.rdma_transfer(nbytes, to_device=True)
+        elif mechanism == "pcie-doca-dma":
+            yield from p.snic.doca_dma(nbytes, to_device=True)
+        elif mechanism == "cxl-ldst":
+            # The host core streams nt-st at cache-line granularity.
+            yield from self._cxl_lines(HostOp.NT_STORE, nbytes)
+        elif mechanism == "cxl-dsa":
+            yield from p.dsa.copy(nbytes, via=p.t2.port.link, to_device=True)
+        else:
+            raise WorkloadError(f"unknown H2D mechanism {mechanism!r}")
+
+    def _d2h_once(self, mechanism: str, nbytes: int) -> Generator[Any, Any, None]:
+        p = self.p
+        if mechanism == "pcie-mmio":
+            # BF-3 Arm core reads host memory through MMIO windows.
+            yield from p.pcie.mmio_read(nbytes)
+        elif mechanism == "pcie-rdma":
+            yield from p.snic.rdma_transfer(nbytes, to_device=False)
+        elif mechanism == "pcie-doca-dma":
+            yield from p.snic.doca_dma(nbytes, to_device=False)
+        elif mechanism == "cxl-ldst":
+            # The device LSU pulls host lines with CS-rd (SV-D pairs
+            # CXL-LD with CS-read and CXL-ST with NC-P).
+            yield from self._lsu_lines(D2HOp.CS_READ, nbytes)
+        elif mechanism == "cxl-dsa":
+            yield from p.dsa.copy(nbytes, via=p.t2.port.link, to_device=False)
+        else:
+            raise WorkloadError(f"unknown D2H mechanism {mechanism!r}")
+
+    def _cxl_lines(self, op: HostOp, nbytes: int) -> Generator[Any, Any, None]:
+        """Host core moving nbytes line-by-line over CXL.mem, pipelined."""
+        sim, core, t2 = self.p.sim, self.p.core, self.p.t2
+        addrs = self.p.fresh_dev_lines(max(1, nbytes // CACHELINE))
+        procs = [sim.spawn(core.cxl_op(op, addr, t2)) for addr in addrs]
+        done = sim.all_of([proc.done for proc in procs])
+        yield done
+
+    def _lsu_lines(self, op: D2HOp, nbytes: int) -> Generator[Any, Any, None]:
+        """Device LSU moving nbytes line-by-line over CXL.cache, pipelined."""
+        sim, lsu = self.p.sim, self.p.t2.lsu
+        addrs = self.p.fresh_host_lines(max(1, nbytes // CACHELINE))
+        procs = [sim.spawn(lsu.d2h(op, addr)) for addr in addrs]
+        done = sim.all_of([proc.done for proc in procs])
+        yield done
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+
+    def measure(self, mechanism: str, direction: str,
+                nbytes: int) -> TransferResult:
+        """Latency (one transfer) and streaming bandwidth (pipelined)."""
+        if direction == "h2d":
+            once: Callable[[], Generator] = lambda: self._h2d_once(mechanism, nbytes)
+            if mechanism not in H2D_MECHANISMS:
+                raise WorkloadError(f"{mechanism} is not an H2D mechanism")
+        elif direction == "d2h":
+            once = lambda: self._d2h_once(mechanism, nbytes)
+            if mechanism not in D2H_MECHANISMS:
+                raise WorkloadError(f"{mechanism} is not a D2H mechanism")
+        else:
+            raise WorkloadError(f"direction must be h2d|d2h, not {direction!r}")
+
+        sim = self.p.sim
+        latencies = []
+
+        def timed_once() -> Generator[Any, Any, float]:
+            t0 = sim.now
+            yield from once()
+            # Read the clock *inside* the process: posted paths spawn
+            # background device work that run_process also drains.
+            return sim.now - t0
+
+        for __ in range(self.reps):
+            raw = sim.run_process(timed_once())
+            latencies.append(self.p.rng.jitter(raw, self.p.cfg.latency_noise))
+        # Streaming bandwidth: several transfers in flight back-to-back.
+        depth = 4
+        start = sim.now
+        done_at: list[float] = []
+
+        def timed() -> Generator[Any, Any, None]:
+            yield from once()
+            done_at.append(sim.now)
+
+        procs = [sim.spawn(timed()) for __ in range(depth)]
+        sim.run()
+        if not all(proc.finished for proc in procs):
+            raise WorkloadError(f"{mechanism}/{direction}: deadlock")
+        bw = bandwidth_gbps(depth * nbytes, max(done_at) - start)
+        bws = [self.p.rng.jitter(bw, self.p.cfg.latency_noise)
+               for __ in range(self.reps)]
+        return TransferResult(mechanism, direction, nbytes,
+                              summarize(latencies), summarize(bws))

@@ -1,0 +1,30 @@
+"""Device models: CXL Type-2/-3, PCIe FPGA, BlueField-3 SNIC, and the
+accelerator IPs they host."""
+
+from repro.devices.dcoh import DcohSlice
+from repro.devices.cxl_type1 import CxlType1Device
+from repro.devices.cxl_type2 import CxlType2Device
+from repro.devices.cxl_type3 import CxlType3Device
+from repro.devices.lsu import LoadStoreUnit
+from repro.devices.pcie_fpga import PcieFpgaDevice
+from repro.devices.snic import SmartNic
+from repro.devices.accel_ip import (
+    ByteCompareIp,
+    CompressionIp,
+    DecompressionIp,
+    XxhashIp,
+)
+
+__all__ = [
+    "DcohSlice",
+    "CxlType1Device",
+    "CxlType2Device",
+    "CxlType3Device",
+    "LoadStoreUnit",
+    "PcieFpgaDevice",
+    "SmartNic",
+    "CompressionIp",
+    "DecompressionIp",
+    "XxhashIp",
+    "ByteCompareIp",
+]

@@ -1,0 +1,42 @@
+"""The CXL Type-1 device: io+cache, no device memory (Table I).
+
+The SmartNIC-shaped device class: its accelerator performs coherent D2H
+accesses through a device cache, but there is no CXL.mem — the host
+cannot address any device memory, and D2D requests do not exist.  Built
+for completeness of the paper's Table-I taxonomy and as the
+counterfactual in the zpool-placement ablation: a Type-1 (or any PCIe)
+offload *must* keep zswap's zpool in host DRAM, giving up the memory
+relief cxl-zswap gets from device-memory placement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import CxlType2Config
+from repro.devices.dcoh import DcohSlice
+from repro.devices.lsu import LoadStoreUnit
+from repro.host.home_agent import HomeAgent
+from repro.interconnect.cxl import CxlPort
+from repro.sim.engine import Simulator
+from repro.sim.rng import DeterministicRng
+
+
+class CxlType1Device:
+    """A CXL.io+cache accelerator (SmartNIC-style, Table I row 1)."""
+
+    def __init__(self, sim: Simulator, cfg: CxlType2Config,
+                 home: HomeAgent,
+                 rng: Optional[DeterministicRng] = None,
+                 noise: float = 0.0):
+        self.sim = sim
+        self.cfg = cfg
+        self.port = CxlPort(sim, cfg.link)
+        # No device memory: the DCOH slice carries only the HMC; D2D and
+        # H2D paths are structurally absent.
+        self.dcoh = DcohSlice(sim, cfg, self.port, home, dev_mem=None)
+        self.lsu = LoadStoreUnit(sim, cfg, self.dcoh, rng=rng, noise=noise)
+
+    @property
+    def has_device_memory(self) -> bool:
+        return False

@@ -1,0 +1,133 @@
+"""The CXL Type-3 device: the same Agilex-7 without CXL.cache.
+
+No DCOH, no HMC/DMC: H2D requests cross the link, pay the soft-fabric
+cost, and go straight to device memory.  This is the Fig-5 baseline the
+Type-2 device is compared against (and the configuration characterized by
+Sun et al. MICRO'23 on the identical board).
+
+Footnote 2 of the paper notes the AFUs a Type-3 device *can* host:
+an **inline (pass-through) AFU** that "cannot issue memory requests on
+its own but can capture memory requests and data between the host CPU
+and device memory and manipulate them", and a **custom AFU** that "can
+issue non-cache-coherent memory requests only to device memory, in the
+same way as ACCs in PCIe devices do".  Both are modeled here — they are
+what near-memory processing on a memory expander looks like without
+CXL.cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.config import CxlType3Config
+from repro.core.requests import MemLevel
+from repro.interconnect.cxl import CxlPort
+from repro.mem.address import AddressMap, Region
+from repro.mem.backing import SparseMemory
+from repro.mem.memctrl import MemorySystem
+from repro.errors import DeviceError
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import Resource
+from repro.units import gib
+
+# A custom AFU runs in the same 400 MHz fabric as the Type-2 CAFUs.
+AFU_CYCLE_NS = 2.5
+
+
+class InlineAfu:
+    """Pass-through AFU: observes/manipulates H2D traffic in flight.
+
+    It cannot originate requests; it adds a per-line processing delay and
+    lets a user-supplied hook transform the observed stream (e.g. inline
+    scrubbing, counters, simple filters).
+    """
+
+    def __init__(self, pipeline_ns: float = 2 * AFU_CYCLE_NS):
+        self.pipeline_ns = pipeline_ns
+        self.lines_observed = 0
+
+    def observe(self):
+        """Timed pass-through of one 64 B beat."""
+        self.lines_observed += 1
+        yield Timeout(self.pipeline_ns)
+
+
+class CustomAfu:
+    """Near-memory AFU: non-coherent access to device memory only.
+
+    The PCIe-accelerator programming model on a CXL board: reads and
+    writes go straight to the device MCs with no coherence semantics,
+    and host memory is unreachable (no CXL.cache).
+    """
+
+    def __init__(self, sim: Simulator, dev_mem, regions):
+        self.sim = sim
+        self.dev_mem = dev_mem
+        self.regions = regions
+        self._issue = Resource(sim, 1, "t3.afu")
+        self.reads = 0
+        self.writes = 0
+
+    def _validate(self, addr: int) -> None:
+        if self.regions.try_find(addr) is None:
+            raise DeviceError(
+                "custom AFU can only access device memory "
+                f"(address {hex(addr)} is outside it)")
+
+    def read_line(self, addr: int):
+        """Non-coherent 64 B read of device memory."""
+        self._validate(addr)
+        self.reads += 1
+        yield from self._issue.using(AFU_CYCLE_NS)
+        yield from self.dev_mem.read_line(addr)
+
+    def write_line(self, addr: int):
+        """Non-coherent 64 B write of device memory (posted)."""
+        self._validate(addr)
+        self.writes += 1
+        yield from self._issue.using(AFU_CYCLE_NS)
+        yield from self.dev_mem.write_line(addr)
+
+
+class CxlType3Device:
+    """One Agilex-7 flashed with the CXL Type-3 (io+mem) IP."""
+
+    def __init__(self, sim: Simulator, cfg: CxlType3Config, mem_base: int,
+                 mem_size: int = gib(16)):
+        self.sim = sim
+        self.cfg = cfg
+        self.port = CxlPort(sim, cfg.link)
+        self.dev_mem = MemorySystem(sim, cfg.dram, cfg.mem_channels, "t3.mem")
+        self.regions = AddressMap()
+        self.regions.add(Region("devmem", mem_base, mem_size, kind="cxl"))
+        self.memory = SparseMemory("t3.devmem")
+        self.afu = CustomAfu(sim, self.dev_mem, self.regions)
+        self.inline_afu: Optional[InlineAfu] = None
+        self.h2d_reads = 0
+        self.h2d_writes = 0
+
+    def attach_inline_afu(self, afu: InlineAfu) -> InlineAfu:
+        """Put a pass-through AFU on the H2D datapath."""
+        self.inline_afu = afu
+        return afu
+
+    # -- H2D-target interface ----------------------------------------------------
+
+    def h2d_serve_read(self, addr: int) -> Generator[Any, Any, MemLevel]:
+        self.h2d_reads += 1
+        yield Timeout(self.cfg.h2d_fabric_ns)
+        if self.inline_afu is not None:
+            yield from self.inline_afu.observe()
+        yield from self.dev_mem.read_line(addr)
+        return MemLevel.DEV_DRAM
+
+    def h2d_serve_write(self, addr: int) -> Generator[Any, Any, MemLevel]:
+        self.h2d_writes += 1
+        yield Timeout(self.cfg.h2d_fabric_ns)
+        if self.inline_afu is not None:
+            yield from self.inline_afu.observe()
+        yield from self.dev_mem.write_line(addr)
+        return MemLevel.DEV_DRAM
+
+    def h2d_post_write(self, addr: int) -> None:
+        self.sim.spawn(self.h2d_serve_write(addr), "t3.posted-write")

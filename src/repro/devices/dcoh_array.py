@@ -1,0 +1,88 @@
+"""Multiple DCOH slices behind one routing facade.
+
+SIV: "A CXL Type-2 device consists of one or more instances of the
+following components: Memory Controller, Device COHerence engine
+(DCOH), and Coherent request ACC Functional Unit" — each slice carries
+its own HMC and DMC.  :class:`DcohArray` interleaves requests across
+slices at cache-line granularity and exposes the exact interface of a
+single :class:`~repro.devices.dcoh.DcohSlice`, so LSUs, the H2D path,
+and the microbenchmark work unchanged whether a device has one slice or
+many.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.core.requests import D2HOp, MemLevel
+from repro.devices.dcoh import DcohSlice
+from repro.errors import ConfigError
+from repro.mem.coherence import LineState
+from repro.units import CACHELINE
+
+
+class DcohArray:
+    """Line-interleaved routing over N DCOH slices."""
+
+    def __init__(self, slices: List[DcohSlice]):
+        if not slices:
+            raise ConfigError("DcohArray needs at least one slice")
+        self.slices = slices
+
+    # -- routing -----------------------------------------------------------
+
+    def slice_for(self, addr: int) -> DcohSlice:
+        return self.slices[(addr // CACHELINE) % len(self.slices)]
+
+    def __len__(self) -> int:
+        return len(self.slices)
+
+    # -- the DcohSlice interface, delegated --------------------------------
+
+    def d2h(self, op: D2HOp, addr: int) -> Generator[Any, Any, MemLevel]:
+        return self.slice_for(addr).d2h(op, addr)
+
+    def d2d(self, op: D2HOp, addr: int) -> Generator[Any, Any, MemLevel]:
+        return self.slice_for(addr).d2d(op, addr)
+
+    def h2d_check(self, addr: int,
+                  for_write: bool) -> Generator[Any, Any, None]:
+        return self.slice_for(addr).h2d_check(addr, for_write)
+
+    def flush_device_caches(self) -> None:
+        for slice_ in self.slices:
+            slice_.flush_device_caches()
+
+    # -- methodology helpers (routed) ---------------------------------------
+
+    def _fill_hmc(self, addr: int, state: LineState) -> None:
+        self.slice_for(addr)._fill_hmc(addr, state)
+
+    def _fill_dmc(self, addr: int, state: LineState) -> None:
+        self.slice_for(addr)._fill_dmc(addr, state)
+
+    # -- aggregate telemetry --------------------------------------------------
+
+    @property
+    def d2h_count(self) -> int:
+        return sum(s.d2h_count for s in self.slices)
+
+    @property
+    def d2d_count(self) -> int:
+        return sum(s.d2d_count for s in self.slices)
+
+    @property
+    def hmc(self):
+        """Slice 0's HMC (single-slice compatibility accessor)."""
+        return self.slices[0].hmc
+
+    @property
+    def dmc(self):
+        """Slice 0's DMC (single-slice compatibility accessor)."""
+        return self.slices[0].dmc
+
+    def hmc_state_of(self, addr: int) -> LineState:
+        return self.slice_for(addr).hmc.state_of(addr)
+
+    def dmc_state_of(self, addr: int) -> LineState:
+        return self.slice_for(addr).dmc.state_of(addr)

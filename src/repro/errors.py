@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. a process
+    yielded an unknown command, or time went backwards)."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class CoherenceError(ReproError):
+    """A cache-coherence invariant was violated (these indicate bugs in a
+    protocol implementation, and are asserted on heavily in tests)."""
+
+
+class AddressError(ReproError):
+    """An address fell outside every mapped region, or was misaligned for
+    the requested operation."""
+
+
+class DeviceError(ReproError):
+    """A device was driven outside its supported envelope (e.g. a D2D
+    request to an unmapped device-memory region)."""
+
+
+class OffloadError(ReproError):
+    """The offload framework was misused (unknown transport, payload too
+    large for the doorbell slot, completion for an unknown tag)."""
+
+
+class KernelError(ReproError):
+    """A simulated-kernel invariant failed (double free of a page frame,
+    swap-in of a non-resident page, ...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured inconsistently."""

@@ -1,0 +1,7 @@
+"""One experiment module per table/figure of the paper's evaluation.
+
+Each module exposes ``run(...)`` returning a plain result structure plus
+``format_table(result)`` producing the rows the paper reports; the
+``benchmarks/`` suite calls these and checks shapes against
+:mod:`repro.analysis.expected`.
+"""

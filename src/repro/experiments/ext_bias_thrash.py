@@ -1,0 +1,105 @@
+"""Extension experiment: bias-mode thrash under mixed H2D/D2D load.
+
+SIV-B: a device-memory region in device-bias mode gives the accelerator
+its fastest path — but "as soon as DCOH receives an H2D request to a
+device memory region in device-bias mode, the memory region exits from
+device-bias mode", and getting back requires software to flush the
+region from host cache.  This experiment quantifies the cost of a host
+that keeps touching a region the accelerator wants in device bias:
+
+* ``quiet``        — device-bias D2D stream, host never interferes;
+* ``thrash``       — a host ld drops the region to host bias every K
+  device accesses; software switches it back (paying the flush);
+* ``host-bias``    — giving up: leave the region in host bias.
+
+The takeaway mirrors Insight 2: device bias only pays when the host
+genuinely stays away from the region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+from repro.core.platform import Platform
+from repro.core.requests import D2HOp, HostOp
+from repro.units import kib
+
+REGION_KIB = 8
+ACCESSES = 512
+
+
+@dataclass(frozen=True)
+class ThrashPoint:
+    mode: str
+    elapsed_ns: float
+    bias_switches_to_host: int
+    switch_cost_ns: float       # host-side flush time spent re-arming
+
+
+@dataclass(frozen=True)
+class BiasThrashResult:
+    points: Dict[str, ThrashPoint]
+
+    def slowdown(self, mode: str) -> float:
+        return (self.points[mode].elapsed_ns
+                / self.points["quiet"].elapsed_ns)
+
+
+def _run_mode(mode: str, touch_every: int, seed: int) -> ThrashPoint:
+    platform = Platform(seed=seed)
+    sim = platform.sim
+    t2 = platform.t2
+    region = t2.carve_region(f"thrash-{mode}", kib(REGION_KIB))
+    addrs = [region.base + (i % (region.size // 64)) * 64
+             for i in range(ACCESSES)]
+
+    switch_cost = 0.0
+    if mode != "host-bias":
+        t2.bias.force_device_bias(region.name)
+
+    def workload():
+        nonlocal switch_cost
+        for i, addr in enumerate(addrs):
+            if (mode == "thrash" and touch_every
+                    and i % touch_every == touch_every - 1):
+                # The host peeks at the region: bias silently drops.
+                yield from platform.core.cxl_op(HostOp.LOAD, addr, t2)
+                # Software re-arms device bias (flush + grant, SIV-B).
+                t0 = sim.now
+                yield from t2.bias.enter_device_bias(
+                    region.name, platform.core, platform.home)
+                switch_cost += sim.now - t0
+            yield from t2.lsu.d2d(D2HOp.CO_WRITE, addr)
+
+    start = sim.now
+    sim.run_process(workload())
+    return ThrashPoint(mode, sim.now - start,
+                       t2.bias.switches_to_host, switch_cost)
+
+
+def run(cfg: Optional[SystemConfig] = None, touch_every: int = 64,
+        seed: int = 139) -> BiasThrashResult:
+    points = {
+        "quiet": _run_mode("quiet", 0, seed),
+        "thrash": _run_mode("thrash", touch_every, seed),
+        "host-bias": _run_mode("host-bias", 0, seed),
+    }
+    return BiasThrashResult(points)
+
+
+def format_table(result: BiasThrashResult) -> str:
+    lines = [
+        "Extension: bias-mode thrash under mixed H2D/D2D load (SIV-B)",
+        f"{'mode':>10s} {'elapsed(us)':>12s} {'slowdown':>9s} "
+        f"{'drops':>6s} {'re-arm cost(us)':>16s}",
+    ]
+    for mode in ("quiet", "thrash", "host-bias"):
+        point = result.points[mode]
+        lines.append(
+            f"{mode:>10s} {point.elapsed_ns / 1000:12.1f} "
+            f"{result.slowdown(mode):9.2f} "
+            f"{point.bias_switches_to_host:6d} "
+            f"{point.switch_cost_ns / 1000:16.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Extension experiment: Redis latency-vs-load under zswap backends.
+
+Fig 8 fixes the offered load and compares backends at one point; this
+sweep traces the whole latency-throughput curve.  The classic shapes
+appear: every backend tracks the baseline at low load, and the knee —
+the load where p99 departs — moves left the more host CPU the zswap
+backend burns.  The cpu backend's curve collapses first; cxl's hugs the
+no-feature baseline almost to saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.experiments.fig8_tail_latency import ScenarioConfig, run_zswap_cell
+from repro.units import ms
+
+DEFAULT_RATES = (15_000.0, 30_000.0, 50_000.0, 70_000.0)
+DEFAULT_BACKENDS = ("none", "cpu", "cxl")
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    backend: str
+    rate_per_s: float
+    p50_ns: float
+    p99_ns: float
+
+
+@dataclass(frozen=True)
+class LoadLatencyResult:
+    points: Dict[str, LoadPoint]       # "<backend>/<rate>"
+    rates: Sequence[float]
+    backends: Sequence[str]
+
+    def get(self, backend: str, rate: float) -> LoadPoint:
+        return self.points[f"{backend}/{rate:g}"]
+
+    def slowdown(self, backend: str, rate: float) -> float:
+        """p99 relative to the no-feature baseline at the same load."""
+        return (self.get(backend, rate).p99_ns
+                / self.get("none", rate).p99_ns)
+
+    def knee_rate(self, backend: str, threshold: float = 3.0) -> float:
+        """The lowest swept rate whose p99 exceeds ``threshold`` x the
+        same backend's p99 at the lowest rate (inf if it never does)."""
+        base = self.get(backend, self.rates[0]).p99_ns
+        for rate in self.rates:
+            if self.get(backend, rate).p99_ns > threshold * base:
+                return rate
+        return float("inf")
+
+
+def run(rates: Sequence[float] = DEFAULT_RATES,
+        backends: Sequence[str] = DEFAULT_BACKENDS,
+        duration_ns: float = ms(300.0), workload: str = "a",
+        seed: int = 149) -> LoadLatencyResult:
+    points: Dict[str, LoadPoint] = {}
+    for backend in backends:
+        for rate in rates:
+            scenario = ScenarioConfig(duration_ns=duration_ns,
+                                      rate_per_s=rate)
+            cell = run_zswap_cell(workload, backend, scenario, seed=seed)
+            points[f"{backend}/{rate:g}"] = LoadPoint(
+                backend, rate, cell.p50_ns, cell.p99_ns)
+    return LoadLatencyResult(points, tuple(rates), tuple(backends))
+
+
+def format_table(result: LoadLatencyResult) -> str:
+    lines = [
+        "Extension: Redis p99 (us) vs offered load per server, by zswap "
+        "backend",
+        f"{'rate(kreq/s)':>13s} " + " ".join(
+            f"{b:>10s}" for b in result.backends),
+    ]
+    for rate in result.rates:
+        row = " ".join(
+            f"{result.get(b, rate).p99_ns / 1000:10.1f}"
+            for b in result.backends)
+        lines.append(f"{rate / 1000:13.0f} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Extension experiment: D2H bandwidth scaling with multiple LSUs.
+
+SV-A: "we use a single LSU ... the FPGA-based LSU can issue 64B memory
+requests at 400MHz, i.e. a maximum of 25.6 GB/s ... As we employ more
+and/or faster LSUs and more CPU cores, the bandwidth will approach
+~90% of the maximum bandwidth of both the CXL interconnect and UPI."
+
+This experiment instantiates 1..N LSU CAFUs sharing one DCOH slice and
+measures aggregate CS-read bandwidth against host memory, showing the
+saturating curve the paper predicts (the shared data-return wire and
+protocol overheads cap it below the raw 64 GB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core.platform import Platform
+from repro.core.requests import D2HOp
+from repro.sim.stats import bandwidth_gbps
+
+DEFAULT_COUNTS = (1, 2, 4, 8, 16)
+LINES_PER_LSU = 512
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    bandwidth_gbps: Dict[int, float]     # lsu count -> aggregate GB/s
+    link_raw_gbps: float
+
+    def efficiency_at(self, count: int) -> float:
+        """Fraction of the raw link bandwidth achieved."""
+        return self.bandwidth_gbps[count] / self.link_raw_gbps
+
+    @property
+    def saturates(self) -> bool:
+        """Growth from the penultimate to the last point is marginal."""
+        counts = sorted(self.bandwidth_gbps)
+        last, prev = counts[-1], counts[-2]
+        return (self.bandwidth_gbps[last]
+                < self.bandwidth_gbps[prev] * (last / prev) * 0.75)
+
+
+def run(cfg: Optional[SystemConfig] = None,
+        counts: Sequence[int] = DEFAULT_COUNTS,
+        seed: int = 83) -> ScalingResult:
+    results: Dict[int, float] = {}
+    for count in counts:
+        platform = Platform(cfg, seed=seed)
+        sim = platform.sim
+        lsus = platform.t2.lsus(count)
+        total_lines = LINES_PER_LSU * count
+        addrs = platform.fresh_host_lines(total_lines)
+        start = sim.now
+        done_at: list[float] = []
+
+        def timed(lsu, addr):
+            yield from lsu.d2h(D2HOp.CS_READ, addr)
+            done_at.append(sim.now)
+
+        for i, addr in enumerate(addrs):
+            sim.spawn(timed(lsus[i % count], addr))
+        sim.run()
+        results[count] = bandwidth_gbps(total_lines * 64,
+                                        max(done_at) - start)
+    link = (cfg or Platform(cfg, seed=seed).cfg).cxl_t2.link.bytes_per_ns \
+        if cfg else Platform(seed=seed).cfg.cxl_t2.link.bytes_per_ns
+    return ScalingResult(results, link)
+
+
+def format_table(result: ScalingResult) -> str:
+    lines = [
+        "Extension: D2H CS-read bandwidth vs number of LSUs (SV-A)",
+        f"{'LSUs':>6s} {'GB/s':>8s} {'% of raw link':>14s}",
+    ]
+    for count in sorted(result.bandwidth_gbps):
+        lines.append(
+            f"{count:6d} {result.bandwidth_gbps[count]:8.1f} "
+            f"{result.efficiency_at(count):14.0%}")
+    return "\n".join(lines)

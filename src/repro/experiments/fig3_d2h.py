@@ -1,0 +1,82 @@
+"""Fig 3: latency and bandwidth of true vs emulated D2H accesses.
+
+Four D2H request types against their emulated equivalents (SV-A):
+NC-rd~nt-ld, CS-rd~ld, NC-wr~nt-st, CO-wr~st, each hitting and missing
+the host LLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+from repro.core.microbench import Measurement, Microbench
+from repro.core.platform import Platform
+from repro.core.requests import D2HOp, EQUIVALENT_HOST_OP, HostOp
+
+PAIRS = [
+    (D2HOp.NC_READ, HostOp.NT_LOAD),
+    (D2HOp.CS_READ, HostOp.LOAD),
+    (D2HOp.NC_WRITE, HostOp.NT_STORE),
+    (D2HOp.CO_WRITE, HostOp.STORE),
+]
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    true: Dict[str, Measurement]       # key: "<op>/llc-<0|1>"
+    emulated: Dict[str, Measurement]
+
+    def latency_delta(self, op: D2HOp, llc_hit: bool) -> float:
+        """(true - emulated) / emulated latency, as the paper quotes."""
+        key_true = f"{op.value}/llc-{int(llc_hit)}"
+        host_op = EQUIVALENT_HOST_OP[op]
+        key_em = f"{host_op.value}/llc-{int(llc_hit)}"
+        t = self.true[key_true].latency.median
+        e = self.emulated[key_em].latency.median
+        return (t - e) / e
+
+    def bandwidth_ratio(self, op: D2HOp, llc_hit: bool) -> float:
+        key_true = f"{op.value}/llc-{int(llc_hit)}"
+        host_op = EQUIVALENT_HOST_OP[op]
+        key_em = f"{host_op.value}/llc-{int(llc_hit)}"
+        return (self.true[key_true].bandwidth.median
+                / self.emulated[key_em].bandwidth.median)
+
+
+def run(cfg: Optional[SystemConfig] = None, reps: int = 30,
+        seed: int = 7) -> Fig3Result:
+    platform = Platform(cfg, seed=seed)
+    mb = Microbench(platform, reps=reps)
+    true: Dict[str, Measurement] = {}
+    emulated: Dict[str, Measurement] = {}
+    for d2h_op, host_op in PAIRS:
+        for hit in (True, False):
+            m = mb.d2h(d2h_op, hit)
+            true[f"{d2h_op.value}/llc-{int(hit)}"] = m
+            m = mb.emulated_d2h(host_op, hit)
+            emulated[f"{host_op.value}/llc-{int(hit)}"] = m
+    return Fig3Result(true, emulated)
+
+
+def format_table(result: Fig3Result) -> str:
+    lines = [
+        "Fig 3: D2H latency (ns) and bandwidth (GB/s), true CXL T2 vs "
+        "emulated NUMA",
+        f"{'op':8s} {'llc':4s} {'lat.true':>9s} {'lat.emul':>9s} "
+        f"{'delta':>7s} {'bw.true':>8s} {'bw.emul':>8s} {'ratio':>6s}",
+    ]
+    for d2h_op, host_op in PAIRS:
+        for hit in (True, False):
+            kt = f"{d2h_op.value}/llc-{int(hit)}"
+            ke = f"{host_op.value}/llc-{int(hit)}"
+            t, e = result.true[kt], result.emulated[ke]
+            lines.append(
+                f"{d2h_op.value:8s} {int(hit):<4d} "
+                f"{t.latency.median:9.0f} {e.latency.median:9.0f} "
+                f"{result.latency_delta(d2h_op, hit):+7.0%} "
+                f"{t.bandwidth.median:8.2f} {e.bandwidth.median:8.2f} "
+                f"{result.bandwidth_ratio(d2h_op, hit):6.2f}"
+            )
+    return "\n".join(lines)

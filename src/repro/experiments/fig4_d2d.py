@@ -1,0 +1,72 @@
+"""Fig 4: latency and bandwidth of D2D accesses, host- vs device-bias.
+
+The four request types against device memory, hitting and missing the
+DMC.  Latency uses the paper's N=16; bandwidth uses a deeper burst
+(N=256) so the steady-state initiation interval — where the 8-13 %
+device-bias advantage lives — dominates the latency transient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+from repro.core.microbench import Measurement, Microbench
+from repro.core.platform import Platform
+from repro.core.requests import BiasMode, D2HOp
+
+OPS = [D2HOp.NC_READ, D2HOp.CS_READ, D2HOp.NC_WRITE, D2HOp.CO_WRITE]
+BW_ACCESSES = 256
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    points: Dict[str, Measurement]     # "<op>/<bias>/dmc-<0|1>"
+
+    def get(self, op: D2HOp, bias: BiasMode, dmc_hit: bool) -> Measurement:
+        return self.points[f"{op.value}/{bias.value}/dmc-{int(dmc_hit)}"]
+
+    def device_bias_latency_gain(self, op: D2HOp, dmc_hit: bool) -> float:
+        """1 - (device-bias latency / host-bias latency)."""
+        host = self.get(op, BiasMode.HOST, dmc_hit).latency.median
+        dev = self.get(op, BiasMode.DEVICE, dmc_hit).latency.median
+        return 1.0 - dev / host
+
+    def device_bias_bw_gain(self, op: D2HOp, dmc_hit: bool) -> float:
+        host = self.get(op, BiasMode.HOST, dmc_hit).bandwidth.median
+        dev = self.get(op, BiasMode.DEVICE, dmc_hit).bandwidth.median
+        return dev / host - 1.0
+
+
+def run(cfg: Optional[SystemConfig] = None, reps: int = 20,
+        seed: int = 11) -> Fig4Result:
+    platform = Platform(cfg, seed=seed)
+    mb = Microbench(platform, reps=reps)
+    points: Dict[str, Measurement] = {}
+    for op in OPS:
+        for bias in (BiasMode.HOST, BiasMode.DEVICE):
+            for hit in (True, False):
+                m = mb.d2d(op, bias, hit, accesses=BW_ACCESSES)
+                points[f"{op.value}/{bias.value}/dmc-{int(hit)}"] = m
+    return Fig4Result(points)
+
+
+def format_table(result: Fig4Result) -> str:
+    lines = [
+        "Fig 4: D2D latency (ns) / bandwidth (GB/s), host- vs device-bias",
+        f"{'op':8s} {'dmc':4s} {'lat.host':>9s} {'lat.dev':>8s} "
+        f"{'gain':>6s} {'bw.host':>8s} {'bw.dev':>7s} {'gain':>6s}",
+    ]
+    for op in OPS:
+        for hit in (True, False):
+            h = result.get(op, BiasMode.HOST, hit)
+            d = result.get(op, BiasMode.DEVICE, hit)
+            lines.append(
+                f"{op.value:8s} {int(hit):<4d} "
+                f"{h.latency.median:9.0f} {d.latency.median:8.0f} "
+                f"{result.device_bias_latency_gain(op, hit):+6.0%} "
+                f"{h.bandwidth.median:8.2f} {d.bandwidth.median:7.2f} "
+                f"{result.device_bias_bw_gain(op, hit):+6.0%}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Fig 5: latency and bandwidth of H2D accesses, CXL Type-2 vs Type-3.
+
+Host ld / nt-ld / st / nt-st against device memory: the Type-3 baseline
+(no device cache), the Type-2 device missing DMC, hitting DMC in
+owned / shared / modified, and — for the NC-P demonstration of
+Insight 4 — accesses to lines the device pre-pushed into the host LLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+from repro.core.microbench import Measurement, Microbench
+from repro.core.platform import Platform
+from repro.core.requests import HostOp
+from repro.mem.coherence import LineState
+
+OPS = [HostOp.LOAD, HostOp.NT_LOAD, HostOp.STORE, HostOp.NT_STORE]
+SCENARIOS = ("t3", "t2-miss", "t2-owned", "t2-shared", "t2-modified", "ncp")
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    points: Dict[str, Measurement]     # "<scenario>/<op>"
+
+    def get(self, scenario: str, op: HostOp) -> Measurement:
+        return self.points[f"{scenario}/{op.value}"]
+
+    def t2_penalty(self, op: HostOp) -> float:
+        """Type-2 (DMC miss) latency over Type-3 — the coherence-check
+        cost of SV-C (~5 %)."""
+        t2 = self.get("t2-miss", op).latency.median
+        t3 = self.get("t3", op).latency.median
+        return t2 / t3 - 1.0
+
+    def dmc_hit_penalty(self, op: HostOp, state: str) -> float:
+        """Counter-intuitive Fig-5 effect: hitting DMC is *slower* than
+        missing it (except shared)."""
+        hit = self.get(f"t2-{state}", op).latency.median
+        miss = self.get("t2-miss", op).latency.median
+        return hit / miss - 1.0
+
+    def ncp_latency_gain(self, op: HostOp) -> float:
+        ncp = self.get("ncp", op).latency.median
+        miss = self.get("t2-miss", op).latency.median
+        return 1.0 - ncp / miss
+
+    def ncp_bw_ratio(self, op: HostOp) -> float:
+        return (self.get("ncp", op).bandwidth.median
+                / self.get("t2-miss", op).bandwidth.median)
+
+
+def run(cfg: Optional[SystemConfig] = None, reps: int = 20,
+        seed: int = 13) -> Fig5Result:
+    platform = Platform(cfg, seed=seed)
+    mb = Microbench(platform, reps=reps)
+    points: Dict[str, Measurement] = {}
+    states = {
+        "t2-owned": LineState.OWNED,
+        "t2-shared": LineState.SHARED,
+        "t2-modified": LineState.MODIFIED,
+    }
+    for op in OPS:
+        points[f"t3/{op.value}"] = mb.h2d(op, "t3")
+        points[f"t2-miss/{op.value}"] = mb.h2d(op, "t2")
+        for name, state in states.items():
+            points[f"{name}/{op.value}"] = mb.h2d(op, "t2", state)
+        points[f"ncp/{op.value}"] = mb.h2d_after_ncp(op)
+    return Fig5Result(points)
+
+
+def format_table(result: Fig5Result) -> str:
+    lines = [
+        "Fig 5: H2D latency (ns) / bandwidth (GB/s)",
+        f"{'op':6s} " + " ".join(f"{s:>12s}" for s in SCENARIOS),
+    ]
+    for op in OPS:
+        lat = " ".join(
+            f"{result.get(s, op).latency.median:12.0f}" for s in SCENARIOS)
+        bw = " ".join(
+            f"{result.get(s, op).bandwidth.median:12.2f}" for s in SCENARIOS)
+        lines.append(f"{op.value:6s} {lat}")
+        lines.append(f"{'':6s} {bw}")
+    return "\n".join(lines)

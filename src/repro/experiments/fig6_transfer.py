@@ -1,0 +1,73 @@
+"""Fig 6: transfer efficiency — CXL ld/st and DSA vs PCIe MMIO/DMA/RDMA.
+
+Latency and bandwidth for H2D and D2H transfers across sizes from 64 B
+to 256 KB for every mechanism the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core.platform import Platform
+from repro.core.transfer import (
+    D2H_MECHANISMS,
+    H2D_MECHANISMS,
+    TransferBench,
+    TransferResult,
+)
+
+DEFAULT_SIZES = (64, 256, 1024, 4096, 16384, 65536, 262144)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    points: Dict[str, TransferResult]   # "<dir>/<mechanism>/<size>"
+    sizes: Sequence[int]
+
+    def get(self, direction: str, mechanism: str, size: int) -> TransferResult:
+        return self.points[f"{direction}/{mechanism}/{size}"]
+
+    def latency_gain(self, direction: str, mechanism: str, baseline: str,
+                     size: int) -> float:
+        """1 - mech/baseline latency (e.g. CXL-ST vs PCIe-MMIO at 256 B)."""
+        m = self.get(direction, mechanism, size).latency.median
+        b = self.get(direction, baseline, size).latency.median
+        return 1.0 - m / b
+
+
+def run(cfg: Optional[SystemConfig] = None, reps: int = 7,
+        sizes: Sequence[int] = DEFAULT_SIZES, seed: int = 17) -> Fig6Result:
+    points: Dict[str, TransferResult] = {}
+    for direction, mechanisms in (("h2d", H2D_MECHANISMS),
+                                  ("d2h", D2H_MECHANISMS)):
+        for mechanism in mechanisms:
+            # A fresh platform per mechanism keeps queues independent.
+            platform = Platform(cfg, seed=seed)
+            bench = TransferBench(platform, reps=reps)
+            for size in sizes:
+                result = bench.measure(mechanism, direction, size)
+                points[f"{direction}/{mechanism}/{size}"] = result
+    return Fig6Result(points, sizes)
+
+
+def format_table(result: Fig6Result) -> str:
+    lines = ["Fig 6: transfer latency (us) by size"]
+    for direction, mechanisms in (("h2d", H2D_MECHANISMS),
+                                  ("d2h", D2H_MECHANISMS)):
+        lines.append(f"--- {direction.upper()} ---")
+        header = f"{'size':>8s} " + " ".join(f"{m:>14s}" for m in mechanisms)
+        lines.append(header)
+        for size in result.sizes:
+            row = " ".join(
+                f"{result.get(direction, m, size).latency.median / 1000:14.2f}"
+                for m in mechanisms)
+            lines.append(f"{size:8d} {row}")
+        lines.append(f"{'':8s} (bandwidth, GB/s)")
+        for size in result.sizes:
+            row = " ".join(
+                f"{result.get(direction, m, size).bandwidth.median:14.2f}"
+                for m in mechanisms)
+            lines.append(f"{size:8d} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""SVII text results: host CPU cycles consumed and LLC pollution.
+
+The paper reports zswap's host-CPU share dropping 25 % -> 16 % (rdma) /
+19 % (dma) / 11 % (cxl) and ksm's 21 % -> 7 % / 9 % / 5 %, with all
+offloads reducing LLC pollution "to a similar degree".  This experiment
+re-runs the Fig-8 zswap/ksm scenarios and reports:
+
+* the feature's host-core busy share (feature cycles / app-core time);
+* the same share normalized to the cpu backend (the paper's ratios);
+* a pollution index — the service-time inflation requests actually
+  experienced (measured, not the configured weight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.experiments.fig8_tail_latency import (
+    ScenarioConfig,
+    run_ksm_cell,
+    run_zswap_cell,
+)
+
+BACKENDS = ("cpu", "pcie-rdma", "pcie-dma", "cxl")
+
+
+@dataclass(frozen=True)
+class AccountingCell:
+    feature: str
+    backend: str
+    cpu_share: float            # feature busy / (app cores x duration)
+    pollution_index: float      # mean service inflation during the run
+    pages_processed: int
+
+
+@dataclass(frozen=True)
+class Sec7Result:
+    cells: Dict[str, AccountingCell]    # "<feature>/<backend>"
+
+    def get(self, feature: str, backend: str) -> AccountingCell:
+        return self.cells[f"{feature}/{backend}"]
+
+    def share_vs_cpu(self, feature: str, backend: str) -> float:
+        """Feature CPU share relative to the cpu backend (paper ratios:
+        zswap 0.64/0.76/0.44, ksm 0.33/0.43/0.24)."""
+        return (self.get(feature, backend).cpu_share
+                / self.get(feature, "cpu").cpu_share)
+
+
+def run(scenario: Optional[ScenarioConfig] = None,
+        workload: str = "a", seed: int = 41) -> Sec7Result:
+    scenario = scenario or ScenarioConfig()
+    cells: Dict[str, AccountingCell] = {}
+    for feature, runner, cores in (
+        ("zswap", run_zswap_cell, scenario.zswap_app_cores),
+        ("ksm", run_ksm_cell, scenario.ksm_cores),
+    ):
+        base = runner(workload, "none", scenario, seed=seed)
+        for backend in BACKENDS:
+            cell = runner(workload, backend, scenario, seed=seed)
+            share = cell.feature_core_busy_ns / (cores * scenario.duration_ns)
+            # Pollution index: median service inflation vs the baseline.
+            pollution = cell.p50_ns / base.p50_ns - 1.0
+            cells[f"{feature}/{backend}"] = AccountingCell(
+                feature, backend, share, max(0.0, pollution),
+                cell.pages_processed)
+    return Sec7Result(cells)
+
+
+def format_table(result: Sec7Result) -> str:
+    lines = [
+        "SVII: feature host-CPU share and cache-pollution index",
+        f"{'feature':8s} {'backend':10s} {'cpu-share':>10s} {'vs cpu':>7s} "
+        f"{'pollution':>10s} {'pages':>8s}",
+    ]
+    for feature in ("zswap", "ksm"):
+        for backend in BACKENDS:
+            cell = result.get(feature, backend)
+            lines.append(
+                f"{feature:8s} {backend:10s} {cell.cpu_share:10.1%} "
+                f"{result.share_vs_cpu(feature, backend):7.2f} "
+                f"{cell.pollution_index:10.1%} {cell.pages_processed:8d}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Table III: cache-coherence states after each D2H request type.
+
+Executes every (request x initial-placement) cell against the DCOH model
+and reads back the resulting HMC and LLC line states.  This is the
+paper's Table III as a *runnable artifact*: the unit tests assert each
+cell, and the bench prints the whole matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.core.platform import Platform
+from repro.core.requests import D2HOp
+from repro.mem.coherence import LineState
+
+CASES = ("hmc-hit", "llc-hit", "llc-miss")
+OPS = [D2HOp.NC_P, D2HOp.NC_READ, D2HOp.NC_WRITE,
+       D2HOp.CO_READ, D2HOp.CO_WRITE, D2HOp.CS_READ]
+
+# The paper's Table III, as (HMC state, LLC state) per (op, case), with
+# shared initial states (the methodology sets lines of interest shared).
+EXPECTED: Dict[Tuple[str, str], Tuple[LineState, LineState]] = {
+    ("nc-p", "hmc-hit"): (LineState.INVALID, LineState.MODIFIED),
+    ("nc-p", "llc-hit"): (LineState.INVALID, LineState.MODIFIED),
+    ("nc-p", "llc-miss"): (LineState.INVALID, LineState.MODIFIED),
+    ("nc-rd", "hmc-hit"): (LineState.SHARED, LineState.INVALID),   # no change
+    ("nc-rd", "llc-hit"): (LineState.INVALID, LineState.SHARED),   # no change
+    ("nc-rd", "llc-miss"): (LineState.INVALID, LineState.INVALID),
+    ("nc-wr", "hmc-hit"): (LineState.INVALID, LineState.INVALID),
+    ("nc-wr", "llc-hit"): (LineState.INVALID, LineState.INVALID),
+    ("nc-wr", "llc-miss"): (LineState.INVALID, LineState.INVALID),
+    ("co-rd", "hmc-hit"): (LineState.EXCLUSIVE, LineState.INVALID),  # S -> E
+    ("co-rd", "llc-hit"): (LineState.EXCLUSIVE, LineState.INVALID),
+    ("co-rd", "llc-miss"): (LineState.EXCLUSIVE, LineState.INVALID),
+    ("co-wr", "hmc-hit"): (LineState.MODIFIED, LineState.INVALID),
+    ("co-wr", "llc-hit"): (LineState.MODIFIED, LineState.INVALID),
+    ("co-wr", "llc-miss"): (LineState.MODIFIED, LineState.INVALID),
+    ("cs-rd", "hmc-hit"): (LineState.SHARED, LineState.INVALID),
+    ("cs-rd", "llc-hit"): (LineState.SHARED, LineState.SHARED),
+    ("cs-rd", "llc-miss"): (LineState.SHARED, LineState.INVALID),
+}
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    observed: Dict[Tuple[str, str], Tuple[LineState, LineState]]
+
+    def matches_expected(self) -> Dict[Tuple[str, str], bool]:
+        return {key: self.observed[key] == EXPECTED[key] for key in EXPECTED}
+
+    @property
+    def all_match(self) -> bool:
+        return all(self.matches_expected().values())
+
+
+def run_cell(platform: Platform, op: D2HOp,
+             case: str) -> Tuple[LineState, LineState]:
+    """Prepare one cell's initial placement, issue the request, and read
+    back (HMC state, LLC state)."""
+    dcoh = platform.t2.dcoh
+    home = platform.home
+    (addr,) = platform.fresh_host_lines(1)
+    if case == "hmc-hit":
+        dcoh._fill_hmc(addr, LineState.SHARED)
+    elif case == "llc-hit":
+        home.preload_llc(addr, LineState.SHARED)
+    elif case != "llc-miss":
+        raise ValueError(f"unknown case {case!r}")
+    platform.sim.run_process(dcoh.d2h(op, addr))
+    return dcoh.hmc.state_of(addr), home.llc_state(addr)
+
+
+def run(cfg: Optional[SystemConfig] = None, seed: int = 19) -> Table3Result:
+    platform = Platform(cfg, seed=seed)
+    observed = {}
+    for op in OPS:
+        for case in CASES:
+            observed[(op.value, case)] = run_cell(platform, op, case)
+    return Table3Result(observed)
+
+
+def format_table(result: Table3Result) -> str:
+    lines = [
+        "Table III: coherence states after a D2H access "
+        "(HMC-state/LLC-state, * = differs from paper)",
+        f"{'op':8s} " + " ".join(f"{c:>16s}" for c in CASES),
+    ]
+    matches = result.matches_expected()
+    for op in OPS:
+        row = []
+        for case in CASES:
+            hmc, llc = result.observed[(op.value, case)]
+            flag = "" if matches[(op.value, case)] else "*"
+            row.append(f"{hmc.value}/{llc.value}{flag:>14s}"[:16].rjust(16))
+        lines.append(f"{op.value:8s} " + " ".join(row))
+    return "\n".join(lines)

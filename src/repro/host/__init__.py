@@ -1,0 +1,8 @@
+"""Host-side models: cores, cache hierarchy, home agent, and DSA."""
+
+from repro.host.home_agent import AgentCosts, HomeAgent
+from repro.host.cpu import Core
+from repro.host.dsa import DsaEngine
+from repro.host.hierarchy import CacheHierarchy
+
+__all__ = ["AgentCosts", "HomeAgent", "Core", "DsaEngine", "CacheHierarchy"]

@@ -1,0 +1,205 @@
+"""Host core model: ld / st / nt-ld / nt-st to every reachable memory.
+
+A :class:`Core` issues the four x86-level operations the paper uses
+against three targets:
+
+* **remote host memory over UPI** — the emulated-CXL baseline of Fig 3;
+* **CXL device memory** — the H2D accesses of Figs 5 and 6;
+* **local LLC** — loads that hit lines a device NC-P'd into the LLC.
+
+Bandwidth emerges from *memory-level-parallelism windows*: each op class
+holds a slot in a finite outstanding-request window for its full duration,
+so pipelined streams are limited by ``max(wire serialization, latency /
+window)`` exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.config import HostConfig
+from repro.core.requests import HostOp, MemLevel
+from repro.host.home_agent import HomeAgent, upi_costs
+from repro.interconnect.upi import UpiPort
+from repro.mem.coherence import LineState
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import Resource
+from repro.sim.rng import DeterministicRng
+
+CLFLUSH_NS = 50.0
+CLDEMOTE_NS = 20.0
+
+
+class Core:
+    """One host CPU core (2.2 GHz, hyper-threading disabled)."""
+
+    def __init__(self, sim: Simulator, cfg: HostConfig,
+                 rng: Optional[DeterministicRng] = None,
+                 noise: float = 0.0, name: str = "core0"):
+        self.sim = sim
+        self.cfg = cfg
+        self.name = name
+        self.rng = rng
+        self.noise = noise
+        # Outstanding-request windows per op class (MLP)
+        self._win = {
+            ("remote", HostOp.LOAD): Resource(sim, cfg.load_mlp),
+            ("remote", HostOp.NT_LOAD): Resource(sim, cfg.nt_load_mlp),
+            ("remote", HostOp.STORE): Resource(sim, cfg.store_mlp),
+            ("remote", HostOp.NT_STORE): Resource(sim, cfg.wc_buffers),
+            ("cxl", HostOp.LOAD): Resource(sim, cfg.cxl_load_mlp),
+            ("cxl", HostOp.NT_LOAD): Resource(sim, cfg.cxl_nt_load_mlp),
+            ("cxl", HostOp.STORE): Resource(sim, cfg.cxl_store_window),
+            ("cxl", HostOp.NT_STORE): Resource(sim, cfg.wc_buffers),
+            ("llc", HostOp.LOAD): Resource(sim, cfg.llc_load_mlp),
+        }
+        # Single-core LLC data path: one 64 B line per llc_bw_ns_per_line.
+        self._llc_path = Resource(sim, 1, f"{name}.llcpath")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _jittered(self, raw_ns: float) -> float:
+        """Reported-latency noise (error bars) without perturbing sim time."""
+        if self.rng is None or self.noise <= 0:
+            return raw_ns
+        return self.rng.jitter(raw_ns, self.noise)
+
+    # -- emulated D2H: remote socket over UPI ---------------------------------
+
+    def remote_op(self, op: HostOp, addr: int, home: HomeAgent,
+                  upi: UpiPort) -> Generator[Any, Any, float]:
+        """One 64 B access from a remote-socket core to home memory.
+
+        Returns the observed latency in ns.
+        """
+        costs = upi_costs(self.cfg)
+        start = self.sim.now
+        window = self._win[("remote", op)]
+        yield window.acquire()
+        try:
+            yield Timeout(self.cfg.issue_ns)
+            if op is HostOp.LOAD or op is HostOp.NT_LOAD:
+                if op is HostOp.NT_LOAD:
+                    yield Timeout(self.cfg.nt_load_extra_ns)
+                yield from upi.req_to_home()
+                yield from home.read_shared(addr, costs)
+                yield from upi.data_to_remote()
+            elif op is HostOp.STORE:
+                # Full-line RFO: ownership grant, no data return
+                yield from upi.req_to_home()
+                yield from home.grant_ownership(addr, costs)
+                yield from upi.ack_to_remote()
+            else:  # NT_STORE: posted through a write-combining buffer
+                yield Timeout(self.cfg.nt_store_post_ns)
+                yield from upi.data_to_home()
+                yield from home.posted_remote_write(addr, costs)
+        finally:
+            window.release()
+        return self._jittered(self.sim.now - start)
+
+    # -- H2D: local core to CXL device memory ---------------------------------
+
+    def cxl_op(self, op: HostOp, addr: int,
+               device: "H2DTarget") -> Generator[Any, Any, float]:
+        """One 64 B access to CXL device memory (Type-2 or Type-3).
+
+        ``device`` provides the device-side service generators; the core
+        pays issue cost, holds an MLP window slot, and crosses the link.
+        """
+        start = self.sim.now
+        window = self._win[("cxl", op)]
+        yield window.acquire()
+        try:
+            yield Timeout(self.cfg.issue_ns)
+            port = device.port
+            if op.is_read:
+                if op is HostOp.NT_LOAD:
+                    yield Timeout(self.cfg.nt_load_extra_ns)
+                yield from port.h2d_req_down()
+                yield from device.h2d_serve_read(addr)
+                yield from port.data_up()
+            elif op is HostOp.STORE:
+                yield from port.h2d_data_down()
+                yield from device.h2d_serve_write(addr)
+                yield from port.ack_up()
+            else:  # NT_STORE: retires at the CXL controller (SV-C)
+                yield Timeout(self.cfg.nt_store_post_ns)
+                yield from port.h2d_data_down()
+                device.h2d_post_write(addr)
+        finally:
+            window.release()
+        return self._jittered(self.sim.now - start)
+
+    # -- local LLC loads (lines NC-P'd by the device) --------------------------
+
+    def llc_load(self, addr: int,
+                 home: HomeAgent) -> Generator[Any, Any, float]:
+        """Load that is expected to hit the local LLC; falls through to
+        local DRAM on a miss."""
+        start = self.sim.now
+        window = self._win[("llc", HostOp.LOAD)]
+        yield window.acquire()
+        try:
+            yield Timeout(self.cfg.issue_ns)
+            yield Timeout(self.cfg.home_agent_ns)
+            line = home.llc.lookup(addr)
+            yield from self._llc_path.using(self.cfg.llc_bw_ns_per_line)
+            yield Timeout(max(0.0, self.cfg.llc_ns
+                              - self.cfg.llc_bw_ns_per_line))
+            if line is None:
+                yield from home.mem.read_line(addr)
+        finally:
+            window.release()
+        return self._jittered(self.sim.now - start)
+
+    def llc_store(self, addr: int,
+                  home: HomeAgent) -> Generator[Any, Any, float]:
+        """Store expected to hit the local LLC (e.g. a line the device
+        NC-P'd); a miss falls through to an RFO against local DRAM."""
+        start = self.sim.now
+        window = self._win[("remote", HostOp.STORE)]
+        yield window.acquire()
+        try:
+            yield Timeout(self.cfg.issue_ns)
+            yield Timeout(self.cfg.home_agent_ns)
+            line = home.llc.lookup(addr)
+            yield from self._llc_path.using(self.cfg.llc_bw_ns_per_line)
+            yield Timeout(max(0.0, self.cfg.llc_ns
+                              - self.cfg.llc_bw_ns_per_line))
+            if line is None:
+                yield from home.mem.read_line(addr)  # RFO data fetch
+                home.preload_llc(addr, LineState.MODIFIED)
+            else:
+                line.state = LineState.MODIFIED
+        finally:
+            window.release()
+        return self._jittered(self.sim.now - start)
+
+    # -- cache maintenance (methodology) ---------------------------------------
+
+    def clflush(self, addr: int, home: HomeAgent) -> Generator[Any, Any, None]:
+        """Flush one line from the whole host hierarchy."""
+        yield Timeout(CLFLUSH_NS)
+        home.flush_line(addr)
+
+    def cldemote(self, addr: int, home: HomeAgent,
+                 state: LineState = LineState.EXCLUSIVE) -> Generator[Any, Any, None]:
+        """Demote a line to the LLC (used to guarantee LLC-only residency)."""
+        yield Timeout(CLDEMOTE_NS)
+        home.preload_llc(addr, state)
+
+
+class H2DTarget:
+    """Interface CXL devices expose to :meth:`Core.cxl_op` (documented
+    here; implemented by the Type-2 and Type-3 device models)."""
+
+    port: Any
+
+    def h2d_serve_read(self, addr: int) -> Generator[Any, Any, MemLevel]:
+        raise NotImplementedError
+
+    def h2d_serve_write(self, addr: int) -> Generator[Any, Any, MemLevel]:
+        raise NotImplementedError
+
+    def h2d_post_write(self, addr: int) -> None:
+        raise NotImplementedError

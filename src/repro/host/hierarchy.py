@@ -1,0 +1,117 @@
+"""Per-core L1/L2 caches over the shared LLC: the host's own view.
+
+The characterization paths of SV mostly bypass this (the methodology
+CLDEMOTEs lines to the LLC precisely to take L1/L2 out of the picture),
+but the host's *own* accesses — Redis touching its working set, the cpu
+zswap backend streaming pages — walk the full hierarchy.  This module
+provides that walk and gives CLDEMOTE/CLFLUSH their real multi-level
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.config import HostConfig
+from repro.core.requests import MemLevel
+from repro.host.home_agent import HomeAgent
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.coherence import LineState
+from repro.sim.engine import Simulator, Timeout
+from repro.units import kib
+
+L1_WAYS = 12
+L2_WAYS = 16
+
+
+class CacheHierarchy:
+    """One core's private L1/L2 in front of the socket-shared LLC."""
+
+    def __init__(self, sim: Simulator, cfg: HostConfig, home: HomeAgent,
+                 name: str = "core0"):
+        self.sim = sim
+        self.cfg = cfg
+        self.home = home
+        self.l1 = SetAssociativeCache(f"{name}.l1", kib(cfg.l1_kib), L1_WAYS)
+        self.l2 = SetAssociativeCache(f"{name}.l2", kib(cfg.l2_kib), L2_WAYS)
+
+    # -- timed access -----------------------------------------------------------
+
+    def load(self, addr: int) -> Generator[Any, Any, MemLevel]:
+        """One 64 B load through L1 -> L2 -> LLC -> DRAM, filling inward."""
+        yield Timeout(self.cfg.l1_ns)
+        if self.l1.lookup(addr) is not None:
+            return MemLevel.L1
+        return (yield from self._load_beyond_l1(addr))
+
+    def _load_beyond_l1(self, addr: int) -> Generator[Any, Any, MemLevel]:
+        yield Timeout(self.cfg.l2_ns)
+        if self.l2.lookup(addr) is not None:
+            self._fill_l1(addr, self.l2.state_of(addr))
+            return MemLevel.L2
+        yield Timeout(self.cfg.llc_ns)
+        llc_line = self.home.llc.lookup(addr)
+        if llc_line is not None:
+            self._fill(addr, llc_line.state)
+            return MemLevel.LLC
+        yield from self.home.mem.read_line(addr)
+        self.home.preload_llc(addr, LineState.EXCLUSIVE)
+        self._fill(addr, LineState.EXCLUSIVE)
+        return MemLevel.HOST_DRAM
+
+    def store(self, addr: int) -> Generator[Any, Any, MemLevel]:
+        """One 64 B store: write-allocate into L1, dirty inward."""
+        level = yield from self.load(addr)
+        for cache in (self.l1, self.l2):
+            if cache.peek(addr) is not None:
+                cache.set_state(addr, LineState.MODIFIED)
+        if self.home.llc.peek(addr) is not None:
+            self.home.llc.set_state(addr, LineState.MODIFIED)
+        return level
+
+    # -- cache maintenance --------------------------------------------------------
+
+    def cldemote(self, addr: int) -> Generator[Any, Any, None]:
+        """Push a line out of L1/L2 into the LLC (the SV methodology)."""
+        yield Timeout(20.0)
+        state = LineState.EXCLUSIVE
+        for cache in (self.l1, self.l2):
+            line = cache.peek(addr)
+            if line is not None:
+                state = line.state
+                cache.invalidate(addr)
+        self.home.preload_llc(addr, state)
+
+    def clflush(self, addr: int) -> Generator[Any, Any, None]:
+        """Flush a line from every level (writing back dirty data)."""
+        yield Timeout(50.0)
+        dirty = False
+        for cache in (self.l1, self.l2):
+            dirty |= cache.invalidate(addr)
+        self.home.flush_line(addr)
+        if dirty:
+            self.sim.spawn(self.home.mem.write_line(addr), "clflush.wb")
+
+    # -- the resident query used by tests -------------------------------------------
+
+    def holds(self, addr: int) -> Optional[str]:
+        if self.l1.peek(addr) is not None:
+            return "l1"
+        if self.l2.peek(addr) is not None:
+            return "l2"
+        if self.home.llc.peek(addr) is not None:
+            return "llc"
+        return None
+
+    # -- fills ------------------------------------------------------------------------
+
+    def _fill_l1(self, addr: int, state: LineState) -> None:
+        self.l1.insert(addr, state, writeback=self._writeback)
+
+    def _fill(self, addr: int, state: LineState) -> None:
+        self.l2.insert(addr, state, writeback=self._writeback)
+        self.l1.insert(addr, state, writeback=self._writeback)
+
+    def _writeback(self, addr: int) -> None:
+        """Dirty victims fall back to the LLC (inclusive-ish model)."""
+        self.home.preload_llc(addr, LineState.MODIFIED)

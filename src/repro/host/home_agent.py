@@ -1,0 +1,173 @@
+"""The host home agent (CHA): serves coherent requests for host memory.
+
+Both the *emulated* CXL path (a remote-socket core over UPI) and the *true*
+CXL path (the device DCOH over CXL.cache) land here; they differ only in
+the :class:`AgentCosts` they present.  UPI's mature coherence is cheap
+(15 ns); the generic CXL home-agent path costs more (SV-A explains the
+Type-2 device's higher base latency this way).
+
+On an LLC miss, the agent pays ``miss_extra_ns`` on the read path — memory
+directory consultation plus snoop-response wait — which is why remote-DRAM
+latency exceeds remote-LLC latency by much more than the local DRAM-LLC
+delta.  Ownership grants that move no data (CO-write) must fetch the
+directory from DRAM explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.config import HostConfig
+from repro.core.requests import MemLevel
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.coherence import LineState
+from repro.mem.memctrl import MemorySystem
+from repro.sim.engine import Simulator, Timeout
+from repro.units import mib
+
+
+@dataclass(frozen=True)
+class AgentCosts:
+    """Per-initiator costs of traversing the home agent."""
+
+    read_ns: float        # agent cost on the data-return (read) path
+    write_ns: float       # agent cost for writes/invalidations/grants
+    miss_extra_ns: float  # directory + snoop-response cost on LLC read miss
+
+
+def upi_costs(host: HostConfig) -> AgentCosts:
+    """Costs seen by a remote-socket core (the emulated-CXL baseline)."""
+    return AgentCosts(
+        read_ns=host.home_agent_ns,
+        write_ns=host.home_agent_ns,
+        miss_extra_ns=host.remote_miss_extra_ns,
+    )
+
+
+class HomeAgent:
+    """Coherence home for host physical memory, owning the LLC model.
+
+    All methods are timed process generators returning the
+    :class:`MemLevel` that served the request; LLC line states are
+    mutated per Table III.
+    """
+
+    def __init__(self, sim: Simulator, cfg: HostConfig, name: str = "host"):
+        self.sim = sim
+        self.cfg = cfg
+        self.llc = SetAssociativeCache(
+            f"{name}.llc", mib(cfg.llc_mib), cfg.llc_ways
+        )
+        self.mem = MemorySystem(sim, cfg.dram, cfg.mem_channels, f"{name}.mem")
+
+    # -- read paths ---------------------------------------------------------
+
+    def read_current(self, addr: int,
+                     costs: AgentCosts) -> Generator[Any, Any, MemLevel]:
+        """RdCurr / NC-read: return the latest data, change no state."""
+        yield Timeout(costs.read_ns)
+        line = self.llc.lookup(addr)
+        yield Timeout(self.cfg.llc_ns)
+        if line is not None:
+            return MemLevel.LLC
+        yield Timeout(costs.miss_extra_ns)
+        yield from self.mem.read_line(addr)
+        return MemLevel.HOST_DRAM
+
+    def read_shared(self, addr: int,
+                    costs: AgentCosts) -> Generator[Any, Any, MemLevel]:
+        """RdShared / CS-read: like RdCurr, but an M/E LLC copy is
+        downgraded to SHARED (another agent now caches the line)."""
+        yield Timeout(costs.read_ns)
+        line = self.llc.lookup(addr)
+        yield Timeout(self.cfg.llc_ns)
+        if line is not None:
+            if line.state.needs_downgrade_for_share:
+                line.state = LineState.SHARED
+            return MemLevel.LLC
+        yield Timeout(costs.miss_extra_ns)
+        yield from self.mem.read_line(addr)
+        return MemLevel.HOST_DRAM
+
+    def read_own(self, addr: int,
+                 costs: AgentCosts) -> Generator[Any, Any, MemLevel]:
+        """RdOwn / CO-read: return data and invalidate every host copy."""
+        yield Timeout(costs.read_ns)
+        line = self.llc.lookup(addr)
+        yield Timeout(self.cfg.llc_ns)
+        if line is not None:
+            self.llc.set_state(addr, LineState.INVALID)
+            return MemLevel.LLC
+        yield Timeout(costs.miss_extra_ns)
+        yield from self.mem.read_line(addr)
+        return MemLevel.HOST_DRAM
+
+    # -- write paths --------------------------------------------------------
+
+    def grant_ownership(self, addr: int,
+                        costs: AgentCosts) -> Generator[Any, Any, MemLevel]:
+        """CO-write: invalidate host copies and grant exclusive ownership.
+
+        Moves no data; on an LLC miss the precise directory state must be
+        fetched from DRAM (it normally rides the data of a read).
+        """
+        yield Timeout(costs.write_ns)
+        line = self.llc.lookup(addr)
+        yield Timeout(self.cfg.llc_ns)
+        if line is not None:
+            self.llc.set_state(addr, LineState.INVALID)
+            return MemLevel.LLC
+        yield from self.mem.read_line(addr)  # directory fetch
+        return MemLevel.HOST_DRAM
+
+    def write_invalidate(self, addr: int,
+                         costs: AgentCosts) -> Generator[Any, Any, MemLevel]:
+        """NC-write: invalidate any host copy, then write DRAM directly.
+
+        Push semantics: the ack returns once the write is accepted by the
+        memory controller's posted-write queue.
+        """
+        yield Timeout(costs.write_ns)
+        if self.llc.peek(addr) is not None:
+            yield Timeout(self.cfg.llc_ns)
+            self.llc.set_state(addr, LineState.INVALID)
+        yield from self.mem.write_line(addr)
+        return MemLevel.HOST_DRAM
+
+    def push_line(self, addr: int,
+                  costs: AgentCosts) -> Generator[Any, Any, MemLevel]:
+        """NC-P: install the device's line directly into the LLC (MODIFIED).
+
+        Evicting a dirty victim writes it back to DRAM in the background.
+        """
+        yield Timeout(costs.write_ns)
+        yield Timeout(self.cfg.llc_ns)
+        self._insert_llc(addr, LineState.MODIFIED)
+        return MemLevel.LLC
+
+    def posted_remote_write(self, addr: int,
+                            costs: AgentCosts) -> Generator[Any, Any, MemLevel]:
+        """Remote nt-st landing at the home: invalidate + posted DRAM write."""
+        return self.write_invalidate(addr, costs)
+
+    # -- state plumbing (methodology helpers, not timed) ---------------------
+
+    def _insert_llc(self, addr: int, state: LineState) -> None:
+        self.llc.insert(addr, state, writeback=self._background_writeback)
+
+    def _background_writeback(self, addr: int) -> None:
+        self.sim.spawn(self.mem.write_line(addr), "llc.writeback")
+
+    def preload_llc(self, addr: int, state: LineState) -> None:
+        """Methodology: place a line into the LLC in a chosen state
+        (the paper uses CLDEMOTE to confine lines to the LLC, SV)."""
+        self._insert_llc(addr, state)
+
+    def flush_line(self, addr: int) -> None:
+        """CLFLUSH of one line (state effect only; timing charged by Core)."""
+        if self.llc.invalidate(addr):
+            self._background_writeback(addr)
+
+    def llc_state(self, addr: int):
+        return self.llc.state_of(addr)

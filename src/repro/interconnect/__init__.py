@@ -1,0 +1,16 @@
+"""Interconnect models: generic flit links, PCIe, CXL, and UPI.
+
+All three concrete interconnects share the :class:`repro.interconnect.link.Link`
+timing skeleton (per-direction serialization + propagation) and differ in
+parameters and protocol rules: PCIe adds TLP overheads and the strict
+uncacheable-write ordering that throttles MMIO; CXL carries .cache/.mem
+messages with low per-message cost; UPI is the mature NUMA fabric used for
+the emulated-CXL baseline.
+"""
+
+from repro.interconnect.link import Direction, Link
+from repro.interconnect.cxl import CxlPort
+from repro.interconnect.pcie import PciePort
+from repro.interconnect.upi import UpiPort
+
+__all__ = ["Direction", "Link", "CxlPort", "PciePort", "UpiPort"]

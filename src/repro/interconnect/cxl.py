@@ -1,0 +1,69 @@
+"""CXL port: .cache and .mem message legs over the shared flit link.
+
+CXL.cache carries the device's D2H requests (RdCurr / RdShared / RdOwn /
+ItoMWr / WrPush, per the CXL 1.1 opcodes the paper references in Fig 2);
+CXL.mem carries the host's H2D requests (M2S Req / RwD).  Both ride the
+same physical x16 link, so they share the :class:`Link` wires — a detail
+that matters when zswap offload traffic and Redis H2D accesses coexist.
+
+Methods are individual *legs* (one direction each) so callers can
+interleave them with home-agent / DCOH processing in the right order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.config import LinkConfig
+from repro.interconnect.link import Direction, Link
+from repro.sim.engine import Simulator
+from repro.units import CACHELINE
+
+# CXL.cache / CXL.mem message sizes (bytes on the wire, excl. link header)
+REQ_BYTES = 16        # address + opcode + tags
+DATA_BYTES = CACHELINE
+ACK_BYTES = 8         # completion without data (GO / Cmp)
+
+
+class CxlPort:
+    """One CXL endpoint pair's view of the link."""
+
+    def __init__(self, sim: Simulator, cfg: LinkConfig):
+        self.sim = sim
+        self.link = Link(sim, cfg)
+
+    # -- D2H legs (device-initiated, CXL.cache) ------------------------------
+
+    def d2h_req_up(self) -> Generator[Any, Any, None]:
+        """Device -> host request without data (RdCurr/RdShared/RdOwn)."""
+        yield from self.link.send(Direction.TO_HOST, REQ_BYTES)
+
+    def d2h_data_up(self) -> Generator[Any, Any, None]:
+        """Device -> host request carrying a 64 B line (writes, NC-P)."""
+        yield from self.link.send(Direction.TO_HOST, REQ_BYTES + DATA_BYTES)
+
+    def data_down(self) -> Generator[Any, Any, None]:
+        """Host -> device 64 B data return."""
+        yield from self.link.send(Direction.TO_DEVICE, DATA_BYTES)
+
+    def ack_down(self) -> Generator[Any, Any, None]:
+        """Host -> device completion without data (GO)."""
+        yield from self.link.send(Direction.TO_DEVICE, ACK_BYTES)
+
+    # -- H2D legs (host-initiated, CXL.mem) -----------------------------------
+
+    def h2d_req_down(self) -> Generator[Any, Any, None]:
+        """Host -> device M2S read request."""
+        yield from self.link.send(Direction.TO_DEVICE, REQ_BYTES)
+
+    def h2d_data_down(self) -> Generator[Any, Any, None]:
+        """Host -> device M2S RwD (write with 64 B data)."""
+        yield from self.link.send(Direction.TO_DEVICE, REQ_BYTES + DATA_BYTES)
+
+    def data_up(self) -> Generator[Any, Any, None]:
+        """Device -> host 64 B data return."""
+        yield from self.link.send(Direction.TO_HOST, DATA_BYTES)
+
+    def ack_up(self) -> Generator[Any, Any, None]:
+        """Device -> host completion (S2M NDR Cmp)."""
+        yield from self.link.send(Direction.TO_HOST, ACK_BYTES)

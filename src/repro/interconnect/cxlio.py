@@ -1,0 +1,170 @@
+"""CXL.io: configuration, enumeration, and HDM decoder programming.
+
+CXL.io "uses the protocol features of PCIe ... to initialize the
+interface between the host and a device" (SII-B).  This module models
+that control plane: a PCIe-style configuration space with the CXL DVSEC
+capability advertising which protocols the device speaks, and the HDM
+(Host-managed Device Memory) decoders through which a Type-2/-3
+device's memory is published into the host physical address space — the
+mechanism behind "CXL.mem exposes device memory to the host CPU as
+memory in a remote [NUMA] node".
+
+Enumeration is a *timed* process (config reads are uncached PCIe round
+trips), and its output — a :class:`DeviceDescriptor` plus an installed
+address-map region — is exactly what :class:`repro.core.platform.Platform`
+wires statically, so the two paths are cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.errors import DeviceError
+from repro.mem.address import AddressMap, Region
+from repro.sim.engine import Simulator, Timeout
+from repro.units import us
+
+# One configuration read/write is an uncached PCIe round trip.
+CONFIG_ACCESS_NS = us(1.0)
+# Programming and locking one HDM decoder (a few config writes + commit).
+HDM_PROGRAM_NS = us(3.0)
+
+# Register offsets in the modeled config space.
+REG_VENDOR_ID = 0x00
+REG_DEVICE_ID = 0x02
+REG_CLASS = 0x0A
+REG_DVSEC_CXL = 0x100       # CXL DVSEC capability header
+REG_CXL_CAPS = 0x10A        # cache/mem capability bits
+REG_HDM_BASE = 0x110
+REG_HDM_SIZE = 0x118
+
+CAP_CACHE = 0x1             # device speaks CXL.cache
+CAP_MEM = 0x2               # device speaks CXL.mem
+
+INTEL_VENDOR_ID = 0x8086
+
+
+class CxlDeviceType(enum.Enum):
+    """Table I: the protocol composition determines the device type."""
+
+    TYPE1 = "type-1"        # io + cache
+    TYPE2 = "type-2"        # io + cache + mem
+    TYPE3 = "type-3"        # io + mem
+    PCIE = "pcie"           # plain PCIe function (no CXL DVSEC)
+
+    @classmethod
+    def from_caps(cls, caps: int) -> "CxlDeviceType":
+        has_cache = bool(caps & CAP_CACHE)
+        has_mem = bool(caps & CAP_MEM)
+        if has_cache and has_mem:
+            return cls.TYPE2
+        if has_cache:
+            return cls.TYPE1
+        if has_mem:
+            return cls.TYPE3
+        return cls.PCIE
+
+
+class ConfigSpace:
+    """A device's configuration registers (sparse, 16-bit granules)."""
+
+    def __init__(self, vendor_id: int, device_id: int,
+                 caps: int = 0, hdm_base: int = 0, hdm_size: int = 0):
+        self._regs: Dict[int, int] = {
+            REG_VENDOR_ID: vendor_id,
+            REG_DEVICE_ID: device_id,
+            REG_CLASS: 0x0502,          # CXL memory device class
+        }
+        if caps:
+            self._regs[REG_DVSEC_CXL] = 0x1E98   # CXL DVSEC vendor id
+            self._regs[REG_CXL_CAPS] = caps
+        if hdm_size:
+            self._regs[REG_HDM_BASE] = hdm_base
+            self._regs[REG_HDM_SIZE] = hdm_size
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, offset: int) -> int:
+        self.reads += 1
+        return self._regs.get(offset, 0xFFFF)   # unimplemented -> all-ones
+
+    def write(self, offset: int, value: int) -> None:
+        self.writes += 1
+        self._regs[offset] = value
+
+
+@dataclass(frozen=True)
+class DeviceDescriptor:
+    """What enumeration learned about one endpoint."""
+
+    vendor_id: int
+    device_id: int
+    device_type: CxlDeviceType
+    hdm_region: Optional[Region] = None
+
+    @property
+    def coherent_d2h(self) -> bool:
+        return self.device_type in (CxlDeviceType.TYPE1, CxlDeviceType.TYPE2)
+
+    @property
+    def host_addressable_memory(self) -> bool:
+        return self.device_type in (CxlDeviceType.TYPE2, CxlDeviceType.TYPE3)
+
+
+def config_space_for(device: Any) -> ConfigSpace:
+    """Build the config space a platform device would expose."""
+    # Local import keeps interconnect free of a hard devices dependency.
+    from repro.devices.cxl_type1 import CxlType1Device
+    from repro.devices.cxl_type2 import CxlType2Device
+    from repro.devices.cxl_type3 import CxlType3Device
+    from repro.devices.pcie_fpga import PcieFpgaDevice
+
+    if isinstance(device, CxlType2Device):
+        region = device.regions.get("devmem")
+        return ConfigSpace(INTEL_VENDOR_ID, 0x0D93, CAP_CACHE | CAP_MEM,
+                           hdm_base=region.base, hdm_size=region.size)
+    if isinstance(device, CxlType3Device):
+        region = device.regions.get("devmem")
+        return ConfigSpace(INTEL_VENDOR_ID, 0x0D94, CAP_MEM,
+                           hdm_base=region.base, hdm_size=region.size)
+    if isinstance(device, CxlType1Device):
+        return ConfigSpace(INTEL_VENDOR_ID, 0x0D92, CAP_CACHE)
+    if isinstance(device, PcieFpgaDevice):
+        return ConfigSpace(INTEL_VENDOR_ID, 0x0D95)
+    raise DeviceError(f"cannot enumerate {type(device).__name__}")
+
+
+def enumerate_device(sim: Simulator, config: ConfigSpace,
+                     address_map: Optional[AddressMap] = None,
+                     region_name: str = "cxl-devmem",
+                     ) -> Generator[Any, Any, DeviceDescriptor]:
+    """Timed enumeration: walk config space, classify the device, and
+    program its HDM decoder into ``address_map`` if it has CXL.mem."""
+    yield Timeout(CONFIG_ACCESS_NS)
+    vendor = config.read(REG_VENDOR_ID)
+    if vendor == 0xFFFF:
+        raise DeviceError("no device present at this config address")
+    yield Timeout(CONFIG_ACCESS_NS)
+    device_id = config.read(REG_DEVICE_ID)
+    yield Timeout(CONFIG_ACCESS_NS)
+    dvsec = config.read(REG_DVSEC_CXL)
+    caps = 0
+    if dvsec == 0x1E98:
+        yield Timeout(CONFIG_ACCESS_NS)
+        caps = config.read(REG_CXL_CAPS)
+    device_type = CxlDeviceType.from_caps(caps)
+
+    hdm_region: Optional[Region] = None
+    if device_type in (CxlDeviceType.TYPE2, CxlDeviceType.TYPE3):
+        yield Timeout(2 * CONFIG_ACCESS_NS)
+        base = config.read(REG_HDM_BASE)
+        size = config.read(REG_HDM_SIZE)
+        if size in (0, 0xFFFF):
+            raise DeviceError("CXL.mem device advertises no HDM range")
+        yield Timeout(HDM_PROGRAM_NS)
+        hdm_region = Region(region_name, base, size, kind="cxl")
+        if address_map is not None:
+            address_map.add(hdm_region)
+    return DeviceDescriptor(vendor, device_id, device_type, hdm_region)

@@ -1,0 +1,43 @@
+"""UPI port: the cross-socket fabric used for the emulated-CXL baseline.
+
+The paper emulates a CXL Type-2 device with a remote NUMA node: a core on
+socket 1 touching socket 0's memory exercises the same logical D2H path
+(remote agent -> home LLC/DRAM) over UPI instead of CXL.  ``TO_HOST`` is
+the direction toward the home socket.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.config import LinkConfig
+from repro.interconnect.link import Direction, Link
+from repro.sim.engine import Simulator
+from repro.units import CACHELINE
+
+REQ_BYTES = 12    # UPI request flit payload
+ACK_BYTES = 8
+
+
+class UpiPort:
+    """One socket pair's view of the UPI link."""
+
+    def __init__(self, sim: Simulator, cfg: LinkConfig):
+        self.sim = sim
+        self.link = Link(sim, cfg)
+
+    def req_to_home(self) -> Generator[Any, Any, None]:
+        """Remote core -> home CHA request (no data)."""
+        yield from self.link.send(Direction.TO_HOST, REQ_BYTES)
+
+    def data_to_home(self) -> Generator[Any, Any, None]:
+        """Remote core -> home write carrying a 64 B line."""
+        yield from self.link.send(Direction.TO_HOST, REQ_BYTES + CACHELINE)
+
+    def data_to_remote(self) -> Generator[Any, Any, None]:
+        """Home -> remote 64 B data return."""
+        yield from self.link.send(Direction.TO_DEVICE, CACHELINE)
+
+    def ack_to_remote(self) -> Generator[Any, Any, None]:
+        """Home -> remote completion/ownership grant without data."""
+        yield from self.link.send(Direction.TO_DEVICE, ACK_BYTES)

@@ -1,0 +1,14 @@
+"""Simulated Linux kernel memory-management features (SVI).
+
+Functional models of the two memory-optimization features the paper
+offloads — zswap (compressed RAM cache for swap) and ksm (memory
+deduplication) — together with the substrate they need: page frames, LRU
+lists, the kswapd reclaim paths, a backing swap device, and pure-Python
+implementations of xxhash32 and an LZ4-style compressor so the offloaded
+computation is genuinely executed.
+"""
+
+from repro.kernel.compress import lz_compress, lz_decompress
+from repro.kernel.xxhash import xxhash32
+
+__all__ = ["lz_compress", "lz_decompress", "xxhash32"]

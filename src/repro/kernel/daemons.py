@@ -1,0 +1,368 @@
+"""Kernel-feature daemons competing with applications for cores.
+
+:class:`ReclaimDaemon` is kswapd with a zswap backend; :class:`ScanDaemon`
+is ksmd.  Both drive per-page costs from :class:`CostProfile`, which is
+*measured from the offload engine* on the same platform — the daemons
+inherit every transport's host-CPU and device-latency characteristics
+from the models of :mod:`repro.core.offload` instead of hard-coding
+them.
+
+Host-side work occupies an application core (queueing interference);
+device-side work releases the core — kswapd "yields the host CPU core to
+a co-running application process and sleeps" during offloaded
+compression (SVI-A, Fig 7 step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.apps.node import ServerNode
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.errors import WorkloadError
+from repro.sim.engine import Timeout
+from repro.units import us
+
+# Fraction of per-page host work spent submitting (the rest handles the
+# completion after the wake-up).
+SUBMIT_FRACTION = 0.6
+# kswapd's conservatively-determined sleep while the device works (SVI-A).
+MIN_DEVICE_SLEEP_NS = us(10.0)
+# Control-plane work that never offloads: LRU isolation, rmap walks,
+# zswap tree updates, page-table maintenance.  Charged per page on the
+# host for *every* backend -- the reason even cxl-zswap leaves ~11 % of
+# zswap's host CPU cost behind (SVII).
+RECLAIM_CONTROL_NS = 2500.0
+SCAN_CONTROL_NS = 600.0
+# ksm offload batches scan work STYX-style: one submission (descriptor /
+# doorbell write) covers a batch of pages, amortizing the per-op host
+# protocol cost that would otherwise exceed the small per-page hash.
+SCAN_SUBMIT_BATCH = 6
+# LLC-pollution service-time inflation while a data plane is streaming.
+# The host CPU path walks every page byte through the whole hierarchy;
+# the offloads touch the LLC only via DDIO / NC-P result pushes, reducing
+# pollution "to a similar degree" across offloads (SVII).
+POLLUTION_WEIGHT = {
+    "cpu": 0.40,
+    "pcie-rdma": 0.13,
+    "pcie-dma": 0.15,
+    "cxl": 0.135,
+}
+# How much of a chunk's device time survives pipelining across pages.
+# Effective per-page device time in a pipelined chunk, as a fraction of
+# a single page's standalone device latency: the BF-3 runs compressions
+# on 16 Arm cores in parallel; the DMA/CXL paths pipeline transfers with
+# the (serial) streaming IP, whose compute is the bottleneck.
+DEVICE_OVERLAP = {
+    "cpu": 1.0,
+    "pcie-rdma": 0.15,
+    "pcie-dma": 0.35,
+    "cxl": 0.70,
+}
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Host/device split for one data-plane operation."""
+
+    host_ns: float
+    device_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.host_ns + self.device_ns
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Per-transport per-page costs, measured from the offload engine."""
+
+    transport: str
+    compress: OpCost
+    decompress: OpCost
+    hash: OpCost
+    compare: OpCost
+
+    @classmethod
+    def from_engine(cls, platform: Platform, engine: OffloadEngine,
+                    transport: str) -> "CostProfile":
+        """Run each op once on the (idle) platform and split the cost."""
+        def run(gen) -> OpCost:
+            report = platform.sim.run_process(gen)
+            return OpCost(report.host_cpu_ns,
+                          max(0.0, report.total_ns - report.host_cpu_ns))
+
+        return cls(
+            transport=transport,
+            compress=run(engine.compress_page(transport)),
+            decompress=run(engine.decompress_page(transport)),
+            hash=run(engine.hash_page(transport)),
+            compare=run(engine.compare_pages(transport)),
+        )
+
+
+# Host cost of one early-wake completion check (read the shared region,
+# find the device still busy, go back to sleep).
+WAKE_CHECK_NS = 400.0
+
+
+class ReclaimDaemon:
+    """kswapd with a zswap backend on a chosen transport.
+
+    ``device_sleep_ns`` is the paper's "conservatively determined period
+    based on the data transfer and compression time (~10us)" (SVI-A):
+    kswapd sleeps that long after submitting, then checks the shared
+    region.  Sleeping too briefly burns host cycles on repeated checks;
+    sleeping too long throttles reclaim and lets pressure build — the
+    ext_sleep_tuning experiment sweeps this knob.
+    """
+
+    def __init__(self, node: ServerNode, profile: CostProfile,
+                 chunk_pages: int = 16,
+                 check_period_ns: float = us(150.0),
+                 device_sleep_ns: Optional[float] = None,
+                 pollution_scale: float = 1.0):
+        if chunk_pages < 1:
+            raise WorkloadError("chunk_pages must be positive")
+        if device_sleep_ns is not None and device_sleep_ns <= 0:
+            raise WorkloadError("device_sleep_ns must be positive")
+        if pollution_scale < 0:
+            raise WorkloadError("pollution_scale cannot be negative")
+        self.node = node
+        self.profile = profile
+        self.chunk_pages = chunk_pages
+        self.check_period_ns = check_period_ns
+        self.device_sleep_ns = device_sleep_ns
+        # Interference-channel ablation knob: scales the LLC-pollution
+        # weight (0 disables that channel entirely).
+        self.pollution_scale = pollution_scale
+        self.pages_reclaimed = 0
+        self.direct_entries = 0
+        self.wake_checks = 0
+
+    def _sleep_period(self, device_ns: float) -> float:
+        """The configured sleep, or the paper's auto-sizing: slightly
+        more than the estimated transfer+compression time, floored at
+        ~10 us (SVI-A)."""
+        if self.device_sleep_ns is not None:
+            return self.device_sleep_ns
+        return max(MIN_DEVICE_SLEEP_NS, device_ns * 1.15)
+
+    def _device_wait(self, device_ns: float,
+                     pollute_source: str, weight: float):
+        """Sleep-and-check until the device finishes: each early wake
+        costs a host check on a core before sleeping again."""
+        node = self.node
+        period = self._sleep_period(device_ns)
+        remaining = device_ns
+        while True:
+            # kswapd cannot observe the device mid-flight: it sleeps its
+            # full conservative period and only then checks the shared
+            # region (SVI-A).  Overshoot is the price of a long period.
+            node.pollute_start(pollute_source, weight)
+            try:
+                yield Timeout(period)
+            finally:
+                node.pollute_stop(pollute_source)
+            remaining -= period
+            if remaining <= 0:
+                return
+            # Early wake: the device is still working -- check and resleep.
+            self.wake_checks += 1
+            core = node.next_core_rr()
+            yield core.acquire()
+            try:
+                yield Timeout(WAKE_CHECK_NS)
+                node.feature_core_busy_ns += WAKE_CHECK_NS
+            finally:
+                core.release()
+
+    # -- the background (asynchronous) path ------------------------------------
+
+    def run(self, until_ns: float) -> Generator[Any, Any, None]:
+        """The kswapd loop: reclaim whenever free memory sits below the
+        low watermark, until it recovers above high (SVI-A)."""
+        node = self.node
+        while node.sim.now < until_ns:
+            if node.pressure.below_low:
+                while (not node.pressure.above_high
+                       and node.sim.now < until_ns):
+                    yield from self._reclaim_chunk()
+            else:
+                yield Timeout(self.check_period_ns)
+
+    def _reclaim_chunk(self) -> Generator[Any, Any, None]:
+        """Swap out one chunk of cold pages through zswap."""
+        node, cost = self.node, self.profile.compress
+        pages = self.chunk_pages
+        transport = self.profile.transport
+        weight = POLLUTION_WEIGHT[transport] * self.pollution_scale
+        core = node.next_core_rr()
+
+        if cost.device_ns <= 0:
+            # cpu backend: the whole compression runs on the core.
+            yield core.acquire()
+            node.pollute_start("zswap", weight)
+            try:
+                hold = (cost.host_ns + RECLAIM_CONTROL_NS) * pages
+                yield Timeout(hold)
+                node.feature_core_busy_ns += hold
+            finally:
+                node.pollute_stop("zswap")
+                core.release()
+        else:
+            # Offloaded: per mini-batch, submit on the core (a handful of
+            # nt-st / descriptor writes), release it, and sleep while the
+            # device works -- the core runs Redis requests in the gap
+            # (Fig 7 step 3).  Mini-batches keep the holds short, as the
+            # real submit path yields between pages.
+            host_page_ns = cost.host_ns + RECLAIM_CONTROL_NS
+            # cxl submits are a few posted stores per page; the PCIe
+            # paths batch descriptor programming into blockier holds.
+            mini = 4 if transport == "cxl" else 8
+            for start in range(0, pages, mini):
+                batch = min(mini, pages - start)
+                submit = host_page_ns * SUBMIT_FRACTION * batch
+                wake = host_page_ns * (1 - SUBMIT_FRACTION) * batch
+                yield core.acquire()
+                try:
+                    yield Timeout(submit)
+                    node.feature_core_busy_ns += submit
+                finally:
+                    core.release()
+                device = max(MIN_DEVICE_SLEEP_NS,
+                             cost.device_ns * batch
+                             * DEVICE_OVERLAP[transport])
+                yield from self._device_wait(device, "zswap", weight)
+                yield core.acquire()
+                try:
+                    yield Timeout(wake)
+                    node.feature_core_busy_ns += wake
+                finally:
+                    core.release()
+
+        self.pages_reclaimed += pages
+        node.pressure.release(pages)
+
+    # -- the direct (synchronous) path ---------------------------------------------
+
+    def inline_reclaim(self, held_core) -> Generator[Any, Any, None]:
+        """Direct reclaim executed by an allocating task that already
+        holds ``held_core``.  With the cpu backend the task burns its own
+        core; with offloads it releases the core during the device phase
+        (the thread blocks, the core runs other work)."""
+        self.direct_entries += 1
+        node, cost = self.node, self.profile.compress
+        pages = self.chunk_pages           # DIRECT_RECLAIM_BATCH
+        transport = self.profile.transport
+        weight = POLLUTION_WEIGHT[transport] * self.pollution_scale
+        node.pollute_start("zswap", weight)
+        try:
+            if cost.device_ns <= 0:
+                hold = (cost.host_ns + RECLAIM_CONTROL_NS) * pages
+                yield Timeout(hold)
+                node.feature_core_busy_ns += hold
+            else:
+                host_page_ns = cost.host_ns + RECLAIM_CONTROL_NS
+                submit = host_page_ns * SUBMIT_FRACTION * pages
+                wake = host_page_ns * (1 - SUBMIT_FRACTION) * pages
+                yield Timeout(submit)
+                held_core.release()
+                try:
+                    device = max(MIN_DEVICE_SLEEP_NS,
+                                 cost.device_ns * pages
+                                 * DEVICE_OVERLAP[transport])
+                    yield Timeout(device)
+                finally:
+                    yield held_core.acquire()
+                yield Timeout(wake)
+                node.feature_core_busy_ns += submit + wake
+        finally:
+            node.pollute_stop("zswap")
+        self.pages_reclaimed += pages
+        node.pressure.release(pages)
+
+
+class ScanDaemon:
+    """ksmd: periodically scans guest pages, hashing each and comparing
+    merge candidates (SVI-B)."""
+
+    def __init__(self, node: ServerNode, profile: CostProfile,
+                 compare_probability: float = 0.35,
+                 chunk_pages: int = 48,
+                 sleep_between_chunks_ns: float = us(60.0),
+                 pollution_scale: float = 1.0):
+        if not 0 <= compare_probability <= 1:
+            raise WorkloadError("compare_probability out of range")
+        if pollution_scale < 0:
+            raise WorkloadError("pollution_scale cannot be negative")
+        self.node = node
+        self.profile = profile
+        self.compare_probability = compare_probability
+        self.chunk_pages = chunk_pages
+        self.sleep_between_chunks_ns = sleep_between_chunks_ns
+        self.pollution_scale = pollution_scale
+        self.pages_scanned = 0
+
+    def _chunk_cost(self) -> OpCost:
+        """Expected per-chunk cost: one hash per page plus the expected
+        fraction of byte-by-byte comparisons."""
+        h, c = self.profile.hash, self.profile.compare
+        per_page_host = h.host_ns + self.compare_probability * c.host_ns
+        if h.device_ns > 0:
+            per_page_host /= SCAN_SUBMIT_BATCH   # batched submissions
+        host = (per_page_host + SCAN_CONTROL_NS) * self.chunk_pages
+        device = (h.device_ns + self.compare_probability * c.device_ns
+                  ) * self.chunk_pages
+        return OpCost(host, device * DEVICE_OVERLAP[self.profile.transport])
+
+    def run(self, until_ns: float) -> Generator[Any, Any, None]:
+        """Scan forever, hopping cores chunk by chunk (ksmd floats).
+
+        The cpu backend holds its core for the whole chunk (hash +
+        compare are inline); offloaded backends submit mini-batches and
+        sleep while the device hashes/compares, releasing the core.
+        """
+        node = self.node
+        transport = self.profile.transport
+        weight = POLLUTION_WEIGHT[transport] * self.pollution_scale
+        while node.sim.now < until_ns:
+            cost = self._chunk_cost()
+            core = node.next_core_rr()
+            if cost.device_ns <= 0:
+                yield core.acquire()
+                node.pollute_start("ksm", weight)
+                try:
+                    yield Timeout(cost.host_ns)
+                    node.feature_core_busy_ns += cost.host_ns
+                finally:
+                    node.pollute_stop("ksm")
+                    core.release()
+            else:
+                mini = 4 if transport == "cxl" else 8
+                slices = max(1, self.chunk_pages // mini)
+                submit = cost.host_ns * SUBMIT_FRACTION / slices
+                wake = cost.host_ns * (1 - SUBMIT_FRACTION) / slices
+                device = max(MIN_DEVICE_SLEEP_NS, cost.device_ns / slices)
+                for __ in range(slices):
+                    yield core.acquire()
+                    try:
+                        yield Timeout(submit)
+                        node.feature_core_busy_ns += submit
+                    finally:
+                        core.release()
+                    node.pollute_start("ksm", weight)
+                    try:
+                        yield Timeout(device)
+                    finally:
+                        node.pollute_stop("ksm")
+                    yield core.acquire()
+                    try:
+                        yield Timeout(wake)
+                        node.feature_core_busy_ns += wake
+                    finally:
+                        core.release()
+            self.pages_scanned += self.chunk_pages
+            yield Timeout(self.sleep_between_chunks_ns)

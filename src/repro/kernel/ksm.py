@@ -1,0 +1,202 @@
+"""ksm: kernel samepage merging (SVI-B).
+
+The scanner walks guest pages incrementally.  Per page it computes the
+32-bit xxhash *change hint*; a page whose hint is unchanged since the
+last pass is a merge candidate.  Candidates are checked against the
+**stable tree** (already-merged content) and then the **unstable tree**
+(candidates from this pass); equality is established by byte-by-byte
+comparison — the two CPU- and memory-intensive functions the paper
+offloads.
+
+Timing flows through the :class:`~repro.core.offload.OffloadEngine`
+(``cpu`` / ``cxl`` / ``pcie-dma`` / ``pcie-rdma``), so the same scanner
+drives both the functional dedup tests and the Fig-8 interference runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator
+
+from repro.core.offload import OffloadEngine
+from repro.errors import KernelError
+from repro.kernel.vm import VirtualMachine, VmPage
+from repro.kernel.xxhash import xxhash32
+from repro.units import PAGE_SIZE
+
+
+@dataclass
+class SharedPage:
+    """One stable-tree node: a merged physical page."""
+
+    content: bytes
+    sharers: int = 1
+
+
+@dataclass
+class KsmStats:
+    pages_scanned: int = 0
+    hash_computations: int = 0
+    comparisons: int = 0
+    pages_merged: int = 0
+    stable_nodes: int = 0
+    host_cpu_ns: float = 0.0
+
+    @property
+    def pages_saved(self) -> int:
+        """Physical pages reclaimed by merging (sharers - 1 per node)."""
+        return self.pages_merged
+
+
+class Ksm:
+    """The samepage-merging scanner."""
+
+    def __init__(self, engine: OffloadEngine, transport: str,
+                 vms: list[VirtualMachine], functional: bool = True):
+        if not vms:
+            raise KernelError("ksm needs at least one VM to scan")
+        self.engine = engine
+        self.transport = transport
+        self.vms = vms
+        self.functional = functional
+        self._stable: Dict[bytes, SharedPage] = {}
+        self._unstable: Dict[bytes, tuple[VirtualMachine, VmPage]] = {}
+        self._checksums: Dict[tuple[str, int], int] = {}
+        self._cursor = 0                       # flat scan position
+        self._scan_list = [(vm, page) for vm in vms for page in vm.pages()]
+        self.stats = KsmStats()
+
+    # ------------------------------------------------------------------
+    # scanning
+    # ------------------------------------------------------------------
+
+    def scan_pages(self, count: int) -> Generator[Any, Any, int]:
+        """Timed process: scan the next ``count`` pages (wrapping).
+        Returns the number of merges performed in this batch.
+
+        A full pass rebuilds the unstable tree, as Linux does.
+        """
+        merged = 0
+        for __ in range(count):
+            if self._cursor == 0:
+                self._unstable.clear()
+            vm, page = self._scan_list[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._scan_list)
+            merged += yield from self._scan_one(vm, page)
+        return merged
+
+    def full_scan(self) -> Generator[Any, Any, int]:
+        """One complete pass over every scannable page."""
+        return (yield from self.scan_pages(len(self._scan_list)))
+
+    def _scan_one(self, vm: VirtualMachine,
+                  page: VmPage) -> Generator[Any, Any, int]:
+        self.stats.pages_scanned += 1
+        if page.shared:
+            return 0     # already merged; nothing to do
+
+        # Change hint: the offloaded xxhash (SVI-B).
+        report = yield from self.engine.hash_page(
+            self.transport, data=page.content if self.functional else None)
+        self.stats.hash_computations += 1
+        self.stats.host_cpu_ns += report.host_cpu_ns
+        checksum = (report.result if report.result is not None
+                    else xxhash32(page.content))
+
+        key = (vm.name, page.vpn)
+        previous = self._checksums.get(key)
+        self._checksums[key] = checksum
+
+        # Stable tree first: merge with an existing shared page.
+        node = self._stable.get(page.content)
+        if node is not None:
+            yield from self._compare(page.content, node.content)
+            node.sharers += 1
+            page.shared = True
+            self.stats.pages_merged += 1
+            return 1
+
+        # Volatile pages (hint changed) never enter the unstable tree.
+        if previous is None or previous != checksum:
+            return 0
+
+        # Unstable tree: merge with a candidate from this pass.
+        candidate = self._unstable.get(page.content)
+        if candidate is not None:
+            other_vm, other_page = candidate
+            if other_page is page:
+                return 0
+            yield from self._compare(page.content, other_page.content)
+            shared = SharedPage(page.content, sharers=2)
+            self._stable[page.content] = shared
+            self.stats.stable_nodes += 1
+            page.shared = True
+            other_page.shared = True
+            del self._unstable[page.content]
+            self.stats.pages_merged += 1
+            return 1
+
+        # Insert into the unstable tree (ordering established by a
+        # partial byte-compare against a neighbour, charged as one
+        # early-out comparison).
+        if self._unstable:
+            neighbour = next(iter(self._unstable))
+            diff_at = _first_difference(page.content, neighbour)
+            yield from self.engine.compare_pages(
+                self.transport,
+                a=page.content if self.functional else None,
+                b=neighbour if self.functional else None,
+                nbytes=min(PAGE_SIZE, diff_at + 64),
+            )
+            self.stats.comparisons += 1
+            self.stats.host_cpu_ns += self.engine.reports[-1].host_cpu_ns
+        self._unstable[page.content] = (vm, page)
+        return 0
+
+    def _compare(self, a: bytes, b: bytes) -> Generator[Any, Any, None]:
+        """Full byte-by-byte comparison via the configured transport."""
+        report = yield from self.engine.compare_pages(
+            self.transport,
+            a=a if self.functional else None,
+            b=b if self.functional else None,
+        )
+        self.stats.comparisons += 1
+        self.stats.host_cpu_ns += report.host_cpu_ns
+        if self.functional and report.result not in (-1, None):
+            raise KernelError("ksm attempted to merge differing pages")
+
+    # ------------------------------------------------------------------
+    # CoW breaking (guest writes)
+    # ------------------------------------------------------------------
+
+    def unshare(self, vm: VirtualMachine, vpn: int, new_content: bytes) -> None:
+        """A guest write to a merged page: break the share (CoW)."""
+        page = vm.page_of(vpn)
+        was_shared = page.shared
+        old_content = page.content
+        vm.write(vpn, new_content)
+        if not was_shared:
+            return
+        node = self._stable.get(old_content)
+        if node is None:
+            raise KernelError("shared page missing from the stable tree")
+        node.sharers -= 1
+        if node.sharers <= 0:
+            del self._stable[old_content]
+
+    @property
+    def shared_pages(self) -> int:
+        return sum(node.sharers for node in self._stable.values())
+
+    @property
+    def saved_pages(self) -> int:
+        """Physical frames freed: every sharer beyond the first."""
+        return sum(node.sharers - 1 for node in self._stable.values())
+
+
+def _first_difference(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n

@@ -1,0 +1,98 @@
+"""Active/inactive LRU page lists (the reclaim candidate source).
+
+kswapd swaps out from the tail of the inactive list; referenced pages get
+a second chance by rotating to the active list, mirroring Linux's
+two-list clock approximation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.errors import KernelError
+from repro.kernel.page import Page
+
+
+class LruLists:
+    """Two-list LRU over page frames."""
+
+    def __init__(self) -> None:
+        # OrderedDict pfn -> Page; front = least recently used.
+        self._active: "OrderedDict[int, Page]" = OrderedDict()
+        self._inactive: "OrderedDict[int, Page]" = OrderedDict()
+
+    # -- membership -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._active) + len(self._inactive)
+
+    def __contains__(self, page: Page) -> bool:
+        return page.pfn in self._active or page.pfn in self._inactive
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def inactive_count(self) -> int:
+        return len(self._inactive)
+
+    # -- insertion / touching ---------------------------------------------------
+
+    def add(self, page: Page) -> None:
+        """New mappings start on the inactive list (like a faulted-in
+        page without the referenced bit)."""
+        if page in self:
+            raise KernelError(f"pfn {page.pfn} already on an LRU list")
+        self._inactive[page.pfn] = page
+
+    def touch(self, page: Page) -> None:
+        """Mark the page referenced; a second touch promotes it."""
+        if page.pfn in self._active:
+            self._active.move_to_end(page.pfn)
+            page.referenced = True
+        elif page.pfn in self._inactive:
+            if page.referenced:
+                del self._inactive[page.pfn]
+                self._active[page.pfn] = page
+                page.referenced = False
+            else:
+                page.referenced = True
+                self._inactive.move_to_end(page.pfn)
+        else:
+            raise KernelError(f"touch of unmapped pfn {page.pfn}")
+
+    def remove(self, page: Page) -> None:
+        if self._active.pop(page.pfn, None) is None:
+            if self._inactive.pop(page.pfn, None) is None:
+                raise KernelError(f"pfn {page.pfn} not on any LRU list")
+
+    # -- reclaim -----------------------------------------------------------------
+
+    def isolate_coldest(self) -> Optional[Page]:
+        """Take the best reclaim candidate off the lists (inactive tail
+        first; deactivate an active page when inactive is empty)."""
+        if self._inactive:
+            __, page = self._inactive.popitem(last=False)
+            return page
+        if self._active:
+            __, page = self._active.popitem(last=False)
+            page.referenced = False
+            return page
+        return None
+
+    def rotate_to_inactive(self, count: int) -> int:
+        """Age ``count`` pages from the active head to the inactive tail
+        (kswapd's balancing pass).  Returns how many moved."""
+        moved = 0
+        while moved < count and self._active:
+            __, page = self._active.popitem(last=False)
+            page.referenced = False
+            self._inactive[page.pfn] = page
+            moved += 1
+        return moved
+
+    def pages(self) -> Iterator[Page]:
+        yield from self._active.values()
+        yield from self._inactive.values()

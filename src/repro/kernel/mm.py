@@ -1,0 +1,168 @@
+"""The memory manager tying allocator, LRU, kswapd, and zswap together.
+
+This is the functional end-to-end path of SVI-A: tasks allocate and touch
+pages through :class:`MemoryManager`; pressure wakes the asynchronous
+background reclaim (kswapd) at the *low* watermark and forces the
+synchronous direct path below *min*; reclaimed pages are compressed into
+the zswap pool and faulted back on demand.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.errors import KernelError
+from repro.kernel.lru import LruLists
+from repro.kernel.page import FrameAllocator, Page
+from repro.kernel.zswap import Zswap
+from repro.sim.engine import Simulator, Timeout
+
+DIRECT_RECLAIM_BATCH = 32      # pages reclaimed per direct-path entry
+BACKGROUND_BATCH = 64          # pages per kswapd wakeup slice
+
+
+@dataclass
+class PageRef:
+    """A task's handle to one virtual page (resident or swapped)."""
+
+    ref_id: int
+    owner: str
+    page: Optional[Page] = None          # resident frame
+    zswap_handle: Optional[int] = None   # set while swapped out
+    content: Optional[bytes] = None      # functional payload
+
+    @property
+    def resident(self) -> bool:
+        return self.page is not None
+
+
+@dataclass
+class MmStats:
+    direct_reclaims: int = 0
+    background_wakeups: int = 0
+    pages_swapped_out: int = 0
+    major_faults: int = 0
+
+
+class MemoryManager:
+    """Allocation, reclaim, and fault handling for one node."""
+
+    def __init__(self, sim: Simulator, allocator: FrameAllocator,
+                 zswap: Zswap):
+        self.sim = sim
+        self.allocator = allocator
+        self.zswap = zswap
+        self.lru = LruLists()
+        self._refs: Dict[int, PageRef] = {}
+        self._by_pfn: Dict[int, PageRef] = {}
+        self._ids = itertools.count(1)
+        self._kswapd_running = False
+        self.stats = MmStats()
+
+    # ------------------------------------------------------------------
+    # allocation / free
+    # ------------------------------------------------------------------
+
+    def alloc_page(self, owner: str,
+                   content: Optional[bytes] = None
+                   ) -> Generator[Any, Any, PageRef]:
+        """Allocate one page for ``owner`` (timed: may reclaim)."""
+        if self.allocator.below_min() or self.allocator.free_pages == 0:
+            # Synchronous direct path: the allocating task itself reclaims.
+            self.stats.direct_reclaims += 1
+            yield from self.reclaim(DIRECT_RECLAIM_BATCH)
+        elif self.allocator.below_low():
+            self.wake_kswapd()
+        page = self.allocator.try_alloc(owner)
+        if page is None:
+            raise KernelError("allocation failed even after direct reclaim")
+        ref = PageRef(next(self._ids), owner, page=page, content=content)
+        self._refs[ref.ref_id] = ref
+        self._by_pfn[page.pfn] = ref
+        self.lru.add(page)
+        return ref
+
+    def free_page(self, ref: PageRef) -> None:
+        if ref.ref_id not in self._refs:
+            raise KernelError(f"double free of ref {ref.ref_id}")
+        del self._refs[ref.ref_id]
+        if ref.page is not None:
+            self.lru.remove(ref.page)
+            del self._by_pfn[ref.page.pfn]
+            self.allocator.free(ref.page)
+            ref.page = None
+        elif ref.zswap_handle is not None:
+            self.zswap.invalidate(ref.zswap_handle)
+            ref.zswap_handle = None
+
+    # ------------------------------------------------------------------
+    # touching / faulting
+    # ------------------------------------------------------------------
+
+    def touch(self, ref: PageRef) -> Generator[Any, Any, bool]:
+        """Access one page; faults it back in if swapped.  Returns True
+        when a major fault occurred (timed)."""
+        if ref.resident:
+            assert ref.page is not None
+            self.lru.touch(ref.page)
+            return False
+        if ref.zswap_handle is None:
+            raise KernelError(f"ref {ref.ref_id} is neither resident nor swapped")
+        self.stats.major_faults += 1
+        data, __ = yield from self.zswap.load(ref.zswap_handle)
+        ref.zswap_handle = None
+        if data is not None:
+            ref.content = data
+        # The faulting allocation may itself trigger reclaim.
+        new_ref = yield from self.alloc_page(ref.owner, ref.content)
+        # Graft the new frame onto the old ref and retire the temp ref.
+        ref.page = new_ref.page
+        assert ref.page is not None
+        self._by_pfn[ref.page.pfn] = ref
+        del self._refs[new_ref.ref_id]
+        self._refs[ref.ref_id] = ref
+        return True
+
+    # ------------------------------------------------------------------
+    # reclaim
+    # ------------------------------------------------------------------
+
+    def reclaim(self, count: int) -> Generator[Any, Any, int]:
+        """Swap out up to ``count`` cold pages through zswap (timed).
+
+        Returns the number actually reclaimed.
+        """
+        reclaimed = 0
+        while reclaimed < count:
+            page = self.lru.isolate_coldest()
+            if page is None:
+                break
+            ref = self._by_pfn.pop(page.pfn)
+            handle, __ = yield from self.zswap.store(ref.content)
+            ref.zswap_handle = handle
+            ref.page = None
+            self.allocator.free(page)
+            self.stats.pages_swapped_out += 1
+            reclaimed += 1
+        return reclaimed
+
+    def wake_kswapd(self) -> None:
+        """Start the asynchronous background path if not already active."""
+        if self._kswapd_running:
+            return
+        self._kswapd_running = True
+        self.stats.background_wakeups += 1
+        self.sim.spawn(self._kswapd_loop(), "kswapd")
+
+    def _kswapd_loop(self) -> Generator[Any, Any, None]:
+        """Reclaim in batches until free memory exceeds the high mark."""
+        try:
+            while not self.allocator.above_high():
+                got = yield from self.reclaim(BACKGROUND_BATCH)
+                if got == 0:
+                    break
+                yield Timeout(1000.0)   # cond_resched between batches
+        finally:
+            self._kswapd_running = False

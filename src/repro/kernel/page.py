@@ -1,0 +1,113 @@
+"""Page frames, the physical allocator, and reclaim watermarks.
+
+A tiny but faithful slice of the Linux mm: frames are allocated from a
+free list; ``page_min``/``page_low``/``page_high`` watermarks drive
+kswapd exactly as SVI-A describes — dropping below *low* wakes the
+asynchronous background path, and an allocation that cannot be served
+above *min* takes the synchronous direct-reclaim path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import KernelError
+from repro.units import PAGE_SIZE
+
+
+@dataclass
+class Page:
+    """One 4 KiB physical page frame."""
+
+    pfn: int
+    owner: Optional[str] = None        # task/VM that owns the mapping
+    dirty: bool = False
+    referenced: bool = False
+    # ksm bookkeeping
+    ksm_checksum: Optional[int] = None
+    ksm_shared: bool = False
+    share_count: int = 1
+
+    @property
+    def addr(self) -> int:
+        return self.pfn * PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Watermarks:
+    """Reclaim thresholds in pages."""
+
+    min_pages: int
+    low_pages: int
+    high_pages: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.min_pages < self.low_pages < self.high_pages):
+            raise KernelError(f"watermarks must be ordered: {self}")
+
+
+def default_watermarks(total_pages: int) -> Watermarks:
+    """Linux-style scaled watermarks (roughly min:low:high = 1:1.25:1.5
+    at a small fraction of total memory)."""
+    min_pages = max(32, total_pages // 64)
+    return Watermarks(min_pages, min_pages * 5 // 4, min_pages * 3 // 2)
+
+
+class FrameAllocator:
+    """Physical page-frame allocator with watermark queries."""
+
+    def __init__(self, total_pages: int,
+                 watermarks: Optional[Watermarks] = None):
+        if total_pages <= 0:
+            raise KernelError("need at least one page frame")
+        self.total_pages = total_pages
+        self.watermarks = watermarks or default_watermarks(total_pages)
+        self._free: list[int] = list(range(total_pages - 1, -1, -1))
+        self._pages: dict[int, Page] = {}
+        self.allocations = 0
+        self.frees = 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_pages(self) -> int:
+        return self.total_pages - len(self._free)
+
+    def below_low(self) -> bool:
+        return self.free_pages < self.watermarks.low_pages
+
+    def below_min(self) -> bool:
+        return self.free_pages < self.watermarks.min_pages
+
+    def above_high(self) -> bool:
+        return self.free_pages > self.watermarks.high_pages
+
+    def page(self, pfn: int) -> Page:
+        try:
+            return self._pages[pfn]
+        except KeyError:
+            raise KernelError(f"pfn {pfn} is not allocated")
+
+    # -- allocation ---------------------------------------------------------
+
+    def try_alloc(self, owner: str) -> Optional[Page]:
+        """Allocate one frame, or None when empty (caller must reclaim)."""
+        if not self._free:
+            return None
+        pfn = self._free.pop()
+        page = Page(pfn, owner=owner)
+        self._pages[pfn] = page
+        self.allocations += 1
+        return page
+
+    def free(self, page: Page) -> None:
+        if page.pfn not in self._pages:
+            raise KernelError(f"double free of pfn {page.pfn}")
+        del self._pages[page.pfn]
+        self._free.append(page.pfn)
+        self.frees += 1

@@ -1,0 +1,91 @@
+"""The backing swap device (an NVMe SSD behind the zswap pool).
+
+zswap is a *cache* in front of this device: pool evictions decompress and
+write here; a swap-in that misses the pool reads from here at SSD
+latency — the cliff that makes zswap worthwhile at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro.errors import KernelError
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.units import PAGE_SIZE, us
+
+SSD_READ_NS = us(75.0)      # 4 KB random read on a datacenter NVMe
+SSD_WRITE_NS = us(18.0)     # 4 KB write (absorbed by device buffers)
+SSD_QUEUE_DEPTH = 64
+
+
+class SwapIOError(KernelError):
+    """A swap read failed at the device (media error / link reset).
+
+    Linux marks the page table entry with a hardware-poison swap entry
+    and the faulting process gets SIGBUS -- data in that slot is gone.
+    """
+
+
+class SwapDevice:
+    """Block-device swap backend with slot management.
+
+    ``inject_read_errors(n)`` arms deterministic failure injection: the
+    next ``n`` reads raise :class:`SwapIOError` after paying the I/O
+    latency, and their slots are lost (as on real media errors).
+    """
+
+    def __init__(self, sim: Simulator, capacity_pages: int = 1 << 20):
+        self.sim = sim
+        self.capacity_pages = capacity_pages
+        self._queue = Resource(sim, SSD_QUEUE_DEPTH, "swapdev.q")
+        self._slots: Dict[int, Optional[bytes]] = {}
+        self._next_slot = 0
+        self._pending_read_errors = 0
+        self.reads = 0
+        self.writes = 0
+        self.read_errors = 0
+
+    def inject_read_errors(self, count: int) -> None:
+        """Arm ``count`` read failures (failure-injection testing)."""
+        if count < 0:
+            raise KernelError("cannot inject a negative error count")
+        self._pending_read_errors += count
+
+    @property
+    def used_slots(self) -> int:
+        return len(self._slots)
+
+    # -- timed I/O ---------------------------------------------------------------
+
+    def write_page(self, data: Optional[bytes] = None
+                   ) -> Generator[Any, Any, int]:
+        """Write one page; returns its swap slot."""
+        if self.used_slots >= self.capacity_pages:
+            raise KernelError("swap device full")
+        self.writes += 1
+        slot = self._next_slot
+        self._next_slot += 1
+        if data is not None and len(data) != PAGE_SIZE:
+            raise KernelError(f"swap write of {len(data)} bytes")
+        self._slots[slot] = data
+        yield from self._queue.using(SSD_WRITE_NS)
+        return slot
+
+    def read_page(self, slot: int) -> Generator[Any, Any, Optional[bytes]]:
+        """Read one page back; frees the slot."""
+        if slot not in self._slots:
+            raise KernelError(f"swap-in of unoccupied slot {slot}")
+        self.reads += 1
+        data = self._slots.pop(slot)
+        yield from self._queue.using(SSD_READ_NS)
+        if self._pending_read_errors > 0:
+            self._pending_read_errors -= 1
+            self.read_errors += 1
+            raise SwapIOError(f"media error reading swap slot {slot}")
+        return data
+
+    def discard(self, slot: int) -> None:
+        """Free a slot without reading (page dropped)."""
+        if self._slots.pop(slot, "missing") == "missing":
+            raise KernelError(f"discard of unoccupied slot {slot}")

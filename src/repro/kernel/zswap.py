@@ -1,0 +1,205 @@
+"""zswap: the compressed RAM cache for swap (SVI-A).
+
+The pool (*zpool*) holds compressed pages.  Its placement is the
+paper's point: ``cpu`` / ``pcie-*`` backends keep the zpool in **host
+DRAM** (PCIe devices cannot expose their memory), while ``cxl`` places
+it in **device memory**, simultaneously freeing host DRAM and using the
+Type-2 device's capacity-expansion capability.
+
+Flow per SVI-A:
+
+* ``store`` — compress (via the configured transport) and insert; when
+  the pool exceeds ``max_pool_percent`` of managed memory, evict LRU
+  entries to the backing swap device (decompress + write);
+* ``load`` — pool hit: decompress and return; pool miss: SSD read.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core.offload import OffloadEngine, OffloadReport
+from repro.errors import KernelError
+from repro.kernel.swapdev import SwapDevice
+from repro.units import PAGE_SIZE
+
+
+def _same_fill_byte(data: Optional[bytes]) -> Optional[int]:
+    """The fill byte if every byte of the page is identical, else None."""
+    if data is None or not data:
+        return None
+    first = data[0]
+    return first if data.count(first) == len(data) else None
+
+
+# Host-side cost of the same-filled scan (a word-equality sweep of the
+# page, done before compression is attempted -- a real zswap fast path).
+SAME_FILLED_SCAN_NS = 300.0
+SAME_FILLED_ENTRY_BYTES = 8            # the fill value, not a blob
+# Pages whose compressed form exceeds this fraction of PAGE_SIZE are
+# *rejected* from the pool (Linux zswap's behaviour for incompressible
+# data) and written straight to the backing swap device.
+REJECT_THRESHOLD = 0.9
+
+
+@dataclass
+class ZpoolEntry:
+    """One compressed page parked in the zpool."""
+
+    handle: int
+    compressed_bytes: int
+    blob: Optional[bytes] = None       # functional payload
+    same_filled: Optional[int] = None  # fill byte for same-filled pages
+
+
+@dataclass
+class ZswapStats:
+    stores: int = 0
+    loads: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    writebacks: int = 0
+    rejected: int = 0
+    same_filled: int = 0
+    host_cpu_ns: float = 0.0
+
+
+class Zswap:
+    """The compressed swap cache."""
+
+    def __init__(self, engine: OffloadEngine, swapdev: SwapDevice,
+                 transport: str, managed_pages: int,
+                 max_pool_percent: int = 20):
+        if not (0 < max_pool_percent < 100):
+            raise KernelError(f"bad max_pool_percent {max_pool_percent}")
+        self.engine = engine
+        self.swapdev = swapdev
+        self.transport = transport
+        self.managed_pages = managed_pages
+        self.max_pool_percent = max_pool_percent
+        self.zpool_in_device_memory = transport == "cxl"
+        self._pool: "OrderedDict[int, ZpoolEntry]" = OrderedDict()
+        self._swapped: dict[int, int] = {}        # handle -> swap slot
+        self._pool_bytes = 0
+        self._next_handle = 1
+        self.stats = ZswapStats()
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def pool_bytes(self) -> int:
+        return self._pool_bytes
+
+    @property
+    def pool_limit_bytes(self) -> int:
+        return self.managed_pages * PAGE_SIZE * self.max_pool_percent // 100
+
+    @property
+    def host_dram_pool_bytes(self) -> int:
+        """Host DRAM consumed by the pool — zero for cxl-zswap, whose
+        zpool lives in device memory (SVI-A)."""
+        return 0 if self.zpool_in_device_memory else self._pool_bytes
+
+    def is_full(self) -> bool:
+        return self._pool_bytes >= self.pool_limit_bytes
+
+    # -- store (swap-out) ------------------------------------------------------
+
+    def store(self, data: Optional[bytes] = None
+              ) -> Generator[Any, Any, tuple[int, Optional[OffloadReport]]]:
+        """Compress one page into the pool; returns (handle, report).
+
+        Same-filled pages (all bytes equal -- overwhelmingly the zero
+        page) take Linux zswap's fast path: the fill value is stored
+        directly, no compression and no offload traffic at all.
+        """
+        self.stats.stores += 1
+        fill = _same_fill_byte(data)
+        if fill is not None:
+            yield self.engine.p.sim.timeout_event(SAME_FILLED_SCAN_NS)
+            self.stats.same_filled += 1
+            self.stats.host_cpu_ns += SAME_FILLED_SCAN_NS
+            handle = self._next_handle
+            self._next_handle += 1
+            self._pool[handle] = ZpoolEntry(
+                handle, SAME_FILLED_ENTRY_BYTES, same_filled=fill)
+            self._pool_bytes += SAME_FILLED_ENTRY_BYTES
+            return handle, None
+        report = yield from self.engine.compress_page(
+            self.transport, data=data)
+        self.stats.host_cpu_ns += report.host_cpu_ns
+        handle = self._next_handle
+        self._next_handle += 1
+        if report.output_bytes > PAGE_SIZE * REJECT_THRESHOLD:
+            # Incompressible: caching it would waste pool space for no
+            # memory saving -- send the original page straight to swap.
+            self.stats.rejected += 1
+            slot = yield from self.swapdev.write_page(
+                data if data is not None else None)
+            self._swapped[handle] = slot
+            return handle, report
+        self._pool[handle] = ZpoolEntry(handle, report.output_bytes,
+                                        blob=report.result)
+        self._pool_bytes += report.output_bytes
+        while self.is_full():
+            yield from self._writeback_one()
+        return handle, report
+
+    def _writeback_one(self) -> Generator[Any, Any, None]:
+        """Evict the LRU entry: decompress, write to the swap device."""
+        if not self._pool:
+            raise KernelError("writeback on an empty pool")
+        handle, entry = self._pool.popitem(last=False)
+        self._pool_bytes -= entry.compressed_bytes
+        self.stats.writebacks += 1
+        if entry.same_filled is not None:
+            page = bytes([entry.same_filled]) * PAGE_SIZE
+            slot = yield from self.swapdev.write_page(page)
+            self._swapped[handle] = slot
+            return
+        report = yield from self.engine.decompress_page(
+            self.transport, data=entry.blob,
+            stored_bytes=entry.compressed_bytes)
+        self.stats.host_cpu_ns += report.host_cpu_ns
+        slot = yield from self.swapdev.write_page(report.result)
+        self._swapped[handle] = slot
+
+    # -- load (swap-in) -----------------------------------------------------------
+
+    def load(self, handle: int
+             ) -> Generator[Any, Any, tuple[Optional[bytes], bool]]:
+        """Fault one page back in; returns (data, pool_hit)."""
+        self.stats.loads += 1
+        entry = self._pool.pop(handle, None)
+        if entry is not None:
+            self._pool_bytes -= entry.compressed_bytes
+            self.stats.pool_hits += 1
+            if entry.same_filled is not None:
+                # Reconstructing a same-filled page is a memset.
+                yield self.engine.p.sim.timeout_event(SAME_FILLED_SCAN_NS)
+                self.stats.host_cpu_ns += SAME_FILLED_SCAN_NS
+                return bytes([entry.same_filled]) * PAGE_SIZE, True
+            report = yield from self.engine.decompress_page(
+                self.transport, data=entry.blob,
+                stored_bytes=entry.compressed_bytes)
+            self.stats.host_cpu_ns += report.host_cpu_ns
+            return report.result, True
+        slot = self._swapped.pop(handle, None)
+        if slot is None:
+            raise KernelError(f"load of unknown zswap handle {handle}")
+        self.stats.pool_misses += 1
+        data = yield from self.swapdev.read_page(slot)
+        return data, False
+
+    def invalidate(self, handle: int) -> None:
+        """Drop an entry whose owner freed the page."""
+        entry = self._pool.pop(handle, None)
+        if entry is not None:
+            self._pool_bytes -= entry.compressed_bytes
+            return
+        slot = self._swapped.pop(handle, None)
+        if slot is None:
+            raise KernelError(f"invalidate of unknown handle {handle}")
+        self.swapdev.discard(slot)

@@ -1,0 +1,25 @@
+"""Memory substrate: caches, coherence states, DRAM, and backing stores.
+
+This package provides the *state* half of the memory system — who holds
+which cache line in which MESI state, and where the bytes live.  The
+*timing* half (how long each access takes) is composed by the host and
+device models from :class:`repro.mem.memctrl.MemoryChannel` costs plus
+interconnect costs.
+"""
+
+from repro.mem.address import AddressMap, Region
+from repro.mem.backing import SparseMemory
+from repro.mem.cache import CacheLine, SetAssociativeCache
+from repro.mem.coherence import LineState
+from repro.mem.memctrl import MemoryChannel, MemorySystem
+
+__all__ = [
+    "AddressMap",
+    "Region",
+    "SparseMemory",
+    "CacheLine",
+    "SetAssociativeCache",
+    "LineState",
+    "MemoryChannel",
+    "MemorySystem",
+]

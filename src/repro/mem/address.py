@@ -1,0 +1,107 @@
+"""Physical address spaces and region mapping.
+
+The simulated platform has one flat physical address space per *system*,
+with named regions (host DRAM, CXL device memory exposed as a NUMA node,
+MMIO BARs).  Regions answer "which memory does this address belong to",
+which the host home agent and device DCOH use to route requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import AddressError
+from repro.units import CACHELINE
+
+
+def line_index(addr: int) -> int:
+    """Cache-line index of an address."""
+    return addr // CACHELINE
+
+
+def line_base(addr: int) -> int:
+    """Base address of the cache line containing ``addr``."""
+    return addr & ~(CACHELINE - 1)
+
+
+def is_line_aligned(addr: int) -> bool:
+    return addr % CACHELINE == 0
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous physical region ``[base, base+size)``."""
+
+    name: str
+    base: int
+    size: int
+    kind: str = "dram"  # "dram" | "cxl" | "mmio"
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.base < 0:
+            raise AddressError(f"invalid region: {self}")
+        if self.base % CACHELINE or self.size % CACHELINE:
+            raise AddressError(f"region not cache-line aligned: {self}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def offset(self, addr: int) -> int:
+        if not self.contains(addr):
+            raise AddressError(f"{hex(addr)} outside region {self.name}")
+        return addr - self.base
+
+    def lines(self) -> Iterator[int]:
+        """Iterate base addresses of every cache line in the region."""
+        return iter(range(self.base, self.end, CACHELINE))
+
+
+class AddressMap:
+    """Ordered collection of non-overlapping regions."""
+
+    def __init__(self) -> None:
+        self._regions: list[Region] = []
+
+    def add(self, region: Region) -> Region:
+        for existing in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise AddressError(
+                    f"region {region.name} overlaps {existing.name}"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        return region
+
+    def add_after(self, name: str, size: int, kind: str = "dram") -> Region:
+        """Append a region immediately after the current highest one."""
+        base = self._regions[-1].end if self._regions else 0
+        return self.add(Region(name, base, size, kind))
+
+    def find(self, addr: int) -> Region:
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        raise AddressError(f"unmapped address {hex(addr)}")
+
+    def get(self, name: str) -> Region:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise AddressError(f"no region named {name!r}")
+
+    def try_find(self, addr: int) -> Optional[Region]:
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)

@@ -1,0 +1,72 @@
+"""Sparse byte-addressable backing store.
+
+The kernel-feature models are *functional*: zswap really compresses page
+bytes, ksm really hashes and compares them.  ``SparseMemory`` holds those
+bytes, allocated lazily in 4 KB frames so multi-GB address spaces cost only
+what is touched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import AddressError
+from repro.units import PAGE_SIZE
+
+
+class SparseMemory:
+    """Lazily allocated byte store over a flat address space."""
+
+    def __init__(self, name: str = "mem"):
+        self.name = name
+        self._frames: Dict[int, bytearray] = {}
+
+    def _frame(self, addr: int, create: bool) -> bytearray | None:
+        key = addr // PAGE_SIZE
+        frame = self._frames.get(key)
+        if frame is None and create:
+            frame = bytearray(PAGE_SIZE)
+            self._frames[key] = frame
+        return frame
+
+    def write(self, addr: int, data: bytes) -> None:
+        if addr < 0:
+            raise AddressError(f"negative address {addr}")
+        offset = 0
+        while offset < len(data):
+            cur = addr + offset
+            frame = self._frame(cur, create=True)
+            assert frame is not None
+            in_frame = cur % PAGE_SIZE
+            chunk = min(PAGE_SIZE - in_frame, len(data) - offset)
+            frame[in_frame:in_frame + chunk] = data[offset:offset + chunk]
+            offset += chunk
+
+    def read(self, addr: int, length: int) -> bytes:
+        if addr < 0 or length < 0:
+            raise AddressError(f"invalid read {hex(addr)}+{length}")
+        out = bytearray(length)
+        offset = 0
+        while offset < length:
+            cur = addr + offset
+            frame = self._frame(cur, create=False)
+            in_frame = cur % PAGE_SIZE
+            chunk = min(PAGE_SIZE - in_frame, length - offset)
+            if frame is not None:
+                out[offset:offset + chunk] = frame[in_frame:in_frame + chunk]
+            offset += chunk  # unallocated reads yield zeros, like fresh DRAM
+        return bytes(out)
+
+    def fill(self, addr: int, length: int, value: int) -> None:
+        self.write(addr, bytes([value]) * length)
+
+    def resident_bytes(self) -> int:
+        """Bytes actually allocated (for memory-pressure accounting)."""
+        return len(self._frames) * PAGE_SIZE
+
+    def drop(self, addr: int, length: int) -> None:
+        """Discard whole frames in ``[addr, addr+length)`` (page free)."""
+        if addr % PAGE_SIZE or length % PAGE_SIZE:
+            raise AddressError("drop must be page-aligned")
+        for key in range(addr // PAGE_SIZE, (addr + length) // PAGE_SIZE):
+            self._frames.pop(key, None)

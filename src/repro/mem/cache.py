@@ -1,0 +1,180 @@
+"""Set-associative cache with MESI-style line states and LRU replacement.
+
+The same structure models the host LLC (60 MB, 15-way), the device HMC
+(128 KB, 4-way) and DMC (32 KB, direct-mapped).  State, not data, is the
+primary payload: the coherence engines consult and mutate line states to
+decide which timed actions an access incurs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.errors import CoherenceError, ConfigError
+from repro.mem.address import line_base
+from repro.mem.coherence import LineState
+from repro.units import CACHELINE
+
+
+@dataclass
+class CacheLine:
+    """One resident cache line."""
+
+    addr: int                      # line base address
+    state: LineState
+
+    def __post_init__(self) -> None:
+        if self.addr % CACHELINE:
+            raise CoherenceError(f"line address misaligned: {hex(self.addr)}")
+        if self.state is LineState.INVALID:
+            raise CoherenceError("resident line cannot be INVALID")
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache keyed by line address.
+
+    ``ways == 1`` gives a direct-mapped cache (the DMC).  Eviction of a
+    MODIFIED line invokes ``writeback`` so owners can account the cost.
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int):
+        if size_bytes <= 0 or ways <= 0:
+            raise ConfigError(f"invalid cache geometry: {size_bytes}B {ways}-way")
+        if size_bytes % (ways * CACHELINE):
+            raise ConfigError(
+                f"{name}: size {size_bytes} not divisible into {ways}-way sets"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * CACHELINE)
+        # Each set is an OrderedDict line_addr -> CacheLine in LRU order
+        # (least recent first).
+        self._sets: list[OrderedDict[int, CacheLine]] = [
+            OrderedDict() for __ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    def set_index(self, addr: int) -> int:
+        return (line_base(addr) // CACHELINE) % self.num_sets
+
+    def _set_for(self, addr: int) -> OrderedDict[int, CacheLine]:
+        return self._sets[self.set_index(addr)]
+
+    # -- queries -----------------------------------------------------------
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Find the line containing ``addr``; update LRU order on hit."""
+        base = line_base(addr)
+        line_set = self._set_for(base)
+        line = line_set.get(base)
+        if line is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            line_set.move_to_end(base)
+        return line
+
+    def peek(self, addr: int) -> Optional[CacheLine]:
+        """Lookup without LRU or statistics side effects."""
+        return self._set_for(addr).get(line_base(addr))
+
+    def state_of(self, addr: int) -> LineState:
+        line = self.peek(addr)
+        return line.state if line else LineState.INVALID
+
+    def __contains__(self, addr: int) -> bool:
+        return self.peek(addr) is not None
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def lines(self) -> Iterator[CacheLine]:
+        for line_set in self._sets:
+            yield from line_set.values()
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.ways
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(
+        self,
+        addr: int,
+        state: LineState,
+        writeback: Optional[Callable[[int], None]] = None,
+    ) -> Optional[CacheLine]:
+        """Install (or update) a line; returns the victim if one was evicted.
+
+        A MODIFIED victim triggers ``writeback(victim_addr)`` before the
+        victim is returned.
+        """
+        if state is LineState.INVALID:
+            raise CoherenceError("cannot insert a line in INVALID state")
+        base = line_base(addr)
+        line_set = self._set_for(base)
+        existing = line_set.get(base)
+        if existing is not None:
+            existing.state = state
+            line_set.move_to_end(base)
+            return None
+        victim = None
+        if len(line_set) >= self.ways:
+            __, victim = line_set.popitem(last=False)  # LRU victim
+            self.evictions += 1
+            if victim.state.is_dirty:
+                self.writebacks += 1
+                if writeback is not None:
+                    writeback(victim.addr)
+        line_set[base] = CacheLine(base, state)
+        return victim
+
+    def set_state(self, addr: int, state: LineState) -> None:
+        """Transition a resident line's state; INVALID removes the line."""
+        base = line_base(addr)
+        line_set = self._set_for(base)
+        line = line_set.get(base)
+        if line is None:
+            if state is LineState.INVALID:
+                return  # invalidating an absent line is a no-op
+            raise CoherenceError(
+                f"{self.name}: state change on non-resident line {hex(base)}"
+            )
+        if state is LineState.INVALID:
+            del line_set[base]
+        else:
+            line.state = state
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line if resident.  Returns whether it was dirty."""
+        base = line_base(addr)
+        line_set = self._set_for(base)
+        line = line_set.pop(base, None)
+        return bool(line and line.state.is_dirty)
+
+    def flush_all(self, writeback: Optional[Callable[[int], None]] = None) -> int:
+        """Invalidate everything (CLFLUSH loop / device cache flush).
+
+        Returns the number of dirty lines written back.
+        """
+        dirty = 0
+        for line_set in self._sets:
+            for line in line_set.values():
+                if line.state.is_dirty:
+                    dirty += 1
+                    if writeback is not None:
+                        writeback(line.addr)
+            line_set.clear()
+        return dirty
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = self.writebacks = 0

@@ -1,0 +1,46 @@
+"""Cache-coherence line states.
+
+The CXL Type-2 device of the paper tracks MESI-style states in its HMC and
+DMC; the host LLC does the same.  Table III of the paper is expressed as
+transitions over these states, and the DCOH model
+(:mod:`repro.devices.dcoh`) implements that table verbatim — the unit test
+``tests/devices/test_table3.py`` enumerates every cell.
+
+``OWNED`` exists because SV-C measures H2D accesses "hitting DMC (with
+corresponding cache-lines in owned)": the device obtained ownership but the
+line is clean, so serving a host request requires a state downgrade but not
+a writeback (unlike ``MODIFIED``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LineState(enum.Enum):
+    """MESI + Owned line state."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    OWNED = "O"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not LineState.INVALID
+
+    @property
+    def is_writable(self) -> bool:
+        """The holder may write without a coherence transaction."""
+        return self in (LineState.MODIFIED, LineState.EXCLUSIVE)
+
+    @property
+    def is_dirty(self) -> bool:
+        """Memory is stale; eviction requires a writeback."""
+        return self is LineState.MODIFIED
+
+    @property
+    def needs_downgrade_for_share(self) -> bool:
+        """Another agent reading the line forces a state change here."""
+        return self in (LineState.MODIFIED, LineState.EXCLUSIVE, LineState.OWNED)

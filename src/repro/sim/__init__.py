@@ -1,0 +1,41 @@
+"""Deterministic discrete-event simulation kernel.
+
+The engine is deliberately small: a time-ordered heap of callbacks, plus
+generator-based *processes* in the style of SimPy.  A process is a Python
+generator that yields *commands*:
+
+``Timeout(dt)``
+    suspend for ``dt`` nanoseconds of simulated time;
+``Event``
+    suspend until the event is triggered (receiving its value);
+another generator
+    run the sub-process inline and receive its return value;
+``Process``
+    suspend until a previously spawned process finishes.
+
+Determinism matters because benchmarks assert on shapes: events scheduled
+for the same timestamp fire in schedule order (a monotone sequence number
+breaks ties), and all randomness flows through :mod:`repro.sim.rng`.
+"""
+
+from repro.sim.engine import Event, Process, Simulator, Timeout
+from repro.sim.resources import Pipe, Resource
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import LatencyStats, Summary, bandwidth_gbps, summarize
+from repro.sim.trace import Span, Tracer
+
+__all__ = [
+    "Event",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "Resource",
+    "Pipe",
+    "DeterministicRng",
+    "LatencyStats",
+    "Summary",
+    "summarize",
+    "bandwidth_gbps",
+    "Span",
+    "Tracer",
+]

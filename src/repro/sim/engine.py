@@ -1,0 +1,238 @@
+"""The discrete-event engine: simulator clock, events, and processes."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Timeout:
+    """Command yielded by a process to suspend for ``delay`` ns."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` triggers it exactly
+    once, delivering ``value`` to every waiter.  Waiting on an already
+    triggered event resumes the waiter immediately (at the current time).
+    """
+
+    __slots__ = ("sim", "_value", "_triggered", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = None
+        self._triggered = False
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.call_soon(cb, value)
+        return self
+
+    def add_callback(self, cb: Callable[[Any], None]) -> None:
+        """Run ``cb(value)`` when (or immediately-soon if already)
+        triggered."""
+        if self._triggered:
+            self.sim.call_soon(cb, self._value)
+        else:
+            self._callbacks.append(cb)
+
+
+class Process:
+    """A running generator-based process.
+
+    Created via :meth:`Simulator.spawn`.  A ``Process`` is itself waitable:
+    yielding it from another process suspends the waiter until this process
+    returns, delivering the return value.
+    """
+
+    __slots__ = ("sim", "name", "done", "_stack")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Event(sim)
+        # Explicit call stack of generators: yielding a generator pushes it,
+        # StopIteration pops it and sends the return value to the caller.
+        self._stack: list[ProcessGen] = [gen]
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def result(self) -> Any:
+        return self.done.value
+
+    # -- driving ----------------------------------------------------------
+
+    def _step(self, sent_value: Any) -> None:
+        """Advance the top generator with ``sent_value`` and interpret the
+        command it yields."""
+        while True:
+            gen = self._stack[-1]
+            try:
+                command = gen.send(sent_value)
+            except StopIteration as stop:
+                self._stack.pop()
+                if not self._stack:
+                    self.done.succeed(stop.value)
+                    return
+                sent_value = stop.value
+                continue
+            self._dispatch(command)
+            return
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self.sim.schedule(command.delay, self._step, None)
+        elif isinstance(command, Event):
+            command.add_callback(self._step)
+        elif isinstance(command, Process):
+            command.done.add_callback(self._step)
+        elif _is_generator(command):
+            self._stack.append(command)
+            self.sim.call_soon(self._step, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command: "
+                f"{command!r}"
+            )
+
+
+def _is_generator(obj: Any) -> bool:
+    return hasattr(obj, "send") and hasattr(obj, "throw")
+
+
+class Simulator:
+    """Deterministic event loop.
+
+    Events at equal timestamps fire in scheduling order.  Time is a float
+    in nanoseconds and never decreases.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` ns of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def call_soon(self, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` at the current time, after already queued
+        same-time work."""
+        self.schedule(0.0, fn, *args)
+
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout_event(self, delay: float, value: Any = None) -> Event:
+        """An event that triggers ``delay`` ns from now."""
+        ev = Event(self)
+        self.schedule(delay, ev.succeed, value)
+        return ev
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a process; it takes its first step at the current time."""
+        proc = Process(self, gen, name)
+        self.call_soon(proc._step, None)
+        return proc
+
+    # -- running ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the heap drains or ``until`` is reached.
+
+        Returns the final simulated time.  When ``until`` is given, the
+        clock is advanced exactly to ``until`` even if the last event fired
+        earlier.
+        """
+        while self._heap:
+            at, __, fn, args = self._heap[0]
+            if until is not None and at > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = at
+            fn(*args)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_process(self, gen: ProcessGen, name: str = "") -> Any:
+        """Spawn ``gen``, run the simulation until it finishes, and return
+        its result.  Raises if the heap drains first (deadlock)."""
+        proc = self.spawn(gen, name)
+        self.run()
+        if not proc.finished:
+            raise SimulationError(
+                f"simulation deadlocked: process {proc.name!r} never finished"
+            )
+        return proc.result
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that triggers once every input event has triggered,
+        with the list of their values (input order preserved)."""
+        events = list(events)
+        done = Event(self)
+        if not events:
+            self.call_soon(done.succeed, [])
+            return done
+        remaining = [len(events)]
+        values: list[Any] = [None] * len(events)
+
+        def make_cb(i: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                values[i] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.succeed(list(values))
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done

@@ -1,0 +1,102 @@
+"""Measurement statistics used by the characterization harness.
+
+The paper reports the **median** over >=1 K repetitions with standard
+deviations as error bars, and p99 latency for the end-to-end experiments.
+This module implements exactly those reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Median/mean/std summary of repeated measurements."""
+
+    n: int
+    median: float
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"median={self.median:.1f} mean={self.mean:.1f} "
+            f"std={self.std:.1f} (n={self.n})"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Reduce repeated measurements the way the paper does (median + std)."""
+    if not len(samples):
+        raise ValueError("cannot summarize zero samples")
+    arr = np.asarray(samples, dtype=float)
+    return Summary(
+        n=len(arr),
+        median=float(np.median(arr)),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def bandwidth_gbps(total_bytes: int, elapsed_ns: float) -> float:
+    """Achieved bandwidth in GB/s (decimal) for a timed transfer."""
+    if elapsed_ns <= 0:
+        raise ValueError(f"elapsed time must be positive: {elapsed_ns}")
+    return total_bytes / elapsed_ns
+
+
+class LatencyStats:
+    """Streaming latency recorder with percentile queries.
+
+    Used by the end-to-end Redis experiments: clients record one sample per
+    request, and the harness queries p50/p99/p999 at the end of the run.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, latency_ns: float) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency: {latency_ns}")
+        self._samples.append(latency_ns)
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for sample in samples:
+            self.record(sample)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, pct: float) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return float(np.percentile(np.asarray(self._samples), pct))
+
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return float(np.mean(np.asarray(self._samples)))
+
+    def summary(self) -> Summary:
+        return summarize(self._samples)

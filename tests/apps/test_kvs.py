@@ -1,0 +1,44 @@
+"""Tests for the Redis-like KVS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.kvs import KeyValueStore, RedisServer
+from repro.apps.ycsb import YcsbOp
+from repro.errors import WorkloadError
+from repro.sim.rng import DeterministicRng
+
+
+def test_store_semantics():
+    store = KeyValueStore()
+    assert store.get("k") is None
+    store.set("k", b"v1")
+    store.set("k", b"v2")
+    assert store.get("k") == b"v2"
+    assert len(store) == 1
+    assert store.gets == 2 and store.sets == 2
+
+
+def test_server_executes_ops():
+    server = RedisServer("r0", DeterministicRng(1))
+    server.execute(YcsbOp.INSERT, "a", b"1")
+    assert server.execute(YcsbOp.READ, "a") == b"1"
+    server.execute(YcsbOp.UPDATE, "a", b"2")
+    assert server.execute(YcsbOp.READ, "a") == b"2"
+    assert server.requests_served == 4
+
+
+def test_write_requires_value():
+    server = RedisServer("r0", DeterministicRng(1))
+    with pytest.raises(WorkloadError):
+        server.execute(YcsbOp.UPDATE, "a")
+
+
+def test_service_time_model():
+    server = RedisServer("r0", DeterministicRng(2))
+    reads = [server.service_ns(YcsbOp.READ) for __ in range(300)]
+    updates = [server.service_ns(YcsbOp.UPDATE) for __ in range(300)]
+    assert sum(updates) / len(updates) > sum(reads) / len(reads)
+    assert all(s > 0 for s in reads)
+    assert len(set(reads)) > 1             # jittered, not constant

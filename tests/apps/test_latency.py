@@ -1,0 +1,129 @@
+"""Tests for the open-loop latency client and antagonist."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.antagonist import Antagonist
+from repro.apps.kvs import RedisServer
+from repro.apps.latency import OpenLoopClient
+from repro.apps.node import MemoryPressure, ServerNode
+from repro.apps.ycsb import YcsbWorkload
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.rng import DeterministicRng
+from repro.units import ms, us
+
+
+def make_client(rate=20_000.0, cores=2, workload="c"):
+    sim = Simulator()
+    rng = DeterministicRng(7)
+    node = ServerNode(sim, rng.fork(1), cores)
+    server = RedisServer("r0", rng.fork(2))
+    wl = YcsbWorkload(workload, rng.fork(3))
+    client = OpenLoopClient(node, server, node.core(0), wl, rng.fork(4), rate)
+    return sim, node, client
+
+
+def test_rate_must_be_positive():
+    sim, node, client = make_client()
+    with pytest.raises(WorkloadError):
+        OpenLoopClient(node, client.server, node.core(0), client.workload,
+                       client.rng, rate_per_s=0)
+
+
+def test_client_records_every_request():
+    sim, node, client = make_client(rate=20_000.0)
+    sim.spawn(client.run(ms(20.0)))
+    sim.run(until=ms(25.0))
+    expected = 20_000.0 * 0.020
+    assert client.stats.count == pytest.approx(expected, rel=0.3)
+    assert client.stats.p50() > us(8.0)
+
+
+def test_latency_grows_with_load():
+    __, __, light = make_client(rate=10_000.0)
+    light_sim = light.node.sim
+    light_sim.spawn(light.run(ms(30.0)))
+    light_sim.run(until=ms(35.0))
+
+    __, __, heavy = make_client(rate=95_000.0)   # near saturation
+    heavy_sim = heavy.node.sim
+    heavy_sim.spawn(heavy.run(ms(30.0)))
+    heavy_sim.run(until=ms(35.0))
+    assert heavy.stats.p99() > 2 * light.stats.p99()
+
+
+def test_interfering_core_hog_inflates_tail():
+    sim, node, client = make_client(rate=20_000.0)
+
+    def hog():
+        while sim.now < ms(20.0):
+            core = node.core(0)
+            yield core.acquire()
+            try:
+                yield Timeout(us(150.0))   # a kswapd-sized block
+            finally:
+                core.release()
+            yield Timeout(us(600.0))
+
+    baseline_sim, __, baseline = make_client(rate=20_000.0)
+    baseline_sim.spawn(baseline.run(ms(20.0)))
+    baseline_sim.run(until=ms(25.0))
+
+    sim.spawn(client.run(ms(20.0)))
+    sim.spawn(hog())
+    sim.run(until=ms(25.0))
+    assert client.stats.p99() > 1.5 * baseline.stats.p99()
+
+
+def test_pollution_inflates_service_time():
+    sim, node, client = make_client(rate=20_000.0)
+    node.pollute_start("zswap", 0.5)
+    sim.spawn(client.run(ms(10.0)))
+    sim.run(until=ms(12.0))
+    polluted_p50 = client.stats.p50()
+
+    sim2, __, clean = make_client(rate=20_000.0)
+    sim2.spawn(clean.run(ms(10.0)))
+    sim2.run(until=ms(12.0))
+    assert polluted_p50 > 1.3 * clean.stats.p50()
+
+
+def test_antagonist_cycles_pressure():
+    sim = Simulator()
+    pressure = MemoryPressure.sized(1 << 16)
+    antagonist = Antagonist(sim, pressure, DeterministicRng(9),
+                            burst_pages=512, period_ns=ms(1.0))
+    sim.spawn(antagonist.run(ms(20.0)))
+    sim.run(until=ms(25.0))
+    assert antagonist.cycles >= 15
+    assert pressure.free_pages < pressure.total_pages   # net footprint
+
+
+def test_direct_reclaim_hook_invoked_under_pressure():
+    sim, node, client = make_client(rate=30_000.0, workload="a")
+    node.pressure.free_pages = node.pressure.min_pages - 1
+    entries = []
+
+    def fake_reclaim(core):
+        entries.append(sim.now)
+        node.pressure.release(64)
+        yield Timeout(us(100.0))
+
+    client.direct_reclaim = fake_reclaim
+    sim.spawn(client.run(ms(20.0)))
+    sim.run(until=ms(25.0))
+    assert entries
+    assert client.direct_reclaim_hits == len(entries)
+
+
+def test_functional_mode_reads_own_writes():
+    sim, node, client = make_client(rate=20_000.0, workload="a")
+    client.functional = True
+    sim.spawn(client.run(ms(15.0)))
+    sim.run(until=ms(18.0))
+    assert client.stats.count > 100
+    assert client.functional_errors == 0
+    assert client.server.store.sets > 0
+    assert client.server.requests_served == client.stats.count

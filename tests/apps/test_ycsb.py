@@ -1,0 +1,106 @@
+"""Tests for the YCSB workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ycsb import WORKLOADS, YcsbOp, YcsbWorkload
+from repro.errors import WorkloadError
+from repro.sim.rng import DeterministicRng
+
+
+def counts(name, n=4000):
+    wl = YcsbWorkload(name, DeterministicRng(17))
+    tally = {op: 0 for op in YcsbOp}
+    for req in wl.requests(n):
+        tally[req.op] += 1
+    return {op: c / n for op, c in tally.items()}
+
+
+def test_workload_a_is_update_heavy():
+    mix = counts("a")
+    assert mix[YcsbOp.READ] == pytest.approx(0.5, abs=0.03)
+    assert mix[YcsbOp.UPDATE] == pytest.approx(0.5, abs=0.03)
+    assert mix[YcsbOp.INSERT] == 0
+
+
+def test_workload_b_is_read_heavy():
+    mix = counts("b")
+    assert mix[YcsbOp.READ] == pytest.approx(0.95, abs=0.02)
+    assert mix[YcsbOp.UPDATE] == pytest.approx(0.05, abs=0.02)
+
+
+def test_workload_c_is_read_only():
+    mix = counts("c")
+    assert mix[YcsbOp.READ] == 1.0
+
+
+def test_workload_d_inserts():
+    mix = counts("d")
+    assert mix[YcsbOp.INSERT] == pytest.approx(0.05, abs=0.02)
+    assert mix[YcsbOp.UPDATE] == 0
+
+
+def test_all_four_paper_workloads_defined():
+    assert set(WORKLOADS) == {"a", "b", "c", "d"}
+    for mix in WORKLOADS.values():
+        assert mix.read + mix.update + mix.insert == pytest.approx(1.0)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(WorkloadError):
+        YcsbWorkload("z", DeterministicRng(1))
+
+
+def test_inserts_extend_keyspace():
+    wl = YcsbWorkload("d", DeterministicRng(3), record_count=10)
+    inserted = [r for r in wl.requests(500) if r.op is YcsbOp.INSERT]
+    assert inserted
+    keys = [r.key for r in inserted]
+    assert len(set(keys)) == len(keys)     # insert keys never repeat
+
+
+def test_uniform_keys_cover_space():
+    wl = YcsbWorkload("c", DeterministicRng(5), record_count=100)
+    keys = {r.key for r in wl.requests(3000)}
+    assert len(keys) > 90
+
+
+def test_make_value_size():
+    wl = YcsbWorkload("a", DeterministicRng(7), value_size=128)
+    assert len(wl.make_value()) == 128
+
+
+def test_zipfian_generator_bounds_and_skew():
+    from repro.apps.ycsb import ZipfianGenerator
+    rng = DeterministicRng(23)
+    gen = ZipfianGenerator(1000, rng)
+    draws = [gen.next_index() for __ in range(8000)]
+    assert all(0 <= d < 1000 for d in draws)
+    # Heavy head: the hottest key alone takes a large share...
+    head = draws.count(0) / len(draws)
+    assert head > 0.05
+    # ...far above a uniform draw's 1/1000.
+    assert head > 20 * (1 / 1000)
+
+
+def test_zipfian_workload_skews_uniform_does_not():
+    hot_share = {}
+    for dist in ("uniform", "zipfian"):
+        wl = YcsbWorkload("c", DeterministicRng(29), record_count=1000,
+                          distribution=dist)
+        keys = [wl.next_request().key for __ in range(5000)]
+        top = max(keys.count(k) for k in set(keys))
+        hot_share[dist] = top / len(keys)
+    assert hot_share["zipfian"] > 8 * hot_share["uniform"]
+
+
+def test_zipfian_parameter_validation():
+    from repro.apps.ycsb import ZipfianGenerator
+    rng = DeterministicRng(1)
+    with pytest.raises(WorkloadError):
+        ZipfianGenerator(0, rng)
+    with pytest.raises(WorkloadError):
+        ZipfianGenerator(10, rng, theta=1.5)
+    with pytest.raises(WorkloadError):
+        YcsbWorkload("a", rng, distribution="pareto")

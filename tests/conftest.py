@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import default_system
+from repro.core.platform import Platform
+from repro.sim.engine import Simulator
+from repro.sim.rng import DeterministicRng
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(1234)
+
+
+@pytest.fixture
+def platform() -> Platform:
+    """A fresh full platform with deterministic seed and no latency noise
+    (tests assert exact component sums)."""
+    quiet = dataclasses.replace(default_system(), latency_noise=0.0)
+    return Platform(quiet, seed=99)

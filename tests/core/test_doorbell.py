@@ -1,0 +1,117 @@
+"""Tests for the shared-memory doorbell protocol (Fig 7 steps 1/5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.doorbell import Command, Completion, Doorbell
+from repro.errors import OffloadError
+
+
+def test_submit_then_poll_delivers_command(platform):
+    bell = Doorbell(platform)
+    sim = platform.sim
+
+    def host():
+        tag = yield from bell.submit(Command("compress", nbytes=4096))
+        return tag
+
+    def device():
+        cmd = yield from bell.device_poll()
+        return cmd
+
+    hproc = sim.spawn(host())
+    dproc = sim.spawn(device())
+    sim.run()
+    assert hproc.result == 1
+    assert dproc.result.opcode == "compress"
+    assert dproc.result.nbytes == 4096
+    assert bell.submitted == 1
+
+
+def test_poll_blocks_until_submit(platform):
+    bell = Doorbell(platform)
+    sim = platform.sim
+    arrival = []
+
+    def device():
+        cmd = yield from bell.device_poll()
+        arrival.append(sim.now)
+        return cmd
+
+    sim.spawn(device())
+    sim.run(until=5000.0)
+    assert not arrival                      # still polling
+
+    def host():
+        yield from bell.submit(Command("hash"))
+
+    sim.spawn(host())
+    sim.run()
+    assert arrival and arrival[0] > 5000.0
+
+
+def test_completion_roundtrip_device_memory(platform):
+    bell = Doorbell(platform)
+    sim = platform.sim
+
+    def flow():
+        yield from bell.submit(Command("compress"))
+        cmd = yield from bell.device_poll()
+        yield from bell.device_complete(
+            Completion(cmd.tag, result=2048), push_to_llc=False)
+        completion = yield from bell.read_completion()
+        return completion
+
+    completion = sim.run_process(flow())
+    assert completion.result == 2048
+    assert bell.completed == 1
+
+
+def test_completion_roundtrip_via_llc_push(platform):
+    bell = Doorbell(platform)
+
+    def flow():
+        yield from bell.submit(Command("hash"))
+        cmd = yield from bell.device_poll()
+        yield from bell.device_complete(
+            Completion(cmd.tag, result=0xDEAD), push_to_llc=True)
+        completion = yield from bell.read_completion_from_llc()
+        return completion
+
+    completion = platform.sim.run_process(flow())
+    assert completion.result == 0xDEAD
+
+
+def test_reading_completion_too_early_raises(platform):
+    bell = Doorbell(platform)
+    with pytest.raises(OffloadError):
+        platform.sim.run_process(bell.read_completion())
+
+
+def test_tags_are_monotone(platform):
+    bell = Doorbell(platform)
+
+    def flow():
+        t1 = yield from bell.submit(Command("a"))
+        t2 = yield from bell.submit(Command("b"))
+        return (t1, t2)
+
+    assert platform.sim.run_process(flow()) == (1, 2)
+
+
+def test_llc_push_completion_is_cheap_for_host(platform):
+    """The ksm flow: NC-P'd results are one local LLC load away."""
+    bell = Doorbell(platform)
+    sim = platform.sim
+
+    def flow():
+        yield from bell.submit(Command("cmp"))
+        cmd = yield from bell.device_poll()
+        yield from bell.device_complete(Completion(cmd.tag), push_to_llc=True)
+        t0 = sim.now
+        yield from bell.read_completion_from_llc()
+        return sim.now - t0
+
+    read_cost = sim.run_process(flow())
+    assert read_cost < 100.0

@@ -1,0 +1,84 @@
+"""Tests for the characterization harness itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.microbench import Microbench
+from repro.core.requests import BiasMode, D2HOp, HostOp
+from repro.errors import WorkloadError
+from repro.mem.coherence import LineState
+
+
+@pytest.fixture
+def mb(platform):
+    return Microbench(platform, reps=3, accesses=8)
+
+
+def test_invalid_parameters_rejected(platform):
+    with pytest.raises(WorkloadError):
+        Microbench(platform, reps=0)
+    with pytest.raises(WorkloadError):
+        Microbench(platform, reps=1, accesses=0)
+
+
+def test_measurement_sample_counts(mb):
+    m = mb.d2h(D2HOp.CS_READ, llc_hit=True)
+    assert m.latency.n == 3 * 8      # reps x accesses
+    assert m.bandwidth.n == 3        # one bandwidth sample per rep
+
+
+def test_d2h_hit_faster_than_miss(mb):
+    hit = mb.d2h(D2HOp.CS_READ, llc_hit=True)
+    miss = mb.d2h(D2HOp.CS_READ, llc_hit=False)
+    assert hit.latency.median < miss.latency.median
+
+
+def test_emulated_hit_faster_than_miss(mb):
+    hit = mb.emulated_d2h(HostOp.LOAD, llc_hit=True)
+    miss = mb.emulated_d2h(HostOp.LOAD, llc_hit=False)
+    assert hit.latency.median < miss.latency.median
+
+
+def test_d2d_dmc_hit_faster(mb):
+    hit = mb.d2d(D2HOp.CS_READ, BiasMode.DEVICE, dmc_hit=True)
+    miss = mb.d2d(D2HOp.CS_READ, BiasMode.DEVICE, dmc_hit=False)
+    assert hit.latency.median < miss.latency.median
+
+
+def test_h2d_rejects_bad_device(mb):
+    with pytest.raises(WorkloadError):
+        mb.h2d(HostOp.LOAD, "t9")
+    with pytest.raises(WorkloadError):
+        mb.h2d(HostOp.LOAD, "t3", LineState.OWNED)
+
+
+def test_labels_are_descriptive(mb):
+    m = mb.d2h(D2HOp.NC_WRITE, llc_hit=False)
+    assert m.label == "d2h/nc-wr/llc-0"
+    m = mb.h2d(HostOp.NT_STORE, "t3")
+    assert m.label == "h2d/t3/nt-st/dmc-miss"
+
+
+def test_bandwidth_positive_and_bounded(mb):
+    m = mb.d2h(D2HOp.CS_READ, llc_hit=True)
+    assert 0 < m.bandwidth.median < 64.0     # below raw link rate
+
+
+def test_pattern_validation(platform):
+    with pytest.raises(WorkloadError):
+        Microbench(platform, pattern="strided")
+
+
+def test_sequential_and_random_trends_match(platform):
+    """SV methodology: 'both sequential and random memory accesses
+    present similar latency and bandwidth trends'."""
+    seq = Microbench(platform, reps=4, accesses=16, pattern="sequential")
+    rnd = Microbench(platform, reps=4, accesses=16, pattern="random")
+    for hit in (True, False):
+        m_seq = seq.d2h(D2HOp.CS_READ, hit)
+        m_rnd = rnd.d2h(D2HOp.CS_READ, hit)
+        assert m_seq.latency.median == pytest.approx(
+            m_rnd.latency.median, rel=0.10)
+        assert m_seq.bandwidth.median == pytest.approx(
+            m_rnd.bandwidth.median, rel=0.15)

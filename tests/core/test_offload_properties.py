@@ -1,0 +1,61 @@
+"""Hypothesis property tests for the offload engine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offload import TRANSPORTS, OffloadEngine
+from repro.core.platform import Platform
+
+OPS = ("compress", "decompress", "hash", "compare")
+
+
+def run_op(platform, engine, transport, op):
+    gen = {
+        "compress": engine.compress_page,
+        "decompress": engine.decompress_page,
+        "hash": engine.hash_page,
+        "compare": engine.compare_pages,
+    }[op](transport)
+    return platform.sim.run_process(gen)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(TRANSPORTS),
+                          st.sampled_from(OPS)),
+                min_size=1, max_size=12))
+def test_property_report_invariants_hold_for_any_sequence(sequence):
+    platform = Platform(seed=401)
+    engine = OffloadEngine(platform)
+    clock_before = platform.sim.now
+    for transport, op in sequence:
+        report = run_op(platform, engine, transport, op)
+        # Wall clock is consistent and strictly advancing.
+        assert report.total_ns > 0
+        assert platform.sim.now >= clock_before
+        clock_before = platform.sim.now
+        # Host work can never exceed the wall clock.
+        assert 0 <= report.host_cpu_ns <= report.total_ns + 1e-6
+        # Step breakdown stays within physical bounds.
+        assert report.transfer_ns >= 0
+        assert report.compute_ns >= 0
+        assert report.writeback_ns >= 0
+        # cpu transport: everything on the host, by construction.
+        if transport == "cpu":
+            assert report.host_cpu_ns == report.total_ns
+    assert len(engine.reports) == len(sequence)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from(OPS))
+def test_property_cxl_host_cost_minimal(op):
+    """For every operation, the cxl transport's host-CPU share is the
+    smallest among the offloads (the SVI design goal)."""
+    platform = Platform(seed=402)
+    engine = OffloadEngine(platform)
+    host_cost = {t: run_op(platform, engine, t, op).host_cpu_ns
+                 for t in TRANSPORTS}
+    assert host_cost["cxl"] <= host_cost["pcie-rdma"]
+    assert host_cost["cxl"] <= host_cost["pcie-dma"]
+    assert host_cost["cxl"] < host_cost["cpu"]

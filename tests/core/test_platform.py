@@ -1,0 +1,55 @@
+"""Tests for platform wiring and scratch allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import DEVMEM_BASE, Platform
+
+
+def test_platform_builds_all_components(platform):
+    assert platform.home.llc.capacity_lines > 0
+    assert platform.t2.dcoh is not None
+    assert platform.t3.dev_mem is not None
+    assert platform.pcie.port is not None
+    assert platform.snic.link is not None
+
+
+def test_fresh_host_lines_never_repeat(platform):
+    a = platform.fresh_host_lines(10)
+    b = platform.fresh_host_lines(10)
+    assert not set(a) & set(b)
+    assert all(addr % 64 == 0 for addr in a + b)
+
+
+def test_fresh_dev_lines_in_device_region(platform):
+    lines = platform.fresh_dev_lines(5)
+    region = platform.t2.regions.get("devmem")
+    assert all(region.contains(addr) for addr in lines)
+    assert all(addr >= DEVMEM_BASE for addr in lines)
+
+
+def test_address_map_covers_both_memories(platform):
+    assert platform.address_map.find(0).name == "host-dram"
+    assert platform.address_map.find(DEVMEM_BASE).name == "cxl-devmem"
+
+
+def test_same_seed_same_platform_behaviour():
+    r1 = Platform(seed=77).rng.random()
+    r2 = Platform(seed=77).rng.random()
+    assert r1 == r2
+
+
+def test_hmc_dmc_geometry_match_paper(platform):
+    """SIV: 4-way 128 KB HMC, direct-mapped 32 KB DMC per slice."""
+    dcoh = platform.t2.dcoh
+    assert dcoh.hmc.size_bytes == 128 * 1024 and dcoh.hmc.ways == 4
+    assert dcoh.dmc.size_bytes == 32 * 1024 and dcoh.dmc.ways == 1
+
+
+def test_platform_exposes_local_hierarchy(platform):
+    from repro.core.requests import MemLevel
+    (addr,) = platform.fresh_host_lines(1)
+    level = platform.sim.run_process(platform.hierarchy.load(addr))
+    assert level is MemLevel.HOST_DRAM
+    assert platform.hierarchy.holds(addr) == "l1"

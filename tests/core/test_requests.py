@@ -1,0 +1,42 @@
+"""Tests for the request taxonomy."""
+
+from __future__ import annotations
+
+from repro.core.requests import BiasMode, D2HOp, EQUIVALENT_HOST_OP, HostOp
+
+
+def test_read_write_partition():
+    reads = {op for op in D2HOp if op.is_read}
+    writes = {op for op in D2HOp if op.is_write}
+    assert reads == {D2HOp.NC_READ, D2HOp.CO_READ, D2HOp.CS_READ}
+    assert writes == {D2HOp.NC_P, D2HOp.NC_WRITE, D2HOp.CO_WRITE}
+    assert not reads & writes
+
+
+def test_device_caching_ops():
+    assert D2HOp.CS_READ.caches_in_device
+    assert D2HOp.CO_READ.caches_in_device
+    assert D2HOp.CO_WRITE.caches_in_device
+    assert not D2HOp.NC_READ.caches_in_device
+    assert not D2HOp.NC_P.caches_in_device
+
+
+def test_host_op_properties():
+    assert HostOp.LOAD.is_read and HostOp.LOAD.is_temporal
+    assert HostOp.NT_LOAD.is_read and not HostOp.NT_LOAD.is_temporal
+    assert not HostOp.STORE.is_read and HostOp.STORE.is_temporal
+    assert not HostOp.NT_STORE.is_read
+
+
+def test_paper_equivalence_mapping():
+    """SV-A: NC-rd~nt-ld, CS-rd~ld, NC-wr~nt-st, CO-wr~st."""
+    assert EQUIVALENT_HOST_OP[D2HOp.NC_READ] is HostOp.NT_LOAD
+    assert EQUIVALENT_HOST_OP[D2HOp.CS_READ] is HostOp.LOAD
+    assert EQUIVALENT_HOST_OP[D2HOp.NC_WRITE] is HostOp.NT_STORE
+    assert EQUIVALENT_HOST_OP[D2HOp.CO_WRITE] is HostOp.STORE
+    assert set(EQUIVALENT_HOST_OP) == set(D2HOp)
+
+
+def test_bias_modes():
+    assert BiasMode.HOST.value == "host-bias"
+    assert BiasMode.DEVICE.value == "device-bias"

@@ -1,0 +1,51 @@
+"""Tests for the CXL Type-1 device (Table I taxonomy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requests import D2HOp, MemLevel
+from repro.devices.cxl_type1 import CxlType1Device
+from repro.errors import DeviceError
+from repro.mem.coherence import LineState
+
+
+@pytest.fixture
+def type1(platform):
+    return CxlType1Device(platform.sim, platform.cfg.cxl_t2, platform.home)
+
+
+def test_type1_performs_coherent_d2h(platform, type1):
+    (addr,) = platform.fresh_host_lines(1)
+    platform.home.preload_llc(addr, LineState.SHARED)
+    latency = platform.sim.run_process(type1.lsu.d2h(D2HOp.CS_READ, addr))
+    assert latency > 0
+    # Coherent: the line is now cached in the device's HMC as shared.
+    assert type1.dcoh.hmc.state_of(addr) is LineState.SHARED
+
+
+def test_type1_nc_push_reaches_host_llc(platform, type1):
+    (addr,) = platform.fresh_host_lines(1)
+    level = platform.sim.run_process(type1.dcoh.d2h(D2HOp.NC_P, addr))
+    assert level is MemLevel.LLC
+    assert platform.home.llc_state(addr) is LineState.MODIFIED
+
+
+def test_type1_has_no_device_memory(platform, type1):
+    assert not type1.has_device_memory
+    with pytest.raises(DeviceError, match="Type-1"):
+        platform.sim.run_process(type1.lsu.d2d(D2HOp.CS_READ, 0x1000))
+
+
+def test_type1_table3_semantics_match_type2(platform, type1):
+    """The D2H coherence behaviour is shared with the Type-2 device —
+    the protocols are identical; only device memory differs (Table I)."""
+    a, b = platform.fresh_host_lines(2)
+    platform.home.preload_llc(a, LineState.SHARED)
+    platform.home.preload_llc(b, LineState.SHARED)
+    platform.sim.run_process(type1.lsu.d2h(D2HOp.CO_WRITE, a))
+    assert type1.dcoh.hmc.state_of(a) is LineState.MODIFIED
+    assert platform.home.llc_state(a) is LineState.INVALID
+    platform.sim.run_process(platform.t2.lsu.d2h(D2HOp.CO_WRITE, b))
+    assert platform.t2.dcoh.hmc.state_of(b) is LineState.MODIFIED
+    assert platform.home.llc_state(b) is LineState.INVALID

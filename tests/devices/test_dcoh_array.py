@@ -1,0 +1,113 @@
+"""Tests for multi-slice DCOH devices (SIV: 'one or more instances')."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import CxlType2Config, DcohConfig, default_system
+from repro.core.platform import Platform
+from repro.core.requests import D2HOp, HostOp, MemLevel
+from repro.devices.dcoh_array import DcohArray
+from repro.errors import ConfigError
+from repro.mem.coherence import LineState
+
+
+def multi_slice_platform(slices=4):
+    cfg = default_system()
+    t2 = dataclasses.replace(cfg.cxl_t2,
+                             dcoh=dataclasses.replace(cfg.cxl_t2.dcoh,
+                                                      slices=slices))
+    cfg = dataclasses.replace(cfg, cxl_t2=t2, latency_noise=0.0)
+    return Platform(cfg, seed=111)
+
+
+def test_single_slice_stays_plain(platform):
+    from repro.devices.dcoh import DcohSlice
+    assert isinstance(platform.t2.dcoh, DcohSlice)
+
+
+def test_multi_slice_builds_array():
+    p = multi_slice_platform(4)
+    assert isinstance(p.t2.dcoh, DcohArray)
+    assert len(p.t2.dcoh) == 4
+
+
+def test_empty_array_rejected():
+    with pytest.raises(ConfigError):
+        DcohArray([])
+
+
+def test_line_interleaving_routes_to_distinct_slices():
+    p = multi_slice_platform(4)
+    array = p.t2.dcoh
+    base = p.fresh_host_lines(4)
+    assert len({id(array.slice_for(a)) for a in base}) == 4
+    # Same line always routes to the same slice.
+    assert array.slice_for(base[0]) is array.slice_for(base[0] + 63)
+
+
+def test_d2h_fills_only_the_owning_slice():
+    p = multi_slice_platform(2)
+    array = p.t2.dcoh
+    (addr,) = p.fresh_host_lines(1)
+    p.sim.run_process(array.d2h(D2HOp.CS_READ, addr))
+    owner = array.slice_for(addr)
+    other = [s for s in array.slices if s is not owner][0]
+    assert owner.hmc.state_of(addr) is LineState.SHARED
+    assert other.hmc.state_of(addr) is LineState.INVALID
+    assert array.hmc_state_of(addr) is LineState.SHARED
+
+
+def test_table3_semantics_hold_per_slice():
+    p = multi_slice_platform(2)
+    array = p.t2.dcoh
+    a, b = p.fresh_host_lines(2)       # consecutive lines: two slices
+    for addr in (a, b):
+        p.home.preload_llc(addr, LineState.SHARED)
+        p.sim.run_process(array.d2h(D2HOp.CO_WRITE, addr))
+        assert array.hmc_state_of(addr) is LineState.MODIFIED
+        assert p.home.llc_state(addr) is LineState.INVALID
+
+
+def test_h2d_checks_the_owning_slice():
+    p = multi_slice_platform(2)
+    array = p.t2.dcoh
+    (addr,) = p.fresh_dev_lines(1)
+    array._fill_dmc(addr, LineState.MODIFIED)
+    writes_before = p.t2.dev_mem.total_writes
+    p.sim.run_process(p.core.cxl_op(HostOp.LOAD, addr, p.t2))
+    assert p.t2.dev_mem.total_writes == writes_before + 1   # writeback
+    assert array.dmc_state_of(addr) is LineState.SHARED
+
+
+def test_write_bandwidth_scales_with_slices():
+    """Each slice has its own write pipe: the DCOH write-issue bottleneck
+    relaxes with more slices."""
+    def write_bw(slices):
+        p = multi_slice_platform(slices)
+        from repro.core.microbench import Microbench
+        mb = Microbench(p, reps=4, accesses=64)
+        return mb.d2h(D2HOp.NC_WRITE, llc_hit=False).bandwidth.median
+
+    assert write_bw(4) > 1.5 * write_bw(1)
+
+
+def test_aggregate_counters():
+    p = multi_slice_platform(2)
+    array = p.t2.dcoh
+    for addr in p.fresh_host_lines(4):
+        p.sim.run_process(array.d2h(D2HOp.NC_READ, addr))
+    assert array.d2h_count == 4
+
+
+def test_flush_covers_all_slices():
+    p = multi_slice_platform(2)
+    array = p.t2.dcoh
+    a, b = p.fresh_dev_lines(2)
+    array._fill_dmc(a, LineState.SHARED)
+    array._fill_dmc(b, LineState.SHARED)
+    array.flush_device_caches()
+    assert array.dmc_state_of(a) is LineState.INVALID
+    assert array.dmc_state_of(b) is LineState.INVALID

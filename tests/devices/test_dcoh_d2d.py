@@ -1,0 +1,142 @@
+"""Tests for D2D requests under host- and device-bias modes (SIV-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requests import BiasMode, D2HOp, MemLevel
+from repro.errors import DeviceError
+from repro.mem.coherence import LineState
+
+
+def set_bias(platform, mode):
+    platform.t2.bias._mode["devmem"] = mode
+
+
+def one(platform, gen):
+    sim = platform.sim
+    t0 = sim.now
+    result = sim.run_process(gen)
+    return result, sim.now - t0
+
+
+def test_d2d_read_hit_serves_dmc(platform):
+    dcoh = platform.t2.dcoh
+    (addr,) = platform.fresh_dev_lines(1)
+    dcoh._fill_dmc(addr, LineState.SHARED)
+    level, __ = one(platform, dcoh.d2d(D2HOp.CS_READ, addr))
+    assert level is MemLevel.DMC
+
+
+def test_d2d_read_miss_fills_dmc(platform):
+    dcoh = platform.t2.dcoh
+    set_bias(platform, BiasMode.DEVICE)
+    (addr,) = platform.fresh_dev_lines(1)
+    level, __ = one(platform, dcoh.d2d(D2HOp.CS_READ, addr))
+    assert level is MemLevel.DEV_DRAM
+    assert dcoh.dmc.state_of(addr) is LineState.SHARED
+
+
+def test_d2d_nc_read_does_not_fill_dmc(platform):
+    dcoh = platform.t2.dcoh
+    set_bias(platform, BiasMode.DEVICE)
+    (addr,) = platform.fresh_dev_lines(1)
+    one(platform, dcoh.d2d(D2HOp.NC_READ, addr))
+    assert dcoh.dmc.state_of(addr) is LineState.INVALID
+
+
+def test_device_bias_write_hit_much_faster(platform):
+    """SV-B: writes hitting DMC are ~60% faster in device-bias mode."""
+    dcoh = platform.t2.dcoh
+    a, b = platform.fresh_dev_lines(2)
+    dcoh._fill_dmc(a, LineState.SHARED)
+    dcoh._fill_dmc(b, LineState.SHARED)
+    set_bias(platform, BiasMode.HOST)
+    __, host_lat = one(platform, dcoh.d2d(D2HOp.CO_WRITE, a))
+    set_bias(platform, BiasMode.DEVICE)
+    __, dev_lat = one(platform, dcoh.d2d(D2HOp.CO_WRITE, b))
+    gain = 1 - dev_lat / host_lat
+    assert 0.45 <= gain <= 0.75
+
+
+def test_read_hit_same_latency_in_both_modes(platform):
+    """SV-B: shared DMC reads skip the host check even in host bias."""
+    dcoh = platform.t2.dcoh
+    a, b = platform.fresh_dev_lines(2)
+    dcoh._fill_dmc(a, LineState.SHARED)
+    dcoh._fill_dmc(b, LineState.SHARED)
+    set_bias(platform, BiasMode.HOST)
+    __, host_lat = one(platform, dcoh.d2d(D2HOp.CS_READ, a))
+    set_bias(platform, BiasMode.DEVICE)
+    __, dev_lat = one(platform, dcoh.d2d(D2HOp.CS_READ, b))
+    assert host_lat == pytest.approx(dev_lat, rel=0.02)
+
+
+def test_read_miss_checks_host_in_host_bias(platform):
+    dcoh = platform.t2.dcoh
+    a, b = platform.fresh_dev_lines(2)
+    set_bias(platform, BiasMode.HOST)
+    __, host_lat = one(platform, dcoh.d2d(D2HOp.CS_READ, a))
+    set_bias(platform, BiasMode.DEVICE)
+    __, dev_lat = one(platform, dcoh.d2d(D2HOp.CS_READ, b))
+    assert host_lat > dev_lat + 50.0
+
+
+def test_host_bias_pulls_modified_host_copy(platform):
+    """If the host modified a device line, a host-bias D2D access must
+    retrieve the newest data and invalidate the host copy."""
+    dcoh, home = platform.t2.dcoh, platform.home
+    (addr,) = platform.fresh_dev_lines(1)
+    home.preload_llc(addr, LineState.MODIFIED)
+    set_bias(platform, BiasMode.HOST)
+    one(platform, dcoh.d2d(D2HOp.CS_READ, addr))
+    assert home.llc_state(addr) is LineState.INVALID
+    assert dcoh.dmc.state_of(addr) is LineState.MODIFIED
+
+
+def test_device_bias_skips_host_entirely(platform):
+    dcoh, home = platform.t2.dcoh, platform.home
+    (addr,) = platform.fresh_dev_lines(1)
+    home.preload_llc(addr, LineState.MODIFIED)
+    set_bias(platform, BiasMode.DEVICE)
+    msgs_before = platform.t2.port.link.messages
+    one(platform, dcoh.d2d(D2HOp.CS_READ, addr))
+    assert platform.t2.port.link.messages == msgs_before
+    assert home.llc_state(addr) is LineState.MODIFIED   # untouched (unsafe!)
+
+
+def test_nc_write_bypasses_dmc(platform):
+    dcoh = platform.t2.dcoh
+    set_bias(platform, BiasMode.DEVICE)
+    (addr,) = platform.fresh_dev_lines(1)
+    dcoh._fill_dmc(addr, LineState.SHARED)
+    writes_before = platform.t2.dev_mem.total_writes
+    level, __ = one(platform, dcoh.d2d(D2HOp.NC_WRITE, addr))
+    assert level is MemLevel.DEV_DRAM
+    assert dcoh.dmc.state_of(addr) is LineState.INVALID
+    assert platform.t2.dev_mem.total_writes == writes_before + 1
+
+
+def test_co_write_fills_dmc_modified(platform):
+    dcoh = platform.t2.dcoh
+    set_bias(platform, BiasMode.DEVICE)
+    (addr,) = platform.fresh_dev_lines(1)
+    level, __ = one(platform, dcoh.d2d(D2HOp.CO_WRITE, addr))
+    assert level is MemLevel.DMC
+    assert dcoh.dmc.state_of(addr) is LineState.MODIFIED
+
+
+def test_nc_p_is_not_a_d2d_type(platform):
+    (addr,) = platform.fresh_dev_lines(1)
+    with pytest.raises(DeviceError):
+        platform.sim.run_process(platform.t2.dcoh.d2d(D2HOp.NC_P, addr))
+
+
+def test_dmc_direct_mapped_conflict_eviction(platform):
+    dcoh = platform.t2.dcoh
+    stride = dcoh.dmc.num_sets * 64
+    (base,) = platform.fresh_dev_lines(1)
+    dcoh._fill_dmc(base, LineState.SHARED)
+    dcoh._fill_dmc(base + stride, LineState.SHARED)   # same set, 1 way
+    assert dcoh.dmc.state_of(base) is LineState.INVALID
+    assert dcoh.dmc.state_of(base + stride) is LineState.SHARED

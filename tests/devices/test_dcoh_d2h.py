@@ -1,0 +1,123 @@
+"""Table III as executable tests: every D2H request x placement cell."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requests import D2HOp, MemLevel
+from repro.experiments.table3_coherence import CASES, EXPECTED, OPS, run_cell
+from repro.mem.coherence import LineState
+
+
+@pytest.mark.parametrize("case", CASES)
+@pytest.mark.parametrize("op", OPS, ids=lambda op: op.value)
+def test_table3_cell(platform, op, case):
+    observed = run_cell(platform, op, case)
+    assert observed == EXPECTED[(op.value, case)], (
+        f"{op.value}/{case}: got HMC={observed[0].value} "
+        f"LLC={observed[1].value}")
+
+
+def test_nc_read_serves_hmc_without_link(platform):
+    dcoh = platform.t2.dcoh
+    (addr,) = platform.fresh_host_lines(1)
+    dcoh._fill_hmc(addr, LineState.SHARED)
+    msgs_before = platform.t2.port.link.messages
+    level = platform.sim.run_process(dcoh.d2h(D2HOp.NC_READ, addr))
+    assert level is MemLevel.HMC
+    assert platform.t2.port.link.messages == msgs_before  # no link crossing
+
+
+def test_nc_read_miss_does_not_fill_hmc(platform):
+    dcoh = platform.t2.dcoh
+    (addr,) = platform.fresh_host_lines(1)
+    platform.sim.run_process(dcoh.d2h(D2HOp.NC_READ, addr))
+    assert dcoh.hmc.state_of(addr) is LineState.INVALID
+
+
+def test_cs_read_miss_fills_hmc_shared(platform):
+    dcoh = platform.t2.dcoh
+    (addr,) = platform.fresh_host_lines(1)
+    platform.sim.run_process(dcoh.d2h(D2HOp.CS_READ, addr))
+    assert dcoh.hmc.state_of(addr) is LineState.SHARED
+
+
+def test_co_read_hit_writable_stays_local(platform):
+    dcoh = platform.t2.dcoh
+    (addr,) = platform.fresh_host_lines(1)
+    dcoh._fill_hmc(addr, LineState.MODIFIED)
+    msgs_before = platform.t2.port.link.messages
+    level = platform.sim.run_process(dcoh.d2h(D2HOp.CO_READ, addr))
+    assert level is MemLevel.HMC
+    assert dcoh.hmc.state_of(addr) is LineState.MODIFIED   # M -> M
+    assert platform.t2.port.link.messages == msgs_before
+
+
+def test_co_read_shared_upgrades_to_exclusive(platform):
+    dcoh = platform.t2.dcoh
+    (addr,) = platform.fresh_host_lines(1)
+    dcoh._fill_hmc(addr, LineState.SHARED)
+    platform.sim.run_process(dcoh.d2h(D2HOp.CO_READ, addr))
+    assert dcoh.hmc.state_of(addr) is LineState.EXCLUSIVE
+
+
+def test_co_write_faster_than_co_read_on_llc_hit(platform):
+    """SIV-A: CO-write skips the data fetch CO-read needs."""
+    dcoh, home, sim = platform.t2.dcoh, platform.home, platform.sim
+    a, b = platform.fresh_host_lines(2)
+    home.preload_llc(a, LineState.SHARED)
+    home.preload_llc(b, LineState.SHARED)
+    t0 = sim.now
+    sim.run_process(dcoh.d2h(D2HOp.CO_READ, a))
+    co_read = sim.now - t0
+    t0 = sim.now
+    sim.run_process(dcoh.d2h(D2HOp.CO_WRITE, b))
+    co_write = sim.now - t0
+    assert co_write < co_read
+
+
+def test_nc_write_goes_to_dram_not_llc(platform):
+    """The key NC-write / NC-P distinction (SIV-A)."""
+    dcoh, home, sim = platform.t2.dcoh, platform.home, platform.sim
+    (addr,) = platform.fresh_host_lines(1)
+    writes_before = home.mem.total_writes
+    level = sim.run_process(dcoh.d2h(D2HOp.NC_WRITE, addr))
+    assert level is MemLevel.HOST_DRAM
+    assert home.mem.total_writes == writes_before + 1
+    assert home.llc_state(addr) is LineState.INVALID
+
+
+def test_nc_push_lands_in_llc_not_dram(platform):
+    dcoh, home, sim = platform.t2.dcoh, platform.home, platform.sim
+    (addr,) = platform.fresh_host_lines(1)
+    writes_before = home.mem.total_writes
+    level = sim.run_process(dcoh.d2h(D2HOp.NC_P, addr))
+    assert level is MemLevel.LLC
+    assert home.mem.total_writes == writes_before   # no DRAM write
+    assert home.llc_state(addr) is LineState.MODIFIED
+
+
+def test_dirty_hmc_eviction_writes_back_to_host(platform):
+    """HMC victims in MODIFIED belong to host memory."""
+    dcoh, home, sim = platform.t2.dcoh, platform.home, platform.sim
+    stride = dcoh.hmc.num_sets * 64
+    ways = dcoh.hmc.ways
+    base = platform.fresh_host_lines(1)[0]
+    writes_before = home.mem.total_writes
+    for i in range(ways + 1):
+        sim.run_process(dcoh.d2h(D2HOp.CO_WRITE, base + i * stride))
+    sim.run()   # let the background writeback complete
+    assert home.mem.total_writes > writes_before
+
+
+def test_d2h_latency_hmc_hit_far_below_miss(platform):
+    dcoh, sim = platform.t2.dcoh, platform.sim
+    a, b = platform.fresh_host_lines(2)
+    dcoh._fill_hmc(a, LineState.SHARED)
+    t0 = sim.now
+    sim.run_process(dcoh.d2h(D2HOp.CS_READ, a))
+    hit = sim.now - t0
+    t0 = sim.now
+    sim.run_process(dcoh.d2h(D2HOp.CS_READ, b))
+    miss = sim.now - t0
+    assert hit < miss / 3

@@ -1,0 +1,124 @@
+"""Tests for H2D accesses to Type-2 and Type-3 devices (SV-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requests import BiasMode, HostOp
+from repro.mem.coherence import LineState
+
+
+def one(platform, gen):
+    sim = platform.sim
+    t0 = sim.now
+    result = sim.run_process(gen)
+    return result, sim.now - t0
+
+
+def t2_load(platform, addr):
+    return platform.core.cxl_op(HostOp.LOAD, addr, platform.t2)
+
+
+def test_t2_slower_than_t3_on_miss(platform):
+    a, b = platform.fresh_dev_lines(2)
+    __, t3 = one(platform, platform.core.cxl_op(HostOp.LOAD, a, platform.t3))
+    __, t2 = one(platform, t2_load(platform, b))
+    penalty = t2 / t3 - 1
+    assert 0.02 <= penalty <= 0.10      # paper: ~5%
+
+
+def test_dmc_never_serves_host(platform):
+    """Even a clean DMC hit still reads device memory (SV-C)."""
+    dcoh = platform.t2.dcoh
+    (addr,) = platform.fresh_dev_lines(1)
+    dcoh._fill_dmc(addr, LineState.SHARED)
+    reads_before = platform.t2.dev_mem.total_reads
+    one(platform, t2_load(platform, addr))
+    assert platform.t2.dev_mem.total_reads == reads_before + 1
+
+
+def test_owned_hit_slower_than_miss(platform):
+    dcoh = platform.t2.dcoh
+    a, b = platform.fresh_dev_lines(2)
+    dcoh._fill_dmc(a, LineState.OWNED)
+    __, owned = one(platform, t2_load(platform, a))
+    __, miss = one(platform, t2_load(platform, b))
+    assert 0.05 <= owned / miss - 1 <= 0.20   # paper: +11% for ld
+
+
+def test_owned_line_downgrades_to_shared_on_host_read(platform):
+    dcoh = platform.t2.dcoh
+    (addr,) = platform.fresh_dev_lines(1)
+    dcoh._fill_dmc(addr, LineState.OWNED)
+    one(platform, t2_load(platform, addr))
+    assert dcoh.dmc.state_of(addr) is LineState.SHARED
+
+
+def test_modified_hit_pays_writeback(platform):
+    dcoh = platform.t2.dcoh
+    a, b = platform.fresh_dev_lines(2)
+    dcoh._fill_dmc(a, LineState.MODIFIED)
+    writes_before = platform.t2.dev_mem.total_writes
+    __, modified = one(platform, t2_load(platform, a))
+    assert platform.t2.dev_mem.total_writes == writes_before + 1
+    __, miss = one(platform, t2_load(platform, b))
+    assert 0.25 <= modified / miss - 1 <= 0.55  # paper: 36-40%
+
+
+def test_shared_hit_is_nearly_free(platform):
+    """Insight 3: keep DMC lines shared (or flushed) for fast H2D."""
+    dcoh = platform.t2.dcoh
+    a, b = platform.fresh_dev_lines(2)
+    dcoh._fill_dmc(a, LineState.SHARED)
+    __, shared = one(platform, t2_load(platform, a))
+    __, miss = one(platform, t2_load(platform, b))
+    assert shared == pytest.approx(miss, rel=0.03)
+
+
+def test_host_write_invalidates_dmc_copy(platform):
+    dcoh = platform.t2.dcoh
+    (addr,) = platform.fresh_dev_lines(1)
+    dcoh._fill_dmc(addr, LineState.OWNED)
+    one(platform, platform.core.cxl_op(HostOp.STORE, addr, platform.t2))
+    assert dcoh.dmc.state_of(addr) is LineState.INVALID
+
+
+def test_nt_store_retires_at_controller(platform):
+    """nt-st completes far faster than st (SV-C: 10.7x bandwidth).
+
+    Compare the *returned* per-op latencies: wall-clock between
+    run_process calls would include the posted write's background
+    device work.
+    """
+    a, b = platform.fresh_dev_lines(2)
+    st, __ = one(platform, platform.core.cxl_op(HostOp.STORE, a, platform.t2))
+    ntst, __ = one(platform, platform.core.cxl_op(HostOp.NT_STORE, b,
+                                                  platform.t2))
+    assert ntst < st / 2
+
+
+def test_nt_store_device_work_happens_in_background(platform):
+    (addr,) = platform.fresh_dev_lines(1)
+    writes_before = platform.t2.dev_mem.total_writes
+    one(platform, platform.core.cxl_op(HostOp.NT_STORE, addr, platform.t2))
+    platform.sim.run()
+    assert platform.t2.dev_mem.total_writes == writes_before + 1
+
+
+def test_h2d_touch_flips_device_bias_region(platform):
+    platform.t2.bias.force_device_bias("devmem")
+    (addr,) = platform.fresh_dev_lines(1)
+    assert platform.t2.bias.mode_of_addr(addr) is BiasMode.DEVICE
+    one(platform, t2_load(platform, addr))
+    assert platform.t2.bias.mode_of_addr(addr) is BiasMode.HOST
+    assert platform.t2.bias.switches_to_host == 1
+
+
+def test_t3_has_no_coherence_machinery(platform):
+    (addr,) = platform.fresh_dev_lines(1)
+    __, lat1 = one(platform, platform.core.cxl_op(HostOp.LOAD, addr,
+                                                  platform.t3))
+    (addr2,) = platform.fresh_dev_lines(1)
+    __, lat2 = one(platform, platform.core.cxl_op(HostOp.LOAD, addr2,
+                                                  platform.t3))
+    assert lat1 == pytest.approx(lat2, rel=0.01)

@@ -1,0 +1,48 @@
+"""Tests for the CAFU load/store unit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requests import D2HOp
+
+
+def test_issue_rate_is_one_per_fabric_cycle(platform):
+    """400 MHz -> at most one request enters the pipeline per 2.5 ns."""
+    lsu = platform.t2.lsu
+    sim = platform.sim
+    addrs = platform.fresh_host_lines(64)
+    start = sim.now
+    procs = [sim.spawn(lsu.d2h(D2HOp.NC_WRITE, a)) for a in addrs]
+    sim.run()
+    elapsed = sim.now - start
+    assert elapsed >= 64 * platform.cfg.cxl_t2.lsu_issue_ns
+
+
+def test_window_caps_outstanding_requests(platform):
+    lsu = platform.t2.lsu
+    assert lsu._window.capacity == platform.cfg.cxl_t2.lsu_outstanding
+
+
+def test_d2h_returns_latency(platform):
+    lsu = platform.t2.lsu
+    (addr,) = platform.fresh_host_lines(1)
+    latency = platform.sim.run_process(lsu.d2h(D2HOp.CS_READ, addr))
+    assert 100.0 < latency < 1000.0
+
+
+def test_d2d_cheaper_than_d2h_on_cache_hit(platform):
+    lsu, dcoh = platform.t2.lsu, platform.t2.dcoh
+    from repro.mem.coherence import LineState
+    (host_addr,) = platform.fresh_host_lines(1)
+    (dev_addr,) = platform.fresh_dev_lines(1)
+    dcoh._fill_dmc(dev_addr, LineState.SHARED)
+    d2h_miss = platform.sim.run_process(lsu.d2h(D2HOp.CS_READ, host_addr))
+    d2d_hit = platform.sim.run_process(lsu.d2d(D2HOp.CS_READ, dev_addr))
+    assert d2d_hit < d2h_miss / 3
+
+
+def test_max_issue_bandwidth_is_25_6_gbps(platform):
+    """SV-A: 64 B per 400 MHz cycle = 25.6 GB/s ceiling."""
+    cfg = platform.cfg.cxl_t2
+    assert 64.0 / cfg.lsu_issue_ns == pytest.approx(25.6)

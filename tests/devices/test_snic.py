@@ -1,0 +1,82 @@
+"""Tests for the BlueField-3 SNIC and the PCIe FPGA device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PcieDeviceConfig, SnicConfig
+from repro.devices.pcie_fpga import PcieFpgaDevice
+from repro.devices.snic import ARM_COMPRESS_RATE, SmartNic
+from repro.units import PAGE_SIZE, us
+
+
+@pytest.fixture
+def snic(sim):
+    return SmartNic(sim, SnicConfig())
+
+
+@pytest.fixture
+def fpga(sim):
+    return PcieFpgaDevice(sim, PcieDeviceConfig())
+
+
+def elapsed(sim, gen):
+    t0 = sim.now
+    sim.run_process(gen)
+    return sim.now - t0
+
+
+def test_rdma_small_transfer_dominated_by_fixed_costs(sim, snic):
+    lat_64 = elapsed(sim, snic.rdma_transfer(64, to_device=True))
+    lat_4k = elapsed(sim, snic.rdma_transfer(4096, to_device=True))
+    assert lat_4k < 1.5 * lat_64
+
+
+def test_rdma_saturates_near_40_gbps(sim, snic):
+    size = 1 << 21
+    lat = elapsed(sim, snic.rdma_transfer(size, to_device=True))
+    assert size / lat == pytest.approx(40.0, rel=0.05)
+
+
+def test_doca_slower_than_rdma(sim, snic):
+    """SV-D: PCIe-RDMA outperforms PCIe-DOCA-DMA."""
+    rdma = elapsed(sim, snic.rdma_transfer(4096, to_device=True))
+    doca = elapsed(sim, snic.doca_dma(4096, to_device=True))
+    assert doca > rdma
+
+
+def test_arm_compression_rate(sim, snic):
+    lat = elapsed(sim, snic.arm_compress(PAGE_SIZE))
+    assert lat == pytest.approx(400.0 + PAGE_SIZE / ARM_COMPRESS_RATE)
+    # ~5.5 us for a 4 KB page (Table IV step 4 for pcie-rdma)
+    assert us(5.0) <= lat <= us(6.2)
+
+
+def test_arm_cores_run_in_parallel(sim, snic):
+    done = []
+
+    def worker():
+        yield from snic.arm_compress(PAGE_SIZE)
+        done.append(sim.now)
+
+    for __ in range(4):
+        sim.spawn(worker())
+    sim.run()
+    single = done[0]
+    assert max(done) == pytest.approx(single)   # 16 Arm cores: no queueing
+
+
+def test_interrupt_cost(sim, snic):
+    assert elapsed(sim, snic.interrupt_host()) == snic.cfg.interrupt_ns
+
+
+def test_fpga_dma_and_mmio(sim, fpga):
+    dma = elapsed(sim, fpga.dma_to_device(4096))
+    mmio = elapsed(sim, fpga.mmio_read(4096))
+    assert dma < mmio
+    assert fpga.descriptor_submit_ns() < dma
+
+
+def test_fpga_has_accelerator_ips(sim, fpga):
+    assert fpga.compressor.duration_ns(PAGE_SIZE) > 0
+    assert fpga.hasher.duration_ns(PAGE_SIZE) > 0

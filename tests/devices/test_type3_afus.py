@@ -1,0 +1,70 @@
+"""Tests for the Type-3 inline and custom AFUs (paper footnote 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requests import HostOp
+from repro.devices.cxl_type3 import AFU_CYCLE_NS, CustomAfu, InlineAfu
+from repro.errors import DeviceError
+
+
+def test_custom_afu_accesses_device_memory(platform):
+    t3 = platform.t3
+    (addr,) = platform.fresh_dev_lines(1)
+    reads_before = t3.dev_mem.total_reads
+    platform.sim.run_process(t3.afu.read_line(addr))
+    platform.sim.run_process(t3.afu.write_line(addr))
+    assert t3.dev_mem.total_reads == reads_before + 1
+    assert t3.afu.reads == 1 and t3.afu.writes == 1
+
+
+def test_custom_afu_cannot_reach_host_memory(platform):
+    """No CXL.cache: host addresses are structurally unreachable."""
+    (host_addr,) = platform.fresh_host_lines(1)
+    with pytest.raises(DeviceError, match="device memory"):
+        platform.sim.run_process(platform.t3.afu.read_line(host_addr))
+
+
+def test_custom_afu_is_fast_and_noncoherent(platform):
+    """Near-memory access skips the link and all coherence machinery:
+    far cheaper than the host's H2D path to the same line."""
+    sim = platform.sim
+    a, b = platform.fresh_dev_lines(2)
+    t0 = sim.now
+    sim.run_process(platform.t3.afu.read_line(a))
+    afu_ns = sim.now - t0
+    t0 = sim.now
+    sim.run_process(platform.core.cxl_op(HostOp.LOAD, b, platform.t3))
+    h2d_ns = sim.now - t0
+    assert afu_ns < h2d_ns / 2
+
+
+def test_inline_afu_observes_h2d_traffic(platform):
+    t3 = platform.t3
+    afu = t3.attach_inline_afu(InlineAfu())
+    addrs = platform.fresh_dev_lines(3)
+    for addr in addrs:
+        platform.sim.run_process(
+            platform.core.cxl_op(HostOp.LOAD, addr, t3))
+    assert afu.lines_observed == 3
+
+
+def test_inline_afu_adds_pipeline_latency(platform):
+    sim = platform.sim
+    a, b = platform.fresh_dev_lines(2)
+    t0 = sim.now
+    sim.run_process(platform.core.cxl_op(HostOp.LOAD, a, platform.t3))
+    plain = sim.now - t0
+    platform.t3.attach_inline_afu(InlineAfu(pipeline_ns=100.0))
+    t0 = sim.now
+    sim.run_process(platform.core.cxl_op(HostOp.LOAD, b, platform.t3))
+    observed = sim.now - t0
+    assert observed == pytest.approx(plain + 100.0, rel=0.01)
+
+
+def test_inline_afu_cannot_originate_requests():
+    """The pass-through AFU has no issue interface at all."""
+    afu = InlineAfu()
+    assert not hasattr(afu, "read_line")
+    assert not hasattr(afu, "write_line")

@@ -1,0 +1,137 @@
+"""Smoke tests: every experiment module runs at reduced scale and
+produces structurally sound results with the paper's directional shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requests import BiasMode, D2HOp, HostOp
+from repro.experiments import (
+    fig3_d2h,
+    fig4_d2d,
+    fig5_h2d,
+    fig6_transfer,
+    fig8_tail_latency,
+    sec7_accounting,
+    table3_coherence,
+    table4_breakdown,
+)
+from repro.units import ms
+
+
+def test_fig3_shapes():
+    result = fig3_d2h.run(reps=4)
+    # Every CXL op shows higher latency than its emulated equivalent.
+    for op, __ in fig3_d2h.PAIRS:
+        for hit in (True, False):
+            assert result.latency_delta(op, hit) > -0.05, (op, hit)
+    # Reads beat emulated reads on bandwidth at LLC miss.
+    assert result.bandwidth_ratio(D2HOp.CS_READ, False) > 1.3
+    assert "Fig 3" in fig3_d2h.format_table(result)
+
+
+def test_fig4_shapes():
+    result = fig4_d2d.run(reps=3)
+    gain = result.device_bias_latency_gain(D2HOp.CO_WRITE, dmc_hit=True)
+    assert 0.4 <= gain <= 0.8                      # paper: ~60%
+    read_gain = result.device_bias_latency_gain(D2HOp.CS_READ, dmc_hit=True)
+    assert abs(read_gain) < 0.1                    # reads: no difference
+    assert result.device_bias_bw_gain(D2HOp.CO_WRITE, dmc_hit=True) > 0
+    assert "Fig 4" in fig4_d2d.format_table(result)
+
+
+def test_fig5_shapes():
+    result = fig5_h2d.run(reps=3)
+    assert 0 < result.t2_penalty(HostOp.LOAD) < 0.12
+    assert result.dmc_hit_penalty(HostOp.LOAD, "owned") > 0.03
+    assert result.dmc_hit_penalty(HostOp.LOAD, "modified") > 0.25
+    assert abs(result.dmc_hit_penalty(HostOp.LOAD, "shared")) < 0.05
+    assert result.ncp_latency_gain(HostOp.LOAD) > 0.75
+    assert result.ncp_bw_ratio(HostOp.LOAD) > 3.0
+    assert "Fig 5" in fig5_h2d.format_table(result)
+
+
+def test_fig6_shapes():
+    result = fig6_transfer.run(reps=2, sizes=(256, 4096, 65536))
+    for mech in ("pcie-mmio", "pcie-dma", "pcie-rdma", "pcie-doca-dma"):
+        assert result.latency_gain("h2d", "cxl-ldst", mech, 256) > 0.4, mech
+    rdma = result.get("d2h", "pcie-rdma", 4096).latency.median
+    cxl = result.get("d2h", "cxl-ldst", 4096).latency.median
+    assert rdma / cxl > 1.8
+    assert "Fig 6" in fig6_transfer.format_table(result)
+
+
+def test_table3_all_cells_match_paper():
+    result = table3_coherence.run()
+    mismatches = [k for k, ok in result.matches_expected().items() if not ok]
+    assert not mismatches, mismatches
+    assert result.all_match
+    assert "Table III" in table3_coherence.format_table(result)
+
+
+def test_table4_breakdown():
+    result = table4_breakdown.run(reps=3)
+    assert result.total_ratio("pcie-rdma", "cxl") > 2.0
+    assert result.total_ratio("pcie-dma", "cxl") > 1.3
+    assert 1.8 <= result.ip_speedup_over_cpu() <= 2.8
+    assert "Table IV" in table4_breakdown.format_table(result)
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario():
+    return fig8_tail_latency.ScenarioConfig(duration_ns=ms(120.0),
+                                            rate_per_s=24_000.0)
+
+
+def test_fig8_zswap_ordering(tiny_scenario):
+    cells = {
+        backend: fig8_tail_latency.run_zswap_cell("a", backend, tiny_scenario)
+        for backend in ("none", "cpu", "cxl")
+    }
+    base = cells["none"].p99_ns
+    assert cells["cpu"].p99_ns / base > 2.5
+    assert cells["cxl"].p99_ns / base < 1.6
+    assert cells["cpu"].p99_ns > cells["cxl"].p99_ns
+
+
+def test_fig8_ksm_ordering(tiny_scenario):
+    cells = {
+        backend: fig8_tail_latency.run_ksm_cell("c", backend, tiny_scenario)
+        for backend in ("none", "cpu", "cxl")
+    }
+    base = cells["none"].p99_ns
+    assert cells["cpu"].p99_ns / base > 2.0
+    assert cells["cxl"].p99_ns / base < 1.6
+
+
+def test_fig8_result_container(tiny_scenario):
+    result = fig8_tail_latency.run(
+        features=("zswap",), workloads=("c",), backends=("none", "cxl"),
+        scenario=tiny_scenario)
+    assert result.normalized_p99("zswap", "c", "none") == 1.0
+    norm = result.normalized_p99("zswap", "c", "cxl")
+    assert 0.9 < norm < 2.0
+    assert "Fig 8" in fig8_tail_latency.format_table(result)
+
+
+def test_sec7_accounting(tiny_scenario):
+    result = sec7_accounting.run(scenario=tiny_scenario)
+    for feature in ("zswap", "ksm"):
+        cpu = result.get(feature, "cpu").cpu_share
+        cxl = result.get(feature, "cxl").cpu_share
+        assert 0 < cxl < cpu        # offload slashes the feature's share
+        assert result.share_vs_cpu(feature, "cxl") < result.share_vs_cpu(
+            feature, "pcie-dma")
+    assert "SVII" in sec7_accounting.format_table(result)
+
+
+def test_fig8_functional_and_zipfian(tiny_scenario):
+    """Fig 8 can run with real KVS execution and zipfian keys; the
+    interference shape is unchanged and no read returns stale data."""
+    import dataclasses
+    scenario = dataclasses.replace(tiny_scenario, functional=True,
+                                   key_distribution="zipfian")
+    none = fig8_tail_latency.run_zswap_cell("a", "none", scenario)
+    cxl = fig8_tail_latency.run_zswap_cell("a", "cxl", scenario)
+    assert none.requests > 1000
+    assert cxl.p99_ns < 2.5 * none.p99_ns

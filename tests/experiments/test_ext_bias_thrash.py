@@ -1,0 +1,26 @@
+"""Unit tests for the bias-thrash extension experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_bias_thrash
+
+
+def test_quiet_mode_never_drops_bias():
+    result = ext_bias_thrash.run(touch_every=32)
+    assert result.points["quiet"].bias_switches_to_host == 0
+    assert result.points["quiet"].switch_cost_ns == 0.0
+
+
+def test_thrash_drops_scale_with_touch_rate():
+    frequent = ext_bias_thrash.run(touch_every=32)
+    rare = ext_bias_thrash.run(touch_every=256)
+    assert (frequent.points["thrash"].bias_switches_to_host
+            > rare.points["thrash"].bias_switches_to_host)
+    assert (frequent.points["thrash"].elapsed_ns
+            > rare.points["thrash"].elapsed_ns)
+
+
+def test_format_table():
+    result = ext_bias_thrash.run()
+    table = ext_bias_thrash.format_table(result)
+    assert "thrash" in table and "host-bias" in table

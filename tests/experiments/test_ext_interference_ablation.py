@@ -1,0 +1,44 @@
+"""Unit tests for the interference-channel ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_interference_ablation
+from repro.experiments.fig8_tail_latency import ScenarioConfig
+from repro.units import ms
+
+
+@pytest.fixture(scope="module")
+def result():
+    scenario = ScenarioConfig(duration_ns=ms(150.0))
+    return ext_interference_ablation.run(scenario=scenario)
+
+
+def test_all_variants_present(result):
+    assert set(result.normalized_p99) == set(ext_interference_ablation.VARIANTS)
+
+
+def test_channels_only_reduce_inflation(result):
+    norm = result.normalized_p99
+    assert norm["queueing-only"] <= norm["full"] * 1.05
+    assert norm["no-pollution"] <= norm["full"] * 1.05
+    assert all(v > 1.0 for v in norm.values())
+
+
+def test_contribution_bounds(result):
+    for variant in ("no-pollution", "no-direct", "queueing-only"):
+        assert 0.0 <= result.contribution(variant) <= 1.0
+    assert "ablation" in ext_interference_ablation.format_table(result)
+
+
+def test_daemon_pollution_scale_validation(platform):
+    from repro.core.offload import OffloadEngine
+    from repro.apps.node import ServerNode
+    from repro.errors import WorkloadError
+    from repro.kernel.daemons import CostProfile, ReclaimDaemon
+    node = ServerNode(platform.sim, platform.rng.fork(1), 2)
+    profile = CostProfile.from_engine(platform, OffloadEngine(platform),
+                                      "cpu")
+    with pytest.raises(WorkloadError):
+        ReclaimDaemon(node, profile, pollution_scale=-1.0)

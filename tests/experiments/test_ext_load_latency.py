@@ -1,0 +1,18 @@
+"""Unit tests for the load-latency extension."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_load_latency
+from repro.units import ms
+
+
+def test_small_sweep_shapes():
+    result = ext_load_latency.run(rates=(15_000.0, 40_000.0),
+                                  backends=("none", "cxl"),
+                                  duration_ns=ms(120.0))
+    # Latency grows with load for every backend.
+    for backend in result.backends:
+        assert (result.get(backend, 40_000.0).p99_ns
+                > result.get(backend, 15_000.0).p99_ns * 0.9)
+    assert result.slowdown("cxl", 15_000.0) < 2.0
+    assert "Extension" in ext_load_latency.format_table(result)

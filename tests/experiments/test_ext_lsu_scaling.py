@@ -1,0 +1,24 @@
+"""Unit tests for the multi-LSU scaling extension."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_lsu_scaling
+
+
+def test_lsus_share_dcoh(platform):
+    lsus = platform.t2.lsus(4)
+    assert len(lsus) == 4
+    assert lsus[0] is platform.t2.lsu
+    assert all(lsu.dcoh is platform.t2.dcoh for lsu in lsus)
+    # Idempotent: asking again returns the same units.
+    again = platform.t2.lsus(4)
+    assert again == lsus
+    fewer = platform.t2.lsus(2)
+    assert fewer == lsus[:2]
+
+
+def test_scaling_monotone_until_saturation():
+    result = ext_lsu_scaling.run(counts=(1, 2, 4))
+    bw = result.bandwidth_gbps
+    assert bw[1] < bw[2] < bw[4]
+    assert "Extension" in ext_lsu_scaling.format_table(result)

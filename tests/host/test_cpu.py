@@ -1,0 +1,129 @@
+"""Tests for the host core's timed operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HostConfig, upi_link
+from repro.core.requests import HostOp
+from repro.host.cpu import Core
+from repro.host.home_agent import HomeAgent
+from repro.interconnect.upi import UpiPort
+from repro.mem.coherence import LineState
+
+
+@pytest.fixture
+def setup(sim):
+    cfg = HostConfig()
+    return (Core(sim, cfg), HomeAgent(sim, cfg), UpiPort(sim, upi_link()))
+
+
+def one(sim, gen):
+    return sim.run_process(gen)
+
+
+def fresh(n, base=0x10000):
+    return [base + i * 64 for i in range(n)]
+
+
+def test_remote_load_hit_cheaper_than_miss(sim, setup):
+    core, home, upi = setup
+    hit_addr, miss_addr = fresh(2)
+    home.preload_llc(hit_addr, LineState.SHARED)
+    hit = one(sim, core.remote_op(HostOp.LOAD, hit_addr, home, upi))
+    miss = one(sim, core.remote_op(HostOp.LOAD, miss_addr, home, upi))
+    assert hit < miss
+    # The remote miss penalty is large (directory + snoop + DRAM)
+    assert miss - hit > 100.0
+
+
+def test_nt_load_slower_than_load(sim, setup):
+    core, home, upi = setup
+    a, b = fresh(2, 0x20000)
+    home.preload_llc(a, LineState.SHARED)
+    home.preload_llc(b, LineState.SHARED)
+    ld = one(sim, core.remote_op(HostOp.LOAD, a, home, upi))
+    ntld = one(sim, core.remote_op(HostOp.NT_LOAD, b, home, upi))
+    assert ntld == pytest.approx(ld + core.cfg.nt_load_extra_ns)
+
+
+def test_nt_store_latency_independent_of_llc(sim, setup):
+    """Posted writes complete at the MC queue whether or not LLC hits."""
+    core, home, upi = setup
+    a, b = fresh(2, 0x30000)
+    home.preload_llc(a, LineState.SHARED)
+    hit = one(sim, core.remote_op(HostOp.NT_STORE, a, home, upi))
+    miss = one(sim, core.remote_op(HostOp.NT_STORE, b, home, upi))
+    # The only difference is the LLC invalidation of the stale copy.
+    assert abs(hit - miss) <= core.cfg.llc_ns + 1.0
+
+
+def test_store_invalidates_home_copy(sim, setup):
+    core, home, upi = setup
+    (addr,) = fresh(1, 0x40000)
+    home.preload_llc(addr, LineState.SHARED)
+    one(sim, core.remote_op(HostOp.STORE, addr, home, upi))
+    assert home.llc_state(addr) is LineState.INVALID
+
+
+def test_llc_load_hit_vs_miss(sim, setup):
+    core, home, __ = setup
+    a, b = fresh(2, 0x50000)
+    home.preload_llc(a, LineState.MODIFIED)
+    hit = one(sim, core.llc_load(a, home))
+    miss = one(sim, core.llc_load(b, home))
+    assert hit < miss
+    assert hit < 100.0      # NC-P'd lines are cheap to reach (Insight 4)
+
+
+def test_llc_store_marks_modified(sim, setup):
+    core, home, __ = setup
+    (addr,) = fresh(1, 0x60000)
+    home.preload_llc(addr, LineState.EXCLUSIVE)
+    one(sim, core.llc_store(addr, home))
+    assert home.llc_state(addr) is LineState.MODIFIED
+
+
+def test_clflush_and_cldemote(sim, setup):
+    core, home, __ = setup
+    (addr,) = fresh(1, 0x70000)
+    one(sim, core.cldemote(addr, home))
+    assert home.llc_state(addr) is LineState.EXCLUSIVE
+    one(sim, core.clflush(addr, home))
+    assert home.llc_state(addr) is LineState.INVALID
+
+
+def test_load_window_limits_parallelism(sim, setup):
+    """Pipelined remote loads are window-limited: 2x window in ~2x the
+    single latency, not 1x."""
+    core, home, upi = setup
+    window = core.cfg.load_mlp
+    addrs = fresh(2 * window, 0x80000)
+    single = one(sim, core.remote_op(HostOp.LOAD, addrs[0], home, upi))
+    done = []
+
+    def op(addr):
+        yield from core.remote_op(HostOp.LOAD, addr, home, upi)
+        done.append(sim.now)
+
+    start = sim.now
+    for addr in addrs[1:2 * window + 1]:
+        sim.spawn(op(addr))
+    sim.run()
+    elapsed = max(done) - start
+    assert elapsed >= 1.5 * single
+    assert elapsed < 2 * window * single / 2
+
+
+def test_jitter_applied_when_configured(sim):
+    from repro.sim.rng import DeterministicRng
+    cfg = HostConfig()
+    core = Core(sim, cfg, rng=DeterministicRng(3), noise=0.05)
+    home = HomeAgent(sim, cfg)
+    upi = UpiPort(sim, upi_link())
+    values = {
+        round(one(sim, core.remote_op(HostOp.LOAD, 0x1000 + i * 64,
+                                      home, upi)), 3)
+        for i in range(10)
+    }
+    assert len(values) > 1   # noise produces spread (error bars)

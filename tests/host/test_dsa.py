@@ -1,0 +1,47 @@
+"""Tests for the DSA engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import cxl_link
+from repro.host.dsa import ENGINE_BYTES_PER_NS, ENGINE_STARTUP_NS, ENQCMD_NS, DsaEngine
+from repro.interconnect.link import Link
+
+
+def test_copy_cost_components(sim):
+    dsa = DsaEngine(sim)
+    start = sim.now
+    sim.run_process(dsa.copy(3000))
+    elapsed = sim.now - start
+    assert elapsed == pytest.approx(
+        ENQCMD_NS + ENGINE_STARTUP_NS + 3000 / ENGINE_BYTES_PER_NS)
+
+
+def test_copy_via_link_caps_rate_and_adds_flight(sim):
+    dsa = DsaEngine(sim)
+    link = Link(sim, cxl_link())
+    start = sim.now
+    sim.run_process(dsa.copy(300_000, via=link))
+    elapsed = sim.now - start
+    # engine (30 B/ns) is slower than the x16 link (64 B/ns): engine-bound
+    assert elapsed > 300_000 / ENGINE_BYTES_PER_NS
+
+
+def test_engine_serializes_descriptors(sim):
+    dsa = DsaEngine(sim)
+    done = []
+
+    def mover():
+        yield from dsa.copy(60_000)
+        done.append(sim.now)
+
+    sim.spawn(mover())
+    sim.spawn(mover())
+    sim.run()
+    assert done[1] - done[0] >= 60_000 / ENGINE_BYTES_PER_NS * 0.95
+    assert dsa.descriptors == 2
+
+
+def test_submit_cost_is_core_side_only(sim):
+    assert DsaEngine(sim).submit_cost_ns() == ENQCMD_NS

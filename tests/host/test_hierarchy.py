@@ -1,0 +1,111 @@
+"""Tests for the host's local L1/L2/LLC hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requests import MemLevel
+from repro.host.hierarchy import CacheHierarchy
+from repro.mem.coherence import LineState
+
+
+@pytest.fixture
+def hierarchy(platform):
+    return CacheHierarchy(platform.sim, platform.cfg.host, platform.home)
+
+
+def run(platform, gen):
+    return platform.sim.run_process(gen)
+
+
+def test_cold_load_walks_to_dram_and_fills(platform, hierarchy):
+    (addr,) = platform.fresh_host_lines(1)
+    level = run(platform, hierarchy.load(addr))
+    assert level is MemLevel.HOST_DRAM
+    assert hierarchy.holds(addr) == "l1"
+
+
+def test_second_load_hits_l1(platform, hierarchy):
+    (addr,) = platform.fresh_host_lines(1)
+    run(platform, hierarchy.load(addr))
+    sim = platform.sim
+    t0 = sim.now
+    level = run(platform, hierarchy.load(addr))
+    assert level is MemLevel.L1
+    assert sim.now - t0 == pytest.approx(platform.cfg.host.l1_ns)
+
+
+def test_llc_hit_fills_inner_levels(platform, hierarchy):
+    (addr,) = platform.fresh_host_lines(1)
+    platform.home.preload_llc(addr, LineState.SHARED)
+    level = run(platform, hierarchy.load(addr))
+    assert level is MemLevel.LLC
+    assert hierarchy.holds(addr) == "l1"
+
+
+def test_latency_ordering_l1_l2_llc_dram(platform, hierarchy):
+    sim = platform.sim
+    lats = {}
+    # DRAM
+    (a,) = platform.fresh_host_lines(1)
+    t0 = sim.now
+    run(platform, hierarchy.load(a))
+    lats["dram"] = sim.now - t0
+    # L1 (a again)
+    t0 = sim.now
+    run(platform, hierarchy.load(a))
+    lats["l1"] = sim.now - t0
+    # L2: evict from L1 only, keep L2 -- emulate by invalidating L1
+    hierarchy.l1.invalidate(a)
+    t0 = sim.now
+    run(platform, hierarchy.load(a))
+    lats["l2"] = sim.now - t0
+    # LLC: drop both private levels
+    hierarchy.l1.invalidate(a)
+    hierarchy.l2.invalidate(a)
+    t0 = sim.now
+    run(platform, hierarchy.load(a))
+    lats["llc"] = sim.now - t0
+    assert lats["l1"] < lats["l2"] < lats["llc"] < lats["dram"]
+
+
+def test_store_dirties_all_levels(platform, hierarchy):
+    (addr,) = platform.fresh_host_lines(1)
+    run(platform, hierarchy.store(addr))
+    assert hierarchy.l1.state_of(addr) is LineState.MODIFIED
+    assert hierarchy.l2.state_of(addr) is LineState.MODIFIED
+    assert platform.home.llc_state(addr) is LineState.MODIFIED
+
+
+def test_cldemote_confines_line_to_llc(platform, hierarchy):
+    """The SV methodology: lines of interest end up LLC-only."""
+    (addr,) = platform.fresh_host_lines(1)
+    run(platform, hierarchy.load(addr))
+    assert hierarchy.holds(addr) == "l1"
+    run(platform, hierarchy.cldemote(addr))
+    assert hierarchy.l1.peek(addr) is None
+    assert hierarchy.l2.peek(addr) is None
+    assert platform.home.llc_state(addr).is_valid
+
+
+def test_clflush_purges_all_levels(platform, hierarchy):
+    (addr,) = platform.fresh_host_lines(1)
+    run(platform, hierarchy.store(addr))
+    run(platform, hierarchy.clflush(addr))
+    assert hierarchy.holds(addr) is None
+
+
+def test_dirty_l1_victim_falls_back_to_llc(platform, hierarchy):
+    """Conflict evictions keep modified data visible to the coherence
+    fabric (inclusive-ish model)."""
+    stride = hierarchy.l1.num_sets * 64
+    ways = hierarchy.l1.ways
+    (base,) = platform.fresh_host_lines(1)
+    run(platform, hierarchy.store(base))
+    # Evict 'base' from L1 with conflicting fills.
+    for i in range(1, ways + 1):
+        run(platform, hierarchy.load(base + i * stride))
+    assert hierarchy.l1.peek(base) is None
+    # Its modified state survives in L2 or the LLC.
+    assert (hierarchy.l2.state_of(base) is LineState.MODIFIED
+            or platform.home.llc_state(base) is LineState.MODIFIED)

@@ -1,0 +1,123 @@
+"""Tests for the host home agent's coherence actions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HostConfig
+from repro.core.requests import MemLevel
+from repro.host.home_agent import AgentCosts, HomeAgent, upi_costs
+from repro.mem.coherence import LineState
+from repro.sim.engine import Simulator
+
+COSTS = AgentCosts(read_ns=10.0, write_ns=5.0, miss_extra_ns=40.0)
+ADDR = 0x4000
+
+
+@pytest.fixture
+def home(sim):
+    return HomeAgent(sim, HostConfig())
+
+
+def serve(sim, gen):
+    return sim.run_process(gen)
+
+
+def test_read_current_hit_serves_llc_without_state_change(sim, home):
+    home.preload_llc(ADDR, LineState.MODIFIED)
+    level = serve(sim, home.read_current(ADDR, COSTS))
+    assert level is MemLevel.LLC
+    assert home.llc_state(ADDR) is LineState.MODIFIED
+
+
+def test_read_current_miss_goes_to_dram(sim, home):
+    level = serve(sim, home.read_current(ADDR, COSTS))
+    assert level is MemLevel.HOST_DRAM
+    assert home.llc_state(ADDR) is LineState.INVALID  # no fill
+
+
+def test_read_shared_downgrades_exclusive_copy(sim, home):
+    home.preload_llc(ADDR, LineState.EXCLUSIVE)
+    serve(sim, home.read_shared(ADDR, COSTS))
+    assert home.llc_state(ADDR) is LineState.SHARED
+
+
+def test_read_shared_keeps_shared_copy(sim, home):
+    home.preload_llc(ADDR, LineState.SHARED)
+    serve(sim, home.read_shared(ADDR, COSTS))
+    assert home.llc_state(ADDR) is LineState.SHARED
+
+
+def test_read_own_invalidates_llc(sim, home):
+    home.preload_llc(ADDR, LineState.SHARED)
+    level = serve(sim, home.read_own(ADDR, COSTS))
+    assert level is MemLevel.LLC
+    assert home.llc_state(ADDR) is LineState.INVALID
+
+
+def test_grant_ownership_hit_invalidates_without_dram(sim, home):
+    home.preload_llc(ADDR, LineState.SHARED)
+    reads_before = home.mem.total_reads
+    level = serve(sim, home.grant_ownership(ADDR, COSTS))
+    assert level is MemLevel.LLC
+    assert home.llc_state(ADDR) is LineState.INVALID
+    assert home.mem.total_reads == reads_before
+
+
+def test_grant_ownership_miss_fetches_directory(sim, home):
+    reads_before = home.mem.total_reads
+    level = serve(sim, home.grant_ownership(ADDR, COSTS))
+    assert level is MemLevel.HOST_DRAM
+    assert home.mem.total_reads == reads_before + 1
+
+
+def test_write_invalidate_clears_llc_and_writes_dram(sim, home):
+    home.preload_llc(ADDR, LineState.SHARED)
+    writes_before = home.mem.total_writes
+    serve(sim, home.write_invalidate(ADDR, COSTS))
+    assert home.llc_state(ADDR) is LineState.INVALID
+    assert home.mem.total_writes == writes_before + 1
+
+
+def test_push_line_installs_modified(sim, home):
+    level = serve(sim, home.push_line(ADDR, COSTS))
+    assert level is MemLevel.LLC
+    assert home.llc_state(ADDR) is LineState.MODIFIED
+
+
+def test_push_line_evicts_dirty_victim_to_dram(sim, home):
+    """Filling a set with NC-P pushes must write back dirty victims."""
+    stride = home.llc.num_sets * 64
+    ways = home.llc.ways
+    writes_before = home.mem.total_writes
+    for i in range(ways + 1):
+        serve(sim, home.push_line(ADDR + i * stride, COSTS))
+    assert home.mem.total_writes >= writes_before + 1
+
+
+def test_miss_extra_cost_applied_on_read_miss(sim, home):
+    cheap = AgentCosts(10.0, 5.0, 0.0)
+    costly = AgentCosts(10.0, 5.0, 500.0)
+    t0 = sim.now
+    serve(sim, home.read_shared(0x8000, cheap))
+    fast = sim.now - t0
+    t0 = sim.now
+    serve(sim, home.read_shared(0x9000, costly))
+    slow = sim.now - t0
+    assert slow - fast == pytest.approx(500.0)
+
+
+def test_flush_line_writes_back_dirty(sim, home):
+    home.preload_llc(ADDR, LineState.MODIFIED)
+    writes_before = home.mem.total_writes
+    home.flush_line(ADDR)
+    sim.run()
+    assert home.llc_state(ADDR) is LineState.INVALID
+    assert home.mem.total_writes == writes_before + 1
+
+
+def test_upi_costs_derived_from_host_config():
+    cfg = HostConfig()
+    costs = upi_costs(cfg)
+    assert costs.read_ns == cfg.home_agent_ns
+    assert costs.miss_extra_ns == cfg.remote_miss_extra_ns

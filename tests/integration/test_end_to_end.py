@@ -1,0 +1,136 @@
+"""Integration tests: whole-system flows crossing many modules.
+
+These exercise the full functional story the paper tells: real pages
+compressed through the CXL offload path into a device-memory zpool,
+faulted back intact; VM fleets deduplicated by the offloaded ksm; and a
+Redis workload whose values survive a reclaim/fault cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.core.requests import D2HOp, HostOp
+from repro.kernel.ksm import Ksm
+from repro.kernel.mm import MemoryManager
+from repro.kernel.page import FrameAllocator, Watermarks
+from repro.kernel.swapdev import SwapDevice
+from repro.kernel.vm import make_vm_fleet
+from repro.kernel.zswap import Zswap
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def functional_platform():
+    return Platform(seed=101)
+
+
+def make_functional_mm(platform, transport, total_pages=128):
+    engine = OffloadEngine(platform, functional=True)
+    zswap = Zswap(engine, SwapDevice(platform.sim), transport,
+                  managed_pages=total_pages, max_pool_percent=30)
+    allocator = FrameAllocator(total_pages, Watermarks(4, 8, 16))
+    return MemoryManager(platform.sim, allocator, zswap)
+
+
+def test_redis_values_survive_cxl_zswap_cycle(functional_platform):
+    """A KVS whose values live in pages that get reclaimed through
+    cxl-zswap (zpool in device memory) and faulted back."""
+    platform = functional_platform
+    mm = make_functional_mm(platform, "cxl")
+    values = {}
+    refs = {}
+    for i in range(40):
+        payload = (f"value-{i}:".encode() * 300)[:PAGE_SIZE]
+        values[i] = payload
+        refs[i] = platform.sim.run_process(mm.alloc_page("redis", payload))
+    # Reclaim everything we can, then fault it all back and verify.
+    platform.sim.run_process(mm.reclaim(40))
+    assert mm.stats.pages_swapped_out == 40
+    assert mm.zswap.zpool_in_device_memory
+    for i in range(40):
+        platform.sim.run_process(mm.touch(refs[i]))
+        assert refs[i].content == values[i], f"page {i} corrupted"
+
+
+def test_zswap_pool_overflow_to_ssd_preserves_data(functional_platform):
+    platform = functional_platform
+    mm = make_functional_mm(platform, "cpu", total_pages=64)
+    marker = (b"marker-page " * 400)[:PAGE_SIZE]
+    ref = platform.sim.run_process(mm.alloc_page("t", marker))
+    platform.sim.run_process(mm.reclaim(1))
+    filler = (b"filler " * 600)[:PAGE_SIZE]
+    while mm.zswap.stats.writebacks == 0:
+        fref = platform.sim.run_process(mm.alloc_page("t", filler))
+        platform.sim.run_process(mm.reclaim(1))
+    platform.sim.run_process(mm.touch(ref))
+    assert ref.content == marker
+    assert mm.zswap.stats.pool_misses >= 1
+
+
+def test_ksm_deduplicates_vm_fleet_via_cxl(functional_platform):
+    platform = functional_platform
+    vms = make_vm_fleet(8, pages_per_vm=12, shared_fraction=0.5,
+                        rng=platform.rng.fork(3))
+    engine = OffloadEngine(platform, functional=True)
+    ksm = Ksm(engine, "cxl", vms, functional=True)
+    platform.sim.run_process(ksm.full_scan())
+    platform.sim.run_process(ksm.full_scan())
+    # 6 template pages shared by 8 VMs: 48 mappings -> 6 frames.
+    assert ksm.saved_pages == 6 * 7
+    # A guest write breaks exactly one share and the content diverges.
+    ksm.unshare(vms[0], 0, b"\xEE" * PAGE_SIZE)
+    assert ksm.saved_pages == 6 * 7 - 1
+    assert vms[0].read(0) != vms[1].read(0)
+
+
+def test_offload_traffic_is_visible_on_the_cxl_link(functional_platform):
+    """The cxl transport really crosses the modelled link."""
+    platform = functional_platform
+    engine = OffloadEngine(platform, functional=True)
+    link = platform.t2.port.link
+    msgs_before = link.messages
+    page = (b"traffic " * 600)[:PAGE_SIZE]
+    platform.sim.run_process(engine.compress_page("cxl", data=page))
+    assert link.messages > msgs_before + 60   # 64-line pull + protocol
+
+
+def test_pcie_transport_never_touches_cxl_link(functional_platform):
+    platform = functional_platform
+    engine = OffloadEngine(platform, functional=True)
+    cxl_link = platform.t2.port.link
+    msgs_before = cxl_link.messages
+    platform.sim.run_process(engine.compress_page("pcie-rdma"))
+    assert cxl_link.messages == msgs_before
+    assert platform.snic.rdma_ops == 2        # page in, result out
+
+
+def test_microbench_and_offload_share_one_platform(functional_platform):
+    """Characterization and offload can interleave on one simulator."""
+    platform = functional_platform
+    engine = OffloadEngine(platform)
+    lsu = platform.t2.lsu
+    (addr,) = platform.fresh_host_lines(1)
+    lat = platform.sim.run_process(lsu.d2h(D2HOp.CS_READ, addr))
+    assert lat > 0
+    report = platform.sim.run_process(engine.compress_page("cxl"))
+    assert report.total_ns > 0
+    (dev_addr,) = platform.fresh_dev_lines(1)
+    lat2 = platform.sim.run_process(
+        platform.core.cxl_op(HostOp.LOAD, dev_addr, platform.t2))
+    assert lat2 > 0
+
+
+def test_hmc_state_preserved_across_offload_runs(functional_platform):
+    """zswap's NC-read pulls must not pollute the HMC (the reason the
+    paper picks NC over CS for the page transfer)."""
+    platform = functional_platform
+    engine = OffloadEngine(platform, functional=False)
+    hmc = platform.t2.dcoh.hmc
+    resident_before = len(hmc)
+    platform.sim.run_process(engine.compress_page("cxl"))
+    # Only doorbell/result lines may appear; the 64 pulled page lines
+    # must not be cached.
+    assert len(hmc) <= resident_before + 2

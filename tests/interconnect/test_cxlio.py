@@ -1,0 +1,104 @@
+"""Tests for CXL.io enumeration and HDM decoder programming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.cxl_type1 import CxlType1Device
+from repro.errors import AddressError, DeviceError
+from repro.interconnect.cxlio import (
+    CAP_CACHE,
+    CAP_MEM,
+    ConfigSpace,
+    CxlDeviceType,
+    config_space_for,
+    enumerate_device,
+)
+from repro.mem.address import AddressMap
+
+
+def test_device_type_from_caps():
+    assert CxlDeviceType.from_caps(CAP_CACHE) is CxlDeviceType.TYPE1
+    assert CxlDeviceType.from_caps(CAP_CACHE | CAP_MEM) is CxlDeviceType.TYPE2
+    assert CxlDeviceType.from_caps(CAP_MEM) is CxlDeviceType.TYPE3
+    assert CxlDeviceType.from_caps(0) is CxlDeviceType.PCIE
+
+
+def test_unimplemented_registers_read_all_ones():
+    config = ConfigSpace(0x8086, 0x1234)
+    assert config.read(0x500) == 0xFFFF
+
+
+def test_enumerate_type2(platform):
+    config = config_space_for(platform.t2)
+    amap = AddressMap()
+    descriptor = platform.sim.run_process(
+        enumerate_device(platform.sim, config, amap))
+    assert descriptor.device_type is CxlDeviceType.TYPE2
+    assert descriptor.coherent_d2h and descriptor.host_addressable_memory
+    # The HDM decoder published exactly the region the platform wired.
+    wired = platform.t2.regions.get("devmem")
+    assert descriptor.hdm_region.base == wired.base
+    assert descriptor.hdm_region.size == wired.size
+    assert amap.find(wired.base).kind == "cxl"
+
+
+def test_enumerate_type3(platform):
+    config = config_space_for(platform.t3)
+    descriptor = platform.sim.run_process(
+        enumerate_device(platform.sim, config))
+    assert descriptor.device_type is CxlDeviceType.TYPE3
+    assert not descriptor.coherent_d2h
+    assert descriptor.host_addressable_memory
+
+
+def test_enumerate_type1(platform):
+    t1 = CxlType1Device(platform.sim, platform.cfg.cxl_t2, platform.home)
+    descriptor = platform.sim.run_process(
+        enumerate_device(platform.sim, config_space_for(t1)))
+    assert descriptor.device_type is CxlDeviceType.TYPE1
+    assert descriptor.coherent_d2h
+    assert not descriptor.host_addressable_memory
+    assert descriptor.hdm_region is None
+
+
+def test_enumerate_plain_pcie(platform):
+    descriptor = platform.sim.run_process(
+        enumerate_device(platform.sim, config_space_for(platform.pcie)))
+    assert descriptor.device_type is CxlDeviceType.PCIE
+    assert not descriptor.coherent_d2h
+
+
+def test_enumeration_is_timed(platform):
+    sim = platform.sim
+    t0 = sim.now
+    sim.run_process(enumerate_device(sim, config_space_for(platform.t2)))
+    # Several config round trips + HDM programming: microseconds.
+    assert sim.now - t0 >= 5_000.0
+
+
+def test_absent_device_rejected(platform):
+    config = ConfigSpace(0xFFFF, 0xFFFF)
+    with pytest.raises(DeviceError, match="no device"):
+        platform.sim.run_process(enumerate_device(platform.sim, config))
+
+
+def test_mem_device_without_hdm_rejected(platform):
+    config = ConfigSpace(0x8086, 0x1, caps=CAP_MEM)   # no HDM range
+    with pytest.raises(DeviceError, match="HDM"):
+        platform.sim.run_process(enumerate_device(platform.sim, config))
+
+
+def test_overlapping_hdm_programming_rejected(platform):
+    amap = AddressMap()
+    config = config_space_for(platform.t2)
+    platform.sim.run_process(
+        enumerate_device(platform.sim, config, amap, region_name="a"))
+    with pytest.raises(AddressError):
+        platform.sim.run_process(
+            enumerate_device(platform.sim, config, amap, region_name="b"))
+
+
+def test_unknown_object_rejected():
+    with pytest.raises(DeviceError):
+        config_space_for(object())

@@ -1,0 +1,107 @@
+"""Tests for the generic flit link."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LinkConfig, cxl_link, pcie_link, upi_link
+from repro.errors import ConfigError
+from repro.interconnect.link import Direction, Link
+from repro.sim.engine import Simulator
+
+
+def test_send_pays_serialization_plus_propagation(sim):
+    cfg = LinkConfig("t", propagation_ns=30.0, bytes_per_ns=8.0,
+                     header_bytes=16)
+    link = Link(sim, cfg)
+
+    def proc():
+        yield from link.send(Direction.TO_HOST, 64)
+        return sim.now
+
+    # (64+16)/8 = 10 ns serialization + 30 ns flight
+    assert sim.run_process(proc()) == pytest.approx(40.0)
+
+
+def test_directions_do_not_contend(sim):
+    cfg = LinkConfig("t", propagation_ns=0.0, bytes_per_ns=1.0,
+                     header_bytes=0)
+    link = Link(sim, cfg)
+    done = []
+
+    def sender(direction):
+        yield from link.send(direction, 100)
+        done.append(sim.now)
+
+    sim.spawn(sender(Direction.TO_HOST))
+    sim.spawn(sender(Direction.TO_DEVICE))
+    sim.run()
+    assert done == [100.0, 100.0]   # full duplex
+
+
+def test_same_direction_serializes(sim):
+    cfg = LinkConfig("t", propagation_ns=0.0, bytes_per_ns=1.0,
+                     header_bytes=0)
+    link = Link(sim, cfg)
+    done = []
+
+    def sender():
+        yield from link.send(Direction.TO_HOST, 100)
+        done.append(sim.now)
+
+    sim.spawn(sender())
+    sim.spawn(sender())
+    sim.run()
+    assert done == [100.0, 200.0]
+
+
+def test_pipelining_overlaps_flight(sim):
+    """The wire frees after serialization; flights overlap."""
+    cfg = LinkConfig("t", propagation_ns=50.0, bytes_per_ns=1.0,
+                     header_bytes=0)
+    link = Link(sim, cfg)
+    done = []
+
+    def sender():
+        yield from link.send(Direction.TO_HOST, 10)
+        done.append(sim.now)
+
+    for __ in range(4):
+        sim.spawn(sender())
+    sim.run()
+    # serialize at 10 ns each, each then flies 50 ns: last at 40+50=90,
+    # far below the unpipelined 4*60=240.
+    assert done == [60.0, 70.0, 80.0, 90.0]
+
+
+def test_counters(sim):
+    link = Link(sim, cxl_link())
+    sim.run_process(link.round_trip(16, 64))
+    assert link.messages == 2
+    assert link.bytes_moved == 80
+
+
+def test_standard_link_rates():
+    assert cxl_link().bytes_per_ns == 64.0       # x16 @ 32 GT/s
+    assert upi_link().bytes_per_ns == 45.0       # 18 lanes @ 20 GT/s
+    assert pcie_link(16).bytes_per_ns == 64.0
+    assert pcie_link(32).bytes_per_ns == 128.0   # BF-3
+    # the 40% CXL-over-UPI raw-bandwidth edge (SV-A)
+    assert cxl_link().bytes_per_ns / upi_link().bytes_per_ns == pytest.approx(
+        1.42, abs=0.01)
+
+
+def test_invalid_links_rejected():
+    with pytest.raises(ConfigError):
+        LinkConfig("bad", propagation_ns=-1.0, bytes_per_ns=1.0)
+    with pytest.raises(ConfigError):
+        LinkConfig("bad", propagation_ns=1.0, bytes_per_ns=0.0)
+    with pytest.raises(ConfigError):
+        pcie_link(7)
+
+
+def test_min_round_trip_floor():
+    sim = Simulator()
+    link = Link(sim, cxl_link())
+    assert link.min_round_trip_ns == pytest.approx(
+        2 * 35.0 + 2 * 16 / 64.0)

@@ -1,0 +1,84 @@
+"""Tests for PCIe MMIO semantics and DMA."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PcieDeviceConfig
+from repro.interconnect.pcie import PciePort
+from repro.sim.engine import Simulator
+from repro.units import us
+
+
+@pytest.fixture
+def port(sim):
+    return PciePort(sim, PcieDeviceConfig())
+
+
+def run(sim, gen):
+    start = sim.now
+    sim.run_process(gen)
+    return sim.now - start
+
+
+def test_mmio_read_64b_is_one_microsecond(sim, port):
+    assert run(sim, port.mmio_read(64)) == pytest.approx(us(1.0))
+
+
+def test_mmio_read_256b_exceeds_4us(sim, port):
+    """SI: 'the latency ... for a 256B read access to device memory are
+    longer than 4us'."""
+    assert run(sim, port.mmio_read(256)) >= us(4.0)
+
+
+def test_mmio_reads_are_dependent_round_trips(sim, port):
+    lat_1 = run(sim, port.mmio_read(64))
+    lat_8 = run(sim, port.mmio_read(512))
+    assert lat_8 == pytest.approx(8 * lat_1)
+
+
+def test_mmio_write_strict_ordering(sim, port):
+    """Only one WC write in flight: N writes take N one-way trips."""
+    done = []
+
+    def writer():
+        yield from port.mmio_write(64)
+        done.append(sim.now)
+
+    for __ in range(3):
+        sim.spawn(writer())
+    sim.run()
+    assert done == [300.0, 600.0, 900.0]
+
+
+def test_dma_setup_dominates_small_transfers(sim, port):
+    lat_64 = run(sim, port.dma(64))
+    lat_4k = run(sim, port.dma(4096))
+    # 64 B and 4 KB are within ~2x: setup+completion dominate both.
+    assert lat_4k < 2 * lat_64
+
+
+def test_dma_streaming_rate_for_large_transfers(sim, port):
+    lat = run(sim, port.dma(1 << 20))
+    # 1 MiB at 30 B/ns ~ 35 us; overheads are noise at this size.
+    assert lat == pytest.approx((1 << 20) / 30.0, rel=0.05)
+
+
+def test_dma_engine_serializes_transfers(sim, port):
+    done = []
+
+    def mover():
+        yield from port.dma(1 << 18)
+        done.append(sim.now)
+
+    sim.spawn(mover())
+    sim.spawn(mover())
+    sim.run()
+    stream_ns = (1 << 18) / 30.0
+    assert done[1] - done[0] >= stream_ns * 0.95
+
+
+def test_dma_beats_mmio_for_large_transfers(sim, port):
+    mmio = run(sim, port.mmio_read(4096))
+    dma = run(sim, port.dma(4096))
+    assert dma < mmio / 10

@@ -1,0 +1,57 @@
+"""Tests for the CXL and UPI message-leg ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import cxl_link, upi_link
+from repro.interconnect.cxl import ACK_BYTES, DATA_BYTES, REQ_BYTES, CxlPort
+from repro.interconnect.upi import UpiPort
+
+
+def elapsed(sim, gen):
+    start = sim.now
+    sim.run_process(gen)
+    return sim.now - start
+
+
+def test_cxl_request_cheaper_than_data(sim):
+    port = CxlPort(sim, cxl_link())
+    req = elapsed(sim, port.d2h_req_up())
+    data = elapsed(sim, port.d2h_data_up())
+    assert req < data
+
+
+def test_cxl_read_legs_sum(sim):
+    port = CxlPort(sim, cxl_link())
+    cfg = cxl_link()
+    total = elapsed(sim, port.d2h_req_up()) + elapsed(sim, port.data_down())
+    expected = (cfg.serialization_ns(REQ_BYTES) + cfg.propagation_ns
+                + cfg.serialization_ns(DATA_BYTES) + cfg.propagation_ns)
+    assert total == pytest.approx(expected)
+
+
+def test_cxl_h2d_legs(sim):
+    port = CxlPort(sim, cxl_link())
+    assert elapsed(sim, port.h2d_req_down()) > 0
+    assert elapsed(sim, port.h2d_data_down()) > elapsed(
+        sim, port.ack_up())
+
+
+def test_upi_legs(sim):
+    port = UpiPort(sim, upi_link())
+    req = elapsed(sim, port.req_to_home())
+    data_back = elapsed(sim, port.data_to_remote())
+    ack = elapsed(sim, port.ack_to_remote())
+    assert req < data_back
+    assert ack < data_back
+
+
+def test_cxl_vs_upi_propagation(sim):
+    """The CXL port's higher base latency vs the mature UPI fabric."""
+    cxl = CxlPort(sim, cxl_link())
+    upi = UpiPort(sim, upi_link())
+    cxl_rt = elapsed(sim, cxl.d2h_req_up()) + elapsed(sim, cxl.data_down())
+    upi_rt = elapsed(sim, upi.req_to_home()) + elapsed(
+        sim, upi.data_to_remote())
+    assert cxl_rt > upi_rt

@@ -1,0 +1,140 @@
+"""Tests for the kswapd/ksmd daemons and cost profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.node import MemoryPressure, ServerNode
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.errors import WorkloadError
+from repro.kernel.daemons import (
+    DEVICE_OVERLAP,
+    POLLUTION_WEIGHT,
+    CostProfile,
+    OpCost,
+    ReclaimDaemon,
+    ScanDaemon,
+)
+from repro.units import ms, us
+
+
+@pytest.fixture
+def profile_cpu(platform):
+    return CostProfile.from_engine(platform, OffloadEngine(platform), "cpu")
+
+
+@pytest.fixture
+def profile_cxl(platform):
+    return CostProfile.from_engine(platform, OffloadEngine(platform), "cxl")
+
+
+def make_node(platform, cores=4):
+    pressure = MemoryPressure.sized(1 << 14)
+    return ServerNode(platform.sim, platform.rng.fork(1), cores, pressure)
+
+
+def test_profile_splits_host_and_device(profile_cpu, profile_cxl):
+    assert profile_cpu.compress.device_ns == 0.0
+    assert profile_cpu.compress.host_ns > us(5.0)
+    assert profile_cxl.compress.device_ns > us(2.0)
+    assert profile_cxl.compress.host_ns < us(1.0)
+
+
+def test_profile_covers_all_ops(profile_cxl):
+    for cost in (profile_cxl.compress, profile_cxl.decompress,
+                 profile_cxl.hash, profile_cxl.compare):
+        assert cost.total_ns > 0
+
+
+def test_reclaim_daemon_restores_watermark(platform, profile_cxl):
+    node = make_node(platform)
+    node.pressure.free_pages = node.pressure.low_pages - 100
+    daemon = ReclaimDaemon(node, profile_cxl)
+    platform.sim.spawn(daemon.run(ms(50.0)), "kswapd")
+    platform.sim.run(until=ms(51.0))
+    assert node.pressure.above_high
+    assert daemon.pages_reclaimed > 0
+
+
+def test_reclaim_daemon_idle_above_low(platform, profile_cxl):
+    node = make_node(platform)
+    daemon = ReclaimDaemon(node, profile_cxl)
+    platform.sim.spawn(daemon.run(ms(2.0)), "kswapd")
+    platform.sim.run(until=ms(3.0))
+    assert daemon.pages_reclaimed == 0
+
+
+def test_cpu_reclaim_occupies_cores(platform, profile_cpu):
+    node = make_node(platform)
+    node.pressure.free_pages = node.pressure.low_pages - 200
+    daemon = ReclaimDaemon(node, profile_cpu)
+    platform.sim.spawn(daemon.run(ms(50.0)), "kswapd")
+    platform.sim.run(until=ms(51.0))
+    assert node.feature_core_busy_ns > 0
+    # The cpu backend's per-page cost includes the full compression.
+    per_page = node.feature_core_busy_ns / daemon.pages_reclaimed
+    assert per_page > us(8.0)
+
+
+def test_offload_reclaim_uses_far_fewer_host_cycles(platform, profile_cpu,
+                                                    profile_cxl):
+    busy = {}
+    for name, profile in (("cpu", profile_cpu), ("cxl", profile_cxl)):
+        node = make_node(platform)
+        node.pressure.free_pages = node.pressure.low_pages - 200
+        daemon = ReclaimDaemon(node, profile)
+        proc = platform.sim.spawn(daemon.run(platform.sim.now + ms(40.0)))
+        platform.sim.run()
+        busy[name] = node.feature_core_busy_ns / max(1, daemon.pages_reclaimed)
+    assert busy["cxl"] < busy["cpu"] / 2
+
+
+def test_inline_reclaim_releases_pressure(platform, profile_cxl):
+    node = make_node(platform)
+    node.pressure.free_pages = 10
+    daemon = ReclaimDaemon(node, profile_cxl)
+    core = node.core(0)
+
+    def requester():
+        yield core.acquire()
+        try:
+            yield from daemon.inline_reclaim(core)
+        finally:
+            core.release()
+
+    platform.sim.run_process(requester())
+    assert node.pressure.free_pages == 10 + daemon.chunk_pages
+    assert daemon.direct_entries == 1
+
+
+def test_scan_daemon_progresses_and_sleeps(platform, profile_cpu):
+    node = make_node(platform)
+    daemon = ScanDaemon(node, profile_cpu)
+    platform.sim.spawn(daemon.run(ms(10.0)), "ksmd")
+    platform.sim.run(until=ms(11.0))
+    assert daemon.pages_scanned > 0
+    assert daemon.pages_scanned % daemon.chunk_pages == 0
+
+
+def test_scan_daemon_pollution_toggles(platform, profile_cpu):
+    node = make_node(platform)
+    daemon = ScanDaemon(node, profile_cpu)
+    platform.sim.spawn(daemon.run(ms(1.0)), "ksmd")
+    platform.sim.run(until=ms(2.0))
+    assert not node.pollution_active()     # stopped cleanly
+
+
+def test_invalid_daemon_parameters(platform, profile_cpu):
+    node = make_node(platform)
+    with pytest.raises(WorkloadError):
+        ReclaimDaemon(node, profile_cpu, chunk_pages=0)
+    with pytest.raises(WorkloadError):
+        ScanDaemon(node, profile_cpu, compare_probability=1.5)
+
+
+def test_tuning_tables_cover_all_transports():
+    for table in (POLLUTION_WEIGHT, DEVICE_OVERLAP):
+        assert set(table) == {"cpu", "pcie-rdma", "pcie-dma", "cxl"}
+    assert POLLUTION_WEIGHT["cpu"] > max(
+        POLLUTION_WEIGHT[t] for t in ("pcie-rdma", "pcie-dma", "cxl"))

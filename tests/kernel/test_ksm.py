@@ -1,0 +1,141 @@
+"""Tests for the ksm scanner, trees, merging, and CoW semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.kernel.ksm import Ksm
+from repro.kernel.vm import VirtualMachine, make_vm_fleet
+from repro.sim.rng import DeterministicRng
+from repro.units import PAGE_SIZE
+
+
+def make_ksm(platform, vms, transport="cpu"):
+    engine = OffloadEngine(platform, functional=True)
+    return Ksm(engine, transport, vms, functional=True)
+
+
+def two_vms_sharing(n_shared=3, n_private=2):
+    rng = DeterministicRng(21)
+    vms = []
+    shared = [rng.random_bytes(PAGE_SIZE) for __ in range(n_shared)]
+    for name in ("vm0", "vm1"):
+        vm = VirtualMachine(name)
+        for vpn, content in enumerate(shared):
+            vm.map_page(vpn, content)
+        for j in range(n_private):
+            vm.map_page(n_shared + j, rng.random_bytes(PAGE_SIZE))
+        vms.append(vm)
+    return vms
+
+
+def test_first_scan_merges_nothing(platform):
+    """Pass 1 only records checksums: pages have no 'unchanged' history,
+    so nothing is a merge candidate yet (the Linux behaviour)."""
+    ksm = make_ksm(platform, two_vms_sharing())
+    merged = platform.sim.run_process(ksm.full_scan())
+    assert merged == 0
+    assert ksm.stats.pages_scanned == 10
+
+
+def test_second_scan_merges_identical_pages(platform):
+    ksm = make_ksm(platform, two_vms_sharing(n_shared=3))
+    platform.sim.run_process(ksm.full_scan())
+    merged = platform.sim.run_process(ksm.full_scan())
+    assert merged == 3            # vm1's three duplicates fold into vm0's
+    assert ksm.saved_pages == 3
+    assert ksm.shared_pages == 6  # both mappings now reference the nodes
+
+
+def test_private_pages_never_merge(platform):
+    vms = two_vms_sharing(n_shared=0, n_private=4)
+    ksm = make_ksm(platform, vms)
+    for __ in range(3):
+        platform.sim.run_process(ksm.full_scan())
+    assert ksm.stats.pages_merged == 0
+
+
+def test_volatile_pages_skipped(platform):
+    """A page whose content changes between scans must not enter the
+    unstable tree (its checksum hint changed)."""
+    vms = two_vms_sharing(n_shared=1)
+    ksm = make_ksm(platform, vms)
+    platform.sim.run_process(ksm.full_scan())
+    # Mutate vm0's copy between passes: hint changes, no merge with it.
+    vms[0].write(0, b"\x99" * PAGE_SIZE)
+    merged = platform.sim.run_process(ksm.full_scan())
+    assert merged == 0
+
+
+def test_third_vm_joins_existing_stable_node(platform):
+    vms = two_vms_sharing(n_shared=1, n_private=0)
+    extra = VirtualMachine("vm2")
+    extra.map_page(0, vms[0].read(0))
+    vms.append(extra)
+    ksm = make_ksm(platform, vms)
+    platform.sim.run_process(ksm.full_scan())
+    platform.sim.run_process(ksm.full_scan())
+    assert ksm.saved_pages == 2          # three mappings, one frame
+    node = next(iter(ksm._stable.values()))
+    assert node.sharers == 3
+
+
+def test_unshare_on_guest_write(platform):
+    vms = two_vms_sharing(n_shared=1, n_private=0)
+    ksm = make_ksm(platform, vms)
+    platform.sim.run_process(ksm.full_scan())
+    platform.sim.run_process(ksm.full_scan())
+    assert ksm.saved_pages == 1
+    ksm.unshare(vms[1], 0, b"\x42" * PAGE_SIZE)
+    assert ksm.saved_pages == 0
+    assert vms[1].cow_breaks == 1
+    assert vms[1].read(0) == b"\x42" * PAGE_SIZE
+    assert vms[0].read(0) != vms[1].read(0)
+
+
+def test_merged_pages_not_rescanned(platform):
+    vms = two_vms_sharing(n_shared=2, n_private=0)
+    ksm = make_ksm(platform, vms)
+    platform.sim.run_process(ksm.full_scan())
+    platform.sim.run_process(ksm.full_scan())
+    hashes_before = ksm.stats.hash_computations
+    platform.sim.run_process(ksm.full_scan())
+    # All four pages are shared now: no hash work remains.
+    assert ksm.stats.hash_computations == hashes_before
+
+
+def test_fleet_dedup_ratio(platform):
+    """A realistic fleet: ~40% of guest pages are common templates."""
+    rng = DeterministicRng(31)
+    vms = make_vm_fleet(4, pages_per_vm=10, shared_fraction=0.4, rng=rng)
+    ksm = make_ksm(platform, vms)
+    platform.sim.run_process(ksm.full_scan())
+    platform.sim.run_process(ksm.full_scan())
+    # 4 template pages x 4 VMs: 16 mappings fold into 4 frames.
+    assert ksm.saved_pages == 12
+
+
+def test_offloaded_scan_produces_same_merges():
+    results = {}
+    for transport in ("cpu", "cxl"):
+        platform = Platform(seed=13)
+        vms = two_vms_sharing(n_shared=3)
+        ksm = make_ksm(platform, vms, transport=transport)
+        platform.sim.run_process(ksm.full_scan())
+        platform.sim.run_process(ksm.full_scan())
+        results[transport] = ksm.saved_pages
+    assert results["cpu"] == results["cxl"] == 3
+
+
+def test_ksm_host_cpu_cost_lower_when_offloaded():
+    costs = {}
+    for transport in ("cpu", "cxl"):
+        platform = Platform(seed=14)
+        vms = two_vms_sharing(n_shared=3)
+        ksm = make_ksm(platform, vms, transport=transport)
+        platform.sim.run_process(ksm.full_scan())
+        platform.sim.run_process(ksm.full_scan())
+        costs[transport] = ksm.stats.host_cpu_ns
+    assert costs["cxl"] < costs["cpu"] / 3

@@ -1,0 +1,113 @@
+"""Tests for the two-list LRU."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernel.lru import LruLists
+from repro.kernel.page import Page
+
+
+def pages(n):
+    return [Page(i) for i in range(n)]
+
+
+def test_new_pages_start_inactive():
+    lru = LruLists()
+    page = Page(0)
+    lru.add(page)
+    assert lru.inactive_count == 1 and lru.active_count == 0
+
+
+def test_double_add_rejected():
+    lru = LruLists()
+    page = Page(0)
+    lru.add(page)
+    with pytest.raises(KernelError):
+        lru.add(page)
+
+
+def test_second_touch_promotes():
+    lru = LruLists()
+    page = Page(0)
+    lru.add(page)
+    lru.touch(page)           # sets referenced
+    assert lru.inactive_count == 1
+    lru.touch(page)           # promotes
+    assert lru.active_count == 1 and lru.inactive_count == 0
+
+
+def test_isolate_coldest_prefers_inactive_tail():
+    lru = LruLists()
+    ps = pages(3)
+    for p in ps:
+        lru.add(p)
+    victim = lru.isolate_coldest()
+    assert victim is ps[0]    # oldest inactive
+
+
+def test_isolate_falls_back_to_active():
+    lru = LruLists()
+    page = Page(0)
+    lru.add(page)
+    lru.touch(page)
+    lru.touch(page)           # now active
+    victim = lru.isolate_coldest()
+    assert victim is page
+    assert lru.isolate_coldest() is None
+
+
+def test_remove():
+    lru = LruLists()
+    page = Page(0)
+    lru.add(page)
+    lru.remove(page)
+    assert page not in lru
+    with pytest.raises(KernelError):
+        lru.remove(page)
+
+
+def test_touch_unmapped_rejected():
+    lru = LruLists()
+    with pytest.raises(KernelError):
+        lru.touch(Page(9))
+
+
+def test_rotate_to_inactive():
+    lru = LruLists()
+    ps = pages(4)
+    for p in ps:
+        lru.add(p)
+        lru.touch(p)
+        lru.touch(p)
+    assert lru.active_count == 4
+    moved = lru.rotate_to_inactive(2)
+    assert moved == 2
+    assert lru.active_count == 2 and lru.inactive_count == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=120))
+def test_property_membership_is_consistent(touch_sequence):
+    lru = LruLists()
+    by_pfn = {}
+    for pfn in touch_sequence:
+        if pfn not in by_pfn:
+            by_pfn[pfn] = Page(pfn)
+            lru.add(by_pfn[pfn])
+        else:
+            lru.touch(by_pfn[pfn])
+    assert len(lru) == len(by_pfn)
+    assert lru.active_count + lru.inactive_count == len(by_pfn)
+    # Isolation drains every page exactly once.
+    drained = set()
+    while True:
+        page = lru.isolate_coldest()
+        if page is None:
+            break
+        assert page.pfn not in drained
+        drained.add(page.pfn)
+    assert drained == set(by_pfn)

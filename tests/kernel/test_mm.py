@@ -1,0 +1,108 @@
+"""Tests for the end-to-end memory manager (alloc -> reclaim -> fault)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.errors import KernelError
+from repro.kernel.mm import MemoryManager
+from repro.kernel.page import FrameAllocator, Watermarks
+from repro.kernel.swapdev import SwapDevice
+from repro.kernel.zswap import Zswap
+from repro.units import PAGE_SIZE
+
+
+def make_mm(platform, total_pages=256, functional=False):
+    allocator = FrameAllocator(
+        total_pages, Watermarks(8, 16, 32))
+    engine = OffloadEngine(platform, functional=functional)
+    zswap = Zswap(engine, SwapDevice(platform.sim), "cpu",
+                  managed_pages=total_pages, max_pool_percent=50)
+    return MemoryManager(platform.sim, allocator, zswap)
+
+
+def test_alloc_and_free(platform):
+    mm = make_mm(platform)
+    ref = platform.sim.run_process(mm.alloc_page("redis"))
+    assert ref.resident
+    assert len(mm.lru) == 1
+    mm.free_page(ref)
+    assert len(mm.lru) == 0
+    with pytest.raises(KernelError):
+        mm.free_page(ref)
+
+
+def test_background_reclaim_wakes_below_low(platform):
+    mm = make_mm(platform, total_pages=64)
+    refs = []
+    # 64 total, low mark 16: allocating 50 pages crosses it.
+    for __ in range(50):
+        refs.append(platform.sim.run_process(mm.alloc_page("task")))
+    platform.sim.run()   # let kswapd drain
+    assert mm.stats.background_wakeups >= 1
+    assert mm.stats.pages_swapped_out > 0
+    assert mm.allocator.above_high()
+
+
+def test_direct_reclaim_below_min(platform):
+    mm = make_mm(platform, total_pages=40)
+    # Pin kswapd "busy" so background reclaim cannot keep free above min
+    # (run_process drains the heap between allocations otherwise).
+    mm._kswapd_running = True
+    refs = [platform.sim.run_process(mm.alloc_page("t"))
+            for __ in range(40 - 6)]   # drive free below min=8
+    assert mm.stats.direct_reclaims >= 1
+    assert mm.stats.pages_swapped_out >= 1
+    # Direct reclaim restored headroom: the next allocation is clean.
+    free_before = mm.allocator.free_pages
+    platform.sim.run_process(mm.alloc_page("t"))
+    assert mm.allocator.free_pages == free_before - 1
+
+
+def test_fault_brings_page_back(platform):
+    mm = make_mm(platform, total_pages=64)
+    ref = platform.sim.run_process(mm.alloc_page("redis"))
+    platform.sim.run_process(mm.reclaim(1))
+    assert not ref.resident and ref.zswap_handle is not None
+    major = platform.sim.run_process(mm.touch(ref))
+    assert major is True
+    assert ref.resident
+    assert mm.stats.major_faults == 1
+
+
+def test_touch_resident_is_minor(platform):
+    mm = make_mm(platform)
+    ref = platform.sim.run_process(mm.alloc_page("redis"))
+    assert platform.sim.run_process(mm.touch(ref)) is False
+
+
+def test_content_survives_swap_cycle():
+    platform = Platform(seed=8)
+    mm = make_mm(platform, total_pages=64, functional=True)
+    payload = (b"important redis value " * 300)[:PAGE_SIZE]
+    ref = platform.sim.run_process(mm.alloc_page("redis", payload))
+    platform.sim.run_process(mm.reclaim(1))
+    platform.sim.run_process(mm.touch(ref))
+    assert ref.content == payload
+
+
+def test_freeing_swapped_page_invalidates_zswap(platform):
+    mm = make_mm(platform, total_pages=64)
+    ref = platform.sim.run_process(mm.alloc_page("t"))
+    platform.sim.run_process(mm.reclaim(1))
+    pool_before = mm.zswap.pool_bytes
+    mm.free_page(ref)
+    assert mm.zswap.pool_bytes < pool_before
+
+
+def test_reclaim_respects_lru_order(platform):
+    mm = make_mm(platform, total_pages=64)
+    cold = platform.sim.run_process(mm.alloc_page("t"))
+    hot = platform.sim.run_process(mm.alloc_page("t"))
+    platform.sim.run_process(mm.touch(hot))
+    platform.sim.run_process(mm.touch(hot))   # promote to active
+    platform.sim.run_process(mm.reclaim(1))
+    assert not cold.resident
+    assert hot.resident

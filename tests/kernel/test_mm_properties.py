@@ -1,0 +1,60 @@
+"""Hypothesis property tests for memory-manager invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.kernel.mm import MemoryManager
+from repro.kernel.page import FrameAllocator, Watermarks
+from repro.kernel.swapdev import SwapDevice
+from repro.kernel.zswap import Zswap
+
+TOTAL_PAGES = 96
+
+
+def fresh_mm():
+    platform = Platform(seed=301)
+    engine = OffloadEngine(platform)
+    zswap = Zswap(engine, SwapDevice(platform.sim), "cpu",
+                  managed_pages=TOTAL_PAGES, max_pool_percent=50)
+    allocator = FrameAllocator(TOTAL_PAGES, Watermarks(4, 8, 16))
+    return platform, MemoryManager(platform.sim, allocator, zswap)
+
+
+# op encoding per step: 0=alloc, 1=free-oldest, 2=touch-oldest, 3=reclaim-1
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=60))
+def test_property_mm_conservation(ops):
+    platform, mm = fresh_mm()
+    sim = platform.sim
+    refs = []
+    for op in ops:
+        if op == 0 or not refs:
+            refs.append(sim.run_process(mm.alloc_page("task")))
+        elif op == 1:
+            mm.free_page(refs.pop(0))
+        elif op == 2:
+            sim.run_process(mm.touch(refs[0]))
+        else:
+            sim.run_process(mm.reclaim(1))
+        sim.run()    # drain kswapd / background writebacks
+
+        # Invariant 1: frames are conserved.
+        alloc = mm.allocator
+        assert alloc.free_pages + alloc.used_pages == TOTAL_PAGES
+        # Invariant 2: every live ref is in exactly one place.
+        resident = swapped = 0
+        for ref in refs:
+            assert (ref.page is not None) != (ref.zswap_handle is not None)
+            if ref.resident:
+                resident += 1
+            else:
+                swapped += 1
+        # Invariant 3: the LRU holds exactly the resident pages.
+        assert len(mm.lru) == alloc.used_pages
+        assert resident == alloc.used_pages
+        # Invariant 4: reverse map covers residents only.
+        assert len(mm._by_pfn) == resident

@@ -1,0 +1,78 @@
+"""Tests for page frames, the allocator, and watermarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.page import FrameAllocator, Page, Watermarks, default_watermarks
+
+
+def test_alloc_and_free_cycle():
+    alloc = FrameAllocator(128)
+    page = alloc.try_alloc("redis")
+    assert page is not None and page.owner == "redis"
+    assert alloc.free_pages == 127
+    alloc.free(page)
+    assert alloc.free_pages == 128
+
+
+def test_exhaustion_returns_none():
+    alloc = FrameAllocator(64)
+    pages = [alloc.try_alloc("t") for __ in range(64)]
+    assert all(pages)
+    assert alloc.try_alloc("t") is None
+
+
+def test_double_free_rejected():
+    alloc = FrameAllocator(64)
+    page = alloc.try_alloc("t")
+    alloc.free(page)
+    with pytest.raises(KernelError):
+        alloc.free(page)
+
+
+def test_page_lookup():
+    alloc = FrameAllocator(64)
+    page = alloc.try_alloc("t")
+    assert alloc.page(page.pfn) is page
+    with pytest.raises(KernelError):
+        alloc.page(page.pfn + 1)
+
+
+def test_watermark_ordering_enforced():
+    with pytest.raises(KernelError):
+        Watermarks(10, 10, 20)
+    with pytest.raises(KernelError):
+        Watermarks(10, 20, 15)
+
+
+def test_default_watermarks_scale():
+    marks = default_watermarks(64_000)
+    assert marks.min_pages < marks.low_pages < marks.high_pages
+    assert marks.min_pages == 1000
+
+
+def test_watermark_queries():
+    marks = Watermarks(10, 20, 30)
+    alloc = FrameAllocator(100, marks)
+    while alloc.free_pages > 25:
+        alloc.try_alloc("t")
+    assert not alloc.below_low()
+    while alloc.free_pages > 15:
+        alloc.try_alloc("t")
+    assert alloc.below_low() and not alloc.below_min()
+    while alloc.free_pages > 5:
+        alloc.try_alloc("t")
+    assert alloc.below_min()
+
+
+def test_page_address():
+    assert Page(3).addr == 3 * 4096
+
+
+def test_counters():
+    alloc = FrameAllocator(16)
+    p = alloc.try_alloc("t")
+    alloc.free(p)
+    assert alloc.allocations == 1 and alloc.frees == 1

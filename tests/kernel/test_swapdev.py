@@ -1,0 +1,124 @@
+"""Tests for the backing swap device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.swapdev import SSD_READ_NS, SSD_WRITE_NS, SwapDevice
+from repro.units import PAGE_SIZE
+
+
+def test_write_then_read_roundtrip(sim):
+    dev = SwapDevice(sim)
+    data = bytes([7]) * PAGE_SIZE
+    slot = sim.run_process(dev.write_page(data))
+    assert dev.used_slots == 1
+    back = sim.run_process(dev.read_page(slot))
+    assert back == data
+    assert dev.used_slots == 0
+
+
+def test_read_unoccupied_slot_rejected(sim):
+    dev = SwapDevice(sim)
+    with pytest.raises(KernelError):
+        sim.run_process(dev.read_page(5))
+
+
+def test_reads_cost_more_than_writes(sim):
+    dev = SwapDevice(sim)
+    t0 = sim.now
+    slot = sim.run_process(dev.write_page(None))
+    write_ns = sim.now - t0
+    t0 = sim.now
+    sim.run_process(dev.read_page(slot))
+    read_ns = sim.now - t0
+    assert write_ns == pytest.approx(SSD_WRITE_NS)
+    assert read_ns == pytest.approx(SSD_READ_NS)
+    assert read_ns > 3 * write_ns
+
+
+def test_wrong_size_rejected(sim):
+    dev = SwapDevice(sim)
+    with pytest.raises(KernelError):
+        sim.run_process(dev.write_page(b"short"))
+
+
+def test_capacity_enforced(sim):
+    dev = SwapDevice(sim, capacity_pages=2)
+    sim.run_process(dev.write_page(None))
+    sim.run_process(dev.write_page(None))
+    with pytest.raises(KernelError):
+        sim.run_process(dev.write_page(None))
+
+
+def test_discard(sim):
+    dev = SwapDevice(sim)
+    slot = sim.run_process(dev.write_page(None))
+    dev.discard(slot)
+    assert dev.used_slots == 0
+    with pytest.raises(KernelError):
+        dev.discard(slot)
+
+
+def test_queue_depth_parallelism(sim):
+    """Concurrent I/O overlaps up to the queue depth."""
+    dev = SwapDevice(sim)
+    done = []
+
+    def writer():
+        yield from dev.write_page(None)
+        done.append(sim.now)
+
+    for __ in range(10):
+        sim.spawn(writer())
+    sim.run()
+    assert max(done) == pytest.approx(SSD_WRITE_NS)   # all in parallel
+
+
+def test_injected_read_error_raises_and_loses_slot(sim):
+    from repro.kernel.swapdev import SwapIOError
+    dev = SwapDevice(sim)
+    slot = sim.run_process(dev.write_page(None))
+    dev.inject_read_errors(1)
+    with pytest.raises(SwapIOError):
+        sim.run_process(dev.read_page(slot))
+    assert dev.read_errors == 1
+    # The slot is gone, as after a real media error.
+    with pytest.raises(KernelError):
+        sim.run_process(dev.read_page(slot))
+
+
+def test_error_injection_is_counted_and_bounded(sim):
+    from repro.kernel.swapdev import SwapIOError
+    dev = SwapDevice(sim)
+    slots = [sim.run_process(dev.write_page(None)) for __ in range(3)]
+    dev.inject_read_errors(2)
+    failures = 0
+    for slot in slots:
+        try:
+            sim.run_process(dev.read_page(slot))
+        except SwapIOError:
+            failures += 1
+    assert failures == 2           # the third read succeeds
+    with pytest.raises(KernelError):
+        dev.inject_read_errors(-1)
+
+
+def test_swap_error_surfaces_through_zswap(sim):
+    """A pool-missing load that hits a bad sector propagates the error
+    to the fault path instead of returning corrupt data."""
+    from repro.core.offload import OffloadEngine
+    from repro.core.platform import Platform
+    from repro.kernel.swapdev import SwapIOError
+    from repro.kernel.zswap import Zswap
+
+    platform = Platform(seed=601)
+    z = Zswap(OffloadEngine(platform), SwapDevice(platform.sim), "cpu",
+              managed_pages=16, max_pool_percent=20)
+    first, __ = platform.sim.run_process(z.store())
+    while z.stats.writebacks == 0:
+        platform.sim.run_process(z.store())
+    z.swapdev.inject_read_errors(1)
+    with pytest.raises(SwapIOError):
+        platform.sim.run_process(z.load(first))

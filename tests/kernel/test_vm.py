@@ -1,0 +1,65 @@
+"""Tests for the VM model and fleet generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.vm import VirtualMachine, make_vm_fleet
+from repro.sim.rng import DeterministicRng
+from repro.units import PAGE_SIZE
+
+
+def test_map_read_write():
+    vm = VirtualMachine("vm0")
+    content = b"\x11" * PAGE_SIZE
+    vm.map_page(0, content)
+    assert vm.read(0) == content
+    vm.write(0, b"\x22" * PAGE_SIZE)
+    assert vm.read(0)[0] == 0x22
+
+
+def test_double_map_rejected():
+    vm = VirtualMachine("vm0")
+    vm.map_page(0, bytes(PAGE_SIZE))
+    with pytest.raises(KernelError):
+        vm.map_page(0, bytes(PAGE_SIZE))
+
+
+def test_wrong_page_size_rejected():
+    vm = VirtualMachine("vm0")
+    with pytest.raises(KernelError):
+        vm.map_page(0, b"short")
+
+
+def test_unmapped_access_rejected():
+    vm = VirtualMachine("vm0")
+    with pytest.raises(KernelError):
+        vm.read(7)
+
+
+def test_write_breaks_share():
+    vm = VirtualMachine("vm0")
+    page = vm.map_page(0, bytes(PAGE_SIZE))
+    page.shared = True
+    vm.write(0, b"\x01" * PAGE_SIZE)
+    assert not page.shared
+    assert vm.cow_breaks == 1
+
+
+def test_fleet_shared_template_pages():
+    rng = DeterministicRng(11)
+    vms = make_vm_fleet(4, pages_per_vm=20, shared_fraction=0.5, rng=rng)
+    assert len(vms) == 4
+    # The first 10 pages of every VM are identical templates...
+    for vpn in range(10):
+        contents = {vm.read(vpn) for vm in vms}
+        assert len(contents) == 1
+    # ...and the private tail differs across VMs.
+    assert len({vm.read(15) for vm in vms}) == 4
+
+
+def test_fleet_fraction_bounds():
+    rng = DeterministicRng(11)
+    with pytest.raises(KernelError):
+        make_vm_fleet(2, 10, shared_fraction=1.5, rng=rng)

@@ -1,0 +1,133 @@
+"""Tests for the zswap compressed cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.errors import KernelError
+from repro.kernel.swapdev import SwapDevice
+from repro.kernel.zswap import Zswap
+from repro.units import PAGE_SIZE
+
+
+def make_zswap(platform, transport="cpu", functional=False,
+               managed_pages=1024, max_pool_percent=20):
+    engine = OffloadEngine(platform, functional=functional)
+    swapdev = SwapDevice(platform.sim)
+    return Zswap(engine, swapdev, transport, managed_pages, max_pool_percent)
+
+
+def test_bad_pool_percent_rejected(platform):
+    with pytest.raises(KernelError):
+        make_zswap(platform, max_pool_percent=0)
+    with pytest.raises(KernelError):
+        make_zswap(platform, max_pool_percent=100)
+
+
+def test_store_then_load_hits_pool(platform):
+    z = make_zswap(platform)
+    handle, report = platform.sim.run_process(z.store())
+    assert z.pool_bytes == report.output_bytes
+    data, hit = platform.sim.run_process(z.load(handle))
+    assert hit is True
+    assert z.pool_bytes == 0
+    assert z.stats.pool_hits == 1
+
+
+def test_load_unknown_handle_rejected(platform):
+    z = make_zswap(platform)
+    with pytest.raises(KernelError):
+        platform.sim.run_process(z.load(42))
+
+
+def test_pool_limit_triggers_writeback(platform):
+    z = make_zswap(platform, managed_pages=16, max_pool_percent=20)
+    # limit = 16 pages * 4096 * 20% = ~13 KB; a few stores overflow it.
+    handles = []
+    for __ in range(12):
+        handle, __r = platform.sim.run_process(z.store())
+        handles.append(handle)
+    assert z.stats.writebacks > 0
+    assert z.pool_bytes <= z.pool_limit_bytes
+    assert z.swapdev.used_slots == z.stats.writebacks
+
+
+def test_load_after_writeback_misses_pool(platform):
+    z = make_zswap(platform, managed_pages=16, max_pool_percent=20)
+    first_handle, __ = platform.sim.run_process(z.store())
+    while z.stats.writebacks == 0:
+        platform.sim.run_process(z.store())
+    # The first (LRU) entry was evicted to the swap device.
+    data, hit = platform.sim.run_process(z.load(first_handle))
+    assert hit is False
+    assert z.stats.pool_misses == 1
+
+
+def test_pool_miss_costs_ssd_latency(platform):
+    z = make_zswap(platform, managed_pages=16, max_pool_percent=20)
+    first_handle, __ = platform.sim.run_process(z.store())
+    while z.stats.writebacks == 0:
+        platform.sim.run_process(z.store())
+    sim = platform.sim
+    hit_handle = next(iter(z._pool))
+    t0 = sim.now
+    sim.run_process(z.load(hit_handle))
+    hit_ns = sim.now - t0
+    t0 = sim.now
+    sim.run_process(z.load(first_handle))
+    miss_ns = sim.now - t0
+    assert miss_ns > 3 * hit_ns   # the SSD cliff zswap exists to avoid
+
+
+def test_invalidate_pool_entry(platform):
+    z = make_zswap(platform)
+    handle, __ = platform.sim.run_process(z.store())
+    z.invalidate(handle)
+    assert z.pool_bytes == 0
+    with pytest.raises(KernelError):
+        z.invalidate(handle)
+
+
+def test_cxl_pool_lives_in_device_memory(platform):
+    """SVI-A: cxl-zswap allocates the zpool in CXL device memory, so it
+    consumes no host DRAM; every other backend does."""
+    z_cxl = make_zswap(platform, transport="cxl")
+    z_cpu = make_zswap(platform, transport="cpu")
+    platform.sim.run_process(z_cxl.store())
+    platform.sim.run_process(z_cpu.store())
+    assert z_cxl.zpool_in_device_memory
+    assert z_cxl.host_dram_pool_bytes == 0
+    assert z_cxl.pool_bytes > 0
+    assert z_cpu.host_dram_pool_bytes == z_cpu.pool_bytes > 0
+
+
+def test_functional_roundtrip_through_pool():
+    platform = Platform(seed=3)
+    z = make_zswap(platform, transport="cxl", functional=True)
+    page = (b"zswap functional page " * 400)[:PAGE_SIZE]
+    handle, report = platform.sim.run_process(z.store(page))
+    assert report.output_bytes < PAGE_SIZE
+    data, hit = platform.sim.run_process(z.load(handle))
+    assert hit and data == page
+
+
+def test_functional_roundtrip_through_swap_device():
+    platform = Platform(seed=4)
+    z = make_zswap(platform, transport="cpu", functional=True,
+                   managed_pages=16, max_pool_percent=20)
+    page0 = (b"first page " * 500)[:PAGE_SIZE]
+    handle0, __ = platform.sim.run_process(z.store(page0))
+    filler = (b"filler " * 700)[:PAGE_SIZE]
+    while z.stats.writebacks == 0:
+        platform.sim.run_process(z.store(filler))
+    data, hit = platform.sim.run_process(z.load(handle0))
+    assert not hit
+    assert data == page0      # decompressed before hitting the SSD
+
+
+def test_host_cpu_accounting_accumulates(platform):
+    z = make_zswap(platform, transport="pcie-rdma")
+    platform.sim.run_process(z.store())
+    assert z.stats.host_cpu_ns > 0

@@ -1,0 +1,71 @@
+"""Hypothesis property tests for zswap pool invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.kernel.swapdev import SwapDevice
+from repro.kernel.zswap import Zswap
+from repro.units import PAGE_SIZE
+
+
+def fresh_zswap(functional=False, max_pool_percent=60):
+    platform = Platform(seed=202)
+    engine = OffloadEngine(platform, functional=functional)
+    z = Zswap(engine, SwapDevice(platform.sim), "cpu",
+              managed_pages=256, max_pool_percent=max_pool_percent)
+    return platform, z
+
+
+# op encoding: 0 = store, 1 = load-oldest-live, 2 = invalidate-oldest-live
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 2), min_size=1, max_size=40))
+def test_property_pool_accounting_is_conserved(ops):
+    platform, z = fresh_zswap()
+    live: list[int] = []
+    for op in ops:
+        if op == 0 or not live:
+            handle, __ = platform.sim.run_process(z.store())
+            if handle in z._pool or handle in z._swapped:
+                live.append(handle)
+        elif op == 1:
+            handle = live.pop(0)
+            platform.sim.run_process(z.load(handle))
+        else:
+            handle = live.pop(0)
+            z.invalidate(handle)
+        # Invariant: accounted bytes equal the sum over live entries.
+        assert z.pool_bytes == sum(e.compressed_bytes
+                                   for e in z._pool.values())
+        assert z.pool_bytes >= 0
+        # Every live handle is findable exactly once.
+        for handle in live:
+            assert (handle in z._pool) != (handle in z._swapped) or (
+                handle in z._pool or handle in z._swapped)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=8))
+def test_property_functional_roundtrip_any_content(byte_seeds):
+    platform, z = fresh_zswap(functional=True)
+    pages = []
+    for seed in byte_seeds:
+        page = bytes((seed + i * 31) % 256 for i in range(64)) * 64
+        assert len(page) == PAGE_SIZE
+        handle, __ = platform.sim.run_process(z.store(page))
+        pages.append((handle, page))
+    for handle, page in pages:
+        data, __ = platform.sim.run_process(z.load(handle))
+        assert data == page
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 30))
+def test_property_pool_never_exceeds_limit_after_store(count):
+    platform, z = fresh_zswap(max_pool_percent=5)   # tiny pool
+    for __ in range(count):
+        platform.sim.run_process(z.store())
+        assert z.pool_bytes <= z.pool_limit_bytes

@@ -1,0 +1,79 @@
+"""Tests for the same-filled fast path (Linux zswap's zero-page trick)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.kernel.swapdev import SwapDevice
+from repro.kernel.zswap import SAME_FILLED_ENTRY_BYTES, Zswap, _same_fill_byte
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def zswap():
+    platform = Platform(seed=91)
+    engine = OffloadEngine(platform, functional=True)
+    z = Zswap(engine, SwapDevice(platform.sim), "cxl",
+              managed_pages=64, max_pool_percent=25)
+    return platform, z
+
+
+def test_same_fill_detection():
+    assert _same_fill_byte(bytes(PAGE_SIZE)) == 0
+    assert _same_fill_byte(b"\x7f" * PAGE_SIZE) == 0x7F
+    assert _same_fill_byte(b"\x00" * 100 + b"\x01") is None
+    assert _same_fill_byte(None) is None
+    assert _same_fill_byte(b"") is None
+
+
+def test_zero_page_stored_without_compression(zswap):
+    platform, z = zswap
+    invocations_before = z.engine.compressor.invocations
+    handle, report = platform.sim.run_process(z.store(bytes(PAGE_SIZE)))
+    assert report is None                         # no offload happened
+    assert z.engine.compressor.invocations == invocations_before
+    assert z.stats.same_filled == 1
+    assert z.pool_bytes == SAME_FILLED_ENTRY_BYTES
+
+
+def test_same_filled_roundtrip(zswap):
+    platform, z = zswap
+    page = b"\xa5" * PAGE_SIZE
+    handle, __ = platform.sim.run_process(z.store(page))
+    data, hit = platform.sim.run_process(z.load(handle))
+    assert hit and data == page
+
+
+def test_same_filled_store_is_fast(zswap):
+    platform, z = zswap
+    sim = platform.sim
+    t0 = sim.now
+    sim.run_process(z.store(bytes(PAGE_SIZE)))
+    zero_ns = sim.now - t0
+    t0 = sim.now
+    sim.run_process(z.store((b"payload! " * 600)[:PAGE_SIZE]))
+    normal_ns = sim.now - t0
+    assert zero_ns < normal_ns / 5
+
+
+def test_same_filled_survives_writeback_to_ssd(zswap):
+    platform, z = zswap
+    handle, __ = platform.sim.run_process(z.store(b"\x33" * PAGE_SIZE))
+    filler = (b"assorted bytes " * 512)[:PAGE_SIZE]
+    while z.stats.writebacks == 0:
+        platform.sim.run_process(z.store(filler))
+    data, hit = platform.sim.run_process(z.load(handle))
+    assert not hit                                # came from the SSD
+    assert data == b"\x33" * PAGE_SIZE
+
+
+def test_timing_only_mode_never_takes_fast_path():
+    """Without functional payloads there is nothing to scan: every store
+    must go through the modelled compression path."""
+    platform = Platform(seed=92)
+    engine = OffloadEngine(platform, functional=False)
+    z = Zswap(engine, SwapDevice(platform.sim), "cxl", managed_pages=64)
+    platform.sim.run_process(z.store())
+    assert z.stats.same_filled == 0

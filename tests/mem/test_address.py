@@ -1,0 +1,75 @@
+"""Tests for address regions and mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError
+from repro.mem.address import AddressMap, Region, is_line_aligned, line_base, line_index
+
+
+def test_line_helpers():
+    assert line_base(130) == 128
+    assert line_index(130) == 2
+    assert is_line_aligned(128)
+    assert not is_line_aligned(130)
+
+
+def test_region_contains_and_offset():
+    region = Region("r", 0x1000, 0x1000)
+    assert region.contains(0x1000)
+    assert region.contains(0x1FFF)
+    assert not region.contains(0x2000)
+    assert region.offset(0x1800) == 0x800
+    with pytest.raises(AddressError):
+        region.offset(0x3000)
+
+
+def test_region_alignment_enforced():
+    with pytest.raises(AddressError):
+        Region("bad", 10, 64)
+    with pytest.raises(AddressError):
+        Region("bad", 0, 100)
+    with pytest.raises(AddressError):
+        Region("bad", 0, 0)
+
+
+def test_region_lines_iterates_all():
+    region = Region("r", 0, 256)
+    assert list(region.lines()) == [0, 64, 128, 192]
+
+
+def test_map_find_and_get():
+    amap = AddressMap()
+    amap.add(Region("a", 0, 0x1000))
+    amap.add(Region("b", 0x2000, 0x1000))
+    assert amap.find(0x800).name == "a"
+    assert amap.find(0x2800).name == "b"
+    assert amap.get("b").base == 0x2000
+    with pytest.raises(AddressError):
+        amap.find(0x1800)
+    with pytest.raises(AddressError):
+        amap.get("missing")
+    assert amap.try_find(0x1800) is None
+
+
+def test_map_rejects_overlap():
+    amap = AddressMap()
+    amap.add(Region("a", 0, 0x1000))
+    with pytest.raises(AddressError):
+        amap.add(Region("b", 0x800, 0x1000))
+
+
+def test_add_after_appends_contiguously():
+    amap = AddressMap()
+    amap.add(Region("a", 0, 0x1000))
+    region = amap.add_after("b", 0x2000)
+    assert region.base == 0x1000
+    assert len(amap) == 2
+
+
+def test_map_iteration_sorted_by_base():
+    amap = AddressMap()
+    amap.add(Region("hi", 0x4000, 0x1000))
+    amap.add(Region("lo", 0, 0x1000))
+    assert [r.name for r in amap] == ["lo", "hi"]

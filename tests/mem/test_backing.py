@@ -1,0 +1,88 @@
+"""Tests for the sparse functional memory."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.mem.backing import SparseMemory
+from repro.units import PAGE_SIZE
+
+
+def test_roundtrip_within_frame():
+    mem = SparseMemory()
+    mem.write(100, b"hello")
+    assert mem.read(100, 5) == b"hello"
+
+
+def test_unwritten_reads_zero():
+    mem = SparseMemory()
+    assert mem.read(0, 8) == b"\x00" * 8
+
+
+def test_write_spanning_frames():
+    mem = SparseMemory()
+    data = bytes(range(256)) * 40          # 10240 B, crosses 2 boundaries
+    mem.write(PAGE_SIZE - 100, data)
+    assert mem.read(PAGE_SIZE - 100, len(data)) == data
+
+
+def test_fill():
+    mem = SparseMemory()
+    mem.fill(10, 20, 0xAB)
+    assert mem.read(10, 20) == b"\xab" * 20
+
+
+def test_resident_accounting():
+    mem = SparseMemory()
+    assert mem.resident_bytes() == 0
+    mem.write(0, b"x")
+    assert mem.resident_bytes() == PAGE_SIZE
+    mem.write(PAGE_SIZE * 10, b"y")
+    assert mem.resident_bytes() == 2 * PAGE_SIZE
+
+
+def test_drop_frees_frames():
+    mem = SparseMemory()
+    mem.write(0, b"x" * PAGE_SIZE)
+    mem.drop(0, PAGE_SIZE)
+    assert mem.resident_bytes() == 0
+    assert mem.read(0, 1) == b"\x00"
+
+
+def test_drop_requires_page_alignment():
+    mem = SparseMemory()
+    with pytest.raises(AddressError):
+        mem.drop(10, PAGE_SIZE)
+
+
+def test_negative_address_rejected():
+    mem = SparseMemory()
+    with pytest.raises(AddressError):
+        mem.write(-1, b"x")
+    with pytest.raises(AddressError):
+        mem.read(-1, 4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(addr=st.integers(0, 3 * PAGE_SIZE),
+       data=st.binary(min_size=1, max_size=2 * PAGE_SIZE))
+def test_property_write_read_roundtrip(addr, data):
+    mem = SparseMemory()
+    mem.write(addr, data)
+    assert mem.read(addr, len(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, PAGE_SIZE * 2),
+                          st.binary(min_size=1, max_size=128)),
+                min_size=1, max_size=20))
+def test_property_last_write_wins(writes):
+    mem = SparseMemory()
+    reference = bytearray(PAGE_SIZE * 3)
+    for addr, data in writes:
+        mem.write(addr, data)
+        reference[addr:addr + len(data)] = data
+    assert mem.read(0, len(reference)) == bytes(reference)

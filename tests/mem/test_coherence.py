@@ -1,0 +1,34 @@
+"""Tests for the line-state lattice."""
+
+from __future__ import annotations
+
+from repro.mem.coherence import LineState
+
+
+def test_validity():
+    assert not LineState.INVALID.is_valid
+    for state in (LineState.MODIFIED, LineState.EXCLUSIVE,
+                  LineState.OWNED, LineState.SHARED):
+        assert state.is_valid
+
+
+def test_writability():
+    assert LineState.MODIFIED.is_writable
+    assert LineState.EXCLUSIVE.is_writable
+    assert not LineState.SHARED.is_writable
+    assert not LineState.OWNED.is_writable
+    assert not LineState.INVALID.is_writable
+
+
+def test_dirtiness():
+    assert LineState.MODIFIED.is_dirty
+    for state in (LineState.EXCLUSIVE, LineState.OWNED,
+                  LineState.SHARED, LineState.INVALID):
+        assert not state.is_dirty
+
+
+def test_downgrade_for_share():
+    for state in (LineState.MODIFIED, LineState.EXCLUSIVE, LineState.OWNED):
+        assert state.needs_downgrade_for_share
+    assert not LineState.SHARED.needs_downgrade_for_share
+    assert not LineState.INVALID.needs_downgrade_for_share

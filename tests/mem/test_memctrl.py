@@ -1,0 +1,102 @@
+"""Tests for the posted-write memory controllers — the Fig-3 mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DramConfig, ddr5_4800
+from repro.mem.memctrl import MemoryChannel, MemorySystem
+from repro.sim.engine import Simulator, Timeout
+from repro.units import CACHELINE
+
+
+def small_dram(entries=4):
+    return DramConfig("tiny", read_ns=90.0, write_queue_entries=entries,
+                      bytes_per_ns=38.4, write_enqueue_ns=4.0,
+                      random_write_ns=50.0)
+
+
+def test_read_pays_full_dram_latency(sim):
+    ch = MemoryChannel(sim, ddr5_4800())
+    latency = sim.run_process(ch.read_line())
+    assert latency == pytest.approx(90.0 + CACHELINE / 38.4)
+
+
+def test_posted_write_completes_at_enqueue(sim):
+    ch = MemoryChannel(sim, ddr5_4800())
+    latency = sim.run_process(ch.write_line())
+    assert latency == pytest.approx(4.0)   # enqueue only, not the 50ns drain
+
+
+def test_writes_faster_than_reads_at_small_counts(sim):
+    """The Fig-3 inversion: small write bursts vanish into the queue."""
+    ch = MemoryChannel(sim, ddr5_4800())
+    write_lat = sim.run_process(ch.write_line())
+    read_lat = sim.run_process(ch.read_line())
+    assert write_lat < read_lat / 5
+
+
+def test_write_queue_full_blocks_on_drain(sim):
+    ch = MemoryChannel(sim, small_dram(entries=4))
+    latencies = []
+
+    def writer():
+        lat = yield from ch.write_line()
+        latencies.append(lat)
+
+    for __ in range(6):
+        sim.spawn(writer())
+    sim.run()
+    # First 4 are absorbed; writes 5 and 6 wait for drains (50 ns each).
+    assert all(lat < 10.0 for lat in latencies[:4])
+    assert all(lat > 40.0 for lat in latencies[4:])
+
+
+def test_drain_restores_capacity(sim):
+    ch = MemoryChannel(sim, small_dram(entries=2))
+    sim.run_process(ch.write_line())
+    sim.run_process(ch.write_line())   # run() drains in between
+    assert ch.queued_writes == 0
+
+
+def test_memory_system_interleaves_by_line(sim):
+    mem = MemorySystem(sim, ddr5_4800(), channels=4)
+    assert mem.channel_for(0) is mem.channels[0]
+    assert mem.channel_for(64) is mem.channels[1]
+    assert mem.channel_for(4 * 64) is mem.channels[0]
+
+
+def test_memory_system_counters(sim):
+    mem = MemorySystem(sim, ddr5_4800(), channels=2)
+    sim.run_process(mem.read_line(0))
+    sim.run_process(mem.write_line(64))
+    assert mem.total_reads == 1
+    assert mem.total_writes == 1
+
+
+def test_write_queue_capacity_bytes():
+    sim = Simulator()
+    mem = MemorySystem(sim, ddr5_4800(), channels=8)
+    assert mem.write_queue_capacity_bytes == 8 * 32 * 64   # 16 KB (SV-A)
+
+
+def test_channels_must_be_positive(sim):
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError):
+        MemorySystem(sim, ddr5_4800(), channels=0)
+
+
+def test_reads_pipeline_on_bandwidth(sim):
+    """Back-to-back reads overlap their array latency: N reads finish in
+    far less than N x read_ns."""
+    ch = MemoryChannel(sim, ddr5_4800())
+    done = []
+
+    def reader():
+        yield from ch.read_line()
+        done.append(sim.now)
+
+    for __ in range(10):
+        sim.spawn(reader())
+    sim.run()
+    assert max(done) < 10 * 90.0 / 2

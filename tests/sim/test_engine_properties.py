@@ -1,0 +1,100 @@
+"""Hypothesis property tests for the event engine's core guarantees."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import Resource
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=80))
+def test_property_events_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired: list[float] = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=2, max_size=50))
+def test_property_same_time_fifo(delays_int):
+    """Events that land on identical timestamps fire in schedule order."""
+    sim = Simulator()
+    fired: list[tuple[float, int]] = []
+    for i, delay in enumerate(delays_int):
+        sim.schedule(float(delay), lambda i=i: fired.append((sim.now, i)))
+    sim.run()
+    # Sort must be stable w.r.t. the scheduling index at equal times.
+    assert fired == sorted(fired, key=lambda pair: (pair[0], pair[1]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.1, max_value=1e4,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=40),
+       st.integers(1, 5))
+def test_property_resource_conservation(holds, capacity):
+    """At no instant do more than ``capacity`` holders overlap, and the
+    total elapsed time is at least the critical-path lower bound."""
+    sim = Simulator()
+    res = Resource(sim, capacity)
+    active = [0]
+    peak = [0]
+
+    def holder(hold_ns):
+        yield res.acquire()
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        try:
+            yield Timeout(hold_ns)
+        finally:
+            active[0] -= 1
+            res.release()
+
+    for hold in holds:
+        sim.spawn(holder(hold))
+    sim.run()
+    assert active[0] == 0
+    assert peak[0] <= capacity
+    assert res.in_use == 0
+    # Work conservation: makespan >= total work / capacity.
+    assert sim.now >= sum(holds) / capacity - 1e-6
+    # And never better than the longest single hold.
+    assert sim.now >= max(holds) - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0,
+                                    allow_nan=False),
+                          st.floats(min_value=0.0, max_value=100.0,
+                                    allow_nan=False)),
+                min_size=1, max_size=30))
+def test_property_nested_processes_preserve_total_time(segments):
+    """A chain of sub-generators accumulates exactly the sum of its
+    timeouts, regardless of nesting shape."""
+    sim = Simulator()
+
+    def leaf(a, b):
+        yield Timeout(a)
+        yield Timeout(b)
+        return a + b
+
+    def chain():
+        total = 0.0
+        for a, b in segments:
+            total += yield from leaf(a, b)
+        return total
+
+    result = sim.run_process(chain())
+    expected = sum(a + b for a, b in segments)
+    assert abs(result - expected) < 1e-6
+    assert abs(sim.now - expected) < 1e-6

@@ -1,0 +1,141 @@
+"""Unit tests for Resource and Pipe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import Pipe, Resource
+
+
+def test_resource_grants_up_to_capacity(sim):
+    res = Resource(sim, 2)
+    grants = []
+
+    def holder(tag):
+        yield res.acquire()
+        grants.append((sim.now, tag))
+        yield Timeout(10.0)
+        res.release()
+
+    for tag in range(3):
+        sim.spawn(holder(tag))
+    sim.run()
+    assert grants == [(0.0, 0), (0.0, 1), (10.0, 2)]
+
+
+def test_resource_fifo_admission(sim):
+    res = Resource(sim, 1)
+    order = []
+
+    def holder(tag, hold):
+        yield res.acquire()
+        order.append(tag)
+        yield Timeout(hold)
+        res.release()
+
+    for tag in range(4):
+        sim.spawn(holder(tag, 5.0))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_resource_using_holds_and_releases(sim):
+    res = Resource(sim, 1)
+
+    def user():
+        yield from res.using(8.0)
+        return sim.now
+
+    assert sim.run_process(user()) == 8.0
+    assert res.in_use == 0
+
+
+def test_release_of_idle_resource_raises(sim):
+    res = Resource(sim, 1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_capacity_must_be_positive(sim):
+    with pytest.raises(SimulationError):
+        Resource(sim, 0)
+
+
+def test_available_tracks_in_use(sim):
+    res = Resource(sim, 3)
+
+    def holder():
+        yield res.acquire()
+
+    sim.spawn(holder())
+    sim.run()
+    assert res.in_use == 1
+    assert res.available == 2
+
+
+def test_handoff_keeps_count_consistent(sim):
+    """Releasing with waiters hands the slot over without a dip."""
+    res = Resource(sim, 1)
+    observed = []
+
+    def holder():
+        yield res.acquire()
+        observed.append(res.in_use)
+        yield Timeout(1.0)
+        res.release()
+
+    sim.spawn(holder())
+    sim.spawn(holder())
+    sim.run()
+    assert observed == [1, 1]
+    assert res.in_use == 0
+
+
+def test_pipe_put_then_get(sim):
+    pipe = Pipe(sim)
+    pipe.put("x")
+
+    def getter():
+        item = yield pipe.get()
+        return item
+
+    assert sim.run_process(getter()) == "x"
+
+
+def test_pipe_get_blocks_until_put(sim):
+    pipe = Pipe(sim)
+
+    def getter():
+        item = yield pipe.get()
+        return (sim.now, item)
+
+    proc = sim.spawn(getter())
+    sim.schedule(6.0, pipe.put, "late")
+    sim.run()
+    assert proc.result == (6.0, "late")
+
+
+def test_pipe_fifo_order(sim):
+    pipe = Pipe(sim)
+    for i in range(3):
+        pipe.put(i)
+    got = []
+
+    def getter():
+        item = yield pipe.get()
+        got.append(item)
+
+    for __ in range(3):
+        sim.spawn(getter())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_pipe_try_get(sim):
+    pipe = Pipe(sim)
+    assert pipe.try_get() == (False, None)
+    pipe.put(9)
+    assert pipe.try_get() == (True, 9)
+    assert len(pipe) == 0

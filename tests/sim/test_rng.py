@@ -1,0 +1,80 @@
+"""Determinism and distribution tests for the seeded RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(7)
+    b = DeterministicRng(7)
+    assert [a.random() for __ in range(20)] == [b.random() for __ in range(20)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRng(7)
+    b = DeterministicRng(8)
+    assert [a.random() for __ in range(5)] != [b.random() for __ in range(5)]
+
+
+def test_fork_is_deterministic_and_independent():
+    root = DeterministicRng(42)
+    fork1 = root.fork(1)
+    fork1_again = DeterministicRng(42).fork(1)
+    assert ([fork1.random() for __ in range(10)]
+            == [fork1_again.random() for __ in range(10)])
+    fork2 = root.fork(2)
+    assert fork1.seed != fork2.seed
+
+
+def test_jitter_zero_std_is_identity(rng):
+    assert rng.jitter(100.0, 0.0) == 100.0
+
+
+def test_jitter_stays_positive(rng):
+    samples = [rng.jitter(10.0, 2.0) for __ in range(500)]
+    assert all(s >= 1.0 for s in samples)  # clamped at 10% of base
+
+
+def test_jitter_mean_near_base(rng):
+    samples = [rng.jitter(1000.0, 0.05) for __ in range(2000)]
+    assert abs(np.mean(samples) - 1000.0) < 10.0
+
+
+def test_randint_range(rng):
+    values = {rng.randint(3, 7) for __ in range(200)}
+    assert values == {3, 4, 5, 6}
+
+
+def test_random_cachelines_distinct_when_possible(rng):
+    lines = rng.random_cachelines(10, 100)
+    assert len(set(lines.tolist())) == 10
+    assert all(0 <= i < 100 for i in lines)
+
+
+def test_random_cachelines_wraps_when_region_small(rng):
+    lines = rng.random_cachelines(50, 10)
+    assert len(lines) == 50
+    assert all(0 <= i < 10 for i in lines)
+
+
+def test_random_bytes_length_and_determinism():
+    a = DeterministicRng(5).random_bytes(64)
+    b = DeterministicRng(5).random_bytes(64)
+    assert len(a) == 64 and a == b
+
+
+def test_exponential_positive(rng):
+    assert all(rng.exponential(100.0) > 0 for __ in range(100))
+
+
+def test_choice_and_shuffle(rng):
+    items = list(range(10))
+    picked = rng.choice(items)
+    assert picked in items
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items

@@ -1,0 +1,62 @@
+"""Tests for measurement statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.stats import LatencyStats, bandwidth_gbps, summarize
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert s.n == 5
+    assert s.median == 3.0
+    assert s.mean == 3.0
+    assert s.minimum == 1.0 and s.maximum == 5.0
+
+
+def test_summarize_median_robust_to_outlier():
+    s = summarize([10.0] * 99 + [10_000.0])
+    assert s.median == 10.0
+    assert s.mean > 10.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_bandwidth_gbps():
+    # 64 bytes in 8 ns = 8 bytes/ns = 8 GB/s
+    assert bandwidth_gbps(64, 8.0) == pytest.approx(8.0)
+
+
+def test_bandwidth_requires_positive_time():
+    with pytest.raises(ValueError):
+        bandwidth_gbps(64, 0.0)
+
+
+def test_latency_stats_percentiles():
+    stats = LatencyStats()
+    stats.extend(float(i) for i in range(1, 101))
+    assert stats.p50() == pytest.approx(50.5)
+    assert stats.p99() == pytest.approx(99.01)
+    assert stats.count == 100
+    assert stats.mean() == pytest.approx(50.5)
+
+
+def test_latency_stats_rejects_negative():
+    stats = LatencyStats()
+    with pytest.raises(ValueError):
+        stats.record(-1.0)
+
+
+def test_latency_stats_empty_percentile_rejected():
+    with pytest.raises(ValueError):
+        LatencyStats().p99()
+
+
+def test_latency_stats_summary_roundtrip():
+    stats = LatencyStats()
+    stats.extend([5.0, 7.0, 9.0])
+    assert stats.summary().median == 7.0

@@ -1,0 +1,124 @@
+"""Tests for the execution tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.trace import Span, Tracer
+
+
+def test_wrap_records_span_and_result(sim):
+    tracer = Tracer(sim)
+
+    def work():
+        yield Timeout(40.0)
+        return "done"
+
+    def outer():
+        result = yield from tracer.wrap(work(), "ip", "compress")
+        return result
+
+    assert sim.run_process(outer()) == "done"
+    (span,) = tracer.spans
+    assert span.component == "ip" and span.label == "compress"
+    assert span.duration_ns == pytest.approx(40.0)
+
+
+def test_component_totals(sim):
+    tracer = Tracer(sim)
+
+    def work(ns):
+        yield Timeout(ns)
+
+    def outer():
+        yield from tracer.wrap(work(10.0), "link")
+        yield from tracer.wrap(work(30.0), "link")
+        yield from tracer.wrap(work(5.0), "dcoh")
+
+    sim.run_process(outer())
+    assert tracer.total_ns("link") == pytest.approx(40.0)
+    assert tracer.total_ns("dcoh") == pytest.approx(5.0)
+    assert len(tracer.by_component("link")) == 2
+
+
+def test_overlap_detects_pipelining(sim):
+    tracer = Tracer(sim)
+
+    def stage(ns):
+        yield Timeout(ns)
+
+    def pipeline():
+        xfer = sim.spawn(tracer.wrap(stage(100.0), "xfer"))
+        yield Timeout(20.0)                       # head latency
+        compute = sim.spawn(tracer.wrap(stage(100.0), "ip"))
+        yield xfer.done
+        yield compute.done
+
+    sim.run_process(pipeline())
+    # xfer spans [0,100], ip spans [20,120]: 80 ns of genuine overlap.
+    assert tracer.overlap_ns("xfer", "ip") == pytest.approx(80.0)
+
+
+def test_no_overlap_when_serial(sim):
+    tracer = Tracer(sim)
+
+    def stage(ns):
+        yield Timeout(ns)
+
+    def serial():
+        yield from tracer.wrap(stage(50.0), "a")
+        yield from tracer.wrap(stage(50.0), "b")
+
+    sim.run_process(serial())
+    assert tracer.overlap_ns("a", "b") == 0.0
+
+
+def test_waterfall_rendering(sim):
+    tracer = Tracer(sim)
+
+    def stage(ns):
+        yield Timeout(ns)
+
+    def flow():
+        yield from tracer.wrap(stage(100.0), "xfer", "pull")
+        yield from tracer.wrap(stage(200.0), "ip", "compress")
+
+    sim.run_process(flow())
+    art = tracer.waterfall(width=40)
+    lines = art.splitlines()
+    assert len(lines) == 2
+    assert "xfer:pull" in lines[0] and "#" in lines[0]
+    # The second bar starts after the first and is about twice as long.
+    assert lines[1].index("#") > lines[0].index("#")
+
+
+def test_empty_waterfall(sim):
+    assert "no spans" in Tracer(sim).waterfall()
+
+
+def test_trace_real_offload_pipelining():
+    """The cxl compress flow really overlaps transfer and compute."""
+    from repro.core.offload import OffloadEngine
+    from repro.core.platform import Platform
+
+    platform = Platform(seed=501)
+    tracer = Tracer(platform.sim)
+    engine = OffloadEngine(platform)
+
+    # Wrap the compressor IP and the LSU burst via tracer spans.
+    original_burst = engine._lsu_burst
+    original_streamed = engine.compressor.process_streamed
+
+    def traced_burst(op, addrs, d2d):
+        return tracer.wrap(original_burst(op, addrs, d2d), "xfer", "pull")
+
+    def traced_streamed(nbytes, rate):
+        return tracer.wrap(original_streamed(nbytes, rate), "ip", "compress")
+
+    engine._lsu_burst = traced_burst
+    engine.compressor.process_streamed = traced_streamed
+    platform.sim.run_process(engine.compress_page("cxl"))
+    pull = tracer.by_component("xfer")
+    comp = tracer.by_component("ip")
+    assert pull and comp

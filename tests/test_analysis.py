@@ -1,0 +1,64 @@
+"""Tests for the analysis helpers and the expected-values registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import Band, ordering_holds, same_direction, within_band
+from repro.analysis.expected import PAPER
+from repro.analysis.tables import render_series, render_table
+
+
+def test_band_point_and_range():
+    point = Band(0.38)
+    assert point.contains(0.38)
+    assert not point.contains(0.39)
+    assert point.contains(0.30, slack=0.35)
+    ranged = Band(1.76, 2.20)
+    assert ranged.contains(2.0)
+    assert ranged.midpoint() == pytest.approx(1.98)
+
+
+def test_band_inverted_rejected():
+    with pytest.raises(ValueError):
+        Band(2.0, 1.0)
+
+
+def test_within_band_default_slack():
+    assert within_band(0.30, Band(0.38))
+    assert not within_band(5.0, Band(0.38))
+
+
+def test_direction_and_ordering():
+    assert same_direction(0.2, 0.5)
+    assert not same_direction(-0.2, 0.5)
+    assert same_direction(1.0, 0.0)
+    assert ordering_holds([1.0, 2.0, 2.0, 3.0])
+    assert ordering_holds([3.0, 2.0], ascending=False)
+    assert not ordering_holds([1.0, 0.5])
+
+
+def test_paper_registry_is_well_formed():
+    assert len(PAPER) > 40
+    for key, band in PAPER.items():
+        assert isinstance(band, Band), key
+        assert band.low <= band.high, key
+    # Spot-check headline entries
+    assert PAPER["fig8/zswap/cpu"].low == 5.1
+    assert PAPER["fig3/latency-delta/llc-1/cs-rd"].low == 0.96
+    assert PAPER["table4/ip-speedup"].high == 2.8
+
+
+def test_render_table():
+    out = render_table(["a", "bee"], [[1, 2.5], ["x", 0.125]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "bee" in lines[1]
+    assert "0.125" in lines[-1]
+
+
+def test_render_series():
+    out = render_series("s", [1, 2], [5.0, 10.0])
+    assert "#" in out
+    with pytest.raises(ValueError):
+        render_series("s", [1], [1.0, 2.0])

@@ -1,0 +1,66 @@
+"""Tests for the Table-II configuration defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CxlType2Config,
+    DramConfig,
+    HostConfig,
+    LinkConfig,
+    default_system,
+    sub_numa_half_system,
+)
+from repro.errors import ConfigError
+
+
+def test_table2_host_defaults():
+    host = HostConfig()
+    assert host.cores == 32                 # per socket
+    assert host.freq_ghz == 2.2
+    assert host.llc_mib == 60
+    assert host.mem_channels == 8
+    assert host.dram.name == "ddr5-4800"
+
+
+def test_table2_device_defaults():
+    t2 = CxlType2Config()
+    assert t2.freq_mhz == 400.0             # FPGA fabric clock
+    assert t2.mem_channels == 2
+    assert t2.dram.name == "ddr4-2400"
+    assert t2.dram.bytes_per_ns == pytest.approx(19.2)   # GB/s per channel
+    assert t2.dcoh.hmc_kib == 128 and t2.dcoh.hmc_ways == 4
+    assert t2.dcoh.dmc_kib == 32 and t2.dcoh.dmc_ways == 1
+
+
+def test_lsu_issue_matches_fabric_clock():
+    t2 = CxlType2Config()
+    assert t2.lsu_issue_ns == pytest.approx(2.5)
+
+
+def test_sub_numa_half_system():
+    """SVII: SNC mode leaves 16 cores and 4 channels for the experiment."""
+    cfg = sub_numa_half_system()
+    assert cfg.host.cores == 16
+    assert cfg.host.mem_channels == 4
+    assert cfg.host.llc_mib == 30
+
+
+def test_default_system_is_self_consistent():
+    cfg = default_system()
+    assert cfg.cxl_t2.link.bytes_per_ns > cfg.upi.bytes_per_ns
+    assert cfg.snic.link.bytes_per_ns == 2 * cfg.pcie_dev.link.bytes_per_ns
+    assert 0 <= cfg.latency_noise < 0.5
+
+
+def test_invalid_dram_rejected():
+    with pytest.raises(ConfigError):
+        DramConfig("bad", read_ns=0.0)
+    with pytest.raises(ConfigError):
+        DramConfig("bad", read_ns=10.0, write_queue_entries=0)
+
+
+def test_link_serialization_math():
+    link = LinkConfig("t", 10.0, 2.0, header_bytes=8)
+    assert link.serialization_ns(56) == pytest.approx(32.0)

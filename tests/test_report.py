@@ -1,0 +1,28 @@
+"""Tests for the reproduction-report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Check, generate
+from repro.analysis.expected import PAPER
+
+
+def test_check_row_rendering():
+    key = "table4/ip-speedup"
+    check = Check(key, 2.3, True)
+    row = check.row()
+    assert key in row and "ok" in row
+    bad = Check(key, 9.0, False)
+    assert "DEVIATES" in bad.row()
+
+
+@pytest.mark.slow
+def test_generate_quick_report():
+    report = generate(reps=4, include_fig8=False)
+    for section in ("# Reproduction report", "## Table III", "## Fig 3",
+                    "## Fig 6", "## Table IV", "scorecard"):
+        assert section in report
+    assert "checks within band" in report
+    # The quick report must not run the slow end-to-end section.
+    assert "## Fig 8" not in report

@@ -1,0 +1,41 @@
+"""Tests for unit helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+def test_time_conversions():
+    assert units.us(1.5) == 1500.0
+    assert units.ms(2.0) == 2_000_000.0
+    assert units.seconds(1.0) == 1e9
+    assert units.ns(5.0) == 5.0
+
+
+def test_size_conversions():
+    assert units.kib(4) == 4096
+    assert units.mib(1) == 1 << 20
+    assert units.gib(2) == 2 << 30
+    assert units.PAGE_SIZE == 4096
+    assert units.CACHELINE == 64
+
+
+def test_frequency_helpers():
+    assert units.ghz_period_ns(2.0) == 0.5
+    assert units.mhz_period_ns(400.0) == 2.5
+    with pytest.raises(ValueError):
+        units.ghz_period_ns(0.0)
+
+
+def test_rate_helpers():
+    assert units.gbps_to_bytes_per_ns(32.0) == 4.0
+    assert units.bytes_per_ns_to_gb_per_s(8.0) == 8.0
+
+
+def test_cachelines_ceiling():
+    assert units.cachelines(1) == 1
+    assert units.cachelines(64) == 1
+    assert units.cachelines(65) == 2
+    assert units.cachelines(4096) == 64
