@@ -1,0 +1,32 @@
+"""Extension bench: zswap tail latency and fallback under injected faults."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_fault_resilience
+
+
+def test_fault_resilience_table(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: ext_fault_resilience.run(), rounds=1, iterations=1)
+    record_table(ext_fault_resilience.format_table(result))
+
+    healthy = result.get("cxl drop=0")
+    cpu = result.get("cpu")
+    kill = result.get("cxl kill")
+
+    # Fault-free: the armed-but-zero-rate plan leaves cxl ahead of cpu.
+    assert healthy.p99_ns < cpu.p99_ns
+    assert healthy.timeouts == 0 and healthy.lost_pages == 0
+
+    # The p99 cliff grows with the drop rate (the timeout dominates the
+    # tail once ~1% of ops are hit).
+    p99s = [result.get(f"cxl drop={r:g}").p99_ns for r in result.drop_rates]
+    assert p99s[-1] >= p99s[0]
+    assert p99s[-1] > 10 * healthy.p99_ns
+
+    # Device kill: completes, falls back, loses nothing, p99 bounded by
+    # the cpu baseline rather than by the 50 us command timeout.
+    assert kill.health == "failed"
+    assert kill.lost_pages == 0
+    assert kill.fallbacks > 0
+    assert kill.p99_ns <= cpu.p99_ns * 1.05

@@ -82,9 +82,22 @@ def _run_calibration(args) -> str:
     return render()
 
 
+def _run_faults(args) -> str:
+    from repro.experiments import ext_fault_resilience
+    if args.fault_plan:
+        cell = ext_fault_resilience.run_cell(
+            f"cxl {args.fault_plan}", transport="cxl",
+            fault_spec=args.fault_plan)
+        result = ext_fault_resilience.FaultResilienceResult(
+            {cell.scenario: cell}, ())
+        return ext_fault_resilience.format_table(result)
+    return ext_fault_resilience.format_table(ext_fault_resilience.run())
+
+
 RUNNERS: Dict[str, Callable] = {
     "report": _run_report,
     "calibration": _run_calibration,
+    "faults": _run_faults,
     "fig3": _run_fig3,
     "fig4": _run_fig4,
     "fig5": _run_fig5,
@@ -112,6 +125,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workloads", nargs="+", default=["a"],
                         choices=["a", "b", "c", "d"],
                         help="YCSB workloads for fig8")
+    parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="faults: inject this plan on the cxl backend, "
+                             "e.g. 'link_crc=1e-6,device_hang@t=50ms'")
     parser.add_argument("--quick", action="store_true",
                         help="report: skip the (slow) fig8/sec7 section")
     parser.add_argument("--output", default=None,

@@ -19,11 +19,12 @@ ld — the ~20-50 LoC / near-zero-cycle story of SVII.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator
+from typing import Any, Dict, Generator, Set
 
 from repro.core.platform import Platform
 from repro.core.requests import D2HOp, HostOp
-from repro.errors import OffloadError
+from repro.errors import OffloadError, OffloadTimeoutError
+from repro.sim.engine import Event
 from repro.sim.resources import Pipe
 from repro.units import CACHELINE, kib
 
@@ -68,6 +69,13 @@ class Doorbell:
         self._next_tag = 1
         self.submitted = 0
         self.completed = 0
+        # Robustness bookkeeping: every live tag, its submit time, and a
+        # per-tag event the robust host path can race against a timeout.
+        self.inflight: Dict[int, float] = {}
+        self._cpl_events: Dict[int, Event] = {}
+        self._orphans: Set[int] = set()
+        self.orphaned = 0
+        self.late_completions = 0
 
     # -- host side -------------------------------------------------------------
 
@@ -83,6 +91,9 @@ class Doorbell:
             yield from core.cxl_op(HostOp.NT_STORE, addr, t2)
         self._commands.put(command)
         self.submitted += 1
+        self.inflight[command.tag] = self.p.sim.now
+        self._cpl_events[command.tag] = Event(
+            self.p.sim, name=f"{self.name}.cpl[{command.tag}]")
         return command.tag
 
     def read_completion(self) -> Generator[Any, Any, Completion]:
@@ -96,7 +107,7 @@ class Doorbell:
         got, completion = self._completions.try_get()
         if not got:
             raise OffloadError("completion read before device finished")
-        self.completed += 1
+        self._retire(completion)
         return completion
 
     def read_completion_from_llc(self) -> Generator[Any, Any, Completion]:
@@ -106,8 +117,56 @@ class Doorbell:
         got, completion = self._completions.try_get()
         if not got:
             raise OffloadError("completion read before device finished")
+        self._retire(completion)
+        return completion
+
+    def _retire(self, completion: Completion) -> None:
+        """Host observed this completion: close out its tag."""
+        self.inflight.pop(completion.tag, None)
+        ev = self._cpl_events.pop(completion.tag, None)
+        if ev is not None and not ev.triggered:
+            ev.succeed(completion)
+        self.completed += 1
+
+    def await_completion(self, tag: int,
+                         timeout_ns: float) -> Generator[Any, Any, Completion]:
+        """Robust host-side completion wait: race the tag's completion
+        against ``timeout_ns``.
+
+        On completion, pays the same single result-line load as
+        :meth:`read_completion` and returns the completion.  On timeout,
+        reaps the tag (any completion that later arrives for it is
+        counted and dropped) and raises :class:`OffloadTimeoutError`.
+        """
+        ev = self._cpl_events.get(tag)
+        if ev is None:
+            raise OffloadError(f"await_completion on unknown tag {tag}")
+        sim = self.p.sim
+        index, value = yield sim.any_of([ev, sim.timeout_event(timeout_ns)])
+        if index == 1:      # the timer won: the device hung or dropped it
+            waited = sim.now - self.inflight.get(tag, sim.now)
+            self.reap_tag(tag)
+            raise OffloadTimeoutError(
+                f"{self.name}: tag {tag} timed out after {timeout_ns:g} ns"
+                f" (waited {waited:g} ns)")
+        completion: Completion = value
+        core, t2 = self.p.core, self.p.t2
+        yield from core.cxl_op(HostOp.LOAD, self._result_line, t2)
+        self._completions.remove_where(lambda c: c.tag == tag)
+        self.inflight.pop(tag, None)
+        self._cpl_events.pop(tag, None)
         self.completed += 1
         return completion
+
+    def reap_tag(self, tag: int) -> None:
+        """Abandon an in-flight tag: forget its bookkeeping, drop its
+        command if the device never consumed it, and mark it orphaned so
+        a late completion is discarded instead of being mis-delivered."""
+        self.inflight.pop(tag, None)
+        self._cpl_events.pop(tag, None)
+        self._commands.remove_where(lambda c: c.tag == tag)
+        self._orphans.add(tag)
+        self.orphaned += 1
 
     # -- device side -------------------------------------------------------------
 
@@ -140,4 +199,14 @@ class Doorbell:
             yield from lsu.d2h(D2HOp.NC_P, self._result_line)
         else:
             yield from lsu.d2d(D2HOp.NC_WRITE, self._result_line)
+        if completion.tag in self._orphans:
+            # The host gave up on this tag: the write happened (paid for
+            # above) but nobody will ever read it — drop it so a later
+            # command cannot be handed a stale result.
+            self._orphans.discard(completion.tag)
+            self.late_completions += 1
+            return
         self._completions.put(completion)
+        ev = self._cpl_events.get(completion.tag)
+        if ev is not None and not ev.triggered:
+            ev.succeed(completion)

@@ -37,10 +37,18 @@ from repro.devices.accel_ip import (
     DecompressionIp,
     XxhashIp,
 )
-from repro.errors import OffloadError
+from repro.errors import FaultError, OffloadError
+from repro.faults import DeviceHealthMonitor, HealthState
 from repro.units import CACHELINE, PAGE_SIZE
 
 TRANSPORTS = ("cpu", "cxl", "pcie-dma", "pcie-rdma")
+
+# Robustness defaults: a CXL offload command completes in single-digit us
+# (Table IV), so 50 us of silence means the device hung or the completion
+# was lost.  Retries back off exponentially from 5 us.
+COMMAND_TIMEOUT_NS = 50_000.0
+RETRY_BACKOFF_NS = 5_000.0
+MAX_RETRIES = 3
 
 # Host-core software rates (bytes/ns).  The FPGA compression IP is
 # 1.8-2.8x faster than the host CPU for a 4 KB page (SVI-A): the IP does
@@ -95,6 +103,20 @@ class OffloadEngine:
         self.hasher = XxhashIp(sim)
         self.comparator = ByteCompareIp(sim)
         self.reports: list[OffloadReport] = []
+        # Robustness: per-device health, per-command timeout, bounded
+        # retry with exponential backoff.  None of it is consulted while
+        # the platform has no FaultPlan armed and the device is healthy.
+        self.health = DeviceHealthMonitor()
+        self.command_timeout_ns = COMMAND_TIMEOUT_NS
+        self.retry_backoff_ns = RETRY_BACKOFF_NS
+        self.max_retries = MAX_RETRIES
+        self.timeouts = 0
+        self.retries = 0
+        self.fault_errors = 0
+
+    @property
+    def faults(self):
+        return self.p.faults
 
     # ------------------------------------------------------------------
     # helpers
@@ -105,6 +127,62 @@ class OffloadEngine:
             raise OffloadError(
                 f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
             )
+
+    def _offload_cxl(self, op_name: str, handler: Any,
+                     *args: Any) -> Generator[Any, Any, OffloadReport]:
+        """Dispatch one cxl-transport operation.
+
+        The fast path — no fault plan armed, device healthy — calls the
+        handler directly with zero added cost.  Otherwise the attempt
+        runs under the timeout / bounded-retry / health machinery."""
+        if not self.faults.active and self.health.state is HealthState.HEALTHY:
+            return (yield from handler(*args))
+        return (yield from self._with_retry(op_name, handler, args))
+
+    def _with_retry(self, op_name: str, handler: Any,
+                    args: tuple) -> Generator[Any, Any, OffloadReport]:
+        """Bounded retry with exponential backoff around one cxl attempt.
+
+        Every :class:`FaultError` (link down, poison, viral rejection,
+        completion timeout) is recorded against device health; a FAILED
+        device fast-fails so callers can fall back without waiting."""
+        if self.health.state is HealthState.FAILED:
+            raise FaultError(
+                f"device is FAILED: {op_name!r} offload not attempted")
+        attempt = 0
+        while True:
+            try:
+                report = yield from self._attempt(op_name, handler, args)
+            except FaultError:
+                self.fault_errors += 1
+                self.health.record_failure()
+                if (self.health.state is HealthState.FAILED
+                        or attempt >= self.max_retries):
+                    raise
+                attempt += 1
+                self.retries += 1
+                backoff = self.retry_backoff_ns * (2 ** (attempt - 1))
+                yield self.p.sim.timeout_event(backoff)
+            else:
+                self.health.record_success()
+                return report
+
+    def _attempt(self, op_name: str, handler: Any,
+                 args: tuple) -> Generator[Any, Any, OffloadReport]:
+        """One guarded attempt.  A hung device (``device_hang`` flag) or a
+        dropped completion (``offload_drop`` rate) means the command goes
+        out but no completion ever arrives: the host pays the submit,
+        waits out the command timeout, and reaps the orphaned tag."""
+        faults = self.faults
+        if faults.active and (faults.flag("device_hang")
+                              or faults.take("offload_drop")):
+            tag = yield from self.doorbell.submit(Command(op_name))
+            self.timeouts += 1
+            yield from self.doorbell.await_completion(
+                tag, self.command_timeout_ns)
+            raise OffloadError(
+                "unreachable: await_completion must have timed out")
+        return (yield from handler(*args))
 
     def _compressed_size(self, data: Optional[bytes], nbytes: int) -> tuple[int, Any]:
         """Real compression in functional mode; a deterministic ratio
@@ -169,13 +247,16 @@ class OffloadEngine:
         """Compress one page and park it in the zpool (timed process)."""
         self._check_transport(transport)
         out_bytes, blob = self._compressed_size(data, nbytes)
-        handler = {
-            "cpu": self._compress_cpu,
-            "cxl": self._compress_cxl,
-            "pcie-dma": self._compress_pcie_dma,
-            "pcie-rdma": self._compress_pcie_rdma,
-        }[transport]
-        report = yield from handler(nbytes, out_bytes, blob)
+        if transport == "cxl":
+            report = yield from self._offload_cxl(
+                "compress", self._compress_cxl, nbytes, out_bytes, blob)
+        else:
+            handler = {
+                "cpu": self._compress_cpu,
+                "pcie-dma": self._compress_pcie_dma,
+                "pcie-rdma": self._compress_pcie_rdma,
+            }[transport]
+            report = yield from handler(nbytes, out_bytes, blob)
         return self._record(report)
 
     def _compress_cpu(self, nbytes: int, out_bytes: int,
@@ -315,13 +396,16 @@ class OffloadEngine:
         self._check_transport(transport)
         in_bytes = stored_bytes or nbytes // 2
         out = DecompressionIp.run(data) if (self.functional and data) else None
-        handler = {
-            "cpu": self._decompress_cpu,
-            "cxl": self._decompress_cxl,
-            "pcie-dma": self._decompress_pcie_dma,
-            "pcie-rdma": self._decompress_pcie_rdma,
-        }[transport]
-        report = yield from handler(in_bytes, nbytes, out)
+        if transport == "cxl":
+            report = yield from self._offload_cxl(
+                "decompress", self._decompress_cxl, in_bytes, nbytes, out)
+        else:
+            handler = {
+                "cpu": self._decompress_cpu,
+                "pcie-dma": self._decompress_pcie_dma,
+                "pcie-rdma": self._decompress_pcie_rdma,
+            }[transport]
+            report = yield from handler(in_bytes, nbytes, out)
         return self._record(report)
 
     def _decompress_cpu(self, in_bytes: int, out_bytes: int,
@@ -441,33 +525,41 @@ class OffloadEngine:
                 "cpu", "hash", nbytes, 4, 0.0, compute, 0.0, total,
                 host_cpu_ns=total, result=value))
         if transport == "cxl":
-            host_cpu = 0.0
-            t0 = sim.now
-            yield from self.doorbell.submit(Command("hash", nbytes=nbytes))
-            host_cpu += sim.now - t0
-            cmd = yield from self.doorbell.device_poll()
-            transfer_ns = yield from self._lsu_burst(
-                D2HOp.NC_READ, self._lines(nbytes, host=True), d2d=False)
-            t0 = sim.now
-            yield from self.hasher.process(nbytes)
-            compute_ns = sim.now - t0
-            t0 = sim.now
-            yield from self.doorbell.device_complete(
-                Completion(cmd.tag, result=value), push_to_llc=True)
-            writeback_ns = sim.now - t0
-            t0 = sim.now
-            yield from self.doorbell.read_completion_from_llc()
-            host_cpu += sim.now - t0
-            total = sim.now - start
-            return self._record(OffloadReport(
-                "cxl", "hash", nbytes, 4, transfer_ns, compute_ns,
-                writeback_ns, total, host_cpu_ns=host_cpu, result=value))
+            report = yield from self._offload_cxl(
+                "hash", self._hash_cxl, nbytes, value)
+            return self._record(report)
         # PCIe paths: transfer in, compute, tiny result back.
         report = yield from self._pcie_roundtrip(
             transport, "hash", nbytes, 4,
             self.hasher.process(nbytes) if transport == "pcie-dma"
             else self.p.snic.arm_hash(nbytes), value)
         return self._record(report)
+
+    def _hash_cxl(self, nbytes: int,
+                  value: Any) -> Generator[Any, Any, OffloadReport]:
+        sim = self.p.sim
+        start = sim.now
+        host_cpu = 0.0
+        t0 = sim.now
+        yield from self.doorbell.submit(Command("hash", nbytes=nbytes))
+        host_cpu += sim.now - t0
+        cmd = yield from self.doorbell.device_poll()
+        transfer_ns = yield from self._lsu_burst(
+            D2HOp.NC_READ, self._lines(nbytes, host=True), d2d=False)
+        t0 = sim.now
+        yield from self.hasher.process(nbytes)
+        compute_ns = sim.now - t0
+        t0 = sim.now
+        yield from self.doorbell.device_complete(
+            Completion(cmd.tag, result=value), push_to_llc=True)
+        writeback_ns = sim.now - t0
+        t0 = sim.now
+        yield from self.doorbell.read_completion_from_llc()
+        host_cpu += sim.now - t0
+        total = sim.now - start
+        return OffloadReport(
+            "cxl", "hash", nbytes, 4, transfer_ns, compute_ns,
+            writeback_ns, total, host_cpu_ns=host_cpu, result=value)
 
     def compare_pages(self, transport: str,
                       a: Optional[bytes] = None, b: Optional[bytes] = None,
@@ -490,38 +582,46 @@ class OffloadEngine:
                 "cpu", "compare", volume, 4, 0.0, compute, 0.0, total,
                 host_cpu_ns=total, result=value))
         if transport == "cxl":
-            host_cpu = 0.0
-            t0 = sim.now
-            yield from self.doorbell.submit(Command("compare", nbytes=volume))
-            host_cpu += sim.now - t0
-            cmd = yield from self.doorbell.device_poll()
-            t0 = sim.now
-            xfer_proc = sim.spawn(self._lsu_burst(
-                D2HOp.NC_READ, self._lines(volume, host=True), d2d=False))
-            yield sim.timeout_event(self._d2h_head_latency_ns())
-            compute_done = sim.spawn(self.comparator.process_streamed(
-                volume, self._d2h_pull_rate()))
-            transfer_ns = yield xfer_proc.done
-            yield compute_done.done
-            compute_ns = self.comparator.duration_ns(volume)
-            overlap_ns = sim.now - t0
-            t0 = sim.now
-            yield from self.doorbell.device_complete(
-                Completion(cmd.tag, result=value), push_to_llc=True)
-            writeback_ns = sim.now - t0
-            t0 = sim.now
-            yield from self.doorbell.read_completion_from_llc()
-            host_cpu += sim.now - t0
-            total = sim.now - start
-            return self._record(OffloadReport(
-                "cxl", "compare", volume, 4,
-                max(0.0, overlap_ns - compute_ns), compute_ns, writeback_ns,
-                total, host_cpu_ns=host_cpu, result=value))
+            report = yield from self._offload_cxl(
+                "compare", self._compare_cxl, volume, value)
+            return self._record(report)
         report = yield from self._pcie_roundtrip(
             transport, "compare", volume, 4,
             self.comparator.process(volume) if transport == "pcie-dma"
             else self.p.snic.arm_memcmp(volume), value)
         return self._record(report)
+
+    def _compare_cxl(self, volume: int,
+                     value: Any) -> Generator[Any, Any, OffloadReport]:
+        sim = self.p.sim
+        start = sim.now
+        host_cpu = 0.0
+        t0 = sim.now
+        yield from self.doorbell.submit(Command("compare", nbytes=volume))
+        host_cpu += sim.now - t0
+        cmd = yield from self.doorbell.device_poll()
+        t0 = sim.now
+        xfer_proc = sim.spawn(self._lsu_burst(
+            D2HOp.NC_READ, self._lines(volume, host=True), d2d=False))
+        yield sim.timeout_event(self._d2h_head_latency_ns())
+        compute_done = sim.spawn(self.comparator.process_streamed(
+            volume, self._d2h_pull_rate()))
+        transfer_ns = yield xfer_proc.done
+        yield compute_done.done
+        compute_ns = self.comparator.duration_ns(volume)
+        overlap_ns = sim.now - t0
+        t0 = sim.now
+        yield from self.doorbell.device_complete(
+            Completion(cmd.tag, result=value), push_to_llc=True)
+        writeback_ns = sim.now - t0
+        t0 = sim.now
+        yield from self.doorbell.read_completion_from_llc()
+        host_cpu += sim.now - t0
+        total = sim.now - start
+        return OffloadReport(
+            "cxl", "compare", volume, 4,
+            max(0.0, overlap_ns - compute_ns), compute_ns, writeback_ns,
+            total, host_cpu_ns=host_cpu, result=value)
 
     def _pcie_roundtrip(self, transport: str, op: str, in_bytes: int,
                         out_bytes: int, compute_gen: Generator,

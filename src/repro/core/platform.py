@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.config import SystemConfig, default_system
 from repro.devices.cxl_type2 import CxlType2Device
+from repro.faults import NO_FAULTS, FaultPlan
 from repro.devices.cxl_type3 import CxlType3Device
 from repro.devices.pcie_fpga import PcieFpgaDevice
 from repro.devices.snic import SmartNic
@@ -72,6 +73,25 @@ class Platform:
         # cold addresses (the paper's per-repetition fresh buffers).
         self._host_cursor = gib(1)
         self._dev_cursor = DEVMEM_BASE
+
+        # RAS: inert until arm_faults() installs a real plan.
+        self.faults = NO_FAULTS
+
+    # -- fault injection -------------------------------------------------------
+
+    def arm_faults(self, plan) -> FaultPlan:
+        """Install a :class:`~repro.faults.FaultPlan` (or a spec string
+        like ``"link_crc=1e-6,device_hang@t=50ms"``) across the platform:
+        the CXL link, the device memory system, and every consumer that
+        reads ``platform.faults``.  Scheduled faults are bound to this
+        platform's clock.  Returns the installed plan."""
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan, seed=self.cfg.seed)
+        self.faults = plan
+        self.t2.port.link.faults = plan
+        self.t2.dev_mem.faults = plan
+        plan.bind(self)
+        return plan
 
     # -- scratch-address allocation -------------------------------------------
 

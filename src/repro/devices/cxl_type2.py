@@ -77,6 +77,23 @@ class CxlType2Device:
                 LoadStoreUnit(self.sim, self.cfg, self.dcoh))
         return [self.lsu] + self._extra_lsus[:count - 1]
 
+    # -- RAS --------------------------------------------------------------------
+
+    @property
+    def viral(self) -> bool:
+        return self.dcoh.viral
+
+    def enter_viral(self) -> None:
+        """CXL viral containment: the device stops emitting data on
+        .cache — every D2H/D2D request fails until :meth:`reset`."""
+        self.dcoh.enter_viral()
+
+    def reset(self) -> None:
+        """Device hot reset: clear viral, drop both device caches (dirty
+        lines written back in the background first)."""
+        self.dcoh.flush_device_caches()
+        self.dcoh.clear_viral()
+
     # -- region management -----------------------------------------------------
 
     def carve_region(self, name: str, size: int) -> Region:

@@ -27,7 +27,7 @@ from typing import Any, Callable, Generator, Optional
 
 from repro.config import CxlType2Config
 from repro.core.requests import BiasMode, D2HOp, MemLevel
-from repro.errors import DeviceError
+from repro.errors import DeviceError, FaultError, PoisonError
 from repro.host.home_agent import AgentCosts, HomeAgent
 from repro.interconnect.cxl import CxlPort
 from repro.mem.cache import SetAssociativeCache
@@ -76,13 +76,47 @@ class DcohSlice:
         )
         self.d2h_count = 0
         self.d2d_count = 0
+        # RAS (CXL viral containment): while viral, the device refuses to
+        # emit data on .cache — every D2H/D2D request is rejected until a
+        # device reset clears the condition.
+        self.viral = False
+        self.viral_rejections = 0
+        self.poison_hits = 0
+        # Poisoned dirty DMC victims carry their poison back into the
+        # device-memory image (the writeback data *is* the poison); the
+        # set defers marking until after the posted write lands, since a
+        # plain write scrubs.
+        self._poisoned_writebacks: set[int] = set()
+        if dev_mem is not None:
+            self.dmc.poison_sink = self._poisoned_writebacks.add
 
     # ------------------------------------------------------------------
     # D2H requests (SIV-A)
     # ------------------------------------------------------------------
 
+    def enter_viral(self) -> None:
+        """Enter CXL viral containment: fail all D2H/D2D until reset."""
+        self.viral = True
+
+    def clear_viral(self) -> None:
+        self.viral = False
+
+    def _viral_reject(self, kind: str) -> None:
+        self.viral_rejections += 1
+        raise FaultError(f"DCOH is viral: {kind} request rejected")
+
+    def _consume(self, cache: SetAssociativeCache, line: Any) -> None:
+        """Poison check at the point a cached line's data is consumed."""
+        if line.poisoned:
+            self.poison_hits += 1
+            cache.invalidate(line.addr)
+            raise PoisonError(
+                f"{cache.name}: consumed poisoned line {hex(line.addr)}")
+
     def d2h(self, op: D2HOp, addr: int) -> Generator[Any, Any, MemLevel]:
         """Serve one 64 B D2H request; returns where it was served from."""
+        if self.viral:
+            self._viral_reject("D2H")
         self.d2h_count += 1
         yield Timeout(self.cfg.dcoh.engine_ns)
         yield Timeout(self.cfg.dcoh.lookup_ns)
@@ -102,6 +136,7 @@ class DcohSlice:
     def _d2h_nc_read(self, addr: int) -> Generator[Any, Any, MemLevel]:
         line = self.hmc.lookup(addr)
         if line is not None:  # serve from HMC, no state change anywhere
+            self._consume(self.hmc, line)
             yield from self._hmc_access()
             return MemLevel.HMC
         yield from self.port.d2h_req_up()
@@ -112,6 +147,7 @@ class DcohSlice:
     def _d2h_cs_read(self, addr: int) -> Generator[Any, Any, MemLevel]:
         line = self.hmc.lookup(addr)
         if line is not None:
+            self._consume(self.hmc, line)
             yield from self._hmc_access()
             line.state = LineState.SHARED  # Table III: always ends Shared
             return MemLevel.HMC
@@ -124,6 +160,7 @@ class DcohSlice:
     def _d2h_co_read(self, addr: int) -> Generator[Any, Any, MemLevel]:
         line = self.hmc.lookup(addr)
         if line is not None and line.state.is_writable:
+            self._consume(self.hmc, line)
             yield from self._hmc_access()  # M/E -> M/E, served locally
             return MemLevel.HMC
         # Invalid or Shared: obtain exclusive ownership with data
@@ -141,6 +178,7 @@ class DcohSlice:
         if line is not None and line.state.is_writable:
             yield from self._hmc_access()
             line.state = LineState.MODIFIED
+            line.poisoned = False          # full-line write scrubs poison
             return MemLevel.HMC
         # Need exclusive ownership first (no data: full-line write)
         yield from self.port.d2h_req_up()
@@ -171,6 +209,8 @@ class DcohSlice:
 
     def d2d(self, op: D2HOp, addr: int) -> Generator[Any, Any, MemLevel]:
         """Serve one 64 B D2D request under the region's bias mode."""
+        if self.viral:
+            self._viral_reject("D2D")
         if self.dev_mem is None:
             raise DeviceError(
                 "this device has no device memory (CXL Type-1): "
@@ -192,6 +232,7 @@ class DcohSlice:
             # DMC hit: a valid DMC line implies no newer host copy, so even
             # host-bias mode skips the host check (SV-B observes reads
             # hitting DMC cost the same in both modes).
+            self._consume(self.dmc, line)
             yield from self._hmc_access()
             return MemLevel.DMC
         if bias is BiasMode.HOST:
@@ -226,6 +267,7 @@ class DcohSlice:
             if line is not None:
                 yield from self._hmc_access()
                 line.state = LineState.MODIFIED
+                line.poisoned = False      # full-line write scrubs poison
                 return MemLevel.DMC
             self._fill_dmc(addr, LineState.MODIFIED)
             yield from self._hmc_access()
@@ -269,6 +311,9 @@ class DcohSlice:
             # Write the newest data back so device memory can serve.
             yield Timeout(self.cfg.h2d_modified_writeback_ns)
             yield from self.dev_mem.write_line(addr)
+            if line.poisoned:
+                # The writeback data carried poison into device memory.
+                self.dev_mem.poison(addr)
             self.dmc.set_state(
                 addr, LineState.INVALID if for_write else LineState.SHARED)
         elif line.state in (LineState.OWNED, LineState.EXCLUSIVE):
@@ -300,7 +345,13 @@ class DcohSlice:
         self.dmc.insert(addr, state, writeback=self._dmc_writeback)
 
     def _dmc_writeback(self, addr: int) -> None:
-        self.sim.spawn(self.dev_mem.write_line(addr), "dmc.writeback")
+        self.sim.spawn(self._dmc_writeback_proc(addr), "dmc.writeback")
+
+    def _dmc_writeback_proc(self, addr: int) -> Generator[Any, Any, None]:
+        yield from self.dev_mem.write_line(addr)
+        if addr in self._poisoned_writebacks:
+            self._poisoned_writebacks.discard(addr)
+            self.dev_mem.poison(addr)
 
     def flush_device_caches(self) -> None:
         """Methodology helper: flush HMC and DMC (dirty lines written back

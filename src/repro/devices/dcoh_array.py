@@ -53,6 +53,28 @@ class DcohArray:
         for slice_ in self.slices:
             slice_.flush_device_caches()
 
+    # -- RAS (viral containment spans every slice) --------------------------
+
+    @property
+    def viral(self) -> bool:
+        return any(s.viral for s in self.slices)
+
+    def enter_viral(self) -> None:
+        for slice_ in self.slices:
+            slice_.enter_viral()
+
+    def clear_viral(self) -> None:
+        for slice_ in self.slices:
+            slice_.clear_viral()
+
+    @property
+    def viral_rejections(self) -> int:
+        return sum(s.viral_rejections for s in self.slices)
+
+    @property
+    def poison_hits(self) -> int:
+        return sum(s.poison_hits for s in self.slices)
+
     # -- methodology helpers (routed) ---------------------------------------
 
     def _fill_hmc(self, addr: int, state: LineState) -> None:

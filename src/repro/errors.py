@@ -47,3 +47,34 @@ class KernelError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was configured inconsistently."""
+
+
+class FaultError(ReproError):
+    """Base class for *injected or modeled hardware faults* (RAS events).
+
+    Distinct from the classes above, which flag misuse of the library:
+    a ``FaultError`` means the simulated hardware failed while being
+    driven correctly.  Robust callers (the offload retry machinery,
+    zswap/ksm graceful degradation) catch this base class; the concrete
+    subclasses say what broke:
+
+    ``LinkError``
+        the CXL/PCIe link is down or was hot-reset mid-transaction;
+    ``PoisonError``
+        a consumed cache line carried CXL data poison;
+    ``OffloadTimeoutError``
+        a doorbell command's completion never arrived within the
+        per-command timeout (device hang / dropped completion).
+    """
+
+
+class LinkError(FaultError):
+    """A message was sent over a dead or resetting interconnect link."""
+
+
+class PoisonError(FaultError):
+    """A read consumed a line marked with CXL data poison."""
+
+
+class OffloadTimeoutError(FaultError):
+    """An offload command timed out waiting for its completion."""

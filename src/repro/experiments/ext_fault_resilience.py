@@ -1,0 +1,185 @@
+"""Extension experiment: zswap tail latency and fallback under faults.
+
+Fig 8 assumes the Type-2 device never fails.  This sweep asks the
+production question instead: *what does a fault cost?*  A functional
+cxl-zswap (real payloads, real compression) runs a store-then-load loop
+while a :class:`~repro.faults.FaultPlan` injects faults:
+
+* **rate sweep** — ``offload_drop`` (a command's completion is lost with
+  probability p) and ``link_crc`` (flit CRC error absorbed by the link
+  retry buffer).  Dropped completions cost a 50 us timeout plus bounded
+  retries, so p99 climbs with the fault rate while the *median* barely
+  moves; CRC replays only add a latency ripple.
+* **device kill** — ``device_hang`` fires mid-run: exactly one
+  operation absorbs the full timeout-retry budget, the health machine
+  marks the device FAILED, and every later operation reroutes to the
+  cpu path without waiting.  The run completes, every page read back
+  verifies bit-exact, and p99 lands at the cpu-zswap level rather than
+  at the timeout level.
+
+Determinism: identical seeds + identical plans produce identical
+latency timelines (asserted in ``tests/experiments``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.faults import FaultPlan
+from repro.kernel.swapdev import SwapDevice
+from repro.kernel.zswap import Zswap
+from repro.units import PAGE_SIZE, us
+
+DEFAULT_DROP_RATES = (0.0, 1e-3, 1e-2, 5e-2)
+DEFAULT_PAGES = 120
+DEFAULT_SEED = 1234
+# Mid-run kill time: a healthy store+load round trip is ~8.7 us/page,
+# so this lands the hang while roughly half the ops are still ahead.
+KILL_MID_RUN_NS_PER_PAGE = us(4.0)
+
+
+def _page(i: int) -> bytes:
+    """A unique, compressible, not-same-filled 4 KB payload."""
+    row = (i + 1).to_bytes(4, "little") + b"cxl-zswap-page!!" + bytes(44)
+    return (row * (PAGE_SIZE // len(row)))[:PAGE_SIZE]
+
+
+@dataclass(frozen=True)
+class FaultCell:
+    """One scenario's outcome."""
+
+    scenario: str
+    ops: int
+    p50_ns: float
+    p99_ns: float
+    fallbacks: int
+    retries: int
+    timeouts: int
+    fault_errors: int
+    crc_replays: int
+    verified: int          # pages read back bit-identical
+    lost_pages: int        # pages - verified (must be 0)
+    health: str            # final device health state
+    latencies_ns: Tuple[float, ...]
+
+    @property
+    def fallback_rate(self) -> float:
+        return self.fallbacks / self.ops if self.ops else 0.0
+
+
+@dataclass(frozen=True)
+class FaultResilienceResult:
+    cells: Dict[str, FaultCell]
+    drop_rates: Sequence[float]
+
+    def get(self, scenario: str) -> FaultCell:
+        return self.cells[scenario]
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
+
+def run_cell(scenario: str, transport: str = "cxl",
+             fault_spec: Optional[str] = None,
+             pages: int = DEFAULT_PAGES,
+             seed: int = DEFAULT_SEED) -> FaultCell:
+    """Run one functional store-all-then-load-all zswap loop.
+
+    Every page's payload is verified after load; a mismatch or a missing
+    page counts as lost.  Latency is per operation (store or load)."""
+    platform = Platform(seed=seed)
+    if fault_spec:
+        platform.arm_faults(FaultPlan.parse(fault_spec, seed=seed))
+    engine = OffloadEngine(platform, functional=True)
+    swapdev = SwapDevice(platform.sim, faults=platform.faults
+                         if fault_spec else None)
+    zswap = Zswap(engine, swapdev, transport, managed_pages=4096)
+    payloads = [_page(i) for i in range(pages)]
+    latencies: List[float] = []
+    loaded: Dict[int, Optional[bytes]] = {}
+
+    def driver():
+        sim = platform.sim
+        handles = []
+        for data in payloads:
+            t0 = sim.now
+            handle, __ = yield from zswap.store(data)
+            handles.append(handle)
+            latencies.append(sim.now - t0)
+        for i, handle in enumerate(handles):
+            t0 = sim.now
+            data, __ = yield from zswap.load(handle)
+            latencies.append(sim.now - t0)
+            loaded[i] = data
+
+    platform.sim.run_process(driver(), f"fault-cell {scenario!r}")
+    verified = sum(1 for i, data in enumerate(payloads)
+                   if loaded.get(i) == data)
+    return FaultCell(
+        scenario=scenario,
+        ops=len(latencies),
+        p50_ns=_percentile(latencies, 0.50),
+        p99_ns=_percentile(latencies, 0.99),
+        fallbacks=zswap.stats.fallbacks,
+        retries=engine.retries,
+        timeouts=engine.timeouts,
+        fault_errors=engine.fault_errors,
+        crc_replays=platform.t2.port.link.crc_replays,
+        verified=verified,
+        lost_pages=pages - verified,
+        health=engine.health.state.value,
+        latencies_ns=tuple(latencies),
+    )
+
+
+def run_device_kill(pages: int = DEFAULT_PAGES, seed: int = DEFAULT_SEED,
+                    kill_at_ns: Optional[float] = None) -> FaultCell:
+    """The headline scenario: the device hangs mid-run and cxl-zswap must
+    degrade to the cpu path without deadlocking or losing pages."""
+    if kill_at_ns is None:
+        kill_at_ns = pages * KILL_MID_RUN_NS_PER_PAGE
+    return run_cell("cxl kill", transport="cxl",
+                    fault_spec=f"device_hang@t={kill_at_ns:g}",
+                    pages=pages, seed=seed)
+
+
+def run(drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+        pages: int = DEFAULT_PAGES,
+        seed: int = DEFAULT_SEED) -> FaultResilienceResult:
+    cells: Dict[str, FaultCell] = {}
+    cells["cpu"] = run_cell("cpu", transport="cpu", pages=pages, seed=seed)
+    for rate in drop_rates:
+        name = f"cxl drop={rate:g}"
+        spec = f"offload_drop={rate:g}" if rate else None
+        cells[name] = run_cell(name, transport="cxl", fault_spec=spec,
+                               pages=pages, seed=seed)
+    cells["cxl crc=1e-3"] = run_cell(
+        "cxl crc=1e-3", transport="cxl", fault_spec="link_crc=1e-3",
+        pages=pages, seed=seed)
+    cells["cxl kill"] = run_device_kill(pages=pages, seed=seed)
+    return FaultResilienceResult(cells, tuple(drop_rates))
+
+
+def format_table(result: FaultResilienceResult) -> str:
+    lines = [
+        "Extension: cxl-zswap under injected faults "
+        "(functional payloads, per-op latency)",
+        f"{'scenario':>16s} {'p50(us)':>8s} {'p99(us)':>8s} "
+        f"{'fallback%':>9s} {'retries':>7s} {'timeouts':>8s} "
+        f"{'crc':>5s} {'lost':>4s} {'health':>8s}",
+    ]
+    for name, cell in result.cells.items():
+        lines.append(
+            f"{name:>16s} {cell.p50_ns / 1000:8.1f} {cell.p99_ns / 1000:8.1f} "
+            f"{100 * cell.fallback_rate:9.1f} {cell.retries:7d} "
+            f"{cell.timeouts:8d} {cell.crc_replays:5d} {cell.lost_pages:4d} "
+            f"{cell.health:>8s}")
+    return "\n".join(lines)

@@ -1,0 +1,317 @@
+"""repro.faults: seeded, deterministic fault injection and RAS modeling.
+
+Production offload stacks live or die on the error path, and the CXL
+spec itself defines the machinery — data poison, viral containment, link
+CRC retry — that this layer exercises.  Three pieces:
+
+:class:`FaultPlan`
+    the one injection subsystem every component queries.  A plan holds
+    *rate-based* faults (a seeded per-point probability drawn on every
+    query), *counted* faults ("the next N queries fire", the
+    deterministic style :meth:`SwapDevice.inject_read_errors` uses), and
+    *scheduled* faults ("at t=50ms the device hangs").  Each fault point
+    draws from its own forked :class:`~repro.sim.rng.DeterministicRng`
+    stream, so identical seeds + identical plans produce identical
+    timelines regardless of which other points exist.
+
+:data:`NO_FAULTS`
+    the inert singleton every component carries by default.  Its checks
+    are single attribute/dict operations that never touch an RNG, so an
+    un-armed simulation is *bit-identical* to one built before this
+    layer existed (asserted by ``tests/test_faults.py``).
+
+:class:`DeviceHealthMonitor`
+    the offload framework's health-state machine
+    (HEALTHY → DEGRADED → FAILED).  One failed command degrades the
+    device; ``fail_threshold`` consecutive failures mark it FAILED, after
+    which the offload engine fast-fails and zswap/ksm fall back to the
+    cpu path until :meth:`DeviceHealthMonitor.reset`.
+
+Fault points currently queried by the models:
+
+==================  =====================  ================================
+point               kind                   queried by
+==================  =====================  ================================
+``link_crc``        rate (per flit)        :class:`repro.interconnect.link.Link`
+``mem_poison``      rate (per DRAM read)   :class:`repro.mem.memctrl.MemorySystem`
+``offload_drop``    rate (per command)     :class:`repro.core.offload.OffloadEngine`
+``swap_read_error`` rate + counted         :class:`repro.kernel.swapdev.SwapDevice`
+``link_down``       scheduled              hot-resets the CXL link
+``link_dead``       scheduled              fails the CXL link permanently
+``device_hang``     scheduled (flag)       doorbell completions stop arriving
+``device_viral``    scheduled              DCOH enters viral containment
+==================  =====================  ================================
+
+Spec strings (the CLI's ``--fault-plan``) combine both styles::
+
+    link_crc=1e-6,device_hang@t=50ms
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.sim.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.platform import Platform
+
+# Scheduled fault names the plan knows how to deliver to a platform.
+SCHEDULED_TARGETS = ("link_down", "link_dead", "device_hang", "device_viral")
+
+_TIME_SUFFIXES = (("ns", 1.0), ("us", 1e3), ("ms", 1e6), ("s", 1e9))
+
+
+def parse_time_ns(text: str) -> float:
+    """``"50ms"`` / ``"75us"`` / ``"1200"`` (bare = ns) -> nanoseconds."""
+    text = text.strip()
+    value = None
+    for suffix, scale in _TIME_SUFFIXES:
+        if text.endswith(suffix) and text != suffix:
+            head = text[: -len(suffix)]
+            # "s" would otherwise swallow the "ns"/"us"/"ms" suffixes.
+            if head[-1:].isdigit() or head[-1:] == ".":
+                value = float(head) * scale
+                break
+    if value is None:
+        try:
+            value = float(text)
+        except ValueError:
+            raise ConfigError(f"unparseable time {text!r}") from None
+    if value < 0:
+        raise ConfigError(f"negative time {text!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One fault that fires once at an absolute simulated time."""
+
+    name: str
+    at_ns: float
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise ConfigError(f"scheduled fault in the past: {self}")
+
+
+class _NoFaults:
+    """The inert plan: every query answers "no fault", costing one
+    attribute read.  Shared singleton; never holds state."""
+
+    __slots__ = ()
+    active = False
+
+    def check(self, point: str) -> bool:
+        return False
+
+    def take(self, point: str) -> bool:
+        return False
+
+    def flag(self, name: str) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NO_FAULTS"
+
+
+NO_FAULTS = _NoFaults()
+
+
+class FaultPlan:
+    """A seeded, deterministic set of armed faults.
+
+    ``rates`` maps fault-point name -> probability per query; ``schedule``
+    lists :class:`ScheduledFault` entries; counted budgets are armed via
+    :meth:`arm_counted`.  The plan is inert until components hold a
+    reference to it (see :meth:`Platform.arm_faults`), and each rate
+    point draws from its own forked RNG stream.
+    """
+
+    active = True
+
+    def __init__(self, seed: int = 0,
+                 rates: Optional[Dict[str, float]] = None,
+                 schedule: Optional[List[ScheduledFault]] = None):
+        self.seed = int(seed)
+        self.rates: Dict[str, float] = dict(rates or {})
+        for point, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(
+                    f"fault rate for {point!r} out of [0, 1]: {rate}")
+        self.schedule: List[ScheduledFault] = sorted(
+            schedule or [], key=lambda f: f.at_ns)
+        root = DeterministicRng(self.seed)
+        self._streams: Dict[str, DeterministicRng] = {
+            point: root.fork(zlib.crc32(point.encode()))
+            for point in self.rates
+        }
+        self._counted: Dict[str, int] = {}
+        self._flags: set[str] = set()
+        self.fired: Dict[str, int] = {}      # point -> times it fired
+        self.fired_log: List[tuple[float, str]] = []   # scheduled firings
+
+    # -- parsing -----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a spec like ``link_crc=1e-6,device_hang@t=50ms``.
+
+        ``name=rate`` arms a rate fault; ``name@t=<time>`` schedules one
+        (times take ``ns``/``us``/``ms``/``s`` suffixes, bare = ns).
+        """
+        rates: Dict[str, float] = {}
+        schedule: List[ScheduledFault] = []
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "@t=" in part:
+                name, __, when = part.partition("@t=")
+                schedule.append(ScheduledFault(name.strip(),
+                                               parse_time_ns(when)))
+            elif "=" in part:
+                name, __, rate = part.partition("=")
+                try:
+                    rates[name.strip()] = float(rate)
+                except ValueError:
+                    raise ConfigError(
+                        f"unparseable fault rate {part!r}") from None
+            else:
+                raise ConfigError(
+                    f"unparseable fault spec entry {part!r} "
+                    "(want name=rate or name@t=time)")
+        return cls(seed=seed, rates=rates, schedule=schedule)
+
+    def describe(self) -> str:
+        parts = [f"{p}={r:g}" for p, r in sorted(self.rates.items())]
+        parts += [f"{f.name}@t={f.at_ns:g}ns" for f in self.schedule]
+        return ",".join(parts) or "(empty)"
+
+    # -- queries (the component-facing fault points) -----------------------
+
+    def check(self, point: str) -> bool:
+        """Rate-based query: does the fault fire on this occasion?
+
+        Points without an armed rate never touch an RNG stream."""
+        rate = self.rates.get(point)
+        if not rate:
+            return False
+        if self._streams[point].random() < rate:
+            self.fired[point] = self.fired.get(point, 0) + 1
+            return True
+        return False
+
+    def take(self, point: str) -> bool:
+        """Counted-then-rate query: consume one armed deterministic
+        failure if any remain, else fall through to the rate check."""
+        budget = self._counted.get(point, 0)
+        if budget > 0:
+            self._counted[point] = budget - 1
+            self.fired[point] = self.fired.get(point, 0) + 1
+            return True
+        return self.check(point)
+
+    def flag(self, name: str) -> bool:
+        """Has the scheduled fault ``name`` fired (and not been cleared)?"""
+        return name in self._flags
+
+    # -- arming ------------------------------------------------------------
+
+    def arm_counted(self, point: str, count: int) -> None:
+        """Arm ``count`` deterministic firings of ``point`` (they are
+        consumed by :meth:`take` before any rate draw)."""
+        if count < 0:
+            raise ConfigError(f"cannot arm a negative count for {point!r}")
+        self._counted[point] = self._counted.get(point, 0) + count
+
+    def pending_counted(self, point: str) -> int:
+        return self._counted.get(point, 0)
+
+    def set_flag(self, name: str) -> None:
+        self._flags.add(name)
+
+    def clear_flag(self, name: str) -> None:
+        self._flags.discard(name)
+
+    # -- scheduled-fault delivery ------------------------------------------
+
+    def bind(self, platform: "Platform") -> None:
+        """Schedule this plan's timed faults against ``platform``'s clock
+        (called by :meth:`Platform.arm_faults`)."""
+        for fault in self.schedule:
+            platform.sim.schedule(fault.at_ns, self._fire, fault.name,
+                                  platform)
+
+    def _fire(self, name: str, platform: "Platform") -> None:
+        self.fired_log.append((platform.sim.now, name))
+        self.fired[name] = self.fired.get(name, 0) + 1
+        if name == "link_down":
+            platform.t2.port.link.hot_reset()
+        elif name == "link_dead":
+            platform.t2.port.link.fail()
+        elif name == "device_viral":
+            platform.t2.enter_viral()
+        else:
+            # device_hang and any custom names become sticky flags that
+            # components poll (the offload engine checks device_hang).
+            self.set_flag(name)
+
+
+class HealthState(enum.Enum):
+    """Operational state of an offload device."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"      # at least one recent command failed
+    FAILED = "failed"          # fault budget exhausted; fast-fail until reset
+
+
+@dataclass
+class DeviceHealthMonitor:
+    """The offload framework's device health-state machine.
+
+    One recorded failure moves HEALTHY -> DEGRADED; ``fail_threshold``
+    *consecutive* failures mark the device FAILED (sticky until
+    :meth:`reset`).  A success from DEGRADED returns to HEALTHY.
+    """
+
+    fail_threshold: int = 4
+    state: HealthState = HealthState.HEALTHY
+    consecutive_failures: int = 0
+    failures: int = 0
+    successes: int = 0
+    transitions: List[tuple[HealthState, HealthState]] = field(
+        default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.fail_threshold < 1:
+            raise ConfigError(
+                f"fail_threshold must be >= 1: {self.fail_threshold}")
+
+    def _move(self, new: HealthState) -> None:
+        if new is not self.state:
+            self.transitions.append((self.state, new))
+            self.state = new
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state is HealthState.FAILED:
+            return
+        if self.consecutive_failures >= self.fail_threshold:
+            self._move(HealthState.FAILED)
+        else:
+            self._move(HealthState.DEGRADED)
+
+    def record_success(self) -> None:
+        self.successes += 1
+        if self.state is HealthState.FAILED:
+            return                      # only reset() revives a dead device
+        self.consecutive_failures = 0
+        self._move(HealthState.HEALTHY)
+
+    def reset(self) -> None:
+        """Device reset: forgive everything (viral/hot-reset recovery)."""
+        self.consecutive_failures = 0
+        self._move(HealthState.HEALTHY)

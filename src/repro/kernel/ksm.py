@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator
 
-from repro.core.offload import OffloadEngine
-from repro.errors import KernelError
+from repro.core.offload import OffloadEngine, OffloadReport
+from repro.errors import FaultError, KernelError
+from repro.faults import HealthState
 from repro.kernel.vm import VirtualMachine, VmPage
 from repro.kernel.xxhash import xxhash32
 from repro.units import PAGE_SIZE
@@ -40,6 +41,7 @@ class KsmStats:
     comparisons: int = 0
     pages_merged: int = 0
     stable_nodes: int = 0
+    fallbacks: int = 0       # operations served by the fallback transport
     host_cpu_ns: float = 0.0
 
     @property
@@ -52,11 +54,13 @@ class Ksm:
     """The samepage-merging scanner."""
 
     def __init__(self, engine: OffloadEngine, transport: str,
-                 vms: list[VirtualMachine], functional: bool = True):
+                 vms: list[VirtualMachine], functional: bool = True,
+                 fallback_transport: str = "cpu"):
         if not vms:
             raise KernelError("ksm needs at least one VM to scan")
         self.engine = engine
         self.transport = transport
+        self.fallback_transport = fallback_transport
         self.vms = vms
         self.functional = functional
         self._stable: Dict[bytes, SharedPage] = {}
@@ -65,6 +69,44 @@ class Ksm:
         self._cursor = 0                       # flat scan position
         self._scan_list = [(vm, page) for vm in vms for page in vm.pages()]
         self.stats = KsmStats()
+
+    # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+
+    def _transport_now(self) -> str:
+        """Reroute to the fallback transport while the offload device is
+        FAILED (scanning must make progress through a device death)."""
+        if (self.transport != self.fallback_transport
+                and self.engine.health.state is HealthState.FAILED):
+            self.stats.fallbacks += 1
+            return self.fallback_transport
+        return self.transport
+
+    def _hash_op(self, data) -> Generator[Any, Any, OffloadReport]:
+        transport = self._transport_now()
+        try:
+            return (yield from self.engine.hash_page(transport, data=data))
+        except FaultError:
+            if transport == self.fallback_transport:
+                raise
+            self.stats.fallbacks += 1
+            return (yield from self.engine.hash_page(
+                self.fallback_transport, data=data))
+
+    def _compare_op(self, a, b,
+                    nbytes: int = PAGE_SIZE) -> Generator[Any, Any,
+                                                          OffloadReport]:
+        transport = self._transport_now()
+        try:
+            return (yield from self.engine.compare_pages(
+                transport, a=a, b=b, nbytes=nbytes))
+        except FaultError:
+            if transport == self.fallback_transport:
+                raise
+            self.stats.fallbacks += 1
+            return (yield from self.engine.compare_pages(
+                self.fallback_transport, a=a, b=b, nbytes=nbytes))
 
     # ------------------------------------------------------------------
     # scanning
@@ -96,8 +138,8 @@ class Ksm:
             return 0     # already merged; nothing to do
 
         # Change hint: the offloaded xxhash (SVI-B).
-        report = yield from self.engine.hash_page(
-            self.transport, data=page.content if self.functional else None)
+        report = yield from self._hash_op(
+            page.content if self.functional else None)
         self.stats.hash_computations += 1
         self.stats.host_cpu_ns += report.host_cpu_ns
         checksum = (report.result if report.result is not None
@@ -142,10 +184,9 @@ class Ksm:
         if self._unstable:
             neighbour = next(iter(self._unstable))
             diff_at = _first_difference(page.content, neighbour)
-            yield from self.engine.compare_pages(
-                self.transport,
-                a=page.content if self.functional else None,
-                b=neighbour if self.functional else None,
+            yield from self._compare_op(
+                page.content if self.functional else None,
+                neighbour if self.functional else None,
                 nbytes=min(PAGE_SIZE, diff_at + 64),
             )
             self.stats.comparisons += 1
@@ -155,10 +196,9 @@ class Ksm:
 
     def _compare(self, a: bytes, b: bytes) -> Generator[Any, Any, None]:
         """Full byte-by-byte comparison via the configured transport."""
-        report = yield from self.engine.compare_pages(
-            self.transport,
-            a=a if self.functional else None,
-            b=b if self.functional else None,
+        report = yield from self._compare_op(
+            a if self.functional else None,
+            b if self.functional else None,
         )
         self.stats.comparisons += 1
         self.stats.host_cpu_ns += report.host_cpu_ns

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional
 
-from repro.errors import KernelError
+from repro.errors import FaultError, KernelError
+from repro.faults import FaultPlan
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 from repro.units import PAGE_SIZE, us
@@ -18,12 +19,17 @@ SSD_READ_NS = us(75.0)      # 4 KB random read on a datacenter NVMe
 SSD_WRITE_NS = us(18.0)     # 4 KB write (absorbed by device buffers)
 SSD_QUEUE_DEPTH = 64
 
+# The FaultPlan point this device queries on every read.
+SWAP_READ_ERROR = "swap_read_error"
 
-class SwapIOError(KernelError):
+
+class SwapIOError(KernelError, FaultError):
     """A swap read failed at the device (media error / link reset).
 
     Linux marks the page table entry with a hardware-poison swap entry
     and the faulting process gets SIGBUS -- data in that slot is gone.
+    (Both a kernel-layer error and an injected hardware fault, hence the
+    dual parentage.)
     """
 
 
@@ -32,16 +38,20 @@ class SwapDevice:
 
     ``inject_read_errors(n)`` arms deterministic failure injection: the
     next ``n`` reads raise :class:`SwapIOError` after paying the I/O
-    latency, and their slots are lost (as on real media errors).
+    latency, and their slots are lost (as on real media errors).  It is
+    a thin shim over :class:`~repro.faults.FaultPlan` — pass a shared
+    plan (with a ``swap_read_error`` rate or counted budget) to drive
+    this device from the same subsystem as every other fault point.
     """
 
-    def __init__(self, sim: Simulator, capacity_pages: int = 1 << 20):
+    def __init__(self, sim: Simulator, capacity_pages: int = 1 << 20,
+                 faults: Optional[FaultPlan] = None):
         self.sim = sim
         self.capacity_pages = capacity_pages
+        self.faults = faults if faults is not None else FaultPlan()
         self._queue = Resource(sim, SSD_QUEUE_DEPTH, "swapdev.q")
         self._slots: Dict[int, Optional[bytes]] = {}
         self._next_slot = 0
-        self._pending_read_errors = 0
         self.reads = 0
         self.writes = 0
         self.read_errors = 0
@@ -50,7 +60,7 @@ class SwapDevice:
         """Arm ``count`` read failures (failure-injection testing)."""
         if count < 0:
             raise KernelError("cannot inject a negative error count")
-        self._pending_read_errors += count
+        self.faults.arm_counted(SWAP_READ_ERROR, count)
 
     @property
     def used_slots(self) -> int:
@@ -79,8 +89,7 @@ class SwapDevice:
         self.reads += 1
         data = self._slots.pop(slot)
         yield from self._queue.using(SSD_READ_NS)
-        if self._pending_read_errors > 0:
-            self._pending_read_errors -= 1
+        if self.faults.take(SWAP_READ_ERROR):
             self.read_errors += 1
             raise SwapIOError(f"media error reading swap slot {slot}")
         return data

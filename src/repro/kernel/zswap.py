@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from repro.core.offload import OffloadEngine, OffloadReport
-from repro.errors import KernelError
+from repro.errors import FaultError, KernelError
+from repro.faults import HealthState
 from repro.kernel.swapdev import SwapDevice
 from repro.units import PAGE_SIZE
 
@@ -63,6 +64,7 @@ class ZswapStats:
     writebacks: int = 0
     rejected: int = 0
     same_filled: int = 0
+    fallbacks: int = 0       # operations served by the fallback transport
     host_cpu_ns: float = 0.0
 
 
@@ -71,12 +73,14 @@ class Zswap:
 
     def __init__(self, engine: OffloadEngine, swapdev: SwapDevice,
                  transport: str, managed_pages: int,
-                 max_pool_percent: int = 20):
+                 max_pool_percent: int = 20,
+                 fallback_transport: str = "cpu"):
         if not (0 < max_pool_percent < 100):
             raise KernelError(f"bad max_pool_percent {max_pool_percent}")
         self.engine = engine
         self.swapdev = swapdev
         self.transport = transport
+        self.fallback_transport = fallback_transport
         self.managed_pages = managed_pages
         self.max_pool_percent = max_pool_percent
         self.zpool_in_device_memory = transport == "cxl"
@@ -105,6 +109,52 @@ class Zswap:
     def is_full(self) -> bool:
         return self._pool_bytes >= self.pool_limit_bytes
 
+    # -- graceful degradation ----------------------------------------------
+
+    def _transport_now(self) -> str:
+        """The transport for the next operation: the configured one,
+        unless the offload device is FAILED — then reroute to the
+        fallback without even attempting (mirrors Linux zswap rejecting
+        to swap when the compressor backend errors)."""
+        if (self.transport != self.fallback_transport
+                and self.engine.health.state is HealthState.FAILED):
+            self.stats.fallbacks += 1
+            return self.fallback_transport
+        return self.transport
+
+    def _compress_op(self, data: Optional[bytes]
+                     ) -> Generator[Any, Any, OffloadReport]:
+        """Compress via the configured transport, falling back to the
+        cpu path on a hardware fault (the page is never lost: the
+        original data is still in hand)."""
+        transport = self._transport_now()
+        try:
+            return (yield from self.engine.compress_page(transport,
+                                                         data=data))
+        except FaultError:
+            if transport == self.fallback_transport:
+                raise
+            self.stats.fallbacks += 1
+            return (yield from self.engine.compress_page(
+                self.fallback_transport, data=data))
+
+    def _decompress_op(self, blob: Optional[bytes], stored_bytes: int
+                       ) -> Generator[Any, Any, OffloadReport]:
+        """Decompress via the configured transport with cpu fallback.
+        Safe to redo: the compressed blob stays in the pool entry until
+        the operation returns."""
+        transport = self._transport_now()
+        try:
+            return (yield from self.engine.decompress_page(
+                transport, data=blob, stored_bytes=stored_bytes))
+        except FaultError:
+            if transport == self.fallback_transport:
+                raise
+            self.stats.fallbacks += 1
+            return (yield from self.engine.decompress_page(
+                self.fallback_transport, data=blob,
+                stored_bytes=stored_bytes))
+
     # -- store (swap-out) ------------------------------------------------------
 
     def store(self, data: Optional[bytes] = None
@@ -127,8 +177,7 @@ class Zswap:
                 handle, SAME_FILLED_ENTRY_BYTES, same_filled=fill)
             self._pool_bytes += SAME_FILLED_ENTRY_BYTES
             return handle, None
-        report = yield from self.engine.compress_page(
-            self.transport, data=data)
+        report = yield from self._compress_op(data)
         self.stats.host_cpu_ns += report.host_cpu_ns
         handle = self._next_handle
         self._next_handle += 1
@@ -159,9 +208,8 @@ class Zswap:
             slot = yield from self.swapdev.write_page(page)
             self._swapped[handle] = slot
             return
-        report = yield from self.engine.decompress_page(
-            self.transport, data=entry.blob,
-            stored_bytes=entry.compressed_bytes)
+        report = yield from self._decompress_op(entry.blob,
+                                                entry.compressed_bytes)
         self.stats.host_cpu_ns += report.host_cpu_ns
         slot = yield from self.swapdev.write_page(report.result)
         self._swapped[handle] = slot
@@ -181,9 +229,8 @@ class Zswap:
                 yield self.engine.p.sim.timeout_event(SAME_FILLED_SCAN_NS)
                 self.stats.host_cpu_ns += SAME_FILLED_SCAN_NS
                 return bytes([entry.same_filled]) * PAGE_SIZE, True
-            report = yield from self.engine.decompress_page(
-                self.transport, data=entry.blob,
-                stored_bytes=entry.compressed_bytes)
+            report = yield from self._decompress_op(entry.blob,
+                                                    entry.compressed_bytes)
             self.stats.host_cpu_ns += report.host_cpu_ns
             return report.result, True
         slot = self._swapped.pop(handle, None)

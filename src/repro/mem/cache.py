@@ -20,10 +20,18 @@ from repro.units import CACHELINE
 
 @dataclass
 class CacheLine:
-    """One resident cache line."""
+    """One resident cache line.
+
+    ``poisoned`` models CXL data poison: the line's data is known-bad
+    (an uncorrectable memory error travelled with the fill), and a
+    consumer that reads it must observe a :class:`~repro.errors.PoisonError`.
+    Poison rides the line through state transitions and evictions; only
+    a full-line overwrite clears it.
+    """
 
     addr: int                      # line base address
     state: LineState
+    poisoned: bool = False
 
     def __post_init__(self) -> None:
         if self.addr % CACHELINE:
@@ -59,6 +67,10 @@ class SetAssociativeCache:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        # RAS: called with the victim address when a poisoned line leaves
+        # the cache dirty, so poison propagates back to the memory image.
+        self.poison_sink: Optional[Callable[[int], None]] = None
+        self.poison_evictions = 0
 
     # -- geometry ----------------------------------------------------------
 
@@ -133,6 +145,10 @@ class SetAssociativeCache:
             self.evictions += 1
             if victim.state.is_dirty:
                 self.writebacks += 1
+                if victim.poisoned:
+                    self.poison_evictions += 1
+                    if self.poison_sink is not None:
+                        self.poison_sink(victim.addr)
                 if writeback is not None:
                     writeback(victim.addr)
         line_set[base] = CacheLine(base, state)
@@ -154,6 +170,29 @@ class SetAssociativeCache:
         else:
             line.state = state
 
+    def poison_addr(self, addr: int) -> bool:
+        """Mark the resident line covering ``addr`` as poisoned.
+
+        Returns whether a line was resident (a miss is a no-op: the
+        poison then lives in the backing memory image instead)."""
+        line = self.peek(addr)
+        if line is None:
+            return False
+        line.poisoned = True
+        return True
+
+    def clear_poison(self, addr: int) -> bool:
+        """Clear poison on a resident line (full-line overwrite)."""
+        line = self.peek(addr)
+        if line is None or not line.poisoned:
+            return False
+        line.poisoned = False
+        return True
+
+    def is_poisoned(self, addr: int) -> bool:
+        line = self.peek(addr)
+        return bool(line and line.poisoned)
+
     def invalidate(self, addr: int) -> bool:
         """Drop the line if resident.  Returns whether it was dirty."""
         base = line_base(addr)
@@ -171,6 +210,10 @@ class SetAssociativeCache:
             for line in line_set.values():
                 if line.state.is_dirty:
                     dirty += 1
+                    if line.poisoned:
+                        self.poison_evictions += 1
+                        if self.poison_sink is not None:
+                            self.poison_sink(line.addr)
                     if writeback is not None:
                         writeback(line.addr)
             line_set.clear()

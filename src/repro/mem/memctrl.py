@@ -21,7 +21,9 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro.config import DramConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, PoisonError
+from repro.faults import NO_FAULTS
+from repro.mem.address import line_base
 from repro.sim.engine import Simulator, Timeout
 from repro.sim.resources import Resource
 from repro.units import CACHELINE
@@ -93,15 +95,48 @@ class MemorySystem:
         self.channels = [
             MemoryChannel(sim, cfg, f"{name}.ch{i}") for i in range(channels)
         ]
+        # RAS: line bases whose DRAM image carries CXL data poison.  A
+        # read of a poisoned line pays the full access latency and then
+        # raises PoisonError; a full-line write scrubs the poison.
+        self.poisoned: set[int] = set()
+        self.faults = NO_FAULTS
+        self.poison_detected = 0
 
     def channel_for(self, addr: int) -> MemoryChannel:
         return self.channels[(addr // CACHELINE) % len(self.channels)]
 
     def read_line(self, addr: int) -> Generator[Any, Any, float]:
+        if self.poisoned or self.faults.active:
+            return self._read_line_ras(addr)
         return self.channel_for(addr).read_line()
 
+    def _read_line_ras(self, addr: int) -> Generator[Any, Any, float]:
+        """Fault path of :meth:`read_line` (never entered when no line is
+        poisoned and no plan is armed)."""
+        latency = yield from self.channel_for(addr).read_line()
+        base = line_base(addr)
+        if base in self.poisoned:
+            self.poison_detected += 1
+            raise PoisonError(f"{self.name}: poisoned line {hex(base)}")
+        if self.faults.check("mem_poison"):
+            # An uncorrectable error struck this very access: the line is
+            # now poisoned in the DRAM image and this consumer sees it.
+            self.poisoned.add(base)
+            self.poison_detected += 1
+            raise PoisonError(f"{self.name}: poisoned line {hex(base)}")
+        return latency
+
     def write_line(self, addr: int) -> Generator[Any, Any, float]:
+        if self.poisoned:
+            self.poisoned.discard(line_base(addr))   # full-line scrub
         return self.channel_for(addr).write_line()
+
+    def poison(self, addr: int) -> None:
+        """Mark ``addr``'s line as poisoned in the DRAM image."""
+        self.poisoned.add(line_base(addr))
+
+    def is_poisoned(self, addr: int) -> bool:
+        return line_base(addr) in self.poisoned
 
     @property
     def total_reads(self) -> int:

@@ -24,30 +24,62 @@ class Timeout:
         return f"Timeout({self.delay!r})"
 
 
+class _Failure:
+    """Internal envelope carrying a failed event's exception to waiters."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
     An event starts *pending*; calling :meth:`succeed` triggers it exactly
     once, delivering ``value`` to every waiter.  Waiting on an already
     triggered event resumes the waiter immediately (at the current time).
+
+    Calling :meth:`fail` instead triggers the event *with an exception*:
+    every process waiting at a ``yield`` has the exception thrown into it
+    at that point, where ordinary ``try/except`` handles it.  A failure
+    nobody waits on raises a :class:`SimulationError` diagnostic out of
+    :meth:`Simulator.run` so injected faults can never vanish silently;
+    :meth:`defuse` suppresses the diagnostic for callers that inspect
+    :attr:`exc` out-of-band.
     """
 
-    __slots__ = ("sim", "_value", "_triggered", "_callbacks")
+    __slots__ = ("sim", "name", "_value", "_triggered", "_callbacks",
+                 "_exc", "_defused")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
+        self.name = name
         self._value: Any = None
         self._triggered = False
         self._callbacks: list[Callable[[Any], None]] = []
+        self._exc: Optional[BaseException] = None
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
         return self._triggered
 
     @property
+    def failed(self) -> bool:
+        return self._triggered and self._exc is not None
+
+    @property
+    def exc(self) -> Optional[BaseException]:
+        """The failure exception, or None for pending/succeeded events."""
+        return self._exc
+
+    @property
     def value(self) -> Any:
         if not self._triggered:
             raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
         return self._value
 
     def succeed(self, value: Any = None) -> "Event":
@@ -60,11 +92,50 @@ class Event:
             self.sim.call_soon(cb, value)
         return self
 
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with ``exc``; waiters have it thrown at their
+        ``yield``."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"Event.fail needs an exception, "
+                                  f"got {exc!r}")
+        self._triggered = True
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, []
+        if callbacks:
+            self._defused = True
+            failure = _Failure(exc)
+            for cb in callbacks:
+                self.sim.call_soon(cb, failure)
+        else:
+            # Nobody is waiting: raise a diagnostic unless a waiter (or a
+            # defuse) arrives within the current delta-cycle.
+            self.sim.call_soon(self._unhandled_check)
+        return self
+
+    def defuse(self) -> "Event":
+        """Mark this event's (current or future) failure as handled
+        out-of-band, suppressing the uncaught-failure diagnostic."""
+        self._defused = True
+        return self
+
+    def _unhandled_check(self) -> None:
+        if not self._defused:
+            where = self.name or "event"
+            raise SimulationError(
+                f"uncaught failure in {where}: {self._exc!r}"
+            ) from self._exc
+
     def add_callback(self, cb: Callable[[Any], None]) -> None:
         """Run ``cb(value)`` when (or immediately-soon if already)
         triggered."""
         if self._triggered:
-            self.sim.call_soon(cb, self._value)
+            if self._exc is not None:
+                self._defused = True
+                self.sim.call_soon(cb, _Failure(self._exc))
+            else:
+                self.sim.call_soon(cb, self._value)
         else:
             self._callbacks.append(cb)
 
@@ -82,7 +153,7 @@ class Process:
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
         self.sim = sim
         self.name = name or getattr(gen, "__name__", "process")
-        self.done = Event(sim)
+        self.done = Event(sim, name=f"process {self.name!r}")
         # Explicit call stack of generators: yielding a generator pushes it,
         # StopIteration pops it and sends the return value to the caller.
         self._stack: list[ProcessGen] = [gen]
@@ -92,24 +163,44 @@ class Process:
         return self.done.triggered
 
     @property
+    def failed(self) -> bool:
+        return self.done.failed
+
+    @property
     def result(self) -> Any:
+        """The return value; re-raises the exception for a failed process."""
         return self.done.value
 
     # -- driving ----------------------------------------------------------
 
     def _step(self, sent_value: Any) -> None:
         """Advance the top generator with ``sent_value`` and interpret the
-        command it yields."""
+        command it yields.  A :class:`_Failure` is thrown into the
+        generator at its ``yield``; an exception the generator does not
+        handle unwinds the explicit stack and ultimately fails
+        :attr:`done` (failing the waiters of this process in turn)."""
         while True:
             gen = self._stack[-1]
             try:
-                command = gen.send(sent_value)
+                if type(sent_value) is _Failure:
+                    exc = sent_value.exc
+                    sent_value = None
+                    command = gen.throw(exc)
+                else:
+                    command = gen.send(sent_value)
             except StopIteration as stop:
                 self._stack.pop()
                 if not self._stack:
                     self.done.succeed(stop.value)
                     return
                 sent_value = stop.value
+                continue
+            except Exception as exc:     # noqa: BLE001 - fault propagation
+                self._stack.pop()
+                if not self._stack:
+                    self.done.fail(exc)
+                    return
+                sent_value = _Failure(exc)
                 continue
             self._dispatch(command)
             return
@@ -204,8 +295,12 @@ class Simulator:
 
     def run_process(self, gen: ProcessGen, name: str = "") -> Any:
         """Spawn ``gen``, run the simulation until it finishes, and return
-        its result.  Raises if the heap drains first (deadlock)."""
+        its result.  Raises if the heap drains first (deadlock), and
+        re-raises the process's own exception if it failed."""
         proc = self.spawn(gen, name)
+        # The caller reads `result` below, which re-raises failures, so
+        # the in-loop uncaught-failure diagnostic would be redundant.
+        proc.done.defuse()
         self.run()
         if not proc.finished:
             raise SimulationError(
@@ -215,9 +310,12 @@ class Simulator:
 
     def all_of(self, events: Iterable[Event]) -> Event:
         """An event that triggers once every input event has triggered,
-        with the list of their values (input order preserved)."""
+        with the list of their values (input order preserved).
+
+        If any input *fails*, the aggregate fails immediately with that
+        exception (first failure wins; later outcomes are absorbed)."""
         events = list(events)
-        done = Event(self)
+        done = Event(self, name="all_of")
         if not events:
             self.call_soon(done.succeed, [])
             return done
@@ -226,10 +324,40 @@ class Simulator:
 
         def make_cb(i: int) -> Callable[[Any], None]:
             def cb(value: Any) -> None:
+                if done.triggered:
+                    return                 # a sibling already failed it
+                if type(value) is _Failure:
+                    done.fail(value.exc)
+                    return
                 values[i] = value
                 remaining[0] -= 1
                 if remaining[0] == 0:
                     done.succeed(list(values))
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that triggers with ``(index, value)`` of the first
+        input to trigger (useful for racing a completion against a
+        timeout).  If the first outcome is a failure, the aggregate fails
+        with it; later outcomes are absorbed either way."""
+        events = list(events)
+        if not events:
+            raise SimulationError("any_of needs at least one event")
+        done = Event(self, name="any_of")
+
+        def make_cb(i: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                if done.triggered:
+                    return
+                if type(value) is _Failure:
+                    done.fail(value.exc)
+                    return
+                done.succeed((i, value))
 
             return cb
 

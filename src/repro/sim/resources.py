@@ -105,3 +105,16 @@ class Pipe:
         if self._items:
             return True, self._items.popleft()
         return False, None
+
+    def remove_where(self, pred: Any) -> list[Any]:
+        """Remove and return every queued item for which ``pred(item)`` is
+        true, preserving the order of the rest.  Items already handed to a
+        getter are not affected (used for reaping orphaned doorbell
+        entries after a timeout)."""
+        removed: list[Any] = []
+        kept: Deque[Any] = deque()
+        for item in self._items:
+            (removed if pred(item) else kept).append(item)
+        if removed:
+            self._items = kept
+        return removed

@@ -1,0 +1,160 @@
+"""Doorbell robustness: timeouts, orphaned tags, concurrent submitters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.doorbell import Command, Completion, Doorbell
+from repro.errors import OffloadError, OffloadTimeoutError
+
+
+def _device_echo(bell, count, delay_ns=0.0):
+    """A device loop that serves ``count`` commands, echoing tag*10."""
+
+    def loop():
+        for __ in range(count):
+            cmd = yield from bell.device_poll()
+            if delay_ns:
+                yield bell.p.sim.timeout_event(delay_ns)
+            yield from bell.device_complete(
+                Completion(cmd.tag, result=cmd.tag * 10), push_to_llc=False)
+
+    return loop
+
+
+def test_await_completion_returns_the_tags_own_completion(platform):
+    bell = Doorbell(platform)
+    sim = platform.sim
+
+    def host():
+        tag = yield from bell.submit(Command("compress"))
+        completion = yield from bell.await_completion(tag, timeout_ns=1e6)
+        return completion
+
+    sim.spawn(_device_echo(bell, 1)())
+    completion = sim.run_process(host())
+    assert completion.result == completion.tag * 10
+    assert bell.completed == 1
+    assert not bell.inflight
+
+
+def test_concurrent_submitters_each_get_their_own_result(platform):
+    """Two hosts in flight at once: completions are matched by tag, never
+    by arrival order."""
+    bell = Doorbell(platform)
+    sim = platform.sim
+    results = {}
+
+    def host(name, think_ns):
+        yield sim.timeout_event(think_ns)
+        tag = yield from bell.submit(Command(name))
+        completion = yield from bell.await_completion(tag, timeout_ns=1e6)
+        results[name] = (tag, completion.result)
+
+    sim.spawn(host("a", 0.0))
+    sim.spawn(host("b", 5.0))
+    sim.spawn(_device_echo(bell, 2)())
+    sim.run()
+    assert results["a"] == (1, 10)
+    assert results["b"] == (2, 20)
+    assert bell.completed == 2
+    assert not bell.inflight and not bell._cpl_events
+
+
+def test_timeout_reaps_the_tag(platform):
+    """No device consumer at all: the host times out, the tag is orphaned
+    and its command removed from the queue."""
+    bell = Doorbell(platform)
+    sim = platform.sim
+
+    def host():
+        tag = yield from bell.submit(Command("compress"))
+        t0 = sim.now
+        with pytest.raises(OffloadTimeoutError, match="timed out"):
+            yield from bell.await_completion(tag, timeout_ns=500.0)
+        return sim.now - t0, tag
+
+    waited, tag = sim.run_process(host())
+    assert waited == pytest.approx(500.0)
+    assert bell.orphaned == 1
+    assert tag not in bell.inflight
+    # The reaped command is gone: a device polling later must block.
+    got, __ = bell._commands.try_get()
+    assert not got
+
+
+def test_late_completion_for_orphaned_tag_is_dropped(platform):
+    """Device hangs past the timeout, then completes anyway: the stale
+    completion is counted and discarded, not delivered to anyone."""
+    bell = Doorbell(platform)
+    sim = platform.sim
+
+    def slow_device():
+        cmd = yield from bell.device_poll()
+        yield sim.timeout_event(10_000.0)           # way past the timeout
+        yield from bell.device_complete(Completion(cmd.tag, result=1),
+                                        push_to_llc=False)
+
+    def host():
+        tag = yield from bell.submit(Command("hash"))
+        try:
+            yield from bell.await_completion(tag, timeout_ns=500.0)
+        except OffloadTimeoutError:
+            pass
+
+    # The device consumed the command before the timeout reaped it.
+    dev = sim.spawn(slow_device())
+    sim.spawn(host())
+    sim.run()
+    assert dev.finished
+    assert bell.late_completions == 1
+    # The stale result is not left queued for the next reader.
+    got, __ = bell._completions.try_get()
+    assert not got
+
+
+def test_orphan_then_fresh_command_not_cross_delivered(platform):
+    """After a reaped tag, a new submit gets a new tag and its own fresh
+    result — a late completion cannot satisfy the new command."""
+    bell = Doorbell(platform)
+    sim = platform.sim
+
+    def flow():
+        tag1 = yield from bell.submit(Command("first"))
+        try:
+            yield from bell.await_completion(tag1, timeout_ns=200.0)
+        except OffloadTimeoutError:
+            pass
+        tag2 = yield from bell.submit(Command("second"))
+        completion = yield from bell.await_completion(tag2, timeout_ns=1e6)
+        return tag1, tag2, completion
+
+    sim.spawn(_device_echo(bell, 1)())       # serves only the second command
+    tag1, tag2, completion = sim.run_process(flow())
+    assert tag2 == tag1 + 1
+    assert completion.tag == tag2
+    assert completion.result == tag2 * 10
+
+
+def test_await_unknown_tag_raises(platform):
+    bell = Doorbell(platform)
+    with pytest.raises(OffloadError, match="unknown tag"):
+        platform.sim.run_process(bell.await_completion(99, timeout_ns=100.0))
+
+
+def test_classic_read_completion_still_retires_tag(platform):
+    """The pre-RAS blocking path keeps the robustness bookkeeping
+    consistent (no inflight leak)."""
+    bell = Doorbell(platform)
+    sim = platform.sim
+
+    def flow():
+        yield from bell.submit(Command("compress"))
+        cmd = yield from bell.device_poll()
+        yield from bell.device_complete(Completion(cmd.tag, result=7),
+                                        push_to_llc=False)
+        return (yield from bell.read_completion())
+
+    completion = sim.run_process(flow())
+    assert completion.result == 7
+    assert not bell.inflight and not bell._cpl_events

@@ -1,0 +1,72 @@
+"""Acceptance tests for the fault-resilience extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_fault_resilience as ext
+
+# Small enough to keep the suite fast, large enough (120 ops) that the
+# single timeout-absorbing op in the kill scenario sits above the p99 cut.
+PAGES = 60
+SEED = 77
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext.run(drop_rates=(0.0, 2e-2), pages=PAGES, seed=SEED)
+
+
+def test_every_scenario_completes_with_no_lost_pages(result):
+    for name, cell in result.cells.items():
+        assert cell.ops == 2 * PAGES, name
+        assert cell.lost_pages == 0, name
+        assert cell.verified == PAGES, name
+
+
+def test_healthy_cxl_beats_cpu_and_faults_cost_tail(result):
+    healthy = result.get("cxl drop=0")
+    faulty = result.get("cxl drop=0.02")
+    assert healthy.timeouts == 0
+    assert faulty.timeouts > 0
+    # Faults inflate the tail but the median barely moves.
+    assert faulty.p99_ns > 5 * healthy.p99_ns
+    assert faulty.p50_ns == pytest.approx(healthy.p50_ns, rel=0.10)
+
+
+def test_crc_faults_delay_but_never_fail(result):
+    crc = result.get("cxl crc=1e-3")
+    assert crc.crc_replays > 0
+    assert crc.fault_errors == 0           # absorbed by the retry buffer
+    assert crc.health == "healthy"
+
+
+def test_device_kill_completes_falls_back_and_bounds_p99(result):
+    kill = result.get("cxl kill")
+    cpu = result.get("cpu")
+    assert kill.health == "failed"         # the kill landed
+    assert kill.fallbacks > 0              # post-kill ops rerouted
+    assert kill.lost_pages == 0            # every payload recovered
+    # Exactly one operation absorbs the timeout-retry budget...
+    over_timeout = sum(1 for lat in kill.latencies_ns if lat > 50_000.0)
+    assert over_timeout == 1
+    # ...so p99 is bounded by the cpu-zswap baseline, not the timeout.
+    assert kill.p99_ns <= cpu.p99_ns * 1.05
+
+
+def test_identical_seed_and_plan_identical_timeline(result):
+    again = ext.run_device_kill(pages=PAGES, seed=SEED)
+    assert again.latencies_ns == result.get("cxl kill").latencies_ns
+    assert again.fallbacks == result.get("cxl kill").fallbacks
+
+
+def test_different_seed_differs():
+    a = ext.run_cell("x", fault_spec="offload_drop=0.05", pages=20, seed=1)
+    b = ext.run_cell("x", fault_spec="offload_drop=0.05", pages=20, seed=2)
+    assert a.latencies_ns != b.latencies_ns
+
+
+def test_format_table_lists_every_scenario(result):
+    text = ext.format_table(result)
+    for name in result.cells:
+        assert name in text

@@ -1,0 +1,141 @@
+"""Graceful degradation: zswap/ksm survive a device death mid-run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offload import OffloadEngine
+from repro.errors import FaultError
+from repro.faults import HealthState
+from repro.kernel.ksm import Ksm
+from repro.kernel.swapdev import SwapDevice
+from repro.kernel.vm import VirtualMachine
+from repro.kernel.zswap import Zswap
+from repro.units import PAGE_SIZE
+
+
+def _page(i: int) -> bytes:
+    row = (i + 1).to_bytes(4, "little") + b"fallback-test-xx" + bytes(44)
+    return (row * (PAGE_SIZE // len(row)))[:PAGE_SIZE]
+
+
+def _zswap(platform, transport="cxl"):
+    engine = OffloadEngine(platform, functional=True)
+    swapdev = SwapDevice(platform.sim)
+    return Zswap(engine, swapdev, transport, managed_pages=4096), engine
+
+
+def test_store_falls_back_to_cpu_on_device_hang(platform):
+    """The very first store hits the hung device, exhausts the retry
+    budget, and is redone on the cpu path — the page is never lost."""
+    plan = platform.arm_faults("device_hang@t=0")
+    platform.sim.run()                     # fire the t=0 schedule
+    assert plan.flag("device_hang")
+    zswap, engine = _zswap(platform)
+
+    def flow():
+        handle, report = yield from zswap.store(_page(1))
+        data, hit = yield from zswap.load(handle)
+        return report, data, hit
+
+    report, data, hit = platform.sim.run_process(flow())
+    assert data == _page(1) and hit
+    assert report.transport == "cpu"       # the redo's report
+    assert zswap.stats.fallbacks >= 1
+    assert engine.health.state is HealthState.FAILED
+
+
+def test_after_failure_ops_reroute_without_retrying(platform):
+    """Once FAILED, later stores go straight to cpu: no per-op timeout."""
+    platform.arm_faults("device_hang@t=0")
+    platform.sim.run()
+    zswap, engine = _zswap(platform)
+
+    def flow():
+        yield from zswap.store(_page(1))   # absorbs the retry budget
+        t0 = platform.sim.now
+        yield from zswap.store(_page(2))
+        return platform.sim.now - t0
+
+    second_store_ns = platform.sim.run_process(flow())
+    # Far below one command timeout: the reroute is decided up front.
+    assert second_store_ns < engine.command_timeout_ns / 2
+    assert engine.timeouts == engine.health.fail_threshold
+
+
+def test_no_pages_lost_through_mid_run_death(platform):
+    """Store a working set, kill the device partway, load everything
+    back: every payload must round-trip bit-exact."""
+    pages = 30
+    platform.arm_faults(f"device_hang@t=60us")
+    zswap, engine = _zswap(platform)
+
+    def flow():
+        handles = []
+        for i in range(pages):
+            handle, __ = yield from zswap.store(_page(i))
+            handles.append(handle)
+        out = []
+        for handle in handles:
+            data, __ = yield from zswap.load(handle)
+            out.append(data)
+        return out
+
+    out = platform.sim.run_process(flow())
+    assert engine.health.state is HealthState.FAILED   # the kill landed
+    assert zswap.stats.fallbacks > 0
+    assert out == [_page(i) for i in range(pages)]     # nothing lost
+
+
+def test_cpu_zswap_unaffected_by_device_death(platform):
+    platform.arm_faults("device_hang@t=0")
+    platform.sim.run()
+    zswap, engine = _zswap(platform, transport="cpu")
+
+    def flow():
+        handle, __ = yield from zswap.store(_page(3))
+        return (yield from zswap.load(handle))
+
+    data, hit = platform.sim.run_process(flow())
+    assert data == _page(3) and hit
+    assert zswap.stats.fallbacks == 0
+    assert engine.timeouts == 0
+
+
+def test_fallback_disabled_surfaces_the_fault(platform):
+    """fallback_transport == transport means no fallback exists: the
+    caller sees the FaultError (opt-out stays possible)."""
+    platform.arm_faults("device_hang@t=0")
+    platform.sim.run()
+    engine = OffloadEngine(platform, functional=True)
+    zswap = Zswap(engine, SwapDevice(platform.sim), "cxl",
+                  managed_pages=4096, fallback_transport="cxl")
+    with pytest.raises(FaultError):
+        platform.sim.run_process(zswap.store(_page(1)))
+
+
+def test_ksm_scan_survives_device_death(platform):
+    """The ksm scanner keeps merging through a hang: hash/compare fall
+    back to the cpu path and the dedup result is unchanged."""
+    platform.arm_faults("device_hang@t=0")
+    platform.sim.run()
+    engine = OffloadEngine(platform, functional=True)
+    content = _page(7)
+    vms = []
+    for i in range(2):
+        vm = VirtualMachine(f"vm{i}")
+        for vpn in range(4):
+            vm.map_page(vpn, content)
+        vms.append(vm)
+    ksm = Ksm(engine, "cxl", vms, functional=True)
+
+    def flow():
+        # Two passes: the first records checksums, the second merges.
+        yield from ksm.full_scan()
+        merged = yield from ksm.full_scan()
+        return merged
+
+    merged = platform.sim.run_process(flow())
+    assert merged > 0
+    assert ksm.stats.fallbacks > 0
+    assert engine.health.state is HealthState.FAILED

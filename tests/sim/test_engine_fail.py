@@ -1,0 +1,192 @@
+"""Event failure propagation: ``Event.fail`` and friends.
+
+Fault injection needs a way for one process to *throw* into another —
+the same mechanism simpy exposes.  These tests pin down the contract:
+a failure is thrown at the waiter's ``yield``, uncaught failures are
+loud, and the aggregates (``all_of``/``any_of``) fail fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError, SimulationError
+from repro.sim.engine import Event, Simulator, Timeout
+
+
+class Boom(FaultError):
+    pass
+
+
+def test_fail_before_wait_throws_at_yield(sim):
+    """A failure that lands before the waiter reaches its ``yield`` is
+    still delivered (the waiter subscribes to an already-failed event)."""
+    ev = Event(sim, name="pre-failed")
+    log = []
+
+    def waiter():
+        try:
+            yield ev
+        except Boom as exc:
+            log.append(str(exc))
+
+    sim.spawn(waiter())
+    ev.fail(Boom("pre"))
+    sim.run()
+    assert log == ["pre"]
+
+
+def test_fail_after_wait_throws_at_yield(sim):
+    """A pending waiter has the exception thrown when fail() fires."""
+    ev = Event(sim, name="late-fail")
+    log = []
+
+    def waiter():
+        try:
+            yield ev
+        except Boom as exc:
+            log.append((sim.now, str(exc)))
+
+    def failer():
+        yield Timeout(25.0)
+        ev.fail(Boom("late"))
+
+    sim.spawn(waiter())
+    sim.spawn(failer())
+    sim.run()
+    assert log == [(25.0, "late")]
+
+
+def test_unhandled_waiter_failure_propagates_to_process(sim):
+    """A process that does not catch the thrown exception fails its own
+    ``done`` event, and ``result`` re-raises."""
+    ev = Event(sim)
+
+    def waiter():
+        yield ev
+
+    proc = sim.spawn(waiter())
+    proc.done.defuse()
+    ev.fail(Boom("unhandled"))
+    sim.run()
+    assert proc.finished and proc.failed
+    with pytest.raises(Boom):
+        proc.result
+
+
+def test_failure_unwinds_nested_generators(sim):
+    """The throw crosses ``yield from`` frames like a normal exception."""
+    ev = Event(sim)
+    sim.schedule(10.0, ev.fail, Boom("deep"))
+
+    def inner():
+        yield ev
+        return "unreachable"
+
+    def outer():
+        try:
+            result = yield from inner()
+        except Boom:
+            return "caught-in-outer"
+        return result
+
+    assert sim.run_process(outer()) == "caught-in-outer"
+
+
+def test_uncaught_failure_with_no_waiter_is_diagnosed(sim):
+    """fail() with nobody listening raises a loud diagnostic instead of
+    vanishing (the classic lost-error hazard in event-driven code)."""
+    ev = Event(sim, name="orphan")
+    ev.fail(Boom("nobody listening"))
+    with pytest.raises(SimulationError, match="uncaught failure in orphan"):
+        sim.run()
+
+
+def test_defuse_suppresses_the_diagnostic(sim):
+    ev = Event(sim, name="expected-failure")
+    ev.defuse()
+    ev.fail(Boom("handled out of band"))
+    sim.run()       # no diagnostic
+    assert ev.failed
+    assert isinstance(ev.exc, Boom)
+
+
+def test_fail_then_succeed_rejected(sim):
+    ev = Event(sim).defuse()
+    ev.fail(Boom())
+    with pytest.raises(SimulationError):
+        ev.succeed(1)
+
+
+def test_fail_requires_an_exception(sim):
+    with pytest.raises(SimulationError):
+        Event(sim).fail("not an exception")       # type: ignore[arg-type]
+
+
+def test_run_process_reraises_failure():
+    sim = Simulator()
+
+    def doomed():
+        yield Timeout(1.0)
+        raise Boom("from process body")
+
+    with pytest.raises(Boom, match="from process body"):
+        sim.run_process(doomed())
+
+
+def test_all_of_fails_fast_on_first_failure(sim):
+    slow = sim.timeout_event(100.0, "slow")
+    failing = Event(sim)
+    sim.schedule(10.0, failing.fail, Boom("first"))
+
+    def waiter():
+        try:
+            yield sim.all_of([slow, failing])
+        except Boom:
+            return sim.now
+
+    # Fails at t=10, without waiting for the slow sibling.
+    assert sim.run_process(waiter()) == 10.0
+
+
+def test_any_of_returns_index_and_value_of_winner(sim):
+    fast = sim.timeout_event(5.0, "fast")
+    slow = sim.timeout_event(50.0, "slow")
+
+    def waiter():
+        index, value = yield sim.any_of([slow, fast])
+        return index, value, sim.now
+
+    assert sim.run_process(waiter()) == (1, "fast", 5.0)
+
+
+def test_any_of_fails_if_first_outcome_is_failure(sim):
+    failing = Event(sim)
+    sim.schedule(5.0, failing.fail, Boom("race lost"))
+    backup = sim.timeout_event(50.0)
+
+    def waiter():
+        with pytest.raises(Boom):
+            yield sim.any_of([failing, backup])
+        return sim.now
+
+    assert sim.run_process(waiter()) == 5.0
+
+
+def test_any_of_absorbs_later_outcomes(sim):
+    """The loser of the race (even a losing failure) is absorbed."""
+    fast = sim.timeout_event(5.0, "ok")
+    late_fail = Event(sim)
+    sim.schedule(50.0, late_fail.fail, Boom("too late to matter"))
+
+    def waiter():
+        index, value = yield sim.any_of([fast, late_fail])
+        return index, value
+
+    assert sim.run_process(waiter()) == (0, "ok")
+    sim.run()       # the late failure must not raise a diagnostic
+
+
+def test_any_of_rejects_empty(sim):
+    with pytest.raises(SimulationError):
+        sim.any_of([])

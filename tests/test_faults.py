@@ -1,0 +1,239 @@
+"""Tests for the fault-injection plan (:mod:`repro.faults`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    NO_FAULTS,
+    DeviceHealthMonitor,
+    FaultPlan,
+    HealthState,
+    ScheduledFault,
+    parse_time_ns,
+)
+
+
+# ---------------------------------------------------------------------------
+# time parsing
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("text,expected", [
+    ("50ms", 50e6),
+    ("75us", 75e3),
+    ("1.5s", 1.5e9),
+    ("250ns", 250.0),
+    ("1000", 1000.0),      # bare number means nanoseconds
+    ("0", 0.0),
+])
+def test_parse_time_ns(text, expected):
+    assert parse_time_ns(text) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("bad", ["", "ms", "abc", "-5us", "-3", "50 ms"])
+def test_parse_time_rejects_garbage(bad):
+    with pytest.raises(ConfigError):
+        parse_time_ns(bad)
+
+
+# ---------------------------------------------------------------------------
+# the inert singleton
+# ---------------------------------------------------------------------------
+
+def test_no_faults_is_inert():
+    assert not NO_FAULTS.active
+    assert not NO_FAULTS.check("anything")
+    assert not NO_FAULTS.take("anything")
+    assert not NO_FAULTS.flag("anything")
+
+
+# ---------------------------------------------------------------------------
+# spec grammar
+# ---------------------------------------------------------------------------
+
+def test_parse_rates_and_schedule():
+    plan = FaultPlan.parse("link_crc=1e-6,device_hang@t=50ms,mem_poison=0.25")
+    assert plan.active
+    assert plan.rates == {"link_crc": 1e-6, "mem_poison": 0.25}
+    assert plan.schedule == [ScheduledFault("device_hang", 50e6)]
+
+
+def test_parse_roundtrips_through_describe():
+    spec = "link_crc=1e-06,device_hang@t=5e+07"
+    plan = FaultPlan.parse(spec)
+    again = FaultPlan.parse(plan.describe())
+    assert again.rates == plan.rates
+    assert again.schedule == plan.schedule
+
+
+@pytest.mark.parametrize("bad", [
+    "justaname", "x=2.0", "x=-0.1", "y@t=-5", "y@t=soon",
+])
+def test_parse_rejects_bad_specs(bad):
+    with pytest.raises(ConfigError):
+        FaultPlan.parse(bad)
+
+
+def test_parse_empty_spec_is_inert_but_active():
+    plan = FaultPlan.parse("")
+    assert plan.active and not plan.rates and not plan.schedule
+
+
+def test_scheduled_fault_rejects_negative_time():
+    with pytest.raises(ConfigError):
+        ScheduledFault("x", -1.0)
+
+
+# ---------------------------------------------------------------------------
+# rate draws
+# ---------------------------------------------------------------------------
+
+def test_rate_zero_never_fires_and_rate_one_always_fires():
+    plan = FaultPlan(rates={"never": 0.0, "always": 1.0})
+    assert not any(plan.check("never") for __ in range(100))
+    assert all(plan.check("always") for __ in range(100))
+    assert plan.fired.get("always") == 100
+
+
+def test_unarmed_point_draws_nothing():
+    """check() on a point with no rate must not consume RNG state —
+    interleaving unarmed checks cannot perturb armed ones."""
+    a = FaultPlan(seed=7, rates={"armed": 0.5})
+    b = FaultPlan(seed=7, rates={"armed": 0.5})
+    seq_a = [a.check("armed") for __ in range(200)]
+    seq_b = []
+    for __ in range(200):
+        b.check("unrelated")           # must be a no-op
+        seq_b.append(b.check("armed"))
+    assert seq_a == seq_b
+
+
+def test_identical_seeds_identical_draws():
+    a = FaultPlan(seed=42, rates={"p": 0.3, "q": 0.01})
+    b = FaultPlan(seed=42, rates={"p": 0.3, "q": 0.01})
+    draws_a = [(a.check("p"), a.check("q")) for __ in range(500)]
+    draws_b = [(b.check("p"), b.check("q")) for __ in range(500)]
+    assert draws_a == draws_b
+
+
+def test_different_seeds_differ():
+    a = FaultPlan(seed=1, rates={"p": 0.5})
+    b = FaultPlan(seed=2, rates={"p": 0.5})
+    assert ([a.check("p") for __ in range(200)]
+            != [b.check("p") for __ in range(200)])
+
+
+def test_points_use_independent_streams():
+    """Two points with the same rate draw different sequences."""
+    plan = FaultPlan(seed=3, rates={"p": 0.5, "q": 0.5})
+    assert ([plan.check("p") for __ in range(200)]
+            != [plan.check("q") for __ in range(200)])
+
+
+def test_rates_validated():
+    with pytest.raises(ConfigError):
+        FaultPlan(rates={"p": 1.5})
+    with pytest.raises(ConfigError):
+        FaultPlan(rates={"p": -0.1})
+
+
+# ---------------------------------------------------------------------------
+# counted budgets and flags
+# ---------------------------------------------------------------------------
+
+def test_counted_budget_fires_exactly_n_times():
+    plan = FaultPlan()
+    plan.arm_counted("swap_read_error", 3)
+    hits = [plan.take("swap_read_error") for __ in range(10)]
+    assert hits == [True] * 3 + [False] * 7
+    assert plan.pending_counted("swap_read_error") == 0
+    assert plan.fired["swap_read_error"] == 3
+
+
+def test_counted_budget_stacks():
+    plan = FaultPlan()
+    plan.arm_counted("p", 1)
+    plan.arm_counted("p", 2)
+    assert plan.pending_counted("p") == 3
+
+
+def test_take_falls_through_to_rate():
+    plan = FaultPlan(rates={"p": 1.0})
+    plan.arm_counted("p", 1)
+    assert plan.take("p")      # counted budget
+    assert plan.take("p")      # rate (1.0) keeps firing after budget drains
+
+
+def test_flags_are_sticky_until_cleared():
+    plan = FaultPlan()
+    assert not plan.flag("device_hang")
+    plan.set_flag("device_hang")
+    assert plan.flag("device_hang")
+    assert plan.flag("device_hang")        # still set
+    plan.clear_flag("device_hang")
+    assert not plan.flag("device_hang")
+
+
+# ---------------------------------------------------------------------------
+# scheduled faults against a live platform
+# ---------------------------------------------------------------------------
+
+def test_scheduled_flag_fires_at_time(platform):
+    plan = platform.arm_faults("device_hang@t=500ns")
+    assert not plan.flag("device_hang")
+    platform.sim.run()
+    assert plan.flag("device_hang")
+    assert plan.fired_log == [(500.0, "device_hang")]
+
+
+def test_scheduled_viral_and_link_down(platform):
+    platform.arm_faults("device_viral@t=100ns,link_down@t=200ns")
+    platform.sim.run()
+    assert platform.t2.viral
+    assert platform.t2.port.link.resets == 1
+
+
+def test_arm_faults_accepts_plan_or_spec(platform):
+    plan = FaultPlan.parse("link_crc=0.5", seed=9)
+    assert platform.arm_faults(plan) is plan
+    assert platform.faults is plan
+    assert platform.t2.port.link.faults is plan
+    assert platform.t2.dev_mem.faults is plan
+
+
+# ---------------------------------------------------------------------------
+# the device health state machine
+# ---------------------------------------------------------------------------
+
+def test_health_degrades_then_fails_then_sticks():
+    mon = DeviceHealthMonitor(fail_threshold=3)
+    assert mon.state is HealthState.HEALTHY
+    mon.record_failure()
+    assert mon.state is HealthState.DEGRADED
+    mon.record_failure()
+    mon.record_failure()
+    assert mon.state is HealthState.FAILED
+    mon.record_success()           # FAILED is sticky
+    assert mon.state is HealthState.FAILED
+    mon.reset()
+    assert mon.state is HealthState.HEALTHY
+    assert mon.consecutive_failures == 0
+
+
+def test_health_success_clears_the_streak():
+    mon = DeviceHealthMonitor(fail_threshold=3)
+    mon.record_failure()
+    mon.record_failure()
+    mon.record_success()
+    assert mon.state is HealthState.HEALTHY
+    mon.record_failure()
+    assert mon.state is HealthState.DEGRADED   # streak restarted at 1
+
+
+def test_health_transition_log():
+    mon = DeviceHealthMonitor(fail_threshold=2)
+    mon.record_failure()
+    mon.record_failure()
+    states = [new for __, new in mon.transitions]
+    assert states == [HealthState.DEGRADED, HealthState.FAILED]
