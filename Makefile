@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench report examples clean
+.PHONY: install test test-fast test-sanitized bench report examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,20 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-sanitized:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/
+
+# reprolint always runs (stdlib-only); ruff/mypy run when installed
+# (pip install -e '.[lint]') and are skipped gracefully otherwise.
+lint:
+	$(PYTHON) -m repro lint src tests benchmarks examples
+	@$(PYTHON) -c "import ruff" 2>/dev/null \
+		&& $(PYTHON) -m ruff check src tests \
+		|| echo "ruff not installed; skipping (pip install -e '.[lint]')"
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy \
+		|| echo "mypy not installed; skipping (pip install -e '.[lint]')"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

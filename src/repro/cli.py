@@ -3,8 +3,10 @@
 Usage::
 
     python -m repro <experiment> [options]
+    python -m repro lint [paths ...] [--format json]
 
-Experiments: ``fig3 fig4 fig5 fig6 fig8 table3 table4 sec7 all``.
+Experiments: ``fig3 fig4 fig5 fig6 fig8 table3 table4 sec7 all``; the
+``lint`` subcommand runs reprolint (see ``docs/LINT.md``).
 """
 
 from __future__ import annotations
@@ -136,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # The lint subcommand has its own argument surface; dispatch
+        # before the experiment parser sees (and rejects) it.
+        from repro.lint.cli import main as lint_main
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "all":
         names = [name for name in sorted(RUNNERS) if name != "report"]

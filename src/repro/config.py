@@ -300,6 +300,28 @@ class SnicConfig:
 
 
 @dataclass(frozen=True)
+class SanitizerConfig:
+    """Opt-in runtime validation (see :mod:`repro.lint`).
+
+    ``coherence`` arms the :class:`~repro.lint.sanitizer.CoherenceSanitizer`
+    on the host LLC and every DCOH slice's HMC/DMC; ``races`` arms the
+    sim-time :class:`~repro.lint.races.RaceDetector` in the event engine.
+    ``strict`` raises on the first violation; otherwise violations
+    accumulate for post-run ``assert_clean()``.  Both sanitizers are
+    zero-cost when disarmed (the default), so production sweeps keep
+    bit-identical outputs.
+    """
+
+    coherence: bool = False
+    races: bool = False
+    strict: bool = True
+
+    @property
+    def any_armed(self) -> bool:
+        return self.coherence or self.races
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """The full testbed of Table II."""
 
@@ -313,6 +335,8 @@ class SystemConfig:
     # Relative gaussian noise applied to every timed stage, producing the
     # paper's error bars without perturbing medians.
     latency_noise: float = 0.03
+    # Runtime sanitizers (disarmed by default; see repro.lint).
+    sanitizers: SanitizerConfig = field(default_factory=SanitizerConfig)
 
 
 def default_system() -> SystemConfig:

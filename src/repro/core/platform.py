@@ -22,6 +22,8 @@ from repro.host.dsa import DsaEngine
 from repro.host.hierarchy import CacheHierarchy
 from repro.host.home_agent import HomeAgent
 from repro.interconnect.upi import UpiPort
+from repro.lint.races import RaceDetector
+from repro.lint.sanitizer import CoherenceSanitizer
 from repro.mem.address import AddressMap, Region
 from repro.mem.backing import SparseMemory
 from repro.sim.engine import Simulator
@@ -76,6 +78,45 @@ class Platform:
 
         # RAS: inert until arm_faults() installs a real plan.
         self.faults = NO_FAULTS
+
+        # Runtime sanitizers (repro.lint): inert unless the config (or an
+        # explicit arm_sanitizers() call) arms them.
+        self.coherence_sanitizer: Optional[CoherenceSanitizer] = None
+        self.race_detector: Optional[RaceDetector] = None
+        san = self.cfg.sanitizers
+        if san.any_armed:
+            self.arm_sanitizers(coherence=san.coherence, races=san.races,
+                                strict=san.strict)
+
+    # -- runtime sanitizers ----------------------------------------------------
+
+    def arm_sanitizers(self, coherence: bool = True, races: bool = True,
+                       strict: bool = True) -> None:
+        """Arm the coherence sanitizer and/or the sim-time race detector
+        across the platform: the host LLC and every DCOH slice's HMC and
+        DMC.  Idempotent; see :mod:`repro.lint` for the invariants."""
+        dcoh = self.t2.dcoh
+        slices = getattr(dcoh, "slices", None) or [dcoh]
+        if coherence and self.coherence_sanitizer is None:
+            sanitizer = CoherenceSanitizer(self.sim, strict=strict)
+            sanitizer.watch(self.home.llc)
+            for slice_ in slices:
+                sanitizer.watch(slice_.hmc)
+                sanitizer.watch(slice_.dmc)
+            self.coherence_sanitizer = sanitizer
+        if races and self.race_detector is None:
+            detector = RaceDetector(self.sim, strict=strict).arm()
+            for cache in [self.home.llc] + [
+                    c for s in slices for c in (s.hmc, s.dmc)]:
+                cache.race_detector = detector
+            self.race_detector = detector
+
+    def assert_sanitizers_clean(self) -> None:
+        """Raise if any armed sanitizer recorded a violation."""
+        if self.coherence_sanitizer is not None:
+            self.coherence_sanitizer.assert_clean()
+        if self.race_detector is not None:
+            self.race_detector.assert_clean()
 
     # -- fault injection -------------------------------------------------------
 

@@ -178,7 +178,7 @@ class DcohSlice:
         if line is not None and line.state.is_writable:
             yield from self._hmc_access()
             line.state = LineState.MODIFIED
-            line.poisoned = False          # full-line write scrubs poison
+            line.scrub_poison()            # full-line write scrubs poison
             return MemLevel.HMC
         # Need exclusive ownership first (no data: full-line write)
         yield from self.port.d2h_req_up()
@@ -197,10 +197,13 @@ class DcohSlice:
 
     def _d2h_nc_push(self, addr: int) -> Generator[Any, Any, MemLevel]:
         yield from self._write_pipe.using(self.cfg.dcoh.write_issue_gap_ns)
+        # Table III: HMC ends Invalid.  Invalidate on the issue side, so
+        # the host never observes its new MODIFIED copy coexisting with a
+        # stale HMC sharer (the push carries the whole line anyway).
+        self.hmc.invalidate(addr)
         yield from self.port.d2h_data_up()
         level = yield from self.home.push_line(addr, self.costs)
         yield from self.port.ack_down()
-        self.hmc.invalidate(addr)  # Table III: HMC ends Invalid
         return level
 
     # ------------------------------------------------------------------
@@ -267,7 +270,7 @@ class DcohSlice:
             if line is not None:
                 yield from self._hmc_access()
                 line.state = LineState.MODIFIED
-                line.poisoned = False      # full-line write scrubs poison
+                line.scrub_poison()        # full-line write scrubs poison
                 return MemLevel.DMC
             self._fill_dmc(addr, LineState.MODIFIED)
             yield from self._hmc_access()
@@ -286,9 +289,11 @@ class DcohSlice:
         state = self.home.llc_state(addr)
         if state.is_dirty:
             # Host holds newer data: transfer it down and refresh the DMC.
+            # The host copy is invalidated before the DMC fill lands, so
+            # two MODIFIED holders never coexist, even transiently.
             yield from self.port.data_down()
-            self._fill_dmc(addr, LineState.MODIFIED)
             self.home.llc.set_state(addr, LineState.INVALID)
+            self._fill_dmc(addr, LineState.MODIFIED)
         else:
             if invalidate and state.is_valid:
                 self.home.llc.set_state(addr, LineState.INVALID)

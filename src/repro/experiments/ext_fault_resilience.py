@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.config import SystemConfig
 from repro.core.offload import OffloadEngine
 from repro.core.platform import Platform
 from repro.faults import FaultPlan
@@ -90,12 +91,15 @@ def _percentile(values: List[float], q: float) -> float:
 def run_cell(scenario: str, transport: str = "cxl",
              fault_spec: Optional[str] = None,
              pages: int = DEFAULT_PAGES,
-             seed: int = DEFAULT_SEED) -> FaultCell:
+             seed: int = DEFAULT_SEED,
+             cfg: Optional[SystemConfig] = None) -> FaultCell:
     """Run one functional store-all-then-load-all zswap loop.
 
     Every page's payload is verified after load; a mismatch or a missing
-    page counts as lost.  Latency is per operation (store or load)."""
-    platform = Platform(seed=seed)
+    page counts as lost.  Latency is per operation (store or load).
+    ``cfg`` reaches the internal :class:`Platform` unchanged, so armed
+    sanitizer configs audit the fault paths too."""
+    platform = Platform(cfg, seed=seed)
     if fault_spec:
         platform.arm_faults(FaultPlan.parse(fault_spec, seed=seed))
     engine = OffloadEngine(platform, functional=True)
@@ -141,30 +145,33 @@ def run_cell(scenario: str, transport: str = "cxl",
 
 
 def run_device_kill(pages: int = DEFAULT_PAGES, seed: int = DEFAULT_SEED,
-                    kill_at_ns: Optional[float] = None) -> FaultCell:
+                    kill_at_ns: Optional[float] = None,
+                    cfg: Optional[SystemConfig] = None) -> FaultCell:
     """The headline scenario: the device hangs mid-run and cxl-zswap must
     degrade to the cpu path without deadlocking or losing pages."""
     if kill_at_ns is None:
         kill_at_ns = pages * KILL_MID_RUN_NS_PER_PAGE
     return run_cell("cxl kill", transport="cxl",
                     fault_spec=f"device_hang@t={kill_at_ns:g}",
-                    pages=pages, seed=seed)
+                    pages=pages, seed=seed, cfg=cfg)
 
 
 def run(drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
         pages: int = DEFAULT_PAGES,
-        seed: int = DEFAULT_SEED) -> FaultResilienceResult:
+        seed: int = DEFAULT_SEED,
+        cfg: Optional[SystemConfig] = None) -> FaultResilienceResult:
     cells: Dict[str, FaultCell] = {}
-    cells["cpu"] = run_cell("cpu", transport="cpu", pages=pages, seed=seed)
+    cells["cpu"] = run_cell("cpu", transport="cpu", pages=pages, seed=seed,
+                            cfg=cfg)
     for rate in drop_rates:
         name = f"cxl drop={rate:g}"
         spec = f"offload_drop={rate:g}" if rate else None
         cells[name] = run_cell(name, transport="cxl", fault_spec=spec,
-                               pages=pages, seed=seed)
+                               pages=pages, seed=seed, cfg=cfg)
     cells["cxl crc=1e-3"] = run_cell(
         "cxl crc=1e-3", transport="cxl", fault_spec="link_crc=1e-3",
-        pages=pages, seed=seed)
-    cells["cxl kill"] = run_device_kill(pages=pages, seed=seed)
+        pages=pages, seed=seed, cfg=cfg)
+    cells["cxl kill"] = run_device_kill(pages=pages, seed=seed, cfg=cfg)
     return FaultResilienceResult(cells, tuple(drop_rates))
 
 

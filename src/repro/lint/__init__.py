@@ -1,0 +1,41 @@
+"""`repro.lint`: validation machinery for the simulator.
+
+Two layers share this package:
+
+**reprolint** (static analysis)
+    An AST-based lint pass with rules specific to this codebase:
+    determinism hazards (wall-clock reads, unseeded randomness, ordering
+    leaks through ``set`` iteration), sim-process protocol misuse
+    (yielding non-commands, re-entering the event loop from a process,
+    un-defused failable events), and unit hygiene (float timestamp
+    equality, raw magnitudes where :mod:`repro.units` helpers belong).
+    Run it as ``python -m repro lint src tests``; every rule is
+    documented in ``docs/LINT.md`` and suppressible with a trailing
+    ``# reprolint: disable=RULE`` comment.
+
+**runtime sanitizers**
+    :class:`~repro.lint.sanitizer.CoherenceSanitizer` checks the global
+    MESI+Owned invariants behind Table III after every line-state
+    transition, and :class:`~repro.lint.races.RaceDetector` flags two
+    processes mutating the same simulation state at the identical
+    sim-timestamp without an ordering edge.  Both are opt-in via
+    :class:`~repro.config.SanitizerConfig` (zero cost when disarmed).
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import Finding, LintModule, Rule, all_rules, lint_paths
+from repro.lint.races import RaceDetector, RaceViolation
+from repro.lint.sanitizer import CoherenceSanitizer, CoherenceViolation
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "CoherenceSanitizer",
+    "CoherenceViolation",
+    "RaceDetector",
+    "RaceViolation",
+]

@@ -1,0 +1,72 @@
+"""``python -m repro lint``: run reprolint over source trees.
+
+Exit codes: 0 clean, 1 findings, 2 usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Set
+
+from repro.lint.core import all_rules, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="reprolint: determinism, sim-process protocol, and "
+                    "unit-hygiene checks for the repro simulator "
+                    "(rule catalogue: docs/LINT.md)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to lint "
+                             "(default: src tests)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format (json is machine-readable)")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", default=None, metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _id_set(spec: Optional[str]) -> Optional[Set[str]]:
+    if not spec:
+        return None
+    return {part.strip() for part in spec.split(",") if part.strip()}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+    known = {rule.id for rule in all_rules()}
+    select, ignore = _id_set(args.select), _id_set(args.ignore)
+    for chosen in (select or set()) | (ignore or set()):
+        if chosen not in known:
+            print(f"repro lint: unknown rule id {chosen!r} "
+                  f"(known: {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+    report = lint_paths(args.paths, select=select, ignore=ignore)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        for error in report.parse_errors:
+            print(f"parse error: {error}", file=sys.stderr)
+        summary = (f"{report.files_checked} files checked, "
+                   f"{len(report.findings)} finding(s)")
+        print(summary if report.findings else f"{summary} — clean")
+    if report.parse_errors:
+        return 2
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,310 @@
+"""reprolint core: findings, suppressions, and the file runner.
+
+A *rule* is a named check over one parsed module; running the linter
+parses each ``.py`` file exactly once into a :class:`LintModule` (source,
+line table, AST, and a few shared derived facts) and hands it to every
+registered rule.  Findings are filtered through the suppression comments
+before being reported:
+
+``# reprolint: disable=DET101`` (or ``disable=DET101,SIM202``)
+    suppress the named rules on this line only;
+``# reprolint: disable``
+    suppress every rule on this line;
+``# reprolint: disable-file=DET101``
+    suppress the named rules for the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable-file|disable)\s*(?:=\s*([A-Z0-9, ]+))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule: identifier, one-line rationale, checker."""
+
+    id: str
+    summary: str
+    check: Callable[["LintModule"], Iterator[Finding]]
+
+
+class LintModule:
+    """One parsed source file plus the derived facts rules share."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._functions: Optional[List[ast.FunctionDef]] = None
+        self._set_typed: Optional[Set[str]] = None
+
+    # -- factories ---------------------------------------------------------
+
+    @classmethod
+    def parse(cls, path: Path) -> "LintModule":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(str(path), source, tree)
+
+    # -- shared derived facts ---------------------------------------------
+
+    def functions(self) -> List[ast.FunctionDef]:
+        """Every function/method definition in the module (nested too)."""
+        if self._functions is None:
+            self._functions = [
+                node for node in ast.walk(self.tree)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+        return self._functions
+
+    def set_typed_names(self) -> Set[str]:
+        """Names the module visibly binds to ``set`` objects.
+
+        Covers ``x = set(...)``, ``x = {literal, set}``, ``x: set[...]``
+        and the ``self.x`` forms of each (the attribute name is recorded
+        without the ``self.`` prefix, which is how rules look it up).
+        """
+        if self._set_typed is not None:
+            return self._set_typed
+        names: Set[str] = set()
+
+        def target_name(target: ast.expr) -> Optional[str]:
+            if isinstance(target, ast.Name):
+                return target.id
+            if isinstance(target, ast.Attribute):
+                return target.attr
+            return None
+
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Assign):
+                if is_set_expr(node.value):
+                    for tgt in node.targets:
+                        name = target_name(tgt)
+                        if name:
+                            names.add(name)
+            elif isinstance(node, ast.AnnAssign):
+                if annotation_is_set(node.annotation) or (
+                        node.value is not None and is_set_expr(node.value)):
+                    name = target_name(node.target)
+                    if name:
+                        names.add(name)
+        self._set_typed = names
+        return names
+
+    # -- suppression handling ---------------------------------------------
+
+    def suppressions(self) -> Tuple[Dict[int, Optional[Set[str]]], Set[str]]:
+        """Parse suppression comments.
+
+        Returns ``(per_line, per_file)`` where ``per_line`` maps a line
+        number to a set of suppressed rule ids (``None`` = all rules) and
+        ``per_file`` is the set of rule ids disabled module-wide.
+        """
+        per_line: Dict[int, Optional[Set[str]]] = {}
+        per_file: Set[str] = set()
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            kind, rules = match.group(1), match.group(2)
+            ids = ({r.strip() for r in rules.split(",") if r.strip()}
+                   if rules else None)
+            if kind == "disable-file":
+                per_file.update(ids or {"*"})
+            elif ids is None or per_line.get(lineno, set()) is None:
+                per_line[lineno] = None
+            else:
+                per_line[lineno] = per_line.get(lineno, set()) | ids
+        return per_line, per_file
+
+
+# ---------------------------------------------------------------------------
+# Small AST helpers shared by the rule modules
+# ---------------------------------------------------------------------------
+
+
+def is_set_expr(node: ast.expr) -> bool:
+    """Is this expression statically a ``set``?"""
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+    return False
+
+
+def annotation_is_set(node: ast.expr) -> bool:
+    """Does this annotation denote a ``set``/``Set``/``frozenset`` type?"""
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "Set", "frozenset", "FrozenSet")
+    if isinstance(node, ast.Subscript):
+        return annotation_is_set(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.startswith(("set[", "Set[", "frozenset["))
+    return False
+
+
+def dotted_name(node: ast.expr) -> str:
+    """Render ``a.b.c`` attribute chains; empty string when not a chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def contains_yield(fn: ast.FunctionDef) -> bool:
+    """Does the function body contain a ``yield`` of its own (not one in
+    a nested function)?"""
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if _owning_function(fn, node) is fn:
+                return True
+    return False
+
+
+def _owning_function(root: ast.FunctionDef, target: ast.AST) -> ast.AST:
+    """The innermost function enclosing ``target`` under ``root``."""
+    owner: ast.AST = root
+    stack: List[Tuple[ast.AST, ast.AST]] = [(root, root)]
+    while stack:
+        node, fn = stack.pop()
+        if node is target:
+            return fn
+        for child in ast.iter_child_nodes(node):
+            child_fn = child if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ) else fn
+            stack.append((child, child_fn))
+    return owner
+
+
+def function_yields(fn: ast.FunctionDef) -> List[ast.AST]:
+    """The ``yield``/``yield from`` expressions belonging to ``fn`` itself."""
+    out: List[ast.AST] = []
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if _owning_function(fn, node) is fn:
+                out.append(node)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Registry and runner
+# ---------------------------------------------------------------------------
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, id-ordered (import is deferred so the rule
+    modules can use the helpers above)."""
+    from repro.lint import rules_determinism, rules_process, rules_units
+
+    rules: List[Rule] = []
+    for module in (rules_determinism, rules_process, rules_units):
+        rules.extend(module.RULES)
+    return sorted(rules, key=lambda r: r.id)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "parse_errors": self.parse_errors,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+        )
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` with the registered rules."""
+    rules = all_rules()
+    if select:
+        rules = [r for r in rules if r.id in select]
+    if ignore:
+        rules = [r for r in rules if r.id not in ignore]
+    report = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            module = LintModule.parse(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.parse_errors.append(f"{path}: {exc}")
+            continue
+        report.files_checked += 1
+        per_line, per_file = module.suppressions()
+        for rule in rules:
+            if rule.id in per_file or "*" in per_file:
+                continue
+            for finding in rule.check(module):
+                suppressed = per_line.get(finding.line, ())
+                if suppressed is None or (suppressed and
+                                          finding.rule in suppressed):
+                    continue
+                report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

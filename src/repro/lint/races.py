@@ -1,0 +1,144 @@
+"""Sim-time race detector: scheduling-order-dependent mutations.
+
+Two processes that mutate the same simulation state (a cache line, a
+pipe) at the *identical sim-timestamp* with no ordering edge between
+them produce results that depend only on scheduling order — the engine
+is deterministic, so such a pair silently bakes the current spawn order
+into every figure, and the next refactor of a hot path changes the
+numbers without failing a test.
+
+The detector records a ``(key, actor, sim-timestamp)`` touch per
+mutation and a parent edge per scheduled callback: every callback
+scheduled *while task T executes* is a causal child of T, which is
+exactly how ordering flows through an :class:`~repro.sim.engine.Event`
+trigger, a :class:`~repro.sim.resources.Resource` hand-off, or a
+``Timeout``.  A mutation conflicts when the previous mutation of the
+same key happened at the same timestamp, from a different actor, and is
+not among the causal ancestors of the current task.
+
+Armed via ``SanitizerConfig.races`` / ``Platform.arm_sanitizers()``;
+the engine and the instrumented models pay a single ``is None`` test
+per operation when disarmed.  Bookkeeping grows with the number of
+scheduled callbacks, so arm it for tests, not for long sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, Hashable, List, Tuple
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+def _label(actor: object) -> str:
+    """A human-readable actor name for violation messages."""
+    name = getattr(actor, "name", None)
+    if name:
+        return str(name)
+    qualname = getattr(actor, "__qualname__", None)
+    if qualname:
+        return str(qualname)
+    return repr(actor)
+
+
+@dataclass(frozen=True)
+class RaceViolation:
+    """One unordered same-timestamp mutation pair."""
+
+    key: Hashable
+    time_ns: float
+    first_actor: str
+    second_actor: str
+
+    def format(self) -> str:
+        return (f"race on {self.key!r} @ {self.time_ns:g} ns: "
+                f"{self.first_actor!r} and {self.second_actor!r} mutate it "
+                "at the same timestamp with no ordering edge "
+                "(Event/Resource/Timeout chain)")
+
+
+class RaceDetector:
+    """Flags unordered same-timestamp mutations of shared sim state."""
+
+    def __init__(self, sim: "Simulator", strict: bool = True):
+        self.sim = sim
+        self.strict = strict
+        self.violations: List[RaceViolation] = []
+        self.mutations = 0
+        # task id -> the task that scheduled it (causal parent)
+        self._parent: Dict[int, int] = {}
+        # key -> (time, actor object, task id) of the last mutation;
+        # actors compare by identity so same-named processes still differ
+        self._last: Dict[Hashable, Tuple[float, object, int]] = {}
+        # recent non-mutating synchronization touches, for diagnostics
+        self.touches: Deque[Tuple[Hashable, float, int]] = deque(maxlen=1024)
+
+    def arm(self) -> "RaceDetector":
+        """Install on the simulator; the engine starts feeding edges."""
+        self.sim.race_detector = self
+        return self
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            detail = "\n".join(v.format() for v in self.violations)
+            raise SimulationError(
+                f"{len(self.violations)} sim-time race(s):\n{detail}")
+
+    # -- engine hooks ------------------------------------------------------
+
+    def note_schedule(self, child_task: int, parent_task: int) -> None:
+        """Record that ``parent_task`` scheduled ``child_task``."""
+        if parent_task:
+            self._parent[child_task] = parent_task
+
+    # -- the touch API (called by instrumented models) ---------------------
+
+    def touch(self, key: Hashable) -> None:
+        """Record a synchronization touch (Resource admission) for
+        diagnostics; touches are ordering points, never conflicts."""
+        self.touches.append((key, self.sim.now, self.sim.current_task))
+
+    def mutate(self, key: Hashable, actor: object = None) -> None:
+        """Record a mutation of ``key`` by the currently-running task."""
+        self.mutations += 1
+        now = self.sim.now
+        task = self.sim.current_task
+        if actor is None:
+            actor = self.sim.current_actor
+        prev = self._last.get(key)
+        self._last[key] = (now, actor, task)
+        if prev is None:
+            return
+        prev_time, prev_actor, prev_task = prev
+        if prev_time != now or prev_actor is actor:
+            return
+        if self._ordered_after(prev_task, task):
+            return
+        violation = RaceViolation(key, now, _label(prev_actor), _label(actor))
+        self.violations.append(violation)
+        if self.strict:
+            raise SimulationError(f"race detector: {violation.format()}")
+
+    # -- causality ---------------------------------------------------------
+
+    def _ordered_after(self, ancestor: int, task: int) -> bool:
+        """Is ``ancestor`` on the causal parent chain of ``task``?
+
+        Task ids increase monotonically, so the walk stops as soon as it
+        passes below ``ancestor``.
+        """
+        current = task
+        while current > ancestor:
+            parent = self._parent.get(current, 0)
+            if parent == 0:
+                return False
+            current = parent
+        return current == ancestor

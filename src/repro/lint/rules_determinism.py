@@ -1,0 +1,142 @@
+"""Determinism-hazard rules (DET1xx).
+
+The simulator's claim is bit-exact reproducibility: a seeded experiment
+must produce the identical figure on every run.  Three things break that
+silently: reading the wall clock, drawing from an unseeded RNG, and
+letting ``set`` iteration order leak into event scheduling or output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.core import (
+    Finding,
+    LintModule,
+    Rule,
+    dotted_name,
+    is_set_expr,
+)
+
+# Files allowed to read the wall clock / host entropy: the RNG seed
+# helper and the CLI (which reports human-facing elapsed time).
+_CLOCK_ALLOWED_SUFFIXES = ("sim/rng.py", "repro/cli.py")
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+_NUMPY_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+
+def _allowed_clock_file(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return normalized.endswith(_CLOCK_ALLOWED_SUFFIXES)
+
+
+def check_det101(module: LintModule) -> Iterator[Finding]:
+    """DET101: wall-clock read outside ``sim/rng.py`` and the CLI."""
+    if _allowed_clock_file(module.path):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name in _WALL_CLOCK_CALLS:
+            yield Finding(
+                "DET101", module.path, node.lineno, node.col_offset,
+                f"wall-clock read `{name}()` leaks host time into a "
+                "deterministic simulation; use `sim.now` (sim time) or "
+                "confine wall-clock reporting to the CLI",
+            )
+
+
+def check_det102(module: LintModule) -> Iterator[Finding]:
+    """DET102: unseeded randomness outside ``sim/rng.py``."""
+    allowed = _allowed_clock_file(module.path)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import) and not allowed:
+            for alias in node.names:
+                if alias.name == "random":
+                    yield Finding(
+                        "DET102", module.path, node.lineno, node.col_offset,
+                        "stdlib `random` is process-seeded; draw from a "
+                        "`DeterministicRng` (repro.sim.rng) instead",
+                    )
+        elif isinstance(node, ast.ImportFrom) and not allowed:
+            if node.module == "random":
+                yield Finding(
+                    "DET102", module.path, node.lineno, node.col_offset,
+                    "stdlib `random` is process-seeded; draw from a "
+                    "`DeterministicRng` (repro.sim.rng) instead",
+                )
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name.endswith("default_rng") and not (node.args or node.keywords):
+                yield Finding(
+                    "DET102", module.path, node.lineno, node.col_offset,
+                    "`default_rng()` without a seed draws from OS entropy; "
+                    "pass an explicit seed (see DeterministicRng)",
+                )
+            elif (name.startswith(_NUMPY_RANDOM_PREFIXES) and not allowed
+                  and not (name.endswith("default_rng")
+                           and (node.args or node.keywords))):
+                # np.random.default_rng(seed) constructs an explicitly
+                # seeded generator — that is the deterministic idiom, not
+                # the global-stream hazard this rule exists for.
+                yield Finding(
+                    "DET102", module.path, node.lineno, node.col_offset,
+                    f"`{name}` uses numpy's global (unseeded) stream; fork "
+                    "a `DeterministicRng` instead",
+                )
+
+
+def _iter_targets(node: ast.AST) -> List[ast.expr]:
+    """The iterables a node loops over (for / comprehensions)."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return [node.iter]
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                         ast.GeneratorExp)):
+        return [gen.iter for gen in node.generators]
+    return []
+
+
+def check_det103(module: LintModule) -> Iterator[Finding]:
+    """DET103: iteration over a ``set`` whose order can leak into event
+    scheduling, accumulated floats, or printed output."""
+    set_names = module.set_typed_names()
+    for node in ast.walk(module.tree):
+        for target in _iter_targets(node):
+            hazard = None
+            if is_set_expr(target):
+                hazard = "a set expression"
+            elif isinstance(target, ast.Name) and target.id in set_names:
+                hazard = f"set-typed name `{target.id}`"
+            elif (isinstance(target, ast.Attribute)
+                  and target.attr in set_names):
+                hazard = f"set-typed attribute `{target.attr}`"
+            if hazard is not None:
+                yield Finding(
+                    "DET103", module.path, target.lineno, target.col_offset,
+                    f"iterating {hazard}: set order is hash-randomized "
+                    "across runs for object keys; iterate `sorted(...)` or "
+                    "use an ordered container",
+                )
+
+
+RULES = [
+    Rule("DET101", "wall-clock read in simulation code", check_det101),
+    Rule("DET102", "unseeded randomness", check_det102),
+    Rule("DET103", "set iteration order leak", check_det103),
+]

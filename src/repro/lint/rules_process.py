@@ -1,0 +1,233 @@
+"""Sim-process protocol rules (SIM2xx).
+
+The event engine accepts exactly four yielded commands (`Timeout`,
+`Event`, `Process`, or a nested generator), must never be re-entered from
+inside a running process, and turns an unwaited `Event.fail` into a hard
+diagnostic unless the failure is defused.  Each misuse here is a runtime
+crash — or worse, a silently wrong schedule — that this pass catches at
+review time instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.core import (
+    Finding,
+    LintModule,
+    Rule,
+    dotted_name,
+    function_yields,
+)
+
+# A function is treated as a *process generator* when it yields one of
+# these engine commands (vs. a plain data generator, which never does).
+_COMMAND_CALLS = ("Timeout", "timeout_event", "acquire", "get", "event")
+
+
+def _is_command_expr(value: Optional[ast.expr]) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else "")
+        return name in _COMMAND_CALLS or name.endswith("_event")
+    return False
+
+
+def _is_process_generator(fn: ast.FunctionDef) -> bool:
+    for node in function_yields(fn):
+        if isinstance(node, ast.YieldFrom):
+            return True
+        if isinstance(node, ast.Yield) and _is_command_expr(node.value):
+            return True
+    return False
+
+
+def check_sim201(module: LintModule) -> Iterator[Finding]:
+    """SIM201: a process generator yields a plain constant.
+
+    The engine dispatches on the yielded command; a bare number, string,
+    or ``None`` raises ``SimulationError`` at runtime.  Only functions
+    that also yield a recognizable command are checked, so plain data
+    generators stay out of scope.
+    """
+    for fn in module.functions():
+        if not _is_process_generator(fn):
+            continue
+        for node in function_yields(fn):
+            if not isinstance(node, ast.Yield):
+                continue
+            value = node.value
+            if value is None or (isinstance(value, ast.Constant)
+                                 and not isinstance(value.value, bool)):
+                shown = ("nothing (yields None)" if value is None
+                         else f"constant {value.value!r}")
+                yield Finding(
+                    "SIM201", module.path, node.lineno, node.col_offset,
+                    f"process generator `{fn.name}` yields {shown}; the "
+                    "engine only accepts Timeout, Event, Process, or a "
+                    "nested generator",
+                )
+
+
+def check_sim202(module: LintModule) -> Iterator[Finding]:
+    """SIM202: `Simulator.run`/`run_process` called from inside a process.
+
+    The event loop is not reentrant: calling back into it from a running
+    generator corrupts the clock.  Processes compose with ``yield from``
+    instead.
+    """
+    for fn in module.functions():
+        if not function_yields(fn):
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in ("run", "run_process"):
+                continue
+            receiver = dotted_name(func.value)
+            if receiver == "sim" or receiver.endswith(".sim"):
+                yield Finding(
+                    "SIM202", module.path, node.lineno, node.col_offset,
+                    f"`{receiver}.{func.attr}(...)` inside a process "
+                    "generator re-enters the event loop; use `yield from` "
+                    "or `yield sim.spawn(...)` instead",
+                )
+
+
+def _local_event_names(fn: ast.FunctionDef) -> Set[str]:
+    """Local names assigned from ``*.event()`` or ``Event(...)``."""
+    names: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call):
+            continue
+        func = node.value.func
+        created = (isinstance(func, ast.Attribute) and func.attr == "event") \
+            or (isinstance(func, ast.Name) and func.id == "Event")
+        if not created:
+            continue
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                names.add(tgt.id)
+    return names
+
+
+def _name_escapes(fn: ast.FunctionDef, name: str,
+                  skip: ast.AST) -> bool:
+    """Can anything observe ``name`` besides the `.fail()` call itself?
+
+    True when the event is yielded, returned, defused, registered a
+    callback, stored somewhere reachable, or passed to any call.
+    """
+    for node in ast.walk(fn):
+        if node is skip:
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Return)):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    return True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(
+                    func.value, ast.Name) and func.value.id == name:
+                if func.attr in ("defuse", "add_callback", "succeed"):
+                    return True
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+        elif isinstance(node, ast.Assign):
+            if any(not isinstance(tgt, ast.Name) for tgt in node.targets):
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+    return False
+
+
+def check_sim203(module: LintModule) -> Iterator[Finding]:
+    """SIM203: `Event.fail` on an event nothing can wait on or defuse.
+
+    Failing a locally-created event that never escapes the function
+    guarantees the engine's uncaught-failure diagnostic fires — the
+    fault can neither be observed nor suppressed.
+    """
+    for fn in module.functions():
+        event_names = _local_event_names(fn)
+        if not event_names:
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "fail"):
+                continue
+            if not (isinstance(func.value, ast.Name)
+                    and func.value.id in event_names):
+                continue
+            if not _name_escapes(fn, func.value.id, skip=node):
+                yield Finding(
+                    "SIM203", module.path, node.lineno, node.col_offset,
+                    f"`{func.value.id}.fail(...)` on an event with no "
+                    "reachable waiter: the uncaught-failure diagnostic "
+                    "will fire; yield the event somewhere or call "
+                    "`.defuse()`",
+                )
+
+
+def _plain_functions(module: LintModule) -> Dict[str, ast.FunctionDef]:
+    """Module- and class-level functions that contain no ``yield``."""
+    out: Dict[str, ast.FunctionDef] = {}
+    for fn in module.functions():
+        if not function_yields(fn):
+            out[fn.name] = fn
+    return out
+
+
+def check_sim204(module: LintModule) -> Iterator[Finding]:
+    """SIM204: spawning something that is not a generator.
+
+    ``sim.spawn(fn)`` (forgetting the call), ``spawn(lambda: ...)``, and
+    ``spawn(<constant>)`` all raise at the first step; the generator must
+    be *instantiated* (``sim.spawn(fn(...))``).
+    """
+    plain = _plain_functions(module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        attr = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else "")
+        if attr not in ("spawn", "run_process"):
+            continue
+        if not node.args:
+            continue
+        arg = node.args[0]
+        problem = None
+        if isinstance(arg, ast.Lambda):
+            problem = "a lambda (call it, or make it a generator)"
+        elif isinstance(arg, ast.Constant):
+            problem = f"constant {arg.value!r}"
+        elif isinstance(arg, ast.Name) and arg.id in plain:
+            problem = (f"`{arg.id}`, a plain function — did you mean "
+                       f"`{arg.id}(...)`?")
+        if problem is not None:
+            yield Finding(
+                "SIM204", module.path, arg.lineno, arg.col_offset,
+                f"`{attr}(...)` needs an instantiated generator, got "
+                f"{problem}",
+            )
+
+
+RULES = [
+    Rule("SIM201", "process yields a non-command constant", check_sim201),
+    Rule("SIM202", "event loop re-entered from a process", check_sim202),
+    Rule("SIM203", "Event.fail without reachable waiter/defuse", check_sim203),
+    Rule("SIM204", "spawn of a non-generator", check_sim204),
+]

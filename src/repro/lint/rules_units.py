@@ -1,0 +1,136 @@
+"""Unit-hygiene rules (UNIT3xx).
+
+All simulator time is float nanoseconds and all sizes are bytes; the
+:mod:`repro.units` helpers exist so magnitudes read like the paper.
+These rules catch the two ways raw floats sneak back in: exact equality
+between two *computed* timestamps (accumulated float error makes the
+comparison scheduling-dependent) and large magic literals where a units
+helper states the intent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, LintModule, Rule
+
+_TS_NAME_SUFFIXES = ("_ns",)
+
+# A raw `_ns=` keyword at or above this magnitude should use us()/ms().
+_NS_LITERAL_LIMIT = 1_000_000.0
+# A raw `_bytes=` keyword at or above this should use kib()/mib()/gib().
+_BYTES_LITERAL_LIMIT = 64 * 1024
+
+
+def _ts_suffixed(name: str) -> bool:
+    """``_ns``-suffixed, excluding rates like ``bytes_per_ns``."""
+    return name.endswith(_TS_NAME_SUFFIXES) and not name.endswith("per_ns")
+
+
+def _is_timestampish(node: ast.expr) -> bool:
+    """Is this expression a *computed* sim timestamp?
+
+    Covers ``sim.now`` / ``self.sim.now``-style attributes, names or
+    attributes ending in ``_ns`` (but not rates like ``bytes_per_ns``),
+    and arithmetic over such terms.  Literals are deliberately excluded:
+    comparing ``sim.now`` against an exact representable constant is
+    deterministic and idiomatic in tests.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr == "now" or _ts_suffixed(node.attr)
+    if isinstance(node, ast.Name):
+        return _ts_suffixed(node.id)
+    if isinstance(node, ast.BinOp):
+        return _is_timestampish(node.left) or _is_timestampish(node.right)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return _ts_suffixed(func.attr)
+        if isinstance(func, ast.Name):
+            return _ts_suffixed(func.id)
+    return False
+
+
+def _is_dynamic(node: ast.expr) -> bool:
+    """Does this expression read the live clock or compute a value?
+
+    A plain attribute chain (``report.total_ns``, ``costs.read_ns``) is a
+    *stored* quantity: exact equality against another stored quantity is
+    an identity check, not a schedule race.  The hazard needs at least
+    one operand that is freshly computed — a ``.now`` read, arithmetic,
+    or a call — whose float value depends on the event schedule.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.BinOp, ast.Call)):
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "now":
+            return True
+    return False
+
+
+def check_unit301(module: LintModule) -> Iterator[Finding]:
+    """UNIT301: ``==``/``!=`` between two computed sim timestamps."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if (_is_timestampish(left) and _is_timestampish(right)
+                    and (_is_dynamic(left) or _is_dynamic(right))):
+                yield Finding(
+                    "UNIT301", module.path, node.lineno, node.col_offset,
+                    "exact float equality between two computed sim "
+                    "timestamps is schedule-dependent; compare with a "
+                    "tolerance (pytest.approx / math.isclose) or compare "
+                    "event counts instead",
+                )
+
+
+def _numeric_literal(node: ast.expr) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _numeric_literal(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def check_unit302(module: LintModule) -> Iterator[Finding]:
+    """UNIT302: large raw literal passed to a ``*_ns``/``*_bytes``
+    parameter where a :mod:`repro.units` helper states the magnitude."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            value = _numeric_literal(kw.value)
+            if value is None:
+                continue
+            if kw.arg.endswith("_ns") and abs(value) >= _NS_LITERAL_LIMIT:
+                yield Finding(
+                    "UNIT302", module.path, kw.value.lineno,
+                    kw.value.col_offset,
+                    f"raw literal `{kw.arg}={value:g}`: state the unit "
+                    "with repro.units (us(...), ms(...), seconds(...))",
+                )
+            elif kw.arg.endswith("_bytes") and value >= _BYTES_LITERAL_LIMIT:
+                yield Finding(
+                    "UNIT302", module.path, kw.value.lineno,
+                    kw.value.col_offset,
+                    f"raw literal `{kw.arg}={int(value)}`: state the "
+                    "magnitude with repro.units (kib(...), mib(...), "
+                    "gib(...))",
+                )
+
+
+RULES = [
+    Rule("UNIT301", "float equality between computed timestamps",
+         check_unit301),
+    Rule("UNIT302", "raw magnitude literal where a units helper belongs",
+         check_unit302),
+]

@@ -1,0 +1,169 @@
+"""CoherenceSanitizer: global MESI+Owned invariants, checked live.
+
+Table III (and the unit tests that enumerate it) pin down *per-request*
+state outcomes; this sanitizer checks the *global* invariants those
+outcomes must compose into, after every line-state transition in every
+watched cache (host LLC, each DCOH slice's HMC and DMC):
+
+``single-owner``
+    at most one cache holds a line in MODIFIED/EXCLUSIVE/OWNED;
+``no-sharer-with-writer``
+    while any cache holds a line writable (M/E), no other cache holds
+    it in any valid state;
+``owned-clean``
+    OWNED implies clean: a MODIFIED line must be written back (via the
+    M->S/I paths) before it can be held OWNED — a direct M->O
+    transition hides a dirty line behind a clean-looking state;
+``dirty-evict-writeback``
+    a MODIFIED victim leaving a cache by capacity eviction or flush
+    must have a writeback sink, or the newest data is silently lost;
+``poison-scrub``
+    CXL data poison is only cleared by an explicit full-line-overwrite
+    scrub (`CacheLine.scrub_poison` / `SetAssociativeCache.clear_poison`),
+    never by a plain attribute store.
+
+Arming is opt-in (``SanitizerConfig.coherence`` or
+``Platform.arm_sanitizers()``); a disarmed cache pays only a None check
+per transition.  In ``strict`` mode the first violation raises
+:class:`~repro.errors.CoherenceError`; otherwise violations accumulate
+in :attr:`CoherenceSanitizer.violations` for post-run assertions.
+
+Scope note: the host-core access paths model the paper's methodology
+(lines of interest are confined with CLDEMOTE/CLFLUSH) and do not snoop
+the device caches, so the sanitizer is meant for DCOH-driven flows —
+exactly the ones Table III and the fault-resilience scenarios exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.errors import CoherenceError
+from repro.mem.coherence import LineState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mem.cache import CacheLine, SetAssociativeCache
+    from repro.sim.engine import Simulator
+
+_OWNER_STATES = (LineState.MODIFIED, LineState.EXCLUSIVE, LineState.OWNED)
+
+
+@dataclass(frozen=True)
+class CoherenceViolation:
+    """One recorded invariant violation."""
+
+    invariant: str
+    addr: int
+    time_ns: float
+    message: str
+
+    def format(self) -> str:
+        return (f"[{self.invariant}] line {hex(self.addr)} "
+                f"@ {self.time_ns:g} ns: {self.message}")
+
+
+class CoherenceSanitizer:
+    """Watches a group of caches and checks cross-cache line invariants."""
+
+    INVARIANTS = ("single-owner", "no-sharer-with-writer", "owned-clean",
+                  "dirty-evict-writeback", "poison-scrub")
+
+    def __init__(self, sim: "Simulator", strict: bool = True):
+        self.sim = sim
+        self.strict = strict
+        self.caches: List["SetAssociativeCache"] = []
+        self.violations: List[CoherenceViolation] = []
+        self.checks = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def watch(self, cache: "SetAssociativeCache") -> None:
+        """Arm this sanitizer on ``cache`` (and adopt its resident lines)."""
+        if cache not in self.caches:
+            self.caches.append(cache)
+        cache.sanitizer = self
+        for line in cache.lines():
+            line.owner = cache
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        """Raise with every recorded violation (post-run check)."""
+        if self.violations:
+            detail = "\n".join(v.format() for v in self.violations)
+            raise CoherenceError(
+                f"{len(self.violations)} coherence invariant violation(s):\n"
+                f"{detail}")
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, invariant: str, addr: int, message: str) -> None:
+        violation = CoherenceViolation(invariant, addr, self.sim.now, message)
+        self.violations.append(violation)
+        if self.strict:
+            raise CoherenceError(f"coherence sanitizer: {violation.format()}")
+
+    # -- hooks called from the cache model ---------------------------------
+
+    def on_state_set(self, cache: "SetAssociativeCache", line: "CacheLine",
+                     old: LineState, new: LineState) -> None:
+        if old is LineState.MODIFIED and new is LineState.OWNED:
+            self._report(
+                "owned-clean", line.addr,
+                f"{cache.name}: MODIFIED -> OWNED without a writeback "
+                "(OWNED must be clean; write back, then downgrade)")
+        self.check_line(line.addr)
+
+    def on_insert(self, cache: "SetAssociativeCache",
+                  line: "CacheLine") -> None:
+        self.check_line(line.addr)
+
+    def on_dirty_evict(self, cache: "SetAssociativeCache", line: "CacheLine",
+                       has_writeback: bool) -> None:
+        if not has_writeback:
+            self._report(
+                "dirty-evict-writeback", line.addr,
+                f"{cache.name}: MODIFIED victim evicted with no writeback "
+                "sink — the newest data is dropped")
+
+    def on_poison_cleared(self, cache: "SetAssociativeCache",
+                          line: "CacheLine", scrubbed: bool) -> None:
+        if not scrubbed:
+            self._report(
+                "poison-scrub", line.addr,
+                f"{cache.name}: poison cleared by a plain store; only a "
+                "full-line overwrite (scrub_poison/clear_poison) may "
+                "clear poison")
+
+    # -- the cross-cache check ---------------------------------------------
+
+    def states_of(self, addr: int) -> List[Tuple[str, LineState]]:
+        """Valid (cache name, state) holders of ``addr`` right now."""
+        out = []
+        for cache in self.caches:
+            state = cache.state_of(addr)
+            if state.is_valid:
+                out.append((cache.name, state))
+        return out
+
+    def check_line(self, addr: int) -> None:
+        """Check the single-owner and sharer/writer invariants on ``addr``."""
+        self.checks += 1
+        holders = self.states_of(addr)
+        if len(holders) < 2:
+            return
+        owners = [(name, st) for name, st in holders if st in _OWNER_STATES]
+        if len(owners) > 1:
+            self._report(
+                "single-owner", addr,
+                "multiple M/E/O holders: " + ", ".join(
+                    f"{name}={st.value}" for name, st in owners))
+        writers = [(name, st) for name, st in holders if st.is_writable]
+        if writers and len(holders) > len(writers):
+            self._report(
+                "no-sharer-with-writer", addr,
+                "writable holder coexists with other valid copies: "
+                + ", ".join(f"{name}={st.value}" for name, st in holders))

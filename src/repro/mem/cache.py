@@ -9,16 +9,18 @@ decide which timed actions an access incurs.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from repro.errors import CoherenceError, ConfigError
 from repro.mem.address import line_base
 from repro.mem.coherence import LineState
 from repro.units import CACHELINE
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.races import RaceDetector
+    from repro.lint.sanitizer import CoherenceSanitizer
 
-@dataclass
+
 class CacheLine:
     """One resident cache line.
 
@@ -26,18 +28,56 @@ class CacheLine:
     (an uncorrectable memory error travelled with the fill), and a
     consumer that reads it must observe a :class:`~repro.errors.PoisonError`.
     Poison rides the line through state transitions and evictions; only
-    a full-line overwrite clears it.
+    a full-line overwrite clears it (``scrub_poison``).
+
+    ``state`` and ``poisoned`` are properties so an armed
+    :class:`~repro.lint.sanitizer.CoherenceSanitizer` observes every
+    transition, including direct assignments from the coherence engines;
+    ``owner`` is the resident cache (None until installed/when disarmed).
     """
 
-    addr: int                      # line base address
-    state: LineState
-    poisoned: bool = False
+    __slots__ = ("addr", "owner", "_state", "_poisoned")
 
-    def __post_init__(self) -> None:
-        if self.addr % CACHELINE:
-            raise CoherenceError(f"line address misaligned: {hex(self.addr)}")
-        if self.state is LineState.INVALID:
+    def __init__(self, addr: int, state: LineState, poisoned: bool = False):
+        if addr % CACHELINE:
+            raise CoherenceError(f"line address misaligned: {hex(addr)}")
+        if state is LineState.INVALID:
             raise CoherenceError("resident line cannot be INVALID")
+        self.addr = addr
+        self.owner: Optional["SetAssociativeCache"] = None
+        self._state = state
+        self._poisoned = poisoned
+
+    @property
+    def state(self) -> LineState:
+        return self._state
+
+    @state.setter
+    def state(self, value: LineState) -> None:
+        old, self._state = self._state, value
+        owner = self.owner
+        if owner is not None and owner.sanitizer is not None and old is not value:
+            owner.sanitizer.on_state_set(owner, self, old, value)
+
+    @property
+    def poisoned(self) -> bool:
+        return self._poisoned
+
+    @poisoned.setter
+    def poisoned(self, value: bool) -> None:
+        was, self._poisoned = self._poisoned, value
+        owner = self.owner
+        if owner is not None and owner.sanitizer is not None \
+                and was and not value:
+            owner.sanitizer.on_poison_cleared(owner, self, scrubbed=False)
+
+    def scrub_poison(self) -> None:
+        """Clear poison via a full-line overwrite (the legitimate path)."""
+        self._poisoned = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = " poisoned" if self._poisoned else ""
+        return f"CacheLine({hex(self.addr)}, {self._state.value}{flags})"
 
 
 class SetAssociativeCache:
@@ -71,6 +111,14 @@ class SetAssociativeCache:
         # the cache dirty, so poison propagates back to the memory image.
         self.poison_sink: Optional[Callable[[int], None]] = None
         self.poison_evictions = 0
+        # Opt-in validation hooks (repro.lint): both stay None unless a
+        # sanitizer watches this cache, costing one test per mutation.
+        self.sanitizer: Optional["CoherenceSanitizer"] = None
+        self.race_detector: Optional["RaceDetector"] = None
+
+    def _note_mutation(self, base: int) -> None:
+        if self.race_detector is not None:
+            self.race_detector.mutate(("line", base))
 
     # -- geometry ----------------------------------------------------------
 
@@ -133,6 +181,7 @@ class SetAssociativeCache:
         if state is LineState.INVALID:
             raise CoherenceError("cannot insert a line in INVALID state")
         base = line_base(addr)
+        self._note_mutation(base)
         line_set = self._set_for(base)
         existing = line_set.get(base)
         if existing is not None:
@@ -142,21 +191,30 @@ class SetAssociativeCache:
         victim = None
         if len(line_set) >= self.ways:
             __, victim = line_set.popitem(last=False)  # LRU victim
+            victim.owner = None
             self.evictions += 1
             if victim.state.is_dirty:
                 self.writebacks += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.on_dirty_evict(
+                        self, victim, has_writeback=writeback is not None)
                 if victim.poisoned:
                     self.poison_evictions += 1
                     if self.poison_sink is not None:
                         self.poison_sink(victim.addr)
                 if writeback is not None:
                     writeback(victim.addr)
-        line_set[base] = CacheLine(base, state)
+        line = CacheLine(base, state)
+        line_set[base] = line
+        if self.sanitizer is not None:
+            line.owner = self
+            self.sanitizer.on_insert(self, line)
         return victim
 
     def set_state(self, addr: int, state: LineState) -> None:
         """Transition a resident line's state; INVALID removes the line."""
         base = line_base(addr)
+        self._note_mutation(base)
         line_set = self._set_for(base)
         line = line_set.get(base)
         if line is None:
@@ -167,6 +225,7 @@ class SetAssociativeCache:
             )
         if state is LineState.INVALID:
             del line_set[base]
+            line.owner = None
         else:
             line.state = state
 
@@ -178,6 +237,7 @@ class SetAssociativeCache:
         line = self.peek(addr)
         if line is None:
             return False
+        self._note_mutation(line_base(addr))
         line.poisoned = True
         return True
 
@@ -186,7 +246,7 @@ class SetAssociativeCache:
         line = self.peek(addr)
         if line is None or not line.poisoned:
             return False
-        line.poisoned = False
+        line.scrub_poison()
         return True
 
     def is_poisoned(self, addr: int) -> bool:
@@ -194,10 +254,14 @@ class SetAssociativeCache:
         return bool(line and line.poisoned)
 
     def invalidate(self, addr: int) -> bool:
-        """Drop the line if resident.  Returns whether it was dirty."""
+        """Drop the line if resident.  Returns whether it was dirty (the
+        caller owns any writeback decision on this path)."""
         base = line_base(addr)
+        self._note_mutation(base)
         line_set = self._set_for(base)
         line = line_set.pop(base, None)
+        if line is not None:
+            line.owner = None
         return bool(line and line.state.is_dirty)
 
     def flush_all(self, writeback: Optional[Callable[[int], None]] = None) -> int:
@@ -210,12 +274,16 @@ class SetAssociativeCache:
             for line in line_set.values():
                 if line.state.is_dirty:
                     dirty += 1
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_dirty_evict(
+                            self, line, has_writeback=writeback is not None)
                     if line.poisoned:
                         self.poison_evictions += 1
                         if self.poison_sink is not None:
                             self.poison_sink(line.addr)
                     if writeback is not None:
                         writeback(line.addr)
+                line.owner = None
             line_set.clear()
         return dirty
 

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.races import RaceDetector
 
 ProcessGen = Generator[Any, Any, Any]
 
@@ -237,6 +240,13 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        # Sanitizer hooks (see repro.lint.races): when armed, the engine
+        # feeds the detector one causal edge per scheduled callback and
+        # exposes which task/process is currently executing.  Disarmed
+        # (the default), the only cost is an `is None` test per schedule.
+        self.race_detector: Optional["RaceDetector"] = None
+        self.current_task = 0
+        self.current_actor: Any = None
 
     @property
     def now(self) -> float:
@@ -251,6 +261,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        if self.race_detector is not None:
+            self.race_detector.note_schedule(self._seq, self.current_task)
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> None:
         """Run ``fn(*args)`` at the current time, after already queued
@@ -283,11 +295,16 @@ class Simulator:
         earlier.
         """
         while self._heap:
-            at, __, fn, args = self._heap[0]
+            at, seq, fn, args = self._heap[0]
             if until is not None and at > until:
                 break
             heapq.heappop(self._heap)
             self._now = at
+            if self.race_detector is not None:
+                self.current_task = seq
+                owner = getattr(fn, "__self__", None)
+                self.current_actor = owner if isinstance(owner, Process) \
+                    else fn
             fn(*args)
         if until is not None and until > self._now:
             self._now = until

@@ -42,6 +42,12 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that triggers when a slot is granted."""
+        rd = self.sim.race_detector
+        if rd is not None:
+            # Resources are *ordering points* for the race detector: an
+            # admission is logged as a touch, never as a conflict (the
+            # grant chain itself provides the happens-before edge).
+            rd.touch(("resource", self.name or id(self)))
         ev = Event(self.sim)
         if self._in_use < self.capacity:
             self._in_use += 1
@@ -87,6 +93,11 @@ class Pipe:
         return len(self._items)
 
     def put(self, item: Any) -> None:
+        rd = self.sim.race_detector
+        if rd is not None:
+            # Unordered same-timestamp puts deliver in scheduling order —
+            # exactly the hazard the detector exists to surface.
+            rd.mutate(("pipe", self.name or id(self)))
         if self._getters:
             self._getters.popleft().succeed(item)
         else:

@@ -3,13 +3,24 @@
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import pytest
 
-from repro.config import default_system
+from repro.config import SanitizerConfig, default_system
 from repro.core.platform import Platform
 from repro.sim.engine import Simulator
 from repro.sim.rng import DeterministicRng
+
+ARMED_SANITIZERS = SanitizerConfig(coherence=True, races=True, strict=True)
+
+
+def _env_sanitizers() -> SanitizerConfig:
+    """CI's sanitizer job exports REPRO_SANITIZE=1 so the whole tier-1
+    suite runs with every platform-fixture simulation audited."""
+    if os.environ.get("REPRO_SANITIZE"):
+        return ARMED_SANITIZERS
+    return SanitizerConfig()
 
 
 @pytest.fixture
@@ -26,5 +37,15 @@ def rng() -> DeterministicRng:
 def platform() -> Platform:
     """A fresh full platform with deterministic seed and no latency noise
     (tests assert exact component sums)."""
-    quiet = dataclasses.replace(default_system(), latency_noise=0.0)
+    quiet = dataclasses.replace(default_system(), latency_noise=0.0,
+                                sanitizers=_env_sanitizers())
     return Platform(quiet, seed=99)
+
+
+@pytest.fixture
+def sanitized_platform() -> Platform:
+    """Like ``platform``, but with the coherence sanitizer and race
+    detector always armed in strict mode."""
+    armed = dataclasses.replace(default_system(), latency_noise=0.0,
+                                sanitizers=ARMED_SANITIZERS)
+    return Platform(armed, seed=99)

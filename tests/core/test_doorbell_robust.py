@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.doorbell import Command, Completion, Doorbell
 from repro.errors import OffloadError, OffloadTimeoutError
+from repro.units import ms
 
 
 def _device_echo(bell, count, delay_ns=0.0):
@@ -28,7 +29,7 @@ def test_await_completion_returns_the_tags_own_completion(platform):
 
     def host():
         tag = yield from bell.submit(Command("compress"))
-        completion = yield from bell.await_completion(tag, timeout_ns=1e6)
+        completion = yield from bell.await_completion(tag, timeout_ns=ms(1.0))
         return completion
 
     sim.spawn(_device_echo(bell, 1)())
@@ -48,7 +49,7 @@ def test_concurrent_submitters_each_get_their_own_result(platform):
     def host(name, think_ns):
         yield sim.timeout_event(think_ns)
         tag = yield from bell.submit(Command(name))
-        completion = yield from bell.await_completion(tag, timeout_ns=1e6)
+        completion = yield from bell.await_completion(tag, timeout_ns=ms(1.0))
         results[name] = (tag, completion.result)
 
     sim.spawn(host("a", 0.0))
@@ -126,7 +127,7 @@ def test_orphan_then_fresh_command_not_cross_delivered(platform):
         except OffloadTimeoutError:
             pass
         tag2 = yield from bell.submit(Command("second"))
-        completion = yield from bell.await_completion(tag2, timeout_ns=1e6)
+        completion = yield from bell.await_completion(tag2, timeout_ns=ms(1.0))
         return tag1, tag2, completion
 
     sim.spawn(_device_echo(bell, 1)())       # serves only the second command

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
+from repro.config import default_system
+from repro.core.platform import Platform
 from repro.core.requests import BiasMode, D2HOp, MemLevel
 from repro.errors import DeviceError
 from repro.mem.coherence import LineState
@@ -94,7 +98,13 @@ def test_host_bias_pulls_modified_host_copy(platform):
     assert dcoh.dmc.state_of(addr) is LineState.MODIFIED
 
 
-def test_device_bias_skips_host_entirely(platform):
+def test_device_bias_skips_host_entirely():
+    # This test *constructs* an incoherent precondition — a stale host
+    # MODIFIED copy the device-bias path is allowed to ignore — so it
+    # needs a platform whose sanitizers stay disarmed even when the
+    # suite runs under REPRO_SANITIZE=1.
+    platform = Platform(
+        dataclasses.replace(default_system(), latency_noise=0.0), seed=99)
     dcoh, home = platform.t2.dcoh, platform.home
     (addr,) = platform.fresh_dev_lines(1)
     home.preload_llc(addr, LineState.MODIFIED)

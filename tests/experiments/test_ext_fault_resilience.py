@@ -56,7 +56,8 @@ def test_device_kill_completes_falls_back_and_bounds_p99(result):
 
 def test_identical_seed_and_plan_identical_timeline(result):
     again = ext.run_device_kill(pages=PAGES, seed=SEED)
-    assert again.latencies_ns == result.get("cxl kill").latencies_ns
+    # Bit-exact equality of the full timeline IS the determinism claim.
+    assert again.latencies_ns == result.get("cxl kill").latencies_ns  # reprolint: disable=UNIT301
     assert again.fallbacks == result.get("cxl kill").fallbacks
 
 

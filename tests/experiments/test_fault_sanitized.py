@@ -1,0 +1,52 @@
+"""Fault-resilience scenarios with the coherence sanitizer armed.
+
+Poison, viral containment, and a mid-run device kill all drive the RAS
+paths through the same caches the sanitizer watches; this suite asserts
+the fault machinery never breaks a coherence invariant while degrading.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import SanitizerConfig, default_system
+from repro.experiments import ext_fault_resilience as ext
+
+QUIET = dataclasses.replace(default_system(), latency_noise=0.0)
+ARMED = dataclasses.replace(
+    QUIET, sanitizers=SanitizerConfig(coherence=True, races=True, strict=True))
+
+PAGES = 40
+
+
+@pytest.mark.parametrize("scenario, fault_spec", [
+    ("cxl clean", None),
+    ("cxl poison", "mem_poison=5e-3"),
+    ("cxl crc", "link_crc=1e-3"),
+    ("cxl viral", "device_viral@t=200us"),
+])
+def test_armed_fault_scenarios_stay_coherent(scenario, fault_spec):
+    cell = ext.run_cell(scenario, transport="cxl", fault_spec=fault_spec,
+                        pages=PAGES, cfg=ARMED)
+    assert cell.lost_pages == 0
+
+
+def test_armed_device_kill_degrades_without_violations():
+    cell = ext.run_device_kill(pages=PAGES, cfg=ARMED)
+    assert cell.lost_pages == 0
+    assert cell.health == "failed"
+    assert cell.fallbacks > 0
+
+
+def test_armed_run_matches_disarmed_run_bit_exactly():
+    """Arming the sanitizers must observe, never perturb: the full
+    latency timeline is identical with and without them."""
+    armed = ext.run_cell("probe", fault_spec="mem_poison=5e-3",
+                         pages=PAGES, cfg=ARMED)
+    plain = ext.run_cell("probe", fault_spec="mem_poison=5e-3",
+                         pages=PAGES, cfg=QUIET)
+    assert armed.latencies_ns == plain.latencies_ns  # reprolint: disable=UNIT301
+    assert armed.retries == plain.retries
+    assert armed.fault_errors == plain.fault_errors

@@ -1,0 +1,70 @@
+"""The ``python -m repro lint`` surface: formats, filters, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import repro.cli as repro_cli
+from repro.lint.cli import main as lint_main
+
+DIRTY = "import random\n"
+CLEAN = "def add(a, b):\n    return a + b\n"
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    assert lint_main([str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_locations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(DIRTY)
+    assert lint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert f"{bad}:1:1: DET102" in out
+
+
+def test_json_format_is_machine_readable(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(DIRTY)
+    assert lint_main([str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["parse_errors"] == []
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "DET102"
+    assert finding["line"] == 1
+    assert finding["path"] == str(bad)
+
+
+def test_parse_errors_exit_two(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def (:\n")
+    assert lint_main([str(tmp_path)]) == 2
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_unknown_rule_id_exits_two(tmp_path, capsys):
+    assert lint_main([str(tmp_path), "--select", "NOPE999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_select_restricts_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nimport time\nt = time.time()\n")
+    assert lint_main([str(bad), "--select", "DET101"]) == 1
+    assert lint_main([str(bad), "--ignore", "DET101,DET102"]) == 0
+
+
+def test_list_rules_prints_full_catalogue(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET101", "DET102", "DET103", "SIM201", "SIM202",
+                    "SIM203", "SIM204", "UNIT301", "UNIT302"):
+        assert rule_id in out
+
+
+def test_repro_cli_dispatches_lint_subcommand(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    assert repro_cli.main(["lint", str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out

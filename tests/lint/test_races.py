@@ -1,0 +1,170 @@
+"""RaceDetector: unordered same-timestamp mutations are flagged; the
+same mutations linked by an Event/Resource/Timeout chain are not."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lint.races import RaceDetector
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.coherence import LineState
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.resources import Pipe, Resource
+from repro.units import kib
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_unordered_same_time_pipe_puts_race(sim):
+    detector = RaceDetector(sim, strict=False).arm()
+    pipe = Pipe(sim, name="mailbox")
+
+    def writer(tag):
+        yield Timeout(5.0)
+        pipe.put(tag)
+
+    sim.spawn(writer("a"), name="writer-a")
+    sim.spawn(writer("b"), name="writer-b")
+    sim.run()
+    assert len(detector.violations) == 1
+    violation = detector.violations[0]
+    assert violation.key == ("pipe", "mailbox")
+    assert violation.time_ns == 5.0
+    assert {violation.first_actor, violation.second_actor} == \
+        {"writer-a", "writer-b"}
+    with pytest.raises(SimulationError, match="race"):
+        detector.assert_clean()
+
+
+def test_strict_mode_raises_at_the_racing_put(sim):
+    RaceDetector(sim, strict=True).arm()
+    pipe = Pipe(sim, name="mailbox")
+
+    def writer(tag):
+        yield Timeout(5.0)
+        pipe.put(tag)
+
+    sim.spawn(writer("a"), name="writer-a")
+    proc = sim.spawn(writer("b"), name="writer-b")
+    proc.done.defuse()
+    sim.run()
+    # The strict raise lands inside the racing process, failing it at
+    # the exact put that lost the order.
+    assert proc.failed
+    assert "race detector" in str(proc.done.exc)
+
+
+def test_event_chain_orders_same_time_puts(sim):
+    detector = RaceDetector(sim, strict=True).arm()
+    pipe = Pipe(sim, name="mailbox")
+    handoff = sim.event()
+
+    def first():
+        yield Timeout(5.0)
+        pipe.put("first")
+        handoff.succeed(None)
+
+    def second():
+        yield handoff
+        pipe.put("second")       # same timestamp, but causally after
+
+    sim.spawn(first(), name="first")
+    sim.spawn(second(), name="second")
+    sim.run()
+    assert detector.clean
+    assert detector.mutations == 2
+
+
+def test_puts_at_different_times_never_race(sim):
+    detector = RaceDetector(sim, strict=True).arm()
+    pipe = Pipe(sim, name="mailbox")
+
+    def writer(tag, at):
+        yield Timeout(at)
+        pipe.put(tag)
+
+    sim.spawn(writer("a", 5.0))
+    sim.spawn(writer("b", 6.0))
+    sim.run()
+    assert detector.clean
+
+
+def test_same_actor_may_mutate_repeatedly_at_one_timestamp(sim):
+    detector = RaceDetector(sim, strict=True).arm()
+    pipe = Pipe(sim, name="mailbox")
+
+    def burst():
+        yield Timeout(5.0)
+        pipe.put("x")
+        pipe.put("y")
+
+    sim.spawn(burst())
+    sim.run()
+    assert detector.clean
+
+
+def test_unordered_same_line_cache_mutations_race(sim):
+    detector = RaceDetector(sim, strict=False).arm()
+    cache = SetAssociativeCache("hmc", kib(4), 4)
+    cache.race_detector = detector
+
+    def toucher(state):
+        yield Timeout(3.0)
+        cache.insert(0x1000, state)
+
+    sim.spawn(toucher(LineState.SHARED), name="reader-path")
+    sim.spawn(toucher(LineState.SHARED), name="other-reader-path")
+    sim.run()
+    assert len(detector.violations) == 1
+    assert detector.violations[0].key == ("line", 0x1000)
+
+
+def test_mutations_of_different_lines_do_not_race(sim):
+    detector = RaceDetector(sim, strict=True).arm()
+    cache = SetAssociativeCache("hmc", kib(4), 4)
+    cache.race_detector = detector
+
+    def toucher(addr):
+        yield Timeout(3.0)
+        cache.insert(addr, LineState.SHARED)
+
+    sim.spawn(toucher(0x1000))
+    sim.spawn(toucher(0x2000))
+    sim.run()
+    assert detector.clean
+
+
+def test_resource_handoff_is_an_ordering_edge_not_a_conflict(sim):
+    detector = RaceDetector(sim, strict=True).arm()
+    gate = Resource(sim, capacity=1, name="gate")
+    pipe = Pipe(sim, name="mailbox")
+
+    def worker(tag):
+        yield gate.acquire()
+        pipe.put(tag)
+        gate.release()
+
+    sim.spawn(worker("a"), name="worker-a")
+    sim.spawn(worker("b"), name="worker-b")
+    sim.run()
+    assert detector.clean
+    assert [key for key, *_ in detector.touches] == [
+        ("resource", "gate"), ("resource", "gate")]
+
+
+def test_disarmed_simulator_records_nothing(sim):
+    pipe = Pipe(sim, name="mailbox")
+
+    def writer(tag):
+        yield Timeout(5.0)
+        pipe.put(tag)
+
+    sim.spawn(writer("a"))
+    sim.spawn(writer("b"))
+    sim.run()
+    assert sim.race_detector is None
+    assert sim.current_task == 0

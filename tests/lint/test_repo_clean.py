@@ -1,0 +1,30 @@
+"""The merge gate: the repository's own source tree is reprolint-clean.
+
+This is the same check CI runs via ``python -m repro lint``; keeping it
+in the suite means a hazard introduced by any PR fails tier-1 locally,
+not just in the lint job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.core import all_rules, lint_paths
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_repository_is_lint_clean():
+    trees = [REPO / name for name in ("src", "tests", "benchmarks", "examples")]
+    report = lint_paths([str(t) for t in trees if t.is_dir()])
+    assert not report.parse_errors, report.parse_errors
+    assert report.clean, "\n".join(f.format() for f in report.findings)
+    assert report.files_checked > 100
+
+
+def test_rule_catalogue_is_complete_and_id_ordered():
+    ids = [rule.id for rule in all_rules()]
+    assert ids == sorted(ids)
+    assert ids == ["DET101", "DET102", "DET103", "SIM201", "SIM202",
+                   "SIM203", "SIM204", "UNIT301", "UNIT302"]
+    assert all(rule.summary for rule in all_rules())

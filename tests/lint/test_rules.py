@@ -1,0 +1,391 @@
+"""Negative tests: every reprolint rule fires on its target hazard and
+stays quiet on the idiomatic alternative."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.core import lint_paths
+
+
+def lint_source(tmp_path, source, name="mod.py", select=None):
+    """Write ``source`` under ``tmp_path`` and lint it; return rule ids."""
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    report = lint_paths([str(path)], select=select)
+    assert not report.parse_errors, report.parse_errors
+    return [finding.rule for finding in report.findings]
+
+
+# -- DET101: wall-clock reads ------------------------------------------------
+
+
+def test_det101_flags_wall_clock(tmp_path):
+    rules = lint_source(tmp_path, """
+        import time
+
+        def stamp():
+            return time.time()
+    """)
+    assert rules == ["DET101"]
+
+
+def test_det101_allows_the_rng_module(tmp_path):
+    rules = lint_source(tmp_path, """
+        import time
+
+        def seed_from_clock():
+            return int(time.time_ns())
+    """, name="sim/rng.py")
+    assert rules == []
+
+
+def test_det101_flags_datetime_now(tmp_path):
+    rules = lint_source(tmp_path, """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+    """)
+    assert rules == ["DET101"]
+
+
+# -- DET102: unseeded randomness ---------------------------------------------
+
+
+def test_det102_flags_stdlib_random_import(tmp_path):
+    assert lint_source(tmp_path, "import random\n") == ["DET102"]
+    assert lint_source(tmp_path, "from random import choice\n") == ["DET102"]
+
+
+def test_det102_flags_unseeded_default_rng(tmp_path):
+    rules = lint_source(tmp_path, """
+        import numpy as np
+
+        def draw():
+            return np.random.default_rng().random()
+    """)
+    assert rules == ["DET102"]
+
+
+def test_det102_allows_seeded_default_rng(tmp_path):
+    rules = lint_source(tmp_path, """
+        import numpy as np
+
+        def draw():
+            return np.random.default_rng(42).random()
+    """)
+    assert rules == []
+
+
+def test_det102_flags_numpy_global_stream(tmp_path):
+    rules = lint_source(tmp_path, """
+        import numpy as np
+
+        def shuffle(xs):
+            np.random.shuffle(xs)
+    """)
+    assert rules == ["DET102"]
+
+
+# -- DET103: set iteration order ---------------------------------------------
+
+
+def test_det103_flags_set_expression_iteration(tmp_path):
+    rules = lint_source(tmp_path, """
+        def leak(keys):
+            return [k for k in set(keys)]
+    """)
+    assert rules == ["DET103"]
+
+
+def test_det103_flags_set_typed_name(tmp_path):
+    rules = lint_source(tmp_path, """
+        def leak(items):
+            pending = set(items)
+            for item in pending:
+                print(item)
+    """)
+    assert rules == ["DET103"]
+
+
+def test_det103_flags_set_typed_attribute(tmp_path):
+    rules = lint_source(tmp_path, """
+        class Tracker:
+            def __init__(self):
+                self.waiting: set[int] = set()
+
+            def drain(self):
+                for tag in self.waiting:
+                    print(tag)
+    """)
+    # the annotated assignment itself registers, the loop is flagged
+    assert rules == ["DET103"]
+
+
+def test_det103_allows_sorted_iteration(tmp_path):
+    rules = lint_source(tmp_path, """
+        def stable(keys):
+            pending = set(keys)
+            return [k for k in sorted(pending)]
+    """)
+    assert rules == []
+
+
+# -- SIM201: non-command yields in process generators ------------------------
+
+
+def test_sim201_flags_yield_none_in_process(tmp_path):
+    rules = lint_source(tmp_path, """
+        def proc(sim):
+            yield sim.timeout_event(5.0)
+            yield None
+    """)
+    assert rules == ["SIM201"]
+
+
+def test_sim201_flags_bare_yield(tmp_path):
+    rules = lint_source(tmp_path, """
+        def proc(sim):
+            yield sim.timeout_event(5.0)
+            yield
+    """)
+    assert rules == ["SIM201"]
+
+
+def test_sim201_ignores_plain_data_generators(tmp_path):
+    rules = lint_source(tmp_path, """
+        def numbers():
+            yield 1
+            yield 2
+    """)
+    assert rules == []
+
+
+# -- SIM202: event-loop re-entry ---------------------------------------------
+
+
+def test_sim202_flags_run_process_inside_process(tmp_path):
+    rules = lint_source(tmp_path, """
+        def outer(sim, inner):
+            yield sim.timeout_event(1.0)
+            sim.run_process(inner())
+    """)
+    assert rules == ["SIM202"]
+
+
+def test_sim202_flags_run_on_attribute_receiver(tmp_path):
+    rules = lint_source(tmp_path, """
+        def outer(self):
+            yield self.sim.timeout_event(1.0)
+            self.sim.run()
+    """)
+    assert rules == ["SIM202"]
+
+
+def test_sim202_allows_run_outside_processes(tmp_path):
+    rules = lint_source(tmp_path, """
+        def drive(sim, gen):
+            return sim.run_process(gen)
+    """)
+    assert rules == []
+
+
+# -- SIM203: fail without reachable waiter -----------------------------------
+
+
+def test_sim203_flags_fail_on_unobservable_event(tmp_path):
+    rules = lint_source(tmp_path, """
+        def broken(sim):
+            ev = sim.event()
+            ev.fail(RuntimeError("lost"))
+    """)
+    assert rules == ["SIM203"]
+
+
+def test_sim203_allows_yielded_event(tmp_path):
+    rules = lint_source(tmp_path, """
+        def ok(sim):
+            ev = sim.event()
+            ev.fail(RuntimeError("seen"))
+            yield ev
+    """)
+    assert rules == []
+
+
+def test_sim203_allows_defused_event(tmp_path):
+    rules = lint_source(tmp_path, """
+        def ok(sim):
+            ev = sim.event()
+            ev.defuse()
+            ev.fail(RuntimeError("handled out of band"))
+    """)
+    assert rules == []
+
+
+def test_sim203_allows_event_passed_elsewhere(tmp_path):
+    rules = lint_source(tmp_path, """
+        def ok(sim, registry):
+            ev = sim.event()
+            registry.append(ev)
+            ev.fail(RuntimeError("observable via registry"))
+    """)
+    assert rules == []
+
+
+# -- SIM204: spawning a non-generator ----------------------------------------
+
+
+def test_sim204_flags_uncalled_function_lambda_and_constant(tmp_path):
+    rules = lint_source(tmp_path, """
+        def worker():
+            return 1
+
+        def boot(sim):
+            sim.spawn(worker)
+            sim.spawn(lambda: 3)
+            sim.spawn(7)
+    """)
+    assert rules == ["SIM204", "SIM204", "SIM204"]
+
+
+def test_sim204_allows_instantiated_generator(tmp_path):
+    rules = lint_source(tmp_path, """
+        def worker(sim):
+            yield sim.timeout_event(1.0)
+
+        def boot(sim):
+            sim.spawn(worker(sim))
+    """)
+    assert rules == []
+
+
+# -- UNIT301: float equality on computed timestamps --------------------------
+
+
+def test_unit301_flags_computed_timestamp_equality(tmp_path):
+    rules = lint_source(tmp_path, """
+        def check(sim, start, report):
+            assert report.total_ns == sim.now - start
+    """)
+    assert rules == ["UNIT301"]
+
+
+def test_unit301_allows_literal_comparison(tmp_path):
+    rules = lint_source(tmp_path, """
+        def check(sim):
+            assert sim.now == 9.0
+    """)
+    assert rules == []
+
+
+def test_unit301_allows_stored_quantity_identity(tmp_path):
+    rules = lint_source(tmp_path, """
+        def check(costs, cfg):
+            assert costs.read_ns == cfg.home_agent_ns
+    """)
+    assert rules == []
+
+
+def test_unit301_ignores_rates(tmp_path):
+    rules = lint_source(tmp_path, """
+        def check(a, b):
+            assert a.link.bytes_per_ns == 2 * b.link.bytes_per_ns
+    """)
+    assert rules == []
+
+
+# -- UNIT302: raw magnitude literals -----------------------------------------
+
+
+def test_unit302_flags_large_ns_literal(tmp_path):
+    rules = lint_source(tmp_path, """
+        def wait(bell, tag):
+            return bell.await_completion(tag, timeout_ns=1e6)
+    """)
+    assert rules == ["UNIT302"]
+
+
+def test_unit302_flags_large_bytes_literal(tmp_path):
+    rules = lint_source(tmp_path, """
+        def build(factory):
+            return factory(size_bytes=131072, ways=4)
+    """)
+    assert rules == ["UNIT302"]
+
+
+def test_unit302_allows_small_literals_and_helpers(tmp_path):
+    rules = lint_source(tmp_path, """
+        from repro.units import ms
+
+        def wait(bell, tag):
+            return bell.await_completion(tag, timeout_ns=ms(1.0))
+
+        def nudge(sim):
+            sim.schedule_at(delay_ns=500.0)
+    """)
+    assert rules == []
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+def test_line_suppression_by_rule_id(tmp_path):
+    rules = lint_source(tmp_path, """
+        import time
+
+        def stamp():
+            return time.time()  # reprolint: disable=DET101
+    """)
+    assert rules == []
+
+
+def test_line_suppression_of_all_rules(tmp_path):
+    rules = lint_source(tmp_path, """
+        import time
+
+        def stamp():
+            return time.time()  # reprolint: disable
+    """)
+    assert rules == []
+
+
+def test_file_suppression(tmp_path):
+    rules = lint_source(tmp_path, """
+        # reprolint: disable-file=DET101
+        import time
+
+        def stamp():
+            return time.time()
+
+        def stamp_again():
+            return time.perf_counter()
+    """)
+    assert rules == []
+
+
+def test_suppression_of_one_rule_keeps_others(tmp_path):
+    rules = lint_source(tmp_path, """
+        import time
+        import random
+
+        def stamp():
+            return time.time()  # reprolint: disable=DET102
+    """)
+    # the DET102 import finding stays (wrong line), and the DET101
+    # finding stays (suppression names a different rule)
+    assert rules == ["DET102", "DET101"] or rules == ["DET101", "DET102"]
+
+
+def test_select_and_ignore_filter_rules(tmp_path):
+    path = tmp_path / "mixed.py"
+    path.write_text(textwrap.dedent("""
+        import time
+        import random
+    """))
+    report = lint_paths([str(path)], select={"DET102"})
+    assert [f.rule for f in report.findings] == ["DET102"]
+    report = lint_paths([str(path)], ignore={"DET102"})
+    assert [f.rule for f in report.findings] == ["DET101"] or not any(
+        f.rule == "DET102" for f in report.findings)

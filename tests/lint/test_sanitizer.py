@@ -1,0 +1,203 @@
+"""CoherenceSanitizer: each invariant has a seeded negative test that
+drives the watched caches into the forbidden configuration, plus
+positive tests showing legal MESI+Owned compositions stay clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CoherenceError
+from repro.lint.sanitizer import CoherenceSanitizer
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.coherence import LineState
+from repro.sim.engine import Simulator
+from repro.units import kib
+
+ADDR = 0x4000
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def watch_pair(sim, strict=True):
+    sanitizer = CoherenceSanitizer(sim, strict=strict)
+    a = SetAssociativeCache("cache-a", kib(4), 4)
+    b = SetAssociativeCache("cache-b", kib(4), 4)
+    sanitizer.watch(a)
+    sanitizer.watch(b)
+    return sanitizer, a, b
+
+
+# -- single-owner ------------------------------------------------------------
+
+
+def test_two_modified_holders_violate_single_owner(sim):
+    sanitizer, a, b = watch_pair(sim)
+    a.insert(ADDR, LineState.MODIFIED)
+    with pytest.raises(CoherenceError, match="single-owner"):
+        b.insert(ADDR, LineState.MODIFIED)
+    assert not sanitizer.clean
+
+
+def test_modified_plus_exclusive_violates_single_owner(sim):
+    sanitizer, a, b = watch_pair(sim)
+    a.insert(ADDR, LineState.EXCLUSIVE)
+    with pytest.raises(CoherenceError, match="single-owner"):
+        b.insert(ADDR, LineState.MODIFIED)
+
+
+def test_handoff_through_invalidate_is_clean(sim):
+    sanitizer, a, b = watch_pair(sim)
+    a.insert(ADDR, LineState.MODIFIED)
+    a.invalidate(ADDR)                      # ownership transferred away
+    b.insert(ADDR, LineState.MODIFIED)
+    assert sanitizer.clean
+
+
+# -- no-sharer-with-writer ---------------------------------------------------
+
+
+def test_sharer_coexisting_with_writer_is_flagged(sim):
+    sanitizer, a, b = watch_pair(sim)
+    a.insert(ADDR, LineState.SHARED)
+    with pytest.raises(CoherenceError, match="no-sharer-with-writer"):
+        b.insert(ADDR, LineState.MODIFIED)
+
+
+def test_writer_downgrade_then_share_is_clean(sim):
+    sanitizer, a, b = watch_pair(sim)
+    a.insert(ADDR, LineState.MODIFIED)
+    a.set_state(ADDR, LineState.SHARED)     # writeback + downgrade
+    b.insert(ADDR, LineState.SHARED)
+    assert sanitizer.clean
+
+
+def test_owned_plus_sharers_is_a_legal_composition(sim):
+    sanitizer, a, b = watch_pair(sim)
+    a.insert(ADDR, LineState.OWNED)
+    b.insert(ADDR, LineState.SHARED)
+    assert sanitizer.clean
+
+
+# -- owned-clean -------------------------------------------------------------
+
+
+def test_direct_modified_to_owned_transition_is_flagged(sim):
+    sanitizer, a, _ = watch_pair(sim)
+    a.insert(ADDR, LineState.MODIFIED)
+    with pytest.raises(CoherenceError, match="owned-clean"):
+        a.set_state(ADDR, LineState.OWNED)
+
+
+def test_modified_to_shared_then_owned_is_clean(sim):
+    sanitizer, a, _ = watch_pair(sim)
+    a.insert(ADDR, LineState.MODIFIED)
+    a.set_state(ADDR, LineState.SHARED)     # the writeback path
+    a.set_state(ADDR, LineState.OWNED)
+    assert sanitizer.clean
+
+
+# -- dirty-evict-writeback ---------------------------------------------------
+
+
+def direct_mapped(sim, strict=True):
+    sanitizer = CoherenceSanitizer(sim, strict=strict)
+    cache = SetAssociativeCache("dmc", 4 * 64, 1)   # 4 sets, 1 way
+    sanitizer.watch(cache)
+    conflicting = 4 * 64                            # same set as addr 0
+    return sanitizer, cache, conflicting
+
+
+def test_dirty_capacity_eviction_without_writeback_is_flagged(sim):
+    sanitizer, cache, conflicting = direct_mapped(sim)
+    cache.insert(0, LineState.MODIFIED)
+    with pytest.raises(CoherenceError, match="dirty-evict-writeback"):
+        cache.insert(conflicting, LineState.EXCLUSIVE)
+
+
+def test_dirty_capacity_eviction_with_writeback_is_clean(sim):
+    sanitizer, cache, conflicting = direct_mapped(sim)
+    written_back = []
+    cache.insert(0, LineState.MODIFIED)
+    cache.insert(conflicting, LineState.EXCLUSIVE,
+                 writeback=written_back.append)
+    assert written_back == [0]
+    assert sanitizer.clean
+
+
+def test_flush_without_writeback_sink_is_flagged(sim):
+    sanitizer, cache, _ = direct_mapped(sim)
+    cache.insert(0, LineState.MODIFIED)
+    with pytest.raises(CoherenceError, match="dirty-evict-writeback"):
+        cache.flush_all()
+
+
+def test_flush_with_writeback_sink_is_clean(sim):
+    sanitizer, cache, _ = direct_mapped(sim)
+    cache.insert(0, LineState.MODIFIED)
+    assert cache.flush_all(writeback=lambda addr: None) == 1
+    assert sanitizer.clean
+
+
+# -- poison-scrub ------------------------------------------------------------
+
+
+def test_plain_store_clearing_poison_is_flagged(sim):
+    sanitizer, a, _ = watch_pair(sim)
+    a.insert(ADDR, LineState.MODIFIED)
+    a.poison_addr(ADDR)
+    line = a.peek(ADDR)
+    with pytest.raises(CoherenceError, match="poison-scrub"):
+        line.poisoned = False
+    assert not sanitizer.clean
+
+
+def test_scrub_path_clears_poison_cleanly(sim):
+    sanitizer, a, _ = watch_pair(sim)
+    a.insert(ADDR, LineState.MODIFIED)
+    a.poison_addr(ADDR)
+    assert a.clear_poison(ADDR)
+    assert not a.is_poisoned(ADDR)
+    assert sanitizer.clean
+
+
+# -- modes and reporting -----------------------------------------------------
+
+
+def test_non_strict_mode_accumulates_for_assert_clean(sim):
+    sanitizer, a, b = watch_pair(sim, strict=False)
+    a.insert(ADDR, LineState.MODIFIED)
+    b.insert(ADDR, LineState.MODIFIED)          # single-owner (and sharer)
+    a.poison_addr(ADDR)
+    a.peek(ADDR).poisoned = False               # poison-scrub
+    assert len(sanitizer.violations) >= 2
+    invariants = {v.invariant for v in sanitizer.violations}
+    assert "single-owner" in invariants
+    assert "poison-scrub" in invariants
+    with pytest.raises(CoherenceError, match="invariant violation"):
+        sanitizer.assert_clean()
+
+
+def test_violation_format_names_invariant_line_and_time(sim):
+    sanitizer, a, b = watch_pair(sim, strict=False)
+    a.insert(ADDR, LineState.MODIFIED)
+    b.insert(ADDR, LineState.MODIFIED)
+    text = sanitizer.violations[0].format()
+    assert "single-owner" in text
+    assert hex(ADDR) in text
+
+
+def test_disarmed_cache_pays_no_checks(sim):
+    cache = SetAssociativeCache("plain", kib(4), 4)
+    cache.insert(ADDR, LineState.MODIFIED)
+    cache.set_state(ADDR, LineState.SHARED)
+    line = cache.peek(ADDR)
+    assert line.owner is None               # no sanitizer ever adopted it
+
+
+def test_every_documented_invariant_has_coverage():
+    assert set(CoherenceSanitizer.INVARIANTS) == {
+        "single-owner", "no-sharer-with-writer", "owned-clean",
+        "dirty-evict-writeback", "poison-scrub"}

@@ -97,7 +97,7 @@ def test_uncaught_failure_with_no_waiter_is_diagnosed(sim):
     """fail() with nobody listening raises a loud diagnostic instead of
     vanishing (the classic lost-error hazard in event-driven code)."""
     ev = Event(sim, name="orphan")
-    ev.fail(Boom("nobody listening"))
+    ev.fail(Boom("nobody listening"))  # reprolint: disable=SIM203
     with pytest.raises(SimulationError, match="uncaught failure in orphan"):
         sim.run()
 
