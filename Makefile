@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-sanitized bench report examples lint clean
+.PHONY: install test test-fast test-sanitized bench perf report examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +29,12 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Engine/experiment speed -> BENCH_speed.json, checked against the
+# committed baseline (>2x slower fails).  See docs/PERFORMANCE.md.
+perf:
+	$(PYTHON) -m repro speed --output BENCH_speed.json
+	$(PYTHON) benchmarks/perf/check_regression.py BENCH_speed.json
 
 report:
 	$(PYTHON) -m repro report --output report.md

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Fail (exit 1) if BENCH_speed.json regressed >2x vs the baseline.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py BENCH_speed.json \
+        [baseline.json] [--factor 2.0]
+
+The baseline defaults to the committed ``baseline.json`` next to this
+script.  The comparison itself lives in :func:`repro.analysis.speed
+.compare`; this wrapper only does I/O and the exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly measured BENCH_speed.json")
+    parser.add_argument("baseline", nargs="?",
+                        default=str(Path(__file__).parent / "baseline.json"))
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed slowdown before failing (default 2x)")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.speed import compare
+    with open(args.current) as fh:
+        current = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    failures = compare(current, baseline, factor=args.factor)
+    if failures:
+        print("perf regression detected:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    engine = ", ".join(f"{k}={v['events_per_sec']:,.0f} ev/s"
+                       for k, v in current.get("engine", {}).items())
+    print(f"perf ok (within {args.factor:g}x of baseline): {engine}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,221 @@
+"""Engine/experiment speed benchmarks -> ``BENCH_speed.json``.
+
+Everything else in this repo treats wall-clock time as a determinism
+hazard; this module is the one place it is the *measurand*.  Three
+engine microbenchmarks hammer the simulator's hot paths (pure Timeout
+heap traffic, zero-delay event chains through the delta queue, Resource
+acquire/release churn), three end-to-end experiments time the paths
+users actually run, and the process's peak RSS rounds out the picture.
+
+The output is machine-readable (``BENCH_speed.json``) so CI can diff it
+against a committed baseline (``benchmarks/perf/baseline.json``; see
+``benchmarks/perf/check_regression.py``) and fail on a real regression
+without flaking on runner noise.  ``python -m repro speed`` is the
+human entry point; docs/PERFORMANCE.md explains how to read the fields.
+
+Throughput metric: *scheduled callbacks per second*, ``sim._seq / dt``
+— every event the engine dispatched, whatever its kind, divided by the
+wall time of the run.  It is the engine-level analogue of simulator
+"events/sec" and is insensitive to how a workload splits its work
+between processes, events and resources.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import time
+from typing import Any, Callable, Dict
+
+SCHEMA = "repro-speed/1"
+
+
+# --------------------------------------------------------------------------
+# Engine microbenchmarks.  Definitions are frozen: docs/PERFORMANCE.md
+# records measurements against exactly these shapes, and the committed
+# baseline assumes them.  Change them only together with both.
+
+def bench_timeouts(n_procs: int = 200, steps: int = 500) -> float:
+    """Pure heap traffic: many interleaved processes yielding Timeouts
+    with co-prime-ish periods, so heap order keeps shuffling."""
+    from repro.sim.engine import Simulator, Timeout
+    sim = Simulator()
+
+    def proc(period):
+        for _ in range(steps):
+            yield Timeout(period)
+
+    for i in range(n_procs):
+        sim.spawn(proc(1.0 + (i % 7) * 0.5))
+    t0 = time.perf_counter()
+    sim.run()
+    return sim._seq / (time.perf_counter() - t0)
+
+
+def bench_event_chain(n: int = 100_000) -> float:
+    """Zero-delay plumbing: a long chain of one-shot events resumed
+    through nested generators — the delta-queue fast path."""
+    from repro.sim.engine import Simulator
+    sim = Simulator()
+
+    def chain(i):
+        value = yield sim.timeout_event(1.0, i)
+        return value
+
+    def driver():
+        for i in range(n):
+            yield chain(i)
+
+    t0 = time.perf_counter()
+    sim.run_process(driver())
+    return sim._seq / (time.perf_counter() - t0)
+
+
+def bench_resource_churn(n_workers: int = 50, iters: int = 400) -> float:
+    """Contended acquire/release on a small Resource: every release
+    hands off through ``call_soon`` wakeups."""
+    from repro.sim.engine import Simulator, Timeout
+    from repro.sim.resources import Resource
+    sim = Simulator()
+    res = Resource(sim, capacity=4)
+
+    def worker():
+        for _ in range(iters):
+            yield res.acquire()
+            yield Timeout(1.0)
+            res.release()
+
+    for _ in range(n_workers):
+        sim.spawn(worker())
+    t0 = time.perf_counter()
+    sim.run()
+    return sim._seq / (time.perf_counter() - t0)
+
+
+ENGINE_BENCHES: Dict[str, Callable[[], float]] = {
+    "timeouts": bench_timeouts,
+    "event_chain": bench_event_chain,
+    "resource_churn": bench_resource_churn,
+}
+
+
+# --------------------------------------------------------------------------
+# End-to-end experiment timings: what `python -m repro <x>` costs.
+
+def _exp_table3() -> None:
+    from repro.experiments import table3_coherence
+    table3_coherence.run()
+
+
+def _exp_fig3() -> None:
+    from repro.experiments import fig3_d2h
+    fig3_d2h.run(reps=5)
+
+
+def _exp_faults() -> None:
+    from repro.experiments import ext_fault_resilience
+    ext_fault_resilience.run_device_kill(pages=60)
+
+
+EXPERIMENT_BENCHES: Dict[str, Callable[[], None]] = {
+    "table3": _exp_table3,
+    "fig3_reps5": _exp_fig3,
+    "faults_kill60": _exp_faults,
+}
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set of this process, in KiB (0 where unsupported)."""
+    try:
+        import resource as _resource
+        rss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB; macOS reports bytes.
+        return rss // 1024 if _platform.system() == "Darwin" else rss
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX
+        return 0
+
+
+def measure(rounds: int = 3) -> Dict[str, Any]:
+    """Run every benchmark; return the BENCH_speed.json payload.
+
+    Engine benches keep the **best** of ``rounds`` (throughput noise is
+    one-sided: interference only slows a run down); experiment timings
+    keep the fastest wall time for the same reason.
+    """
+    engine = {}
+    for name, fn in ENGINE_BENCHES.items():
+        engine[name] = {
+            "events_per_sec": round(max(fn() for _ in range(rounds)), 1)}
+    experiments = {}
+    for name, fn in EXPERIMENT_BENCHES.items():
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        experiments[name] = {"wall_s": round(best, 4)}
+    return {
+        "schema": SCHEMA,
+        "rounds": rounds,
+        "engine": engine,
+        "experiments": experiments,
+        "peak_rss_kb": _peak_rss_kb(),
+        "host": {
+            "python": _platform.python_version(),
+            "machine": _platform.machine(),
+        },
+    }
+
+
+def render(payload: Dict[str, Any]) -> str:
+    """Human-readable table for the CLI (the JSON stays the record)."""
+    lines = [
+        "Engine/experiment speed (see docs/PERFORMANCE.md)",
+        f"{'benchmark':<16s} {'metric':>22s}",
+    ]
+    for name, cell in payload["engine"].items():
+        lines.append(f"{name:<16s} {cell['events_per_sec']:>14,.0f} ev/s")
+    for name, cell in payload["experiments"].items():
+        lines.append(f"{name:<16s} {cell['wall_s']:>16.3f} s")
+    lines.append(f"{'peak RSS':<16s} {payload['peak_rss_kb']:>14,d} KiB")
+    return "\n".join(lines)
+
+
+def write_json(payload: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def compare(current: Dict[str, Any], baseline: Dict[str, Any],
+            factor: float = 2.0) -> list:
+    """Regression check: return a list of human-readable failures.
+
+    A benchmark regresses when it is worse than ``factor`` times the
+    baseline (slower throughput, longer wall time).  The factor is
+    deliberately loose — CI runners are noisy and heterogeneous; the
+    committed baseline only needs to catch order-of-magnitude slips
+    like an accidentally quadratic hot path.  Benchmarks present in
+    only one payload are skipped (adding a bench must not break CI).
+    """
+    failures = []
+    for name, base in baseline.get("engine", {}).items():
+        cell = current.get("engine", {}).get(name)
+        if cell is None:
+            continue
+        floor = base["events_per_sec"] / factor
+        if cell["events_per_sec"] < floor:
+            failures.append(
+                f"engine/{name}: {cell['events_per_sec']:,.0f} ev/s < "
+                f"{floor:,.0f} (baseline {base['events_per_sec']:,.0f} "
+                f"/ {factor:g})")
+    for name, base in baseline.get("experiments", {}).items():
+        cell = current.get("experiments", {}).get(name)
+        if cell is None:
+            continue
+        ceil = base["wall_s"] * factor
+        if cell["wall_s"] > ceil:
+            failures.append(
+                f"experiments/{name}: {cell['wall_s']:.3f}s > {ceil:.3f}s "
+                f"(baseline {base['wall_s']:.3f}s x {factor:g})")
+    return failures

@@ -16,6 +16,8 @@ import sys
 import time
 from typing import Callable, Dict
 
+from repro.sim.parallel import SweepPoint, SweepSpec, resolve_jobs, run_sweep
+
 from repro.experiments import (
     fig3_d2h,
     fig4_d2d,
@@ -42,14 +44,16 @@ def _run_fig5(args) -> str:
 
 
 def _run_fig6(args) -> str:
-    return fig6_transfer.format_table(fig6_transfer.run(reps=max(2, args.reps // 4)))
+    return fig6_transfer.format_table(
+        fig6_transfer.run(reps=max(2, args.reps // 4), jobs=args.jobs))
 
 
 def _run_fig8(args) -> str:
     scenario = fig8_tail_latency.ScenarioConfig(
         duration_ns=ms(args.duration_ms))
     workloads = tuple(args.workloads)
-    result = fig8_tail_latency.run(workloads=workloads, scenario=scenario)
+    result = fig8_tail_latency.run(workloads=workloads, scenario=scenario,
+                                   jobs=args.jobs)
     return fig8_tail_latency.format_table(result)
 
 
@@ -65,7 +69,7 @@ def _run_sec7(args) -> str:
     scenario = fig8_tail_latency.ScenarioConfig(
         duration_ns=ms(args.duration_ms))
     return sec7_accounting.format_table(
-        sec7_accounting.run(scenario=scenario))
+        sec7_accounting.run(scenario=scenario, jobs=args.jobs))
 
 
 def _run_report(args) -> str:
@@ -93,11 +97,21 @@ def _run_faults(args) -> str:
         result = ext_fault_resilience.FaultResilienceResult(
             {cell.scenario: cell}, ())
         return ext_fault_resilience.format_table(result)
-    return ext_fault_resilience.format_table(ext_fault_resilience.run())
+    return ext_fault_resilience.format_table(
+        ext_fault_resilience.run(jobs=args.jobs))
+
+
+def _run_speed(args) -> str:
+    from repro.analysis.speed import measure, render, write_json
+    payload = measure(rounds=args.rounds)
+    if args.output:
+        write_json(payload, args.output)
+    return render(payload)
 
 
 RUNNERS: Dict[str, Callable] = {
     "report": _run_report,
+    "speed": _run_speed,
     "calibration": _run_calibration,
     "faults": _run_faults,
     "fig3": _run_fig3,
@@ -133,8 +147,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quick", action="store_true",
                         help="report: skip the (slow) fig8/sec7 section")
     parser.add_argument("--output", default=None,
-                        help="report: write markdown to this file")
+                        help="report: write markdown to this file; "
+                             "speed: write BENCH_speed.json here")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="speed: benchmark repetitions (best-of)")
+    parser.add_argument("--jobs", "-j", default=None, metavar="N",
+                        help="worker processes for parallel sweeps "
+                             "(0 or 'auto' = one per CPU; default: "
+                             "$REPRO_JOBS or 1).  Results are "
+                             "byte-identical for every N.")
     return parser
+
+
+def _run_named(name: str, args: argparse.Namespace) -> str:
+    """Experiment-level worker for ``repro all`` (module-level so it
+    pickles into pool workers)."""
+    return RUNNERS[name](args)
+
+
+def _run_all(names, args, jobs: int):
+    """Run several experiments, fanning out across processes when
+    ``jobs > 1``.  Workers get ``jobs=1`` so cell-level sweeps inside an
+    experiment never nest a second pool."""
+    worker_args = argparse.Namespace(**{**vars(args), "jobs": 1})
+    spec = SweepSpec("all", tuple(
+        SweepPoint(name, _run_named, (name, worker_args))
+        for name in names))
+    return run_sweep(spec, jobs=jobs)
 
 
 def main(argv=None) -> int:
@@ -145,17 +184,30 @@ def main(argv=None) -> int:
         from repro.lint.cli import main as lint_main
         return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
+    args.jobs = resolve_jobs(args.jobs)
     if args.experiment == "all":
-        names = [name for name in sorted(RUNNERS) if name != "report"]
-    else:
-        names = [args.experiment]
-    for name in names:
-        start = time.time()
-        output = RUNNERS[name](args)
-        print(output)
-        print(f"[{name} regenerated in {time.time() - start:.1f}s]",
+        # "report" re-runs everything; "speed" prints wall times, which
+        # would make `all` output nondeterministic.  Both stay opt-in.
+        names = [name for name in sorted(RUNNERS)
+                 if name not in ("report", "speed")]
+        # Elapsed wall time is operator feedback on stderr, not simulated
+        # time — the monotonic clock is the right tool for it.
+        start = time.perf_counter()  # reprolint: disable=DET101
+        outputs = _run_all(names, args, args.jobs)
+        for name in names:
+            print(outputs[name])
+            print()
+        print(f"[all ({len(names)} experiments, jobs={args.jobs}) "
+              f"regenerated in {time.perf_counter() - start:.1f}s]",
               file=sys.stderr)
-        print()
+        return 0
+    name = args.experiment
+    start = time.perf_counter()  # reprolint: disable=DET101
+    output = RUNNERS[name](args)
+    print(output)
+    print(f"[{name} regenerated in {time.perf_counter() - start:.1f}s]",
+          file=sys.stderr)
+    print()
     return 0
 
 

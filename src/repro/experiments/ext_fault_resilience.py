@@ -32,6 +32,7 @@ from repro.core.platform import Platform
 from repro.faults import FaultPlan
 from repro.kernel.swapdev import SwapDevice
 from repro.kernel.zswap import Zswap
+from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
 from repro.units import PAGE_SIZE, us
 
 DEFAULT_DROP_RATES = (0.0, 1e-3, 1e-2, 5e-2)
@@ -159,19 +160,21 @@ def run_device_kill(pages: int = DEFAULT_PAGES, seed: int = DEFAULT_SEED,
 def run(drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
         pages: int = DEFAULT_PAGES,
         seed: int = DEFAULT_SEED,
-        cfg: Optional[SystemConfig] = None) -> FaultResilienceResult:
-    cells: Dict[str, FaultCell] = {}
-    cells["cpu"] = run_cell("cpu", transport="cpu", pages=pages, seed=seed,
-                            cfg=cfg)
-    for rate in drop_rates:
-        name = f"cxl drop={rate:g}"
-        spec = f"offload_drop={rate:g}" if rate else None
-        cells[name] = run_cell(name, transport="cxl", fault_spec=spec,
-                               pages=pages, seed=seed, cfg=cfg)
-    cells["cxl crc=1e-3"] = run_cell(
-        "cxl crc=1e-3", transport="cxl", fault_spec="link_crc=1e-3",
-        pages=pages, seed=seed, cfg=cfg)
-    cells["cxl kill"] = run_device_kill(pages=pages, seed=seed, cfg=cfg)
+        cfg: Optional[SystemConfig] = None,
+        jobs: Optional[int] = None) -> FaultResilienceResult:
+    def point(name: str, transport: str,
+              fault_spec: Optional[str]) -> SweepPoint:
+        return SweepPoint(name, run_cell, (name, transport, fault_spec),
+                          {"pages": pages, "seed": seed, "cfg": cfg})
+
+    points = [point("cpu", "cpu", None)]
+    points += [point(f"cxl drop={rate:g}", "cxl",
+                     f"offload_drop={rate:g}" if rate else None)
+               for rate in drop_rates]
+    points.append(point("cxl crc=1e-3", "cxl", "link_crc=1e-3"))
+    kill_at_ns = pages * KILL_MID_RUN_NS_PER_PAGE
+    points.append(point("cxl kill", "cxl", f"device_hang@t={kill_at_ns:g}"))
+    cells = run_sweep(SweepSpec("fault-resilience", tuple(points)), jobs=jobs)
     return FaultResilienceResult(cells, tuple(drop_rates))
 
 

@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence
 from repro.config import SystemConfig
 from repro.core.platform import Platform
 from repro.core.requests import D2HOp
+from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
 from repro.sim.stats import bandwidth_gbps
 
 DEFAULT_COUNTS = (1, 2, 4, 8, 16)
@@ -43,28 +44,35 @@ class ScalingResult:
                 < self.bandwidth_gbps[prev] * (last / prev) * 0.75)
 
 
+def run_count(count: int, cfg: Optional[SystemConfig] = None,
+              seed: int = 83) -> float:
+    """Aggregate CS-read bandwidth with ``count`` LSUs — one independent
+    simulation per point."""
+    platform = Platform(cfg, seed=seed)
+    sim = platform.sim
+    lsus = platform.t2.lsus(count)
+    total_lines = LINES_PER_LSU * count
+    addrs = platform.fresh_host_lines(total_lines)
+    start = sim.now
+    done_at: list[float] = []
+
+    def timed(lsu, addr):
+        yield from lsu.d2h(D2HOp.CS_READ, addr)
+        done_at.append(sim.now)
+
+    for i, addr in enumerate(addrs):
+        sim.spawn(timed(lsus[i % count], addr))
+    sim.run()
+    return bandwidth_gbps(total_lines * 64, max(done_at) - start)
+
+
 def run(cfg: Optional[SystemConfig] = None,
         counts: Sequence[int] = DEFAULT_COUNTS,
-        seed: int = 83) -> ScalingResult:
-    results: Dict[int, float] = {}
-    for count in counts:
-        platform = Platform(cfg, seed=seed)
-        sim = platform.sim
-        lsus = platform.t2.lsus(count)
-        total_lines = LINES_PER_LSU * count
-        addrs = platform.fresh_host_lines(total_lines)
-        start = sim.now
-        done_at: list[float] = []
-
-        def timed(lsu, addr):
-            yield from lsu.d2h(D2HOp.CS_READ, addr)
-            done_at.append(sim.now)
-
-        for i, addr in enumerate(addrs):
-            sim.spawn(timed(lsus[i % count], addr))
-        sim.run()
-        results[count] = bandwidth_gbps(total_lines * 64,
-                                        max(done_at) - start)
+        seed: int = 83, jobs: Optional[int] = None) -> ScalingResult:
+    spec = SweepSpec("lsu-scaling", tuple(
+        SweepPoint(count, run_count, (count, cfg, seed))
+        for count in counts))
+    results: Dict[int, float] = run_sweep(spec, jobs=jobs)
     link = (cfg or Platform(cfg, seed=seed).cfg).cxl_t2.link.bytes_per_ns \
         if cfg else Platform(seed=seed).cfg.cxl_t2.link.bytes_per_ns
     return ScalingResult(results, link)

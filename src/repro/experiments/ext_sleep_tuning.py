@@ -13,7 +13,7 @@ the tradeoff visible on the cxl backend:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.apps.antagonist import Antagonist
 from repro.apps.kvs import RedisServer
@@ -24,6 +24,7 @@ from repro.config import sub_numa_half_system
 from repro.core.offload import OffloadEngine
 from repro.core.platform import Platform
 from repro.kernel.daemons import CostProfile, ReclaimDaemon
+from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
 from repro.units import ms, us
 
 DEFAULT_SLEEPS_US = (2.0, 10.0, 40.0, 160.0)
@@ -46,42 +47,50 @@ class SleepTuningResult:
         return min(point.p99_ns for point in self.points.values())
 
 
+def run_point(sleep_us: float, duration_ns: float = ms(300.0),
+              rate_per_s: float = 32_000.0,
+              seed: int = 131) -> SleepPoint:
+    """One sweep point: a fresh platform with one kswapd sleep setting."""
+    platform = Platform(sub_numa_half_system(), seed=seed)
+    sim, rng = platform.sim, platform.rng
+    pressure = MemoryPressure.sized(1 << 17)
+    pressure.free_pages = pressure.low_pages + 2048
+    node = ServerNode(sim, rng.fork(1), 8, pressure)
+    calib = Platform(seed=seed + 1)
+    profile = CostProfile.from_engine(calib, OffloadEngine(calib), "cxl")
+    daemon = ReclaimDaemon(node, profile,
+                           device_sleep_ns=us(sleep_us))
+    sim.spawn(daemon.run(duration_ns), "kswapd")
+    antagonist = Antagonist(sim, pressure, rng.fork(2),
+                            burst_pages=1800, period_ns=ms(8.0))
+    sim.spawn(antagonist.run(duration_ns), "antagonist")
+    clients = []
+    for i in range(2):
+        server = RedisServer(f"redis{i}", rng.fork(10 + i))
+        workload = YcsbWorkload("a", rng.fork(20 + i))
+        client = OpenLoopClient(node, server, node.core(i), workload,
+                                rng.fork(30 + i), rate_per_s,
+                                direct_reclaim=daemon.inline_reclaim)
+        clients.append(client)
+        sim.spawn(client.run(duration_ns), f"client{i}")
+    sim.run(until=duration_ns + ms(5.0))
+    merged = clients[0].stats
+    for client in clients[1:]:
+        merged.extend(client.stats._samples)
+    return SleepPoint(
+        sleep_us, merged.p99(), daemon.pages_reclaimed,
+        daemon.wake_checks,
+        sum(c.direct_reclaim_hits for c in clients))
+
+
 def run(sleeps_us: Sequence[float] = DEFAULT_SLEEPS_US,
         duration_ns: float = ms(300.0), rate_per_s: float = 32_000.0,
-        seed: int = 131) -> SleepTuningResult:
-    points: Dict[float, SleepPoint] = {}
-    for sleep_us in sleeps_us:
-        platform = Platform(sub_numa_half_system(), seed=seed)
-        sim, rng = platform.sim, platform.rng
-        pressure = MemoryPressure.sized(1 << 17)
-        pressure.free_pages = pressure.low_pages + 2048
-        node = ServerNode(sim, rng.fork(1), 8, pressure)
-        calib = Platform(seed=seed + 1)
-        profile = CostProfile.from_engine(calib, OffloadEngine(calib), "cxl")
-        daemon = ReclaimDaemon(node, profile,
-                               device_sleep_ns=us(sleep_us))
-        sim.spawn(daemon.run(duration_ns), "kswapd")
-        antagonist = Antagonist(sim, pressure, rng.fork(2),
-                                burst_pages=1800, period_ns=ms(8.0))
-        sim.spawn(antagonist.run(duration_ns), "antagonist")
-        clients = []
-        for i in range(2):
-            server = RedisServer(f"redis{i}", rng.fork(10 + i))
-            workload = YcsbWorkload("a", rng.fork(20 + i))
-            client = OpenLoopClient(node, server, node.core(i), workload,
-                                    rng.fork(30 + i), rate_per_s,
-                                    direct_reclaim=daemon.inline_reclaim)
-            clients.append(client)
-            sim.spawn(client.run(duration_ns), f"client{i}")
-        sim.run(until=duration_ns + ms(5.0))
-        merged = clients[0].stats
-        for client in clients[1:]:
-            merged.extend(client.stats._samples)
-        points[sleep_us] = SleepPoint(
-            sleep_us, merged.p99(), daemon.pages_reclaimed,
-            daemon.wake_checks,
-            sum(c.direct_reclaim_hits for c in clients))
-    return SleepTuningResult(points)
+        seed: int = 131, jobs: Optional[int] = None) -> SleepTuningResult:
+    spec = SweepSpec("sleep-tuning", tuple(
+        SweepPoint(sleep_us, run_point,
+                    (sleep_us, duration_ns, rate_per_s, seed))
+        for sleep_us in sleeps_us))
+    return SleepTuningResult(run_sweep(spec, jobs=jobs))
 
 
 def format_table(result: SleepTuningResult) -> str:

@@ -17,6 +17,7 @@ from repro.core.transfer import (
     TransferBench,
     TransferResult,
 )
+from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
 
 DEFAULT_SIZES = (64, 256, 1024, 4096, 16384, 65536, 262144)
 
@@ -37,18 +38,31 @@ class Fig6Result:
         return 1.0 - m / b
 
 
+def run_mechanism(direction: str, mechanism: str,
+                  cfg: Optional[SystemConfig] = None, reps: int = 7,
+                  sizes: Sequence[int] = DEFAULT_SIZES,
+                  seed: int = 17) -> Dict[str, TransferResult]:
+    """All sizes for one (direction, mechanism) on a fresh platform —
+    the independent unit of the fig6 sweep."""
+    # A fresh platform per mechanism keeps queues independent.
+    platform = Platform(cfg, seed=seed)
+    bench = TransferBench(platform, reps=reps)
+    return {f"{direction}/{mechanism}/{size}":
+            bench.measure(mechanism, direction, size) for size in sizes}
+
+
 def run(cfg: Optional[SystemConfig] = None, reps: int = 7,
-        sizes: Sequence[int] = DEFAULT_SIZES, seed: int = 17) -> Fig6Result:
+        sizes: Sequence[int] = DEFAULT_SIZES, seed: int = 17,
+        jobs: Optional[int] = None) -> Fig6Result:
+    spec = SweepSpec("fig6", tuple(
+        SweepPoint((direction, mechanism), run_mechanism,
+                   (direction, mechanism, cfg, reps, tuple(sizes), seed))
+        for direction, mechanisms in (("h2d", H2D_MECHANISMS),
+                                      ("d2h", D2H_MECHANISMS))
+        for mechanism in mechanisms))
     points: Dict[str, TransferResult] = {}
-    for direction, mechanisms in (("h2d", H2D_MECHANISMS),
-                                  ("d2h", D2H_MECHANISMS)):
-        for mechanism in mechanisms:
-            # A fresh platform per mechanism keeps queues independent.
-            platform = Platform(cfg, seed=seed)
-            bench = TransferBench(platform, reps=reps)
-            for size in sizes:
-                result = bench.measure(mechanism, direction, size)
-                points[f"{direction}/{mechanism}/{size}"] = result
+    for cell in run_sweep(spec, jobs=jobs).values():
+        points.update(cell)
     return Fig6Result(points, sizes)
 
 

@@ -28,6 +28,7 @@ from repro.core.offload import OffloadEngine
 from repro.core.platform import Platform
 from repro.errors import WorkloadError
 from repro.kernel.daemons import CostProfile, ReclaimDaemon, ScanDaemon
+from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
 from repro.units import ms
 
 BACKENDS = ("none", "cpu", "pcie-rdma", "pcie-dma", "cxl")
@@ -185,16 +186,19 @@ def _merge_stats(clients):
 
 def run(features=("zswap", "ksm"), workloads=WORKLOAD_NAMES,
         backends=BACKENDS, scenario: Optional[ScenarioConfig] = None,
-        seed: int = 37) -> Fig8Result:
+        seed: int = 37, jobs: Optional[int] = None) -> Fig8Result:
     scenario = scenario or ScenarioConfig()
-    cells: Dict[str, CellResult] = {}
-    for feature in features:
-        runner = run_zswap_cell if feature == "zswap" else run_ksm_cell
-        for workload in workloads:
-            for backend in backends:
-                cell = runner(workload, backend, scenario, seed=seed)
-                cells[f"{feature}/{workload}/{backend}"] = cell
-    return Fig8Result(cells)
+    # Every cell builds a fresh Platform from (workload, backend,
+    # scenario, seed) alone, so the grid fans out across processes
+    # without changing a single sample.
+    spec = SweepSpec("fig8", tuple(
+        SweepPoint(f"{feature}/{workload}/{backend}",
+                   run_zswap_cell if feature == "zswap" else run_ksm_cell,
+                   (workload, backend, scenario), {"seed": seed})
+        for feature in features
+        for workload in workloads
+        for backend in backends))
+    return Fig8Result(run_sweep(spec, jobs=jobs))
 
 
 def format_table(result: Fig8Result) -> str:

@@ -21,6 +21,7 @@ from repro.experiments.fig8_tail_latency import (
     run_ksm_cell,
     run_zswap_cell,
 )
+from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
 
 BACKENDS = ("cpu", "pcie-rdma", "pcie-dma", "cxl")
 
@@ -49,16 +50,25 @@ class Sec7Result:
 
 
 def run(scenario: Optional[ScenarioConfig] = None,
-        workload: str = "a", seed: int = 41) -> Sec7Result:
+        workload: str = "a", seed: int = 41,
+        jobs: Optional[int] = None) -> Sec7Result:
     scenario = scenario or ScenarioConfig()
+    feature_cores = {"zswap": scenario.zswap_app_cores,
+                     "ksm": scenario.ksm_cores}
+    # Baselines ("none") and measured cells are all independent
+    # simulations; sweep them together, reduce shares afterwards.
+    spec = SweepSpec("sec7", tuple(
+        SweepPoint(f"{feature}/{backend}",
+                   run_zswap_cell if feature == "zswap" else run_ksm_cell,
+                   (workload, backend, scenario), {"seed": seed})
+        for feature in ("zswap", "ksm")
+        for backend in ("none",) + BACKENDS))
+    raw = run_sweep(spec, jobs=jobs)
     cells: Dict[str, AccountingCell] = {}
-    for feature, runner, cores in (
-        ("zswap", run_zswap_cell, scenario.zswap_app_cores),
-        ("ksm", run_ksm_cell, scenario.ksm_cores),
-    ):
-        base = runner(workload, "none", scenario, seed=seed)
+    for feature, cores in feature_cores.items():
+        base = raw[f"{feature}/none"]
         for backend in BACKENDS:
-            cell = runner(workload, backend, scenario, seed=seed)
+            cell = raw[f"{feature}/{backend}"]
             share = cell.feature_core_busy_ns / (cores * scenario.duration_ns)
             # Pollution index: median service inflation vs the baseline.
             pollution = cell.p50_ns / base.p50_ns - 1.0

@@ -237,10 +237,16 @@ def function_yields(fn: ast.FunctionDef) -> List[ast.AST]:
 def all_rules() -> List[Rule]:
     """Every registered rule, id-ordered (import is deferred so the rule
     modules can use the helpers above)."""
-    from repro.lint import rules_determinism, rules_process, rules_units
+    from repro.lint import (
+        rules_determinism,
+        rules_perf,
+        rules_process,
+        rules_units,
+    )
 
     rules: List[Rule] = []
-    for module in (rules_determinism, rules_process, rules_units):
+    for module in (rules_determinism, rules_perf, rules_process,
+                   rules_units):
         rules.extend(module.RULES)
     return sorted(rules, key=lambda r: r.id)
 

@@ -1,0 +1,52 @@
+"""Performance-hazard rules (PERF4xx).
+
+The engine's hot paths are measured (``python -m repro speed``) and
+baselined in CI, but the most common way to *creep* slower is idiomatic
+code that double-pays scheduling overhead.  These rules flag the known
+shapes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, LintModule, Rule, dotted_name
+
+_TRIGGERS = ("succeed", "fail")
+
+
+def check_perf401(module: LintModule) -> Iterator[Finding]:
+    """PERF401: ``sim.call_soon(ev.succeed, ...)`` double-defers.
+
+    ``Event.succeed``/``Event.fail`` already deliver their callbacks
+    through the zero-delay queue, so wrapping the trigger in
+    ``call_soon`` costs a second trip through the scheduler (and a
+    second seq number) for nothing.  Call the trigger directly — unless
+    the *trigger itself* must be deferred, e.g. a resource hand-off
+    that returns the event untriggered to the caller first; suppress
+    those sites with ``# reprolint: disable=PERF401`` and a comment
+    saying why.
+    """
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = dotted_name(node.func)
+        if not (func == "call_soon" or func.endswith(".call_soon")):
+            continue
+        target = node.args[0]
+        if isinstance(target, ast.Attribute) and target.attr in _TRIGGERS:
+            owner = dotted_name(target.value) or "<event>"
+            yield Finding(
+                "PERF401", module.path, node.lineno, node.col_offset,
+                f"`call_soon({owner}.{target.attr}, ...)` defers a trigger "
+                "that already defers its callbacks — call "
+                f"`{owner}.{target.attr}(...)` directly, or suppress with "
+                "a comment if the double deferral is load-bearing",
+            )
+
+
+RULES = [
+    Rule("PERF401", "redundant call_soon around an Event trigger",
+         check_perf401),
+]

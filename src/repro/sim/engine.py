@@ -1,9 +1,22 @@
-"""The discrete-event engine: simulator clock, events, and processes."""
+"""The discrete-event engine: simulator clock, events, and processes.
+
+Hot-path design (see docs/PERFORMANCE.md): zero-delay work — every
+``call_soon``, event trigger, and process hand-off — bypasses the heap
+and lands on a FIFO *delta queue* drained at the current timestamp.
+Both queues share one monotone sequence counter and :meth:`Simulator.run`
+merges them by it, so the documented contract — *equal timestamps fire
+in scheduling order* — is preserved exactly; the delta queue is a
+faster carrier for the same order, not a new ordering domain
+(pinned by ``tests/sim/test_engine_order.py``).
+"""
 
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+from types import GeneratorType
+from typing import TYPE_CHECKING, Any, Callable, Deque, Generator, Iterable, Optional
+
+from collections import deque
 
 from repro.errors import SimulationError
 
@@ -11,6 +24,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint.races import RaceDetector
 
 ProcessGen = Generator[Any, Any, Any]
+
+# Triggered events hand their (cleared) callback lists back to the
+# simulator for reuse; the cap bounds the memory kept across bursts.
+_CB_POOL_MAX = 128
 
 
 class Timeout:
@@ -50,6 +67,11 @@ class Event:
     :meth:`Simulator.run` so injected faults can never vanish silently;
     :meth:`defuse` suppresses the diagnostic for callers that inspect
     :attr:`exc` out-of-band.
+
+    Callback storage is adaptive: ``None`` (no waiter), a bare callable
+    (exactly one waiter — the overwhelmingly common case), or a list
+    recycled through the simulator's pool (multiple waiters).  Fire-and-
+    forget and single-waiter events never allocate a list at all.
     """
 
     __slots__ = ("sim", "name", "_value", "_triggered", "_callbacks",
@@ -60,7 +82,8 @@ class Event:
         self.name = name
         self._value: Any = None
         self._triggered = False
-        self._callbacks: list[Callable[[Any], None]] = []
+        # None | a single callable | a pooled list of callables.
+        self._callbacks: Any = None
         self._exc: Optional[BaseException] = None
         self._defused = False
 
@@ -90,9 +113,34 @@ class Event:
             raise SimulationError("event triggered twice")
         self._triggered = True
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self.sim.call_soon(cb, value)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            sim = self.sim
+            if type(callbacks) is not list:
+                # Single waiter: inlined call_soon (the hot path).
+                if sim.race_detector is None:
+                    sim._seq = seq = sim._seq + 1
+                    sim._delta.append((seq, callbacks, (value,)))
+                else:
+                    sim.call_soon(callbacks, value)
+            else:
+                if sim.race_detector is None:
+                    # Inline the call_soon loop: one shared seq bump per
+                    # callback, straight onto the delta queue.
+                    delta = sim._delta
+                    seq = sim._seq
+                    for cb in callbacks:
+                        seq += 1
+                        delta.append((seq, cb, (value,)))
+                    sim._seq = seq
+                else:
+                    for cb in callbacks:
+                        sim.call_soon(cb, value)
+                callbacks.clear()
+                pool = sim._cb_pool
+                if len(pool) < _CB_POOL_MAX:
+                    pool.append(callbacks)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -105,16 +153,25 @@ class Event:
                                   f"got {exc!r}")
         self._triggered = True
         self._exc = exc
-        callbacks, self._callbacks = self._callbacks, []
-        if callbacks:
+        callbacks = self._callbacks
+        self._callbacks = None
+        sim = self.sim
+        if callbacks is None:
+            # Nobody is waiting: raise a diagnostic unless a waiter (or a
+            # defuse) arrives within the current delta-cycle.
+            sim.call_soon(self._unhandled_check)
+        elif type(callbacks) is not list:
+            self._defused = True
+            sim.call_soon(callbacks, _Failure(exc))
+        else:
             self._defused = True
             failure = _Failure(exc)
             for cb in callbacks:
-                self.sim.call_soon(cb, failure)
-        else:
-            # Nobody is waiting: raise a diagnostic unless a waiter (or a
-            # defuse) arrives within the current delta-cycle.
-            self.sim.call_soon(self._unhandled_check)
+                sim.call_soon(cb, failure)
+            callbacks.clear()
+            pool = sim._cb_pool
+            if len(pool) < _CB_POOL_MAX:
+                pool.append(callbacks)
         return self
 
     def defuse(self) -> "Event":
@@ -140,7 +197,18 @@ class Event:
             else:
                 self.sim.call_soon(cb, self._value)
         else:
-            self._callbacks.append(cb)
+            callbacks = self._callbacks
+            if callbacks is None:
+                self._callbacks = cb          # first waiter: stored bare
+            elif type(callbacks) is list:
+                callbacks.append(cb)
+            else:
+                # Second waiter: promote to a (pooled) list.
+                pool = self.sim._cb_pool
+                promoted = pool.pop() if pool else []
+                promoted.append(callbacks)
+                promoted.append(cb)
+                self._callbacks = promoted
 
 
 class Process:
@@ -182,8 +250,9 @@ class Process:
         generator at its ``yield``; an exception the generator does not
         handle unwinds the explicit stack and ultimately fails
         :attr:`done` (failing the waiters of this process in turn)."""
+        stack = self._stack
         while True:
-            gen = self._stack[-1]
+            gen = stack[-1]
             try:
                 if type(sent_value) is _Failure:
                     exc = sent_value.exc
@@ -192,24 +261,37 @@ class Process:
                 else:
                     command = gen.send(sent_value)
             except StopIteration as stop:
-                self._stack.pop()
-                if not self._stack:
+                stack.pop()
+                if not stack:
                     self.done.succeed(stop.value)
                     return
                 sent_value = stop.value
                 continue
             except Exception as exc:     # noqa: BLE001 - fault propagation
-                self._stack.pop()
-                if not self._stack:
+                stack.pop()
+                if not stack:
                     self.done.fail(exc)
                     return
                 sent_value = _Failure(exc)
                 continue
-            self._dispatch(command)
+            # Dispatch inline, hottest commands first: a Timeout is the
+            # single most common yield across every model, a plain Event
+            # the second; exact-type tests beat isinstance chains and the
+            # slow path keeps subclasses working.
+            cls = command.__class__
+            if cls is Timeout:
+                self.sim.schedule(command.delay, self._step, None)
+            elif cls is Event:
+                command.add_callback(self._step)
+            else:
+                self._dispatch(command)
             return
 
     def _dispatch(self, command: Any) -> None:
-        if isinstance(command, Timeout):
+        if type(command) is GeneratorType:
+            self._stack.append(command)
+            self.sim.call_soon(self._step, None)
+        elif isinstance(command, Timeout):
             self.sim.schedule(command.delay, self._step, None)
         elif isinstance(command, Event):
             command.add_callback(self._step)
@@ -226,6 +308,9 @@ class Process:
 
 
 def _is_generator(obj: Any) -> bool:
+    """Duck-typed fallback for generator-shaped objects that are not
+    ``GeneratorType`` (e.g. instrumented wrappers); the common case is
+    handled by the exact type check in :meth:`Process._dispatch`."""
     return hasattr(obj, "send") and hasattr(obj, "throw")
 
 
@@ -234,12 +319,24 @@ class Simulator:
 
     Events at equal timestamps fire in scheduling order.  Time is a float
     in nanoseconds and never decreases.
+
+    Two queues carry the work: a heap for future timestamps and a FIFO
+    *delta queue* for zero-delay callbacks at the current timestamp.
+    Every entry carries a globally monotone sequence number and the run
+    loop merges the queues by it, so queue placement is invisible to the
+    ordering contract.
     """
 
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
         self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        # Zero-delay callbacks at the current time, FIFO in seq order.
+        # Invariant: entries are only drained at the timestamp they were
+        # appended at — time cannot advance while the queue is non-empty.
+        self._delta: Deque[tuple[int, Callable[..., None], tuple]] = deque()
+        # Recycled Event callback lists (see Event.add_callback).
+        self._cb_pool: list[list[Callable[[Any], None]]] = []
         # Sanitizer hooks (see repro.lint.races): when armed, the engine
         # feeds the detector one causal edge per scheduled callback and
         # exposes which task/process is currently executing.  Disarmed
@@ -259,15 +356,21 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` ns of simulated time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            self._delta.append((seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, seq, fn, args))
         if self.race_detector is not None:
-            self.race_detector.note_schedule(self._seq, self.current_task)
+            self.race_detector.note_schedule(seq, self.current_task)
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> None:
         """Run ``fn(*args)`` at the current time, after already queued
         same-time work."""
-        self.schedule(0.0, fn, *args)
+        self._seq = seq = self._seq + 1
+        self._delta.append((seq, fn, args))
+        if self.race_detector is not None:
+            self.race_detector.note_schedule(seq, self.current_task)
 
     def event(self) -> Event:
         """Create a fresh pending :class:`Event`."""
@@ -276,7 +379,18 @@ class Simulator:
     def timeout_event(self, delay: float, value: Any = None) -> Event:
         """An event that triggers ``delay`` ns from now."""
         ev = Event(self)
-        self.schedule(delay, ev.succeed, value)
+        # Inlined self.schedule(delay, ev.succeed, value): this is the
+        # hottest constructor in the transfer models.
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            self._delta.append((seq, ev.succeed, (value,)))
+        else:
+            heapq.heappush(self._heap,
+                           (self._now + delay, seq, ev.succeed, (value,)))
+        if self.race_detector is not None:
+            self.race_detector.note_schedule(seq, self.current_task)
         return ev
 
     def spawn(self, gen: ProcessGen, name: str = "") -> Process:
@@ -288,31 +402,68 @@ class Simulator:
     # -- running ----------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
-        """Execute events until the heap drains or ``until`` is reached.
+        """Execute events until both queues drain or ``until`` is reached.
 
         Returns the final simulated time.  When ``until`` is given, the
         clock is advanced exactly to ``until`` even if the last event fired
         earlier.
         """
-        while self._heap:
-            at, seq, fn, args = self._heap[0]
-            if until is not None and at > until:
-                break
-            heapq.heappop(self._heap)
-            self._now = at
-            if self.race_detector is not None:
+        # Hot loop: heap/delta/heappop bound locally, and the armed state
+        # is sampled once — arm sanitizers *before* calling run() (every
+        # Platform path does).  The disarmed loop carries no per-event
+        # race-detector probe at all.
+        heap = self._heap
+        delta = self._delta
+        heappop = heapq.heappop
+        if self.race_detector is None:
+            while heap or delta:
+                # Merge the two queues by sequence number: a delta entry
+                # is next unless a heap entry at the *same* timestamp was
+                # scheduled earlier (the heap head is never in the past).
+                if delta:
+                    if until is not None and self._now > until:
+                        break
+                    if heap:
+                        head = heap[0]
+                        if head[0] == self._now and head[1] < delta[0][0]:
+                            heappop(heap)
+                            head[2](*head[3])
+                            continue
+                    entry = delta.popleft()
+                    entry[1](*entry[2])
+                else:
+                    head = heap[0]
+                    at = head[0]
+                    if until is not None and at > until:
+                        break
+                    heappop(heap)
+                    self._now = at
+                    head[2](*head[3])
+        else:
+            while heap or delta:
+                if delta and (not heap or heap[0][0] != self._now
+                              or heap[0][1] > delta[0][0]):
+                    if until is not None and self._now > until:
+                        break
+                    seq, fn, args = delta.popleft()
+                else:
+                    at = heap[0][0]
+                    if until is not None and at > until:
+                        break
+                    at, seq, fn, args = heappop(heap)
+                    self._now = at
                 self.current_task = seq
                 owner = getattr(fn, "__self__", None)
                 self.current_actor = owner if isinstance(owner, Process) \
                     else fn
-            fn(*args)
+                fn(*args)
         if until is not None and until > self._now:
             self._now = until
         return self._now
 
     def run_process(self, gen: ProcessGen, name: str = "") -> Any:
         """Spawn ``gen``, run the simulation until it finishes, and return
-        its result.  Raises if the heap drains first (deadlock), and
+        its result.  Raises if the queues drain first (deadlock), and
         re-raises the process's own exception if it failed."""
         proc = self.spawn(gen, name)
         # The caller reads `result` below, which re-raises failures, so
@@ -334,7 +485,9 @@ class Simulator:
         events = list(events)
         done = Event(self, name="all_of")
         if not events:
-            self.call_soon(done.succeed, [])
+            # Deferred trigger keeps "waiting on all_of([])" consistent
+            # with the non-empty case (resume via the scheduling queue).
+            self.call_soon(done.succeed, [])  # reprolint: disable=PERF401
             return done
         remaining = [len(events)]
         values: list[Any] = [None] * len(events)

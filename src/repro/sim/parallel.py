@@ -1,0 +1,162 @@
+"""Deterministic multiprocessing fan-out for embarrassingly parallel sweeps.
+
+Most experiments are grids of *independent* simulator instances: fig6
+builds one fresh :class:`~repro.core.platform.Platform` per transfer
+mechanism, fig8 one per (feature, workload, backend) cell, the fault /
+LSU / sleep sweeps one per point.  Each point is a pure function of its
+arguments (including an explicit seed), so running points in worker
+processes cannot change any result — it only changes wall-clock time.
+
+The determinism contract (docs/PERFORMANCE.md):
+
+* an experiment declares its points as a :class:`SweepSpec` — a named,
+  ordered list of ``(key, fn, args, kwargs)`` tuples where ``fn`` is a
+  module-level callable and every argument is picklable;
+* every point carries its seed *in its arguments*, derived the same way
+  the serial loop derives it (use :func:`derive_seed` for new sweeps) —
+  workers never consult global RNG state;
+* :func:`run_sweep` merges results **in submission order**, never in
+  completion order, so the assembled mapping is byte-identical to the
+  serial loop's for any worker count;
+* ``jobs=1`` (the default) runs the points in-process with no
+  multiprocessing import at all, and any pool-setup failure (missing
+  semaphores in a sandbox, fork limits) degrades to the same serial
+  path with a warning rather than an error.
+
+``--jobs N`` on the CLI and the ``REPRO_JOBS`` environment variable
+feed :func:`resolve_jobs`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Mapping, Sequence, Tuple
+
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "derive_seed",
+    "resolve_jobs",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent cell of a sweep.
+
+    ``fn`` must be importable from the top level of its module (the
+    multiprocessing pickle contract); args/kwargs must be picklable and
+    must embed the point's seed explicitly.
+    """
+
+    key: Hashable
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An ordered set of independent points, ready to fan out."""
+
+    name: str
+    points: Tuple[SweepPoint, ...]
+
+    def __post_init__(self) -> None:
+        keys = [p.key for p in self.points]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"sweep {self.name!r} has duplicate point keys")
+
+    @classmethod
+    def build(cls, name: str,
+              points: Sequence[Tuple[Hashable, Callable[..., Any],
+                                     Tuple[Any, ...], Mapping[str, Any]]]
+              ) -> "SweepSpec":
+        return cls(name, tuple(SweepPoint(k, f, tuple(a), dict(kw))
+                               for k, f, a, kw in points))
+
+
+def derive_seed(base_seed: int, key: Hashable) -> int:
+    """A stable per-point seed: independent of process hash randomization
+    (``hash(str)`` is salted; ``zlib.crc32`` is not), identical in every
+    worker and on every platform."""
+    return (base_seed * 1_000_003 + zlib.crc32(repr(key).encode())) % (1 << 31)
+
+
+def resolve_jobs(jobs: Any = None) -> int:
+    """Resolve a worker count: explicit value > ``REPRO_JOBS`` > 1.
+
+    ``0`` (or ``"auto"``) means one worker per CPU.  An explicit positive
+    count is honored as-is (like ``make -j``) — even above ``cpu_count``
+    — so the multiprocessing path stays exercisable on small runners."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        jobs = env
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            jobs = 0
+        else:
+            try:
+                jobs = int(jobs)
+            except ValueError:
+                warnings.warn(f"unparseable jobs value {jobs!r}; running "
+                              "serial", RuntimeWarning, stacklevel=2)
+                return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+def _run_point(point: SweepPoint) -> Any:
+    return point.run()
+
+
+def run_sweep(spec: SweepSpec, jobs: Any = None) -> Dict[Hashable, Any]:
+    """Run every point of ``spec``; return ``{key: result}`` with keys in
+    submission order (dict insertion order == ``spec.points`` order).
+
+    With ``jobs > 1`` the points execute in a process pool; results are
+    still collected in submission order, so the returned mapping — and
+    anything formatted from it — is identical to the serial run.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(spec.points) > 1:
+        results = _run_parallel(spec, min(jobs, len(spec.points)))
+        if results is not None:
+            return dict(zip((p.key for p in spec.points), results))
+    return {p.key: p.run() for p in spec.points}
+
+
+def _run_parallel(spec: SweepSpec, jobs: int) -> Any:
+    """Fan the points out to ``jobs`` workers; None means "fall back to
+    serial" (pool setup failed — sandboxed /dev/shm, missing fork, ...)."""
+    try:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        # fork is measurably cheaper than spawn and inherits sys.path;
+        # platforms without it (Windows) use their default start method.
+        context = (multiprocessing.get_context("fork")
+                   if sys.platform != "win32" and
+                   "fork" in multiprocessing.get_all_start_methods()
+                   else multiprocessing.get_context())
+        with ProcessPoolExecutor(max_workers=jobs,
+                                 mp_context=context) as pool:
+            # map() yields results in submission order regardless of
+            # which worker finishes first — the determinism keystone.
+            return list(pool.map(_run_point, spec.points))
+    except (ImportError, OSError, PermissionError, NotImplementedError) as exc:
+        warnings.warn(
+            f"sweep {spec.name!r}: process pool unavailable ({exc}); "
+            "running serial", RuntimeWarning, stacklevel=3)
+        return None

@@ -42,16 +42,18 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that triggers when a slot is granted."""
-        rd = self.sim.race_detector
-        if rd is not None:
+        sim = self.sim
+        if sim.race_detector is not None:
             # Resources are *ordering points* for the race detector: an
             # admission is logged as a touch, never as a conflict (the
             # grant chain itself provides the happens-before edge).
-            rd.touch(("resource", self.name or id(self)))
-        ev = Event(self.sim)
+            sim.race_detector.touch(("resource", self.name or id(self)))
+        ev = Event(sim)
         if self._in_use < self.capacity:
             self._in_use += 1
-            self.sim.call_soon(ev.succeed, None)
+            # Deferred wake is the semantic: the grant resumes the caller
+            # through the scheduling queue, after already-queued work.
+            sim.call_soon(ev.succeed, None)  # reprolint: disable=PERF401
         else:
             self._waiters.append(ev)
         return ev
@@ -104,9 +106,12 @@ class Pipe:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = Event(self.sim)
+        sim = self.sim
+        ev = Event(sim)
         if self._items:
-            self.sim.call_soon(ev.succeed, self._items.popleft())
+            # Deferred delivery keeps get-on-nonempty ordered after work
+            # already queued at this timestamp (same contract as Resource).
+            sim.call_soon(ev.succeed, self._items.popleft())  # reprolint: disable=PERF401
         else:
             self._getters.append(ev)
         return ev

@@ -328,6 +328,43 @@ def test_unit302_allows_small_literals_and_helpers(tmp_path):
     assert rules == []
 
 
+# -- PERF401: redundant call_soon around an Event trigger --------------------
+
+
+def test_perf401_flags_deferred_succeed(tmp_path):
+    rules = lint_source(tmp_path, """
+        def release(sim, ev):
+            sim.call_soon(ev.succeed, None)
+    """)
+    assert rules == ["PERF401"]
+
+
+def test_perf401_flags_deferred_fail_on_nested_attribute(tmp_path):
+    rules = lint_source(tmp_path, """
+        def abort(self, exc):
+            self.sim.call_soon(self.done.fail, exc)
+    """)
+    assert rules == ["PERF401"]
+
+
+def test_perf401_allows_direct_trigger_and_other_callbacks(tmp_path):
+    rules = lint_source(tmp_path, """
+        def release(sim, ev, notify):
+            ev.succeed(None)
+            sim.call_soon(notify, ev)
+    """)
+    assert rules == []
+
+
+def test_perf401_suppressible_per_line(tmp_path):
+    rules = lint_source(tmp_path, """
+        def hand_off(sim, ev):
+            # The waiter must see the event untriggered first.
+            sim.call_soon(ev.succeed, None)  # reprolint: disable=PERF401
+    """)
+    assert rules == []
+
+
 # -- suppressions ------------------------------------------------------------
 
 

@@ -1,0 +1,142 @@
+"""Tests for the deterministic sweep runner (repro.sim.parallel).
+
+The contract under test: for any worker count, ``run_sweep`` returns the
+same mapping, with keys in submission order — so tables formatted from a
+sweep are byte-identical whether it ran serial or fanned out.
+"""
+
+import os
+
+import pytest
+
+from repro.sim.parallel import (
+    SweepPoint,
+    SweepSpec,
+    derive_seed,
+    resolve_jobs,
+    run_sweep,
+)
+
+# Module-level, importable, cheap, and pure — exactly what the pickle
+# contract wants for a worker function.
+from repro.sim.parallel import derive_seed as _worker_fn
+
+
+def _spec(n=6, name="test"):
+    return SweepSpec(name, tuple(
+        SweepPoint(f"k{i}", _worker_fn, (1000 + i, f"k{i}"))
+        for i in range(n)))
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a/b") == derive_seed(7, "a/b")
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {derive_seed(7, key) for key in
+                 ("cpu", "cxl", ("fig8", "a", 1), 42, 2.5)}
+        assert len(seeds) == 5
+
+    def test_distinct_base_seeds(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_in_31_bit_range(self):
+        for base in (0, 1, 12345, 2**31 - 1):
+            assert 0 <= derive_seed(base, "k") < 2**31
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_explicit_honored_above_cpu_count(self):
+        # Like make -j: an explicit request is not silently clamped, so
+        # the pool path stays testable on 1-CPU runners.
+        assert resolve_jobs((os.cpu_count() or 1) + 3) == \
+            (os.cpu_count() or 1) + 3
+
+    def test_auto_means_cpu_count(self):
+        ncpu = os.cpu_count() or 1
+        assert resolve_jobs("auto") == ncpu
+        assert resolve_jobs(0) == ncpu
+
+    def test_string_numbers_parse(self):
+        assert resolve_jobs("4") == 4
+
+    def test_garbage_warns_and_runs_serial(self):
+        with pytest.warns(RuntimeWarning, match="unparseable"):
+            assert resolve_jobs("many") == 1
+
+
+class TestSweepSpec:
+    def test_duplicate_keys_rejected(self):
+        point = SweepPoint("same", _worker_fn, (1, "same"))
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec("dup", (point, point))
+
+    def test_point_run(self):
+        point = SweepPoint("k", _worker_fn, (9, "k"))
+        assert point.run() == derive_seed(9, "k")
+
+    def test_build_classmethod(self):
+        spec = SweepSpec.build("b", [("k0", _worker_fn, (1, "k0"), {})])
+        assert spec.points[0].key == "k0"
+
+
+class TestRunSweep:
+    def test_serial_results_and_order(self):
+        spec = _spec()
+        out = run_sweep(spec, jobs=1)
+        assert list(out) == [p.key for p in spec.points]
+        assert out == {f"k{i}": derive_seed(1000 + i, f"k{i}")
+                       for i in range(6)}
+
+    def test_parallel_identical_to_serial(self):
+        spec = _spec()
+        serial = run_sweep(spec, jobs=1)
+        for jobs in (2, 4):
+            parallel = run_sweep(spec, jobs=jobs)
+            assert parallel == serial
+            assert list(parallel) == list(serial)
+
+    def test_single_point_stays_serial(self):
+        # No pool is worth spinning up for one point.
+        out = run_sweep(_spec(n=1), jobs=4)
+        assert out == {"k0": derive_seed(1000, "k0")}
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        import repro.sim.parallel as par
+        monkeypatch.setattr(par, "_run_parallel", lambda spec, jobs: None)
+        out = par.run_sweep(_spec(), jobs=2)
+        assert out == run_sweep(_spec(), jobs=1)
+
+    def test_kwargs_reach_fn(self):
+        spec = SweepSpec("kw", (
+            SweepPoint("k", _worker_fn, (3,), {"key": "via-kwargs"}),))
+        assert run_sweep(spec)["k"] == derive_seed(3, key="via-kwargs")
+
+
+class TestExperimentSweeps:
+    """The experiments' own sweeps honor the jobs knob bit-for-bit."""
+
+    def test_sleep_tuning_parallel_matches_serial(self):
+        from repro.experiments import ext_sleep_tuning
+        from repro.units import ms
+        kw = dict(sleeps_us=(2.0, 40.0), duration_ns=ms(3.0))
+        assert ext_sleep_tuning.run(jobs=2, **kw) == \
+            ext_sleep_tuning.run(jobs=1, **kw)
+
+    def test_lsu_scaling_parallel_matches_serial(self):
+        from repro.experiments import ext_lsu_scaling
+        kw = dict(counts=(1, 2))
+        assert ext_lsu_scaling.run(jobs=2, **kw) == \
+            ext_lsu_scaling.run(jobs=1, **kw)

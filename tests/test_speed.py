@@ -1,0 +1,86 @@
+"""Tests for the speed benchmarks and the perf-regression check."""
+
+import json
+
+import pytest
+
+from repro.analysis import speed
+
+
+@pytest.fixture(scope="module")
+def payload():
+    # rounds=1 and tiny shapes: this tests plumbing, not performance.
+    engine = dict(speed.ENGINE_BENCHES)
+    experiments = dict(speed.EXPERIMENT_BENCHES)
+    try:
+        speed.ENGINE_BENCHES.clear()
+        speed.ENGINE_BENCHES["timeouts"] = \
+            lambda: speed.bench_timeouts(n_procs=5, steps=20)
+        speed.EXPERIMENT_BENCHES.clear()
+        speed.EXPERIMENT_BENCHES["table3"] = experiments["table3"]
+        yield_payload = speed.measure(rounds=1)
+    finally:
+        speed.ENGINE_BENCHES.clear()
+        speed.ENGINE_BENCHES.update(engine)
+        speed.EXPERIMENT_BENCHES.clear()
+        speed.EXPERIMENT_BENCHES.update(experiments)
+    return yield_payload
+
+
+def test_measure_schema(payload):
+    assert payload["schema"] == speed.SCHEMA
+    assert payload["engine"]["timeouts"]["events_per_sec"] > 0
+    assert payload["experiments"]["table3"]["wall_s"] > 0
+    assert payload["peak_rss_kb"] > 0
+
+
+def test_render_mentions_every_bench(payload):
+    text = speed.render(payload)
+    assert "timeouts" in text and "table3" in text and "RSS" in text
+
+
+def test_write_json_round_trips(payload, tmp_path):
+    path = tmp_path / "BENCH_speed.json"
+    speed.write_json(payload, str(path))
+    assert json.loads(path.read_text()) == payload
+
+
+def _payload(ev=1000.0, wall=1.0):
+    return {"engine": {"b": {"events_per_sec": ev}},
+            "experiments": {"e": {"wall_s": wall}}}
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        assert speed.compare(_payload(), _payload()) == []
+
+    def test_mild_noise_passes(self):
+        assert speed.compare(_payload(ev=600.0, wall=1.8), _payload()) == []
+
+    def test_throughput_regression_fails(self):
+        failures = speed.compare(_payload(ev=400.0), _payload())
+        assert len(failures) == 1 and "engine/b" in failures[0]
+
+    def test_wall_time_regression_fails(self):
+        failures = speed.compare(_payload(wall=2.5), _payload())
+        assert len(failures) == 1 and "experiments/e" in failures[0]
+
+    def test_factor_knob(self):
+        assert speed.compare(_payload(ev=400.0), _payload(), factor=3.0) == []
+        assert speed.compare(_payload(ev=400.0), _payload(), factor=2.0)
+
+    def test_new_or_removed_benches_skipped(self):
+        current = _payload()
+        baseline = {"engine": {"other": {"events_per_sec": 1e9}},
+                    "experiments": {}}
+        assert speed.compare(current, baseline) == []
+
+
+def test_committed_baseline_parses():
+    from pathlib import Path
+    path = (Path(__file__).parent.parent / "benchmarks" / "perf"
+            / "baseline.json")
+    baseline = json.loads(path.read_text())
+    assert baseline["schema"] == speed.SCHEMA
+    for cell in baseline["engine"].values():
+        assert cell["events_per_sec"] > 0
