@@ -117,11 +117,136 @@ def _exp_faults() -> None:
     ext_fault_resilience.run_device_kill(pages=60)
 
 
+def _exp_fig6_cxl_ldst() -> None:
+    """The Fig-6 CXL ld/st transfer sweep: the line-streaming hot path
+    the bulk fast-forward layer (repro.core.fastpath) accelerates."""
+    from repro.core.platform import Platform
+    from repro.core.transfer import TransferBench
+    bench = TransferBench(Platform(), reps=3)
+    for direction in ("d2h", "h2d"):
+        for nbytes in (16384, 65536):
+            bench.measure("cxl-ldst", direction, nbytes)
+
+
+def _exp_zswap_ksm() -> None:
+    """A functional zswap store/load + ksm scan mix over content-redundant
+    pages: the pure-Python codec work repro.kernel.workcache memoizes."""
+    from repro.core.offload import OffloadEngine
+    from repro.core.platform import Platform
+    from repro.kernel.ksm import Ksm
+    from repro.kernel.swapdev import SwapDevice
+    from repro.kernel.vm import make_vm_fleet
+    from repro.kernel.zswap import Zswap
+    from repro.units import PAGE_SIZE
+
+    p = Platform()
+    engine = OffloadEngine(p, functional=True)
+    zswap = Zswap(engine, SwapDevice(p.sim), "cxl", managed_pages=512)
+    rng = p.rng.fork(97)
+    # A handful of distinct page contents reused across many stores —
+    # the content redundancy real guests exhibit.  Three-quarters random
+    # bytes keeps the LZ match scan honest (few matches = the slow path)
+    # while the zero tail keeps the page poolable.
+    templates = []
+    for i in range(8):
+        page = bytearray(rng.random_bytes(PAGE_SIZE * 3 // 4))
+        page += bytes(PAGE_SIZE - len(page))
+        page[:4] = i.to_bytes(4, "little")
+        templates.append(bytes(page))
+    handles = []
+    for k in range(96):
+        handle, __ = p.sim.run_process(
+            zswap.store(templates[k % len(templates)]))
+        handles.append(handle)
+    for handle in handles[:32]:
+        p.sim.run_process(zswap.load(handle))
+    vms = make_vm_fleet(3, 24, shared_fraction=0.6, rng=p.rng.fork(98))
+    ksm = Ksm(engine, "cxl", vms, functional=True)
+    for __ in range(2):
+        p.sim.run_process(ksm.full_scan())
+
+
 EXPERIMENT_BENCHES: Dict[str, Callable[[], None]] = {
     "table3": _exp_table3,
     "fig3_reps5": _exp_fig3,
     "faults_kill60": _exp_faults,
+    "fig6_cxl_ldst": _exp_fig6_cxl_ldst,
+    "zswap_ksm": _exp_zswap_ksm,
 }
+
+
+# --------------------------------------------------------------------------
+# Fast-forward feature speedups: the same workload timed with the
+# feature off then on.  The off/on outputs are byte-identical (the
+# equivalence suite asserts it); these cells record the wall-clock win
+# and the feature telemetry, and CI gates on the floors below.
+
+#: Minimum accepted bulk speedup on the Fig-6 ld/st sweep.  Measured
+#: ~4x; the floor is loose for noisy CI runners.
+FIG6_BULK_SPEEDUP_FLOOR = 2.0
+#: Minimum accepted combined bulk+workcache speedup on the functional
+#: zswap/ksm mix (the offload flows train d2h/d2d; the codec work hits
+#: the cache).  Measured ~3x.
+ZSWAP_KSM_CACHE_SPEEDUP_FLOOR = 2.0
+
+SPEEDUP_FLOORS: Dict[str, float] = {
+    "fig6_cxl_ldst": FIG6_BULK_SPEEDUP_FLOOR,
+    "zswap_ksm": ZSWAP_KSM_CACHE_SPEEDUP_FLOOR,
+}
+
+
+def _best_wall(fn: Callable[[], None], rounds: int) -> float:
+    best = float("inf")
+    for __ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_speedups(rounds: int = 3) -> Dict[str, Any]:
+    """Off-vs-on wall times for the bulk fast-forward (Fig-6 sweep) and
+    the kernel work cache (zswap/ksm mix), plus their telemetry."""
+    from repro.kernel.workcache import WORK_CACHE, set_workcache
+    from repro.sim.bulk import BULK_STATS, set_bulk
+
+    cells: Dict[str, Any] = {}
+    try:
+        set_bulk(False)
+        off = _best_wall(_exp_fig6_cxl_ldst, rounds)
+        set_bulk(True)
+        BULK_STATS.reset()
+        on = _best_wall(_exp_fig6_cxl_ldst, rounds)
+        cells["fig6_cxl_ldst"] = {
+            "feature": "bulk",
+            "off_wall_s": round(off, 4),
+            "on_wall_s": round(on, 4),
+            "speedup": round(off / on, 2),
+            "stats": BULK_STATS.snapshot(),
+        }
+    finally:
+        set_bulk(None)
+    try:
+        set_bulk(False)
+        set_workcache(False)
+        off = _best_wall(_exp_zswap_ksm, rounds)
+        set_bulk(True)
+        set_workcache(True)
+        BULK_STATS.reset()
+        WORK_CACHE.reset()
+        on = _best_wall(_exp_zswap_ksm, rounds)
+        cells["zswap_ksm"] = {
+            "feature": "bulk+workcache",
+            "off_wall_s": round(off, 4),
+            "on_wall_s": round(on, 4),
+            "speedup": round(off / on, 2),
+            "stats": WORK_CACHE.snapshot(),
+            "bulk_stats": BULK_STATS.snapshot(),
+        }
+    finally:
+        set_bulk(None)
+        set_workcache(None)
+    return cells
 
 
 def _peak_rss_kb() -> int:
@@ -148,17 +273,13 @@ def measure(rounds: int = 3) -> Dict[str, Any]:
             "events_per_sec": round(max(fn() for _ in range(rounds)), 1)}
     experiments = {}
     for name, fn in EXPERIMENT_BENCHES.items():
-        best = float("inf")
-        for _ in range(rounds):
-            t0 = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - t0)
-        experiments[name] = {"wall_s": round(best, 4)}
+        experiments[name] = {"wall_s": round(_best_wall(fn, rounds), 4)}
     return {
         "schema": SCHEMA,
         "rounds": rounds,
         "engine": engine,
         "experiments": experiments,
+        "speedups": measure_speedups(rounds),
         "peak_rss_kb": _peak_rss_kb(),
         "host": {
             "python": _platform.python_version(),
@@ -177,6 +298,30 @@ def render(payload: Dict[str, Any]) -> str:
         lines.append(f"{name:<16s} {cell['events_per_sec']:>14,.0f} ev/s")
     for name, cell in payload["experiments"].items():
         lines.append(f"{name:<16s} {cell['wall_s']:>16.3f} s")
+    for name, cell in payload.get("speedups", {}).items():
+        lines.append(
+            f"{name:<16s} {cell['speedup']:>16.2f} x "
+            f"({cell['feature']} {cell['off_wall_s']:.3f}s -> "
+            f"{cell['on_wall_s']:.3f}s)")
+        stats = cell["stats"]
+        if cell["feature"] == "bulk":
+            fallbacks = sum(stats["fallbacks"].values())
+            lines.append(
+                f"{'':<16s} {stats['total_lines']:>12,d} lines in "
+                f"{stats['total_batches']:,d} batches, "
+                f"{fallbacks:,d} fallbacks")
+        else:
+            lines.append(
+                f"{'':<16s} {stats['hits']:>12,d} hits / "
+                f"{stats['misses']:,d} misses, "
+                f"{stats['evictions']:,d} evictions")
+            bulk = cell.get("bulk_stats")
+            if bulk:
+                fallbacks = sum(bulk["fallbacks"].values())
+                lines.append(
+                    f"{'':<16s} {bulk['total_lines']:>12,d} lines in "
+                    f"{bulk['total_batches']:,d} batches, "
+                    f"{fallbacks:,d} fallbacks")
     lines.append(f"{'peak RSS':<16s} {payload['peak_rss_kb']:>14,d} KiB")
     return "\n".join(lines)
 
@@ -218,4 +363,15 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
             failures.append(
                 f"experiments/{name}: {cell['wall_s']:.3f}s > {ceil:.3f}s "
                 f"(baseline {base['wall_s']:.3f}s x {factor:g})")
+    # Feature-speedup floors are absolute, not baseline-relative: the
+    # bulk fast-forward and the work cache must keep paying for their
+    # complexity (off/on wall times come from the same process, so
+    # runner speed cancels out of the ratio).
+    for name, cell in current.get("speedups", {}).items():
+        floor = SPEEDUP_FLOORS.get(name)
+        if floor is not None and cell["speedup"] < floor:
+            failures.append(
+                f"speedups/{name}: {cell['feature']} speedup "
+                f"{cell['speedup']:.2f}x < required {floor:g}x "
+                f"({cell['off_wall_s']:.3f}s -> {cell['on_wall_s']:.3f}s)")
     return failures

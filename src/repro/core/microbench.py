@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.core import fastpath
 from repro.core.platform import Platform
 from repro.core.requests import BiasMode, D2HOp, HostOp
 from repro.errors import WorkloadError
@@ -41,6 +42,9 @@ class Measurement:
 
 OpFactory = Callable[[int], Generator[Any, Any, float]]
 PrepareFn = Callable[[list[int]], None]
+# Optional bulk fast-forward: given the pipelined phase's addresses,
+# return a bit-exact batched train or None (per-line fallback).
+BulkFn = Callable[[list[int]], Optional[Generator[Any, Any, list[float]]]]
 
 
 class Microbench:
@@ -77,7 +81,8 @@ class Microbench:
 
     def _measure(self, label: str, make_op: OpFactory, prepare: PrepareFn,
                  fresh: Callable[[int], list[int]],
-                 accesses: Optional[int] = None) -> Measurement:
+                 accesses: Optional[int] = None,
+                 bulk: Optional[BulkFn] = None) -> Measurement:
         n = accesses or self.accesses
         sim = self.p.sim
         latencies: list[float] = []
@@ -101,10 +106,14 @@ class Microbench:
                 yield from make_op(addr)
                 done_at.append(sim.now)
 
-            procs = [sim.spawn(timed(addr)) for addr in addrs]
-            sim.run()
-            if not all(proc.finished for proc in procs):
-                raise WorkloadError(f"{label}: pipelined run deadlocked")
+            train = bulk(addrs) if bulk is not None else None
+            if train is not None:
+                done_at = sim.run_process(train)
+            else:
+                procs = [sim.spawn(timed(addr)) for addr in addrs]
+                sim.run()
+                if not all(proc.finished for proc in procs):
+                    raise WorkloadError(f"{label}: pipelined run deadlocked")
             bandwidths.append(bandwidth_gbps(n * 64, max(done_at) - start))
         return Measurement(label, summarize(latencies), summarize(bandwidths))
 
@@ -123,6 +132,7 @@ class Microbench:
             f"d2h/{op.value}/llc-{int(llc_hit)}",
             lambda addr: lsu.d2h(op, addr),
             prepare, self.p.fresh_host_lines,
+            bulk=lambda addrs: fastpath.try_lsu_train(self.p, lsu, op, addrs),
         )
 
     def emulated_d2h(self, op: HostOp, llc_hit: bool) -> Measurement:
@@ -167,6 +177,8 @@ class Microbench:
             f"d2d/{op.value}/{bias.value}/dmc-{int(dmc_hit)}",
             lambda addr: t2.lsu.d2d(op, addr),
             prepare, self.p.fresh_dev_lines, accesses=accesses,
+            bulk=lambda addrs: fastpath.try_lsu_d2d_train(
+                self.p, t2.lsu, op, addrs),
         )
 
     # ------------------------------------------------------------------
@@ -197,6 +209,8 @@ class Microbench:
             f"h2d/{device}/{op.value}/dmc-{state}",
             lambda addr: core.cxl_op(op, addr, target),
             prepare, self.p.fresh_dev_lines,
+            bulk=lambda addrs: fastpath.try_h2d_train(
+                self.p, core, op, target, addrs),
         )
 
     def h2d_after_ncp(self, op: HostOp) -> Measurement:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
+from repro.core import fastpath
 from repro.core.doorbell import Command, Completion, Doorbell
 from repro.core.platform import Platform
 from repro.core.requests import D2HOp
@@ -198,6 +199,11 @@ class OffloadEngine:
         """Pipelined burst of LSU requests; returns elapsed ns."""
         sim, lsu = self.p.sim, self.p.t2.lsu
         start = sim.now
+        train = (fastpath.try_lsu_d2d_train(self.p, lsu, op, addrs) if d2d
+                 else fastpath.try_lsu_train(self.p, lsu, op, addrs))
+        if train is not None:
+            yield from train
+            return sim.now - start
         procs = [sim.spawn(lsu.d2d(op, a) if d2d else lsu.d2h(op, a))
                  for a in addrs]
         yield sim.all_of([proc.done for proc in procs])

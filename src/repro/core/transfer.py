@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
+from repro.core import fastpath
 from repro.core.platform import Platform
 from repro.core.requests import D2HOp, HostOp
 from repro.errors import WorkloadError
@@ -99,6 +100,10 @@ class TransferBench:
         """Host core moving nbytes line-by-line over CXL.mem, pipelined."""
         sim, core, t2 = self.p.sim, self.p.core, self.p.t2
         addrs = self.p.fresh_dev_lines(max(1, nbytes // CACHELINE))
+        train = fastpath.try_h2d_train(self.p, core, op, t2, addrs)
+        if train is not None:
+            yield from train
+            return
         procs = [sim.spawn(core.cxl_op(op, addr, t2)) for addr in addrs]
         done = sim.all_of([proc.done for proc in procs])
         yield done
@@ -107,6 +112,10 @@ class TransferBench:
         """Device LSU moving nbytes line-by-line over CXL.cache, pipelined."""
         sim, lsu = self.p.sim, self.p.t2.lsu
         addrs = self.p.fresh_host_lines(max(1, nbytes // CACHELINE))
+        train = fastpath.try_lsu_train(self.p, lsu, op, addrs)
+        if train is not None:
+            yield from train
+            return
         procs = [sim.spawn(lsu.d2h(op, addr)) for addr in addrs]
         done = sim.all_of([proc.done for proc in procs])
         yield done

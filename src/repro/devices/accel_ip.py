@@ -17,8 +17,12 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.kernel.compress import lz_compress, lz_decompress
-from repro.kernel.xxhash import xxhash32
+from repro.kernel.workcache import (
+    cached_compare,
+    cached_compress,
+    cached_decompress,
+    cached_xxhash32,
+)
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 
@@ -65,8 +69,9 @@ class CompressionIp(StreamingIp):
 
     @staticmethod
     def run(data: bytes) -> bytes:
-        """Functional output: the compressed page bytes."""
-        return lz_compress(data)
+        """Functional output: the compressed page bytes (memoized by
+        content — see :mod:`repro.kernel.workcache`)."""
+        return cached_compress(data)
 
 
 class DecompressionIp(StreamingIp):
@@ -79,7 +84,7 @@ class DecompressionIp(StreamingIp):
 
     @staticmethod
     def run(data: bytes) -> bytes:
-        return lz_decompress(data)
+        return cached_decompress(data)
 
 
 class XxhashIp(StreamingIp):
@@ -95,7 +100,7 @@ class XxhashIp(StreamingIp):
 
     @staticmethod
     def run(data: bytes, seed: int = 0) -> int:
-        return xxhash32(data, seed)
+        return cached_xxhash32(data, seed)
 
 
 class ByteCompareIp(StreamingIp):
@@ -112,6 +117,10 @@ class ByteCompareIp(StreamingIp):
     @staticmethod
     def run(a: bytes, b: bytes) -> int:
         """Functional output: index of first difference, or -1 if equal."""
+        return cached_compare(a, b, lambda: ByteCompareIp._compare(a, b))
+
+    @staticmethod
+    def _compare(a: bytes, b: bytes) -> int:
         if a == b:
             return -1
         n = min(len(a), len(b))

@@ -60,13 +60,16 @@ def lz_compress(data: bytes) -> bytes:
         return bytes(out)
 
     # Positions of 4-byte prefixes seen so far (last occurrence wins).
-    table: dict[bytes, int] = {}
+    # Keys are the prefix packed little-endian into one int: bijective
+    # with the 4 bytes, and no per-position bytes() allocation.
+    table: dict[int, int] = {}
     anchor = 0  # start of pending literals
     i = 0
     view = memoryview(data)
 
     while i + _MIN_MATCH <= n:
-        key = bytes(view[i:i + _MIN_MATCH])
+        key = (data[i] | (data[i + 1] << 8) | (data[i + 2] << 16)
+               | (data[i + 3] << 24))
         candidate = table.get(key)
         table[key] = i
         if candidate is None or i - candidate > _MAX_OFFSET:

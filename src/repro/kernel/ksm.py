@@ -22,7 +22,7 @@ from repro.core.offload import OffloadEngine, OffloadReport
 from repro.errors import FaultError, KernelError
 from repro.faults import HealthState
 from repro.kernel.vm import VirtualMachine, VmPage
-from repro.kernel.xxhash import xxhash32
+from repro.kernel.workcache import cached_xxhash32
 from repro.units import PAGE_SIZE
 
 
@@ -143,7 +143,7 @@ class Ksm:
         self.stats.hash_computations += 1
         self.stats.host_cpu_ns += report.host_cpu_ns
         checksum = (report.result if report.result is not None
-                    else xxhash32(page.content))
+                    else cached_xxhash32(page.content))
 
         key = (vm.name, page.vpn)
         previous = self._checksums.get(key)

@@ -46,7 +46,49 @@ def check_perf401(module: LintModule) -> Iterator[Finding]:
             )
 
 
+_PER_LINE_CHARGES = {
+    "using": "`Resource.using_bulk(cost, count)` or a fastpath train",
+    "send": "`Link.send_bulk(direction, payload, count)`",
+}
+
+
+def check_perf402(module: LintModule) -> Iterator[Finding]:
+    """PERF402: per-line FIFO charge inside a streaming loop.
+
+    A loop that ``yield from``s a single-grant charge (``Resource.using``,
+    ``Link.send``) once per iteration walks the full scheduler once per
+    line — the shape the bulk fast-forward layer exists to replace.  Use
+    the batched API, or hand the stream to
+    :mod:`repro.core.fastpath`.  Loops that *must* stay per-line (fault
+    paths, contended FIFOs whose holders interleave) should carry
+    ``# reprolint: disable=PERF402`` on the loop line with a comment
+    saying why.
+    """
+    seen = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.YieldFrom)
+                    and isinstance(sub.value, ast.Call)
+                    and isinstance(sub.value.func, ast.Attribute)):
+                continue
+            attr = sub.value.func.attr
+            if attr not in _PER_LINE_CHARGES or sub.lineno in seen:
+                continue
+            seen.add(sub.lineno)
+            owner = dotted_name(sub.value.func.value) or "<obj>"
+            yield Finding(
+                "PERF402", module.path, node.lineno, node.col_offset,
+                f"loop charges `{owner}.{attr}(...)` once per iteration; "
+                f"batch it with {_PER_LINE_CHARGES[attr]}, or suppress "
+                "with a comment if per-line interleaving is load-bearing",
+            )
+
+
 RULES = [
     Rule("PERF401", "redundant call_soon around an Event trigger",
          check_perf401),
+    Rule("PERF402", "per-line FIFO charge in a streaming loop",
+         check_perf402),
 ]

@@ -87,6 +87,11 @@ class SetAssociativeCache:
     MODIFIED line invokes ``writeback`` so owners can account the cost.
     """
 
+    __slots__ = ("name", "size_bytes", "ways", "num_sets", "_sets",
+                 "hits", "misses", "evictions", "writebacks",
+                 "poison_sink", "poison_evictions", "sanitizer",
+                 "race_detector")
+
     def __init__(self, name: str, size_bytes: int, ways: int):
         if size_bytes <= 0 or ways <= 0:
             raise ConfigError(f"invalid cache geometry: {size_bytes}B {ways}-way")

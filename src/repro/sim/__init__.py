@@ -18,7 +18,7 @@ for the same timestamp fire in schedule order (a monotone sequence number
 breaks ties), and all randomness flows through :mod:`repro.sim.rng`.
 """
 
-from repro.sim.engine import Event, Process, Simulator, Timeout
+from repro.sim.engine import Event, Process, Simulator, Timeout, WakeAt
 from repro.sim.resources import Pipe, Resource
 from repro.sim.rng import DeterministicRng
 from repro.sim.stats import LatencyStats, Summary, bandwidth_gbps, summarize
@@ -29,6 +29,7 @@ __all__ = [
     "Process",
     "Simulator",
     "Timeout",
+    "WakeAt",
     "Resource",
     "Pipe",
     "DeterministicRng",

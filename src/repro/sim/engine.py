@@ -44,6 +44,29 @@ class Timeout:
         return f"Timeout({self.delay!r})"
 
 
+class WakeAt:
+    """Command yielded by a process to suspend until the *absolute*
+    simulated time ``at`` (ns).
+
+    ``Timeout`` advances the clock by ``now + delay`` — one float
+    addition chosen by the engine.  Bulk fast-forward paths
+    (``docs/PERFORMANCE.md``) instead compute an end-of-train timestamp
+    with exactly the same sequence of additions the per-line path would
+    have performed, and need to land on *that* float bit-for-bit;
+    ``WakeAt`` schedules at the precomputed absolute time with no
+    further arithmetic.  ``at`` equal to the current time resumes via
+    the delta queue; a past timestamp is an error.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float):
+        self.at = float(at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WakeAt({self.at!r})"
+
+
 class _Failure:
     """Internal envelope carrying a failed event's exception to waiters."""
 
@@ -283,6 +306,8 @@ class Process:
                 self.sim.schedule(command.delay, self._step, None)
             elif cls is Event:
                 command.add_callback(self._step)
+            elif cls is WakeAt:
+                self.sim.schedule_at(command.at, self._step, None)
             else:
                 self._dispatch(command)
             return
@@ -295,6 +320,8 @@ class Process:
             self.sim.schedule(command.delay, self._step, None)
         elif isinstance(command, Event):
             command.add_callback(self._step)
+        elif isinstance(command, WakeAt):
+            self.sim.schedule_at(command.at, self._step, None)
         elif isinstance(command, Process):
             command.done.add_callback(self._step)
         elif _is_generator(command):
@@ -361,6 +388,26 @@ class Simulator:
             self._delta.append((seq, fn, args))
         else:
             heapq.heappush(self._heap, (self._now + delay, seq, fn, args))
+        if self.race_detector is not None:
+            self.race_detector.note_schedule(seq, self.current_task)
+
+    def schedule_at(self, at: float, fn: Callable[..., None],
+                    *args: Any) -> None:
+        """Run ``fn(*args)`` at the *absolute* simulated time ``at``.
+
+        Unlike :meth:`schedule`, no ``now + delay`` addition is
+        performed — the callback fires at exactly the float given, which
+        is what the bulk fast-forward layer needs to reproduce per-line
+        timestamps bit-for-bit.  ``at == now`` lands on the delta queue.
+        """
+        if at < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {at} < {self._now}")
+        self._seq = seq = self._seq + 1
+        if at == self._now:
+            self._delta.append((seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (at, seq, fn, args))
         if self.race_detector is not None:
             self.race_detector.note_schedule(seq, self.current_task)
 

@@ -17,11 +17,13 @@ from collections import deque
 from typing import Any, Deque, Generator
 
 from repro.errors import SimulationError
-from repro.sim.engine import Event, Simulator, Timeout
+from repro.sim.engine import Event, Simulator, Timeout, WakeAt
 
 
 class Resource:
     """FIFO counted resource with ``capacity`` concurrent holders."""
+
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiters")
 
     def __init__(self, sim: Simulator, capacity: int, name: str = ""):
         if capacity < 1:
@@ -76,6 +78,32 @@ class Resource:
         finally:
             self.release()
 
+    def using_bulk(self, cost_ns: float,
+                   count: int) -> Generator[Any, Any, None]:
+        """Batched grant: ``count`` back-to-back ``using(cost_ns)`` cycles
+        collapsed into one acquire, one wake, one release.
+
+        Bit-exactness contract (``docs/PERFORMANCE.md``): for a *sole
+        sequential user* of the resource — nobody else holding or
+        waiting for the duration of the batch — a per-line loop of
+        ``yield from r.using(cost_ns)`` resumes at ``t += cost_ns`` once
+        per cycle, and this helper performs the identical left-to-right
+        chain of float additions, then lands on the result with a single
+        :class:`~repro.sim.engine.WakeAt`.  Callers are responsible for
+        the homogeneity check; when contention is possible they must
+        fall back to the per-line path.
+        """
+        if count <= 0:
+            return
+        yield self.acquire()
+        try:
+            end = self.sim.now
+            for _ in range(count):
+                end += cost_ns
+            yield WakeAt(end)
+        finally:
+            self.release()
+
 
 class Pipe:
     """Unbounded FIFO channel between processes.
@@ -84,6 +112,8 @@ class Pipe:
     next item (immediately if one is already queued).  Items are delivered
     in insertion order, one per getter, in getter-arrival order.
     """
+
+    __slots__ = ("sim", "name", "_items", "_getters")
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim

@@ -108,7 +108,7 @@ def test_determinism_crc_sequence_reproducible(sim):
         times = []
 
         def proc():
-            for __ in range(50):
+            for __ in range(50):  # reprolint: disable=PERF402 fault test
                 yield from link.send(Direction.TO_HOST, 64)
                 times.append(local.now)
 

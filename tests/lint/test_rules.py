@@ -365,6 +365,60 @@ def test_perf401_suppressible_per_line(tmp_path):
     assert rules == []
 
 
+# -- PERF402: per-line FIFO charge in a streaming loop -----------------------
+
+
+def test_perf402_flags_using_loop(tmp_path):
+    rules = lint_source(tmp_path, """
+        from repro.units import CACHELINE
+
+        def stream(res, nbytes, cost):
+            for __ in range(nbytes // CACHELINE):
+                yield from res.using(cost)
+    """)
+    assert rules == ["PERF402"]
+
+
+def test_perf402_flags_send_loop(tmp_path):
+    rules = lint_source(tmp_path, """
+        def stream(link, direction, count):
+            for __ in range(count):
+                yield from link.send(direction, 64)
+    """)
+    assert rules == ["PERF402"]
+
+
+def test_perf402_reports_nested_loop_site_once(tmp_path):
+    rules = lint_source(tmp_path, """
+        def sweep(res, reps, lines, cost):
+            for __ in range(reps):
+                for __ in range(lines):
+                    yield from res.using(cost)
+    """)
+    assert rules == ["PERF402"]
+
+
+def test_perf402_allows_bulk_apis_and_single_charges(tmp_path):
+    rules = lint_source(tmp_path, """
+        def bulk(res, link, direction, cost, count):
+            yield from res.using_bulk(cost, count)
+            yield from link.send_bulk(direction, 64, count)
+
+        def once(res, cost):
+            yield from res.using(cost)
+    """)
+    assert rules == []
+
+
+def test_perf402_suppressible_on_the_loop_line(tmp_path):
+    rules = lint_source(tmp_path, """
+        def degraded(link, direction, count):
+            for __ in range(count):  # reprolint: disable=PERF402
+                yield from link.send(direction, 64)
+    """)
+    assert rules == []
+
+
 # -- suppressions ------------------------------------------------------------
 
 
