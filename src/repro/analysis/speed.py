@@ -92,8 +92,31 @@ def bench_resource_churn(n_workers: int = 50, iters: int = 400) -> float:
     return sim._seq / (time.perf_counter() - t0)
 
 
+def bench_timeouts_cancelled(n_procs: int = 100, steps: int = 400) -> float:
+    """Schedule+cancel churn — the RAS reaping pattern: every step arms
+    a long watchdog timer (50x the step period, like a command timeout
+    over a fast completion path), does its work, and cancels it.  The
+    tombstoned watchdogs still drain through the timer structure, so
+    this measures the full lazy-cancel round trip."""
+    from repro.sim.engine import Simulator, Timeout
+    sim = Simulator()
+
+    def proc(period):
+        for _ in range(steps):
+            watchdog = sim.timer(period * 50_000.0)
+            yield Timeout(period)
+            watchdog.cancel()
+
+    for i in range(n_procs):
+        sim.spawn(proc(1.0 + (i % 7) * 0.5))
+    t0 = time.perf_counter()
+    sim.run()
+    return sim._seq / (time.perf_counter() - t0)
+
+
 ENGINE_BENCHES: Dict[str, Callable[[], float]] = {
     "timeouts": bench_timeouts,
+    "timeouts_cancelled": bench_timeouts_cancelled,
     "event_chain": bench_event_chain,
     "resource_churn": bench_resource_churn,
 }
@@ -188,10 +211,15 @@ FIG6_BULK_SPEEDUP_FLOOR = 2.0
 #: zswap/ksm mix (the offload flows train d2h/d2d; the codec work hits
 #: the cache).  Measured ~3x.
 ZSWAP_KSM_CACHE_SPEEDUP_FLOOR = 2.0
+#: Minimum accepted timer-wheel speedup on the timeout-heavy engine
+#: benches (heap timers off vs wheel timers on).  Measured ~1.6x on the
+#: pure-Timeout shape; the floor is loose for noisy CI runners.
+TIMER_WHEEL_SPEEDUP_FLOOR = 1.2
 
 SPEEDUP_FLOORS: Dict[str, float] = {
     "fig6_cxl_ldst": FIG6_BULK_SPEEDUP_FLOOR,
     "zswap_ksm": ZSWAP_KSM_CACHE_SPEEDUP_FLOOR,
+    "timer_wheel": TIMER_WHEEL_SPEEDUP_FLOOR,
 }
 
 
@@ -246,7 +274,62 @@ def measure_speedups(rounds: int = 3) -> Dict[str, Any]:
     finally:
         set_bulk(None)
         set_workcache(None)
+
+    from repro.sim.timers import WHEEL_STATS, set_timers
+
+    def _timeout_workload() -> None:
+        bench_timeouts()
+        bench_timeouts_cancelled()
+
+    try:
+        set_timers("heap")
+        off = _best_wall(_timeout_workload, rounds)
+        set_timers("wheel")
+        WHEEL_STATS.reset()
+        on = _best_wall(_timeout_workload, rounds)
+        cells["timer_wheel"] = {
+            "feature": "timer-wheel",
+            "off_wall_s": round(off, 4),
+            "on_wall_s": round(on, 4),
+            "speedup": round(off / on, 2),
+            "stats": WHEEL_STATS.snapshot(),
+        }
+    finally:
+        set_timers(None)
     return cells
+
+
+def _telemetry() -> Dict[str, Any]:
+    """Feature counters accumulated across this process's benches, plus
+    the streaming-digest memory cell: the byte cost of a
+    :class:`~repro.sim.stats.StreamingLatencyStats` digest next to what
+    an exact recorder would hold for the same sample count — the number
+    ``ext_scale`` banks on staying flat."""
+    import sys
+
+    from repro.kernel.pagestore import PAGE_STORE
+    from repro.sim.stats import StreamingLatencyStats
+
+    import numpy as np
+
+    stream = StreamingLatencyStats()
+    n = 100_000
+    samples = [(i * 2654435761) % 1_000_003 / 1.0 for i in range(n)]
+    for s in samples:
+        stream.record(s)
+    digest_bytes = sys.getsizeof(stream._marks)
+    for q in stream._marks.values():
+        digest_bytes += sys.getsizeof(q)
+    exact_p99 = float(np.percentile(np.asarray(samples), 99.0))
+    return {
+        "pagestore": PAGE_STORE.snapshot(),
+        "streaming_stats": {
+            "samples": n,
+            "digest_bytes": digest_bytes,
+            "exact_bytes_equivalent": n * 8,   # one float64 per sample
+            "p99_rel_err": round(abs(stream.p99() - exact_p99) / exact_p99, 6),
+        },
+    }
 
 
 def _peak_rss_kb() -> int:
@@ -280,6 +363,7 @@ def measure(rounds: int = 3) -> Dict[str, Any]:
         "engine": engine,
         "experiments": experiments,
         "speedups": measure_speedups(rounds),
+        "telemetry": _telemetry(),
         "peak_rss_kb": _peak_rss_kb(),
         "host": {
             "python": _platform.python_version(),
@@ -304,7 +388,12 @@ def render(payload: Dict[str, Any]) -> str:
             f"({cell['feature']} {cell['off_wall_s']:.3f}s -> "
             f"{cell['on_wall_s']:.3f}s)")
         stats = cell["stats"]
-        if cell["feature"] == "bulk":
+        if cell["feature"] == "timer-wheel":
+            lines.append(
+                f"{'':<16s} {stats['fired']:>12,d} fired / "
+                f"{stats['cancelled']:,d} cancelled, "
+                f"{stats['cascades']:,d} cascades")
+        elif cell["feature"] == "bulk":
             fallbacks = sum(stats["fallbacks"].values())
             lines.append(
                 f"{'':<16s} {stats['total_lines']:>12,d} lines in "
@@ -322,6 +411,19 @@ def render(payload: Dict[str, Any]) -> str:
                     f"{'':<16s} {bulk['total_lines']:>12,d} lines in "
                     f"{bulk['total_batches']:,d} batches, "
                     f"{fallbacks:,d} fallbacks")
+    tele = payload.get("telemetry")
+    if tele:
+        ps = tele["pagestore"]
+        lines.append(
+            f"{'pagestore':<16s} {ps['hit_rate']:>15.1%} hit rate, "
+            f"{ps['bytes_deduped']:,d} B deduped, "
+            f"{ps['live_bytes']:,d} B live")
+        ss = tele["streaming_stats"]
+        lines.append(
+            f"{'stream digest':<16s} {ss['digest_bytes']:>12,d} B for "
+            f"{ss['samples']:,d} samples (exact: "
+            f"{ss['exact_bytes_equivalent']:,d} B), "
+            f"p99 err {ss['p99_rel_err']:.2%}")
     lines.append(f"{'peak RSS':<16s} {payload['peak_rss_kb']:>14,d} KiB")
     return "\n".join(lines)
 
@@ -374,4 +476,14 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
                 f"speedups/{name}: {cell['feature']} speedup "
                 f"{cell['speedup']:.2f}x < required {floor:g}x "
                 f"({cell['off_wall_s']:.3f}s -> {cell['on_wall_s']:.3f}s)")
+    # Peak RSS is a memory-regression gate: the streaming-stats and
+    # page-interning work exists to keep the footprint flat, so a run
+    # whose peak RSS blows past the baseline by ``factor`` fails even
+    # if it is fast.
+    base_rss = baseline.get("peak_rss_kb", 0)
+    cur_rss = current.get("peak_rss_kb", 0)
+    if base_rss and cur_rss and cur_rss > base_rss * factor:
+        failures.append(
+            f"peak_rss_kb: {cur_rss:,d} KiB > {base_rss * factor:,.0f} "
+            f"(baseline {base_rss:,d} KiB x {factor:g})")
     return failures

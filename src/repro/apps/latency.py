@@ -17,7 +17,7 @@ from repro.errors import WorkloadError
 from repro.sim.engine import Timeout
 from repro.sim.resources import Resource
 from repro.sim.rng import DeterministicRng
-from repro.sim.stats import LatencyStats
+from repro.sim.stats import LatencyRecorder, LatencyStats
 
 # Probability that an UPDATE/INSERT needs a fresh page (slab refill).
 ALLOC_PROBABILITY = 0.06
@@ -31,7 +31,8 @@ class OpenLoopClient:
                  rate_per_s: float,
                  direct_reclaim: Optional[Callable[[Resource],
                                                    Generator]] = None,
-                 functional: bool = False):
+                 functional: bool = False,
+                 stats: Optional[LatencyRecorder] = None):
         if rate_per_s <= 0:
             raise WorkloadError(f"arrival rate must be positive: {rate_per_s}")
         self.node = node
@@ -44,7 +45,9 @@ class OpenLoopClient:
         # functional mode really executes each request against the KVS,
         # so end-to-end runs can assert read-your-writes alongside p99.
         self.functional = functional
-        self.stats = LatencyStats()
+        # Injectable so scale sweeps can share one O(1)-memory streaming
+        # recorder across every client; per-client exact stats otherwise.
+        self.stats = LatencyStats() if stats is None else stats
         self.direct_reclaim_hits = 0
         self.functional_errors = 0
         self._written: dict[str, bytes] = {}

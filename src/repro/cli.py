@@ -109,9 +109,22 @@ def _run_speed(args) -> str:
     return render(payload)
 
 
+def _run_ext_scale(args) -> str:
+    from repro.experiments import ext_scale
+    # The tolerance check only makes sense with a streamed headline.
+    mode = "stream" if args.compare_exact else None
+    result = ext_scale.run(requests=args.requests, mode=mode,
+                           compare_exact=args.compare_exact)
+    # The RSS trace is wall-clock process state — operator feedback on
+    # stderr, never part of the deterministic stdout record.
+    print(ext_scale.format_rss_trace(result), file=sys.stderr)
+    return ext_scale.format_table(result)
+
+
 RUNNERS: Dict[str, Callable] = {
     "report": _run_report,
     "speed": _run_speed,
+    "ext_scale": _run_ext_scale,
     "calibration": _run_calibration,
     "faults": _run_faults,
     "fig3": _run_fig3,
@@ -151,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "speed: write BENCH_speed.json here")
     parser.add_argument("--rounds", type=int, default=3,
                         help="speed: benchmark repetitions (best-of)")
+    parser.add_argument("--requests", type=int, default=5_000_000,
+                        help="ext_scale: total requests to drive")
+    parser.add_argument("--compare-exact", action="store_true",
+                        help="ext_scale: shadow-run with exact stats and "
+                             "report the streamed percentiles' error")
     parser.add_argument("--jobs", "-j", default=None, metavar="N",
                         help="worker processes for parallel sweeps "
                              "(0 or 'auto' = one per CPU; default: "
@@ -187,9 +205,10 @@ def main(argv=None) -> int:
     args.jobs = resolve_jobs(args.jobs)
     if args.experiment == "all":
         # "report" re-runs everything; "speed" prints wall times, which
-        # would make `all` output nondeterministic.  Both stay opt-in.
+        # would make `all` output nondeterministic; "ext_scale" is a
+        # multi-minute scale run.  All three stay opt-in.
         names = [name for name in sorted(RUNNERS)
-                 if name not in ("report", "speed")]
+                 if name not in ("report", "speed", "ext_scale")]
         # Elapsed wall time is operator feedback on stderr, not simulated
         # time — the monotonic clock is the right tool for it.
         start = time.perf_counter()  # reprolint: disable=DET101

@@ -137,18 +137,25 @@ class Doorbell:
         :meth:`read_completion` and returns the completion.  On timeout,
         reaps the tag (any completion that later arrives for it is
         counted and dropped) and raises :class:`OffloadTimeoutError`.
+
+        The watchdog is a cancellable :meth:`Simulator.timer`: in the
+        common case — the device answers — the timer is tombstoned in
+        O(1) and its dead trigger never runs, instead of every completed
+        command leaving a live timeout to fire into a stale ``any_of``.
         """
         ev = self._cpl_events.get(tag)
         if ev is None:
             raise OffloadError(f"await_completion on unknown tag {tag}")
         sim = self.p.sim
-        index, value = yield sim.any_of([ev, sim.timeout_event(timeout_ns)])
+        watchdog = sim.timer(timeout_ns)
+        index, value = yield sim.any_of([ev, watchdog.event])
         if index == 1:      # the timer won: the device hung or dropped it
             waited = sim.now - self.inflight.get(tag, sim.now)
             self.reap_tag(tag)
             raise OffloadTimeoutError(
                 f"{self.name}: tag {tag} timed out after {timeout_ns:g} ns"
                 f" (waited {waited:g} ns)")
+        watchdog.cancel()
         completion: Completion = value
         core, t2 = self.p.core, self.p.t2
         yield from core.cxl_op(HostOp.LOAD, self._result_line, t2)

@@ -10,9 +10,10 @@ breaks the share and materializes a private copy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import KernelError
+from repro.kernel.pagestore import PAGE_STORE, PageStore, pagestore_enabled
 from repro.sim.rng import DeterministicRng
 from repro.units import PAGE_SIZE
 
@@ -24,6 +25,8 @@ class VmPage:
     vpn: int
     content: bytes
     shared: bool = False        # merged into a ksm stable page
+    poisoned: bool = False      # known-bad bytes: never content-interned
+    interned: bool = False      # content refcounted in a PageStore
 
     def __post_init__(self) -> None:
         if len(self.content) != PAGE_SIZE:
@@ -32,20 +35,39 @@ class VmPage:
 
 
 class VirtualMachine:
-    """One guest with a page-granular address space."""
+    """One guest with a page-granular address space.
 
-    def __init__(self, name: str):
+    Page contents are interned through a :class:`PageStore` (the global
+    one by default), so byte-identical pages across the fleet share one
+    host-side buffer.  Guest writes copy out transparently: the old
+    content's reference is released and the new bytes interned — the
+    canonical object is never mutated.  Poisoned pages opt out of
+    sharing entirely.  The store choice is sampled at construction;
+    pass ``store=None`` explicitly after ``set_pagestore(False)`` to
+    keep private buffers.
+    """
+
+    def __init__(self, name: str, store: Optional[PageStore] = None):
         self.name = name
         self._pages: Dict[int, VmPage] = {}
+        self._store: Optional[PageStore] = \
+            store if store is not None else (
+                PAGE_STORE if pagestore_enabled() else None)
         self.cow_breaks = 0
 
     def __len__(self) -> int:
         return len(self._pages)
 
-    def map_page(self, vpn: int, content: bytes) -> VmPage:
+    def map_page(self, vpn: int, content: bytes,
+                 poisoned: bool = False) -> VmPage:
         if vpn in self._pages:
             raise KernelError(f"{self.name}: vpn {vpn} already mapped")
-        page = VmPage(vpn, content)
+        store = self._store
+        if store is not None and not poisoned:
+            content = store.intern(content)
+            page = VmPage(vpn, content, poisoned=False, interned=True)
+        else:
+            page = VmPage(vpn, content, poisoned=poisoned)
         self._pages[vpn] = page
         return page
 
@@ -53,13 +75,47 @@ class VirtualMachine:
         return self._page(vpn).content
 
     def write(self, vpn: int, content: bytes) -> VmPage:
-        """Guest write: breaks a ksm share (CoW) if present."""
+        """Guest write: breaks a ksm share (CoW) if present, releases
+        the old interned content, and interns the new bytes (copy-out —
+        the previous canonical object is never touched)."""
         page = self._page(vpn)
         if page.shared:
             page.shared = False
             self.cow_breaks += 1
-        page.content = content
+        store = self._store
+        if page.interned:
+            assert store is not None
+            store.release(page.content)
+        if store is not None and not page.poisoned:
+            page.content = store.intern(content)
+            page.interned = True
+        else:
+            page.content = content
+            page.interned = False
         return page
+
+    def poison_page(self, vpn: int) -> VmPage:
+        """RAS: mark a guest page's bytes known-bad.  Its content leaves
+        the shared store immediately — poison is per-physical-copy state
+        and must never ride a canonical object into other mappings."""
+        page = self._page(vpn)
+        if page.interned:
+            assert self._store is not None
+            self._store.release(page.content)
+            page.interned = False
+        page.poisoned = True
+        return page
+
+    def unmap_all(self) -> None:
+        """Tear down the address space, releasing every interned ref —
+        after this the VM's footprint in the shared store is zero."""
+        store = self._store
+        for page in self._pages.values():
+            if page.interned:
+                assert store is not None
+                store.release(page.content)
+                page.interned = False
+        self._pages.clear()
 
     def pages(self) -> list[VmPage]:
         return list(self._pages.values())

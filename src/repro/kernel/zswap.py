@@ -23,6 +23,7 @@ from typing import Any, Generator, Optional
 from repro.core.offload import OffloadEngine, OffloadReport
 from repro.errors import FaultError, KernelError
 from repro.faults import HealthState
+from repro.kernel.pagestore import PAGE_STORE, PageStore, pagestore_enabled
 from repro.kernel.swapdev import SwapDevice
 from repro.units import PAGE_SIZE
 
@@ -53,6 +54,7 @@ class ZpoolEntry:
     compressed_bytes: int
     blob: Optional[bytes] = None       # functional payload
     same_filled: Optional[int] = None  # fill byte for same-filled pages
+    interned: bool = False             # blob refcounted in the PageStore
 
 
 @dataclass
@@ -88,6 +90,11 @@ class Zswap:
         self._swapped: dict[int, int] = {}        # handle -> swap slot
         self._pool_bytes = 0
         self._next_handle = 1
+        # Functional blobs dedupe through the content store: workloads
+        # re-store the same pages, so equal compressed outputs share one
+        # buffer.  Sampled once so intern/release stay paired.
+        self._pstore: Optional[PageStore] = \
+            PAGE_STORE if pagestore_enabled() else None
         self.stats = ZswapStats()
 
     # -- accounting ---------------------------------------------------------
@@ -189,8 +196,15 @@ class Zswap:
                 data if data is not None else None)
             self._swapped[handle] = slot
             return handle, report
-        self._pool[handle] = ZpoolEntry(handle, report.output_bytes,
-                                        blob=report.result)
+        blob = report.result
+        pstore = self._pstore
+        if blob is not None and pstore is not None:
+            blob = pstore.intern(blob)
+            self._pool[handle] = ZpoolEntry(handle, report.output_bytes,
+                                            blob=blob, interned=True)
+        else:
+            self._pool[handle] = ZpoolEntry(handle, report.output_bytes,
+                                            blob=blob)
         self._pool_bytes += report.output_bytes
         while self.is_full():
             yield from self._writeback_one()
@@ -202,6 +216,7 @@ class Zswap:
             raise KernelError("writeback on an empty pool")
         handle, entry = self._pool.popitem(last=False)
         self._pool_bytes -= entry.compressed_bytes
+        self._release_entry(entry)
         self.stats.writebacks += 1
         if entry.same_filled is not None:
             page = bytes([entry.same_filled]) * PAGE_SIZE
@@ -223,6 +238,7 @@ class Zswap:
         entry = self._pool.pop(handle, None)
         if entry is not None:
             self._pool_bytes -= entry.compressed_bytes
+            self._release_entry(entry)
             self.stats.pool_hits += 1
             if entry.same_filled is not None:
                 # Reconstructing a same-filled page is a memset.
@@ -240,11 +256,19 @@ class Zswap:
         data = yield from self.swapdev.read_page(slot)
         return data, False
 
+    def _release_entry(self, entry: ZpoolEntry) -> None:
+        """Pair the store-time intern when an entry leaves the pool."""
+        if entry.interned:
+            assert self._pstore is not None and entry.blob is not None
+            self._pstore.release(entry.blob)
+            entry.interned = False
+
     def invalidate(self, handle: int) -> None:
         """Drop an entry whose owner freed the page."""
         entry = self._pool.pop(handle, None)
         if entry is not None:
             self._pool_bytes -= entry.compressed_bytes
+            self._release_entry(entry)
             return
         slot = self._swapped.pop(handle, None)
         if slot is None:

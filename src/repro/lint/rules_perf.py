@@ -86,9 +86,63 @@ def check_perf402(module: LintModule) -> Iterator[Finding]:
             )
 
 
+_PERF403_PATHS = ("repro/apps", "repro/experiments")
+
+
+def _reads_clock(expr: ast.expr) -> bool:
+    """Whether the expression reads the simulated clock (``*.now``)."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Attribute) and sub.attr == "now":
+            return True
+    return False
+
+
+def check_perf403(module: LintModule) -> Iterator[Finding]:
+    """PERF403: per-event latency samples accumulated into a bare list.
+
+    In experiment/app code, ``somelist.append(<clock-derived value>)``
+    inside a loop grows one entry per simulated event — on a scale run
+    that is an unbounded RSS leak (the failure mode ``ext_scale``
+    exists to prevent).  Record samples through a latency recorder
+    instead (:func:`repro.sim.stats.latency_recorder`, or an injected
+    :class:`~repro.sim.stats.StreamingLatencyStats` for shared O(1)
+    accumulation).  Sites that *deliberately* keep every sample (a
+    bounded result vector that is part of the experiment's payload)
+    should carry ``# reprolint: disable=PERF403`` with a comment saying
+    what bounds them.
+    """
+    path = module.path.replace("\\", "/")
+    if not any(fragment in path for fragment in _PERF403_PATHS):
+        return
+    seen = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "append"
+                    and len(sub.args) == 1):
+                continue
+            if sub.lineno in seen or not _reads_clock(sub.args[0]):
+                continue
+            seen.add(sub.lineno)
+            owner = dotted_name(sub.func.value) or "<list>"
+            yield Finding(
+                "PERF403", module.path, sub.lineno, sub.col_offset,
+                f"`{owner}.append(...)` accumulates a clock-derived "
+                "sample per loop iteration — unbounded on scale runs; "
+                "record through a latency recorder "
+                "(repro.sim.stats.latency_recorder), or suppress with "
+                "a comment saying what bounds the list",
+            )
+
+
 RULES = [
     Rule("PERF401", "redundant call_soon around an Event trigger",
          check_perf401),
     Rule("PERF402", "per-line FIFO charge in a streaming loop",
          check_perf402),
+    Rule("PERF403", "unbounded clock-sample accumulation in a bare list",
+         check_perf403),
 ]

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Callable, Deque, Generator, Iterable, Opt
 from collections import deque
 
 from repro.errors import SimulationError
+from repro.sim.timers import Timer, TimerWheel, wheel_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint.races import RaceDetector
@@ -28,6 +29,15 @@ ProcessGen = Generator[Any, Any, Any]
 # Triggered events hand their (cleared) callback lists back to the
 # simulator for reuse; the cap bounds the memory kept across bursts.
 _CB_POOL_MAX = 128
+
+# Deadlines closer than this go to the wheel's exact-time near level;
+# farther ones take its hierarchy (see repro.sim.timers).
+_NEAR_SPAN_NS = 4096.0
+
+# Shared args tuple for the ubiquitous `fn(None)` resume entries.
+_NONE_ARGS = (None,)
+
+_heappush = heapq.heappush
 
 
 class Timeout:
@@ -300,10 +310,30 @@ class Process:
             # Dispatch inline, hottest commands first: a Timeout is the
             # single most common yield across every model, a plain Event
             # the second; exact-type tests beat isinstance chains and the
-            # slow path keeps subclasses working.
+            # slow path keeps subclasses working.  The near-window wheel
+            # insert is flattened right here — dict hit + append — since
+            # process timeouts dominate every model's schedule traffic.
             cls = command.__class__
             if cls is Timeout:
-                self.sim.schedule(command.delay, self._step, None)
+                sim = self.sim
+                delay = command.delay
+                wheel = sim._wheel
+                if wheel is not None and 0.0 < delay < _NEAR_SPAN_NS:
+                    t = sim._now + delay
+                    sim._seq = seq = sim._seq + 1
+                    near = wheel.near
+                    b = near.get(t)
+                    if b is None:
+                        near[t] = [(t, seq, self._step, _NONE_ARGS)]
+                        _heappush(wheel.near_times, t)
+                    else:
+                        b.append((t, seq, self._step, _NONE_ARGS))
+                    wheel.count += 1
+                    if sim.race_detector is not None:
+                        sim.race_detector.note_schedule(seq,
+                                                        sim.current_task)
+                else:
+                    sim.schedule(delay, self._step, None)
             elif cls is Event:
                 command.add_callback(self._step)
             elif cls is WakeAt:
@@ -358,6 +388,12 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        # Timer carrier: a hierarchical wheel (repro.sim.timers) unless
+        # REPRO_TIMERS=heap pins the classic heap.  Sampled once per
+        # simulator; both carriers share _seq, so firing order — and
+        # therefore every output byte — is identical either way.
+        self._wheel: Optional[TimerWheel] = \
+            TimerWheel() if wheel_enabled() else None
         # Zero-delay callbacks at the current time, FIFO in seq order.
         # Invariant: entries are only drained at the timestamp they were
         # appended at — time cannot advance while the queue is non-empty.
@@ -387,7 +423,11 @@ class Simulator:
         if delay == 0.0:
             self._delta.append((seq, fn, args))
         else:
-            heapq.heappush(self._heap, (self._now + delay, seq, fn, args))
+            wheel = self._wheel
+            if wheel is None:
+                heapq.heappush(self._heap, (self._now + delay, seq, fn, args))
+            else:
+                wheel.insert(self._now + delay, seq, fn, args, self._now)
         if self.race_detector is not None:
             self.race_detector.note_schedule(seq, self.current_task)
 
@@ -407,9 +447,16 @@ class Simulator:
         if at == self._now:
             self._delta.append((seq, fn, args))
         else:
-            heapq.heappush(self._heap, (at, seq, fn, args))
+            wheel = self._wheel
+            if wheel is None:
+                heapq.heappush(self._heap, (at, seq, fn, args))
+            else:
+                wheel.insert(at, seq, fn, args, self._now)
         if self.race_detector is not None:
             self.race_detector.note_schedule(seq, self.current_task)
+
+    # Absolute-time scheduling under its conventional event-loop name.
+    call_at = schedule_at
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> None:
         """Run ``fn(*args)`` at the current time, after already queued
@@ -434,11 +481,33 @@ class Simulator:
         if delay == 0.0:
             self._delta.append((seq, ev.succeed, (value,)))
         else:
-            heapq.heappush(self._heap,
-                           (self._now + delay, seq, ev.succeed, (value,)))
+            wheel = self._wheel
+            if wheel is None:
+                heapq.heappush(self._heap,
+                               (self._now + delay, seq, ev.succeed, (value,)))
+            else:
+                wheel.insert(self._now + delay, seq, ev.succeed, (value,),
+                             self._now)
         if self.race_detector is not None:
             self.race_detector.note_schedule(seq, self.current_task)
         return ev
+
+    def timer(self, delay: float, value: Any = None) -> Timer:
+        """A *cancellable* timeout: returns a :class:`Timer` handle whose
+        ``event`` triggers with ``value`` after ``delay`` ns unless
+        :meth:`Timer.cancel` runs first.
+
+        Cancel is O(1) and lazy — the tombstoned entry still pops at its
+        ``(time, seq)`` slot without triggering, so the clock's
+        trajectory (and every output byte) is identical whether or not
+        a timer was cancelled via the wheel or the heap carrier.  Use
+        this for timeout races that usually *don't* fire (doorbell
+        completion waits, RAS watchdogs): the skipped trigger saves the
+        dead event delivery that ``timeout_event`` would still pay.
+        """
+        handle = Timer(Event(self, name="timer"))
+        self.schedule(delay, handle._fire, value)
+        return handle
 
     def spawn(self, gen: ProcessGen, name: str = "") -> Process:
         """Start a process; it takes its first step at the current time."""
@@ -458,7 +527,10 @@ class Simulator:
         # Hot loop: heap/delta/heappop bound locally, and the armed state
         # is sampled once — arm sanitizers *before* calling run() (every
         # Platform path does).  The disarmed loop carries no per-event
-        # race-detector probe at all.
+        # race-detector probe at all.  Each timer carrier (wheel / heap)
+        # gets its own specialized pair of loops.
+        if self._wheel is not None:
+            return self._run_wheel(until)
         heap = self._heap
         delta = self._delta
         heappop = heapq.heappop
@@ -499,6 +571,70 @@ class Simulator:
                         break
                     at, seq, fn, args = heappop(heap)
                     self._now = at
+                self.current_task = seq
+                owner = getattr(fn, "__self__", None)
+                self.current_actor = owner if isinstance(owner, Process) \
+                    else fn
+                fn(*args)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_wheel(self, until: Optional[float]) -> float:
+        """The :meth:`run` loops for the timer-wheel carrier.
+
+        Merge rule (provably the same order the heap loops produce): the
+        ``ready`` bucket holds every live entry of one timestamp, all
+        scheduled strictly before the clock reached it — so when its
+        timestamp equals ``now``, every bucket entry's seq is smaller
+        than any delta entry's (delta work at ``now`` was enqueued while
+        draining) and the bucket drains first; when the bucket timestamp
+        is in the future, pending delta work at ``now`` drains first.
+        No per-event seq comparison is needed; the structure *is* the
+        order.
+        """
+        wheel = self._wheel
+        delta = self._delta
+        ready = wheel.ready
+        if self.race_detector is None:
+            while True:
+                if ready:
+                    t = wheel.ready_time
+                    if not delta or t == self._now:
+                        if until is not None and t > until:
+                            break
+                        e = ready.pop()
+                        self._now = t
+                        e[2](*e[3])
+                        continue
+                if delta:
+                    if until is not None and self._now > until:
+                        break
+                    entry = delta.popleft()
+                    entry[1](*entry[2])
+                elif wheel.count:
+                    wheel.refill()
+                    ready = wheel.ready
+                else:
+                    break
+        else:
+            while True:
+                if ready and (not delta or wheel.ready_time == self._now):
+                    t = wheel.ready_time
+                    if until is not None and t > until:
+                        break
+                    at, seq, fn, args = ready.pop()
+                    self._now = at
+                elif delta:
+                    if until is not None and self._now > until:
+                        break
+                    seq, fn, args = delta.popleft()
+                elif wheel.count:
+                    wheel.refill()
+                    ready = wheel.ready
+                    continue
+                else:
+                    break
                 self.current_task = seq
                 owner = getattr(fn, "__self__", None)
                 self.current_actor = owner if isinstance(owner, Process) \

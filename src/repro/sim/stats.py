@@ -3,12 +3,26 @@
 The paper reports the **median** over >=1 K repetitions with standard
 deviations as error bars, and p99 latency for the end-to-end experiments.
 This module implements exactly those reductions.
+
+Two latency recorders share one API (``record``/``count``/``p50``/
+``p99``/``p999``/``mean``/``summary``):
+
+* :class:`LatencyStats` — **exact**: keeps every sample and answers
+  percentile queries from a cached sorted array.  The default, and the
+  only mode the paper figures use — their outputs are byte-golden.
+* :class:`StreamingLatencyStats` — **O(1) memory**: P² quantile
+  estimators (Jain & Chlamtac 1985) for the three tail points plus
+  exact running moments.  ``REPRO_STATS=stream`` (or
+  :func:`set_stats`\\ ``("stream")``) switches :func:`latency_recorder`
+  for scale runs whose sample counts would otherwise grow RSS without
+  bound; accuracy tolerances are pinned in docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -54,19 +68,27 @@ def bandwidth_gbps(total_bytes: int, elapsed_ns: float) -> float:
 
 
 class LatencyStats:
-    """Streaming latency recorder with percentile queries.
+    """Exact latency recorder with percentile queries.
 
     Used by the end-to-end Redis experiments: clients record one sample per
     request, and the harness queries p50/p99/p999 at the end of the run.
+
+    Percentile queries run against a cached sorted array; recording a new
+    sample invalidates it.  The cache only changes *when* the list-to-array
+    conversion and sort happen — ``np.percentile`` over the same values is
+    bit-identical either way — so a p50/p99/p999 sweep over millions of
+    samples pays the O(n log n) once instead of per query.
     """
 
     def __init__(self) -> None:
         self._samples: list[float] = []
+        self._sorted: Optional[np.ndarray] = None
 
     def record(self, latency_ns: float) -> None:
         if latency_ns < 0:
             raise ValueError(f"negative latency: {latency_ns}")
         self._samples.append(latency_ns)
+        self._sorted = None
 
     def extend(self, samples: Iterable[float]) -> None:
         for sample in samples:
@@ -79,10 +101,17 @@ class LatencyStats:
     def count(self) -> int:
         return len(self._samples)
 
+    def _sorted_array(self) -> np.ndarray:
+        arr = self._sorted
+        if arr is None or len(arr) != len(self._samples):
+            arr = np.sort(np.asarray(self._samples, dtype=float))
+            self._sorted = arr
+        return arr
+
     def percentile(self, pct: float) -> float:
         if not self._samples:
             raise ValueError("no samples recorded")
-        return float(np.percentile(np.asarray(self._samples), pct))
+        return float(np.percentile(self._sorted_array(), pct))
 
     def p50(self) -> float:
         return self.percentile(50.0)
@@ -96,7 +125,220 @@ class LatencyStats:
     def mean(self) -> float:
         if not self._samples:
             raise ValueError("no samples recorded")
-        return float(np.mean(np.asarray(self._samples)))
+        return float(np.mean(self._sorted_array()))
 
     def summary(self) -> Summary:
         return summarize(self._samples)
+
+
+class _P2Quantile:
+    """One P² marker bank: streaming estimate of a single quantile in
+    O(1) memory (Jain & Chlamtac, CACM 1985).
+
+    Five markers track (min, q/2-ish, q, (1+q)/2-ish, max); each new
+    observation shifts marker counts and nudges the middle heights by a
+    piecewise-parabolic fit.  Pure float arithmetic — deterministic for
+    a given sample order, which is all the simulator ever produces.
+    """
+
+    __slots__ = ("p", "_heights", "_pos", "_want", "_grow", "_n")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1): {p}")
+        self.p = p
+        self._heights: list[float] = []
+        self._pos = [0, 1, 2, 3, 4]
+        self._want = [0.0, 0.0, 0.0, 0.0, 0.0]
+        self._grow = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+        self._n = 0
+
+    def add(self, x: float) -> None:
+        self._n += 1
+        heights = self._heights
+        if self._n <= 5:
+            heights.append(x)
+            if self._n == 5:
+                heights.sort()
+                self._pos = [0, 1, 2, 3, 4]
+                p = self.p
+                self._want = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]
+            return
+        pos = self._pos
+        if x < heights[0]:
+            heights[0] = x
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            k = 3
+        elif x < heights[1]:
+            k = 0
+        elif x < heights[2]:
+            k = 1
+        elif x < heights[3]:
+            k = 2
+        else:
+            k = 3
+        for i in range(k + 1, 5):
+            pos[i] += 1
+        want = self._want
+        grow = self._grow
+        for i in range(1, 5):
+            want[i] += grow[i]
+        for i in (1, 2, 3):
+            d = want[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1) or \
+               (d <= -1.0 and pos[i - 1] - pos[i] < -1):
+                step = 1 if d >= 1.0 else -1
+                h = self._parabolic(i, step)
+                if heights[i - 1] < h < heights[i + 1]:
+                    heights[i] = h
+                else:
+                    heights[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: int) -> float:
+        q, n = self._heights, self._pos
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, d: int) -> float:
+        q, n = self._heights, self._pos
+        return q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
+
+    def value(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples recorded")
+        heights = self._heights
+        if self._n < 5:
+            # Too few points for the marker bank: exact quantile of what
+            # we have (same linear interpolation numpy uses).
+            srt = sorted(heights)
+            rank = self.p * (len(srt) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(srt) - 1)
+            return srt[lo] + (srt[hi] - srt[lo]) * (rank - lo)
+        return heights[2]
+
+
+class StreamingLatencyStats:
+    """O(1)-memory drop-in for :class:`LatencyStats` on scale runs.
+
+    Tracks P² estimators for the recorder's tail points (p50/p99/p999 by
+    default) plus *exact* running count/mean/variance/min/max — only the
+    percentile values are approximate.  ``percentile`` answers solely
+    for the tracked points; anything else raises, loudly, rather than
+    silently extrapolating.
+    """
+
+    #: quantiles every recorder tracks (match LatencyStats's query trio)
+    DEFAULT_QUANTILES = (0.50, 0.99, 0.999)
+
+    def __init__(self,
+                 quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
+        self._marks = {round(q * 100.0, 6): _P2Quantile(q)
+                       for q in quantiles}
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def record(self, latency_ns: float) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency: {latency_ns}")
+        self._count += 1
+        delta = latency_ns - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (latency_ns - self._mean)
+        if latency_ns < self._min:
+            self._min = latency_ns
+        if latency_ns > self._max:
+            self._max = latency_ns
+        for mark in self._marks.values():
+            mark.add(latency_ns)
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for sample in samples:
+            self.record(sample)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, pct: float) -> float:
+        if self._count == 0:
+            raise ValueError("no samples recorded")
+        mark = self._marks.get(round(float(pct), 6))
+        if mark is None:
+            tracked = sorted(self._marks)
+            raise ValueError(
+                f"streaming recorder only tracks percentiles {tracked}; "
+                f"got {pct!r} — use exact LatencyStats for ad-hoc queries")
+        return float(mark.value())
+
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no samples recorded")
+        return self._mean
+
+    def summary(self) -> Summary:
+        if self._count == 0:
+            raise ValueError("cannot summarize zero samples")
+        std = (self._m2 / self._count) ** 0.5 if self._count else 0.0
+        return Summary(
+            n=self._count,
+            median=self.percentile(50.0),
+            mean=self._mean,
+            std=std,
+            minimum=self._min,
+            maximum=self._max,
+        )
+
+
+LatencyRecorder = Union[LatencyStats, StreamingLatencyStats]
+
+_forced_stats: Optional[str] = None
+
+
+def set_stats(mode: Optional[str]) -> None:
+    """Force the recorder flavour: ``"exact"``, ``"stream"``, or ``None``
+    to defer to the ``REPRO_STATS`` environment variable."""
+    global _forced_stats
+    if mode not in (None, "exact", "stream"):
+        raise ValueError(f"set_stats expects 'exact'/'stream'/None, "
+                         f"got {mode!r}")
+    _forced_stats = mode
+
+
+def stats_mode() -> str:
+    """The effective recorder flavour for :func:`latency_recorder`."""
+    if _forced_stats is not None:
+        return _forced_stats
+    env = os.environ.get("REPRO_STATS", "exact").lower()
+    return "stream" if env in ("stream", "streaming", "p2") else "exact"
+
+
+def latency_recorder() -> LatencyRecorder:
+    """Build the ambient-mode latency recorder.
+
+    Exact mode is the default — every paper figure stays byte-golden.
+    ``REPRO_STATS=stream`` swaps in :class:`StreamingLatencyStats` for
+    runs whose request counts would otherwise hold every sample live.
+    """
+    if stats_mode() == "stream":
+        return StreamingLatencyStats()
+    return LatencyStats()

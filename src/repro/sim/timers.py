@@ -1,0 +1,355 @@
+"""Hierarchical timer wheel for the event engine.
+
+The heap serves arbitrary timestamp streams in O(log n) per operation,
+but the simulator's timer traffic is heavily *clustered*: doorbell
+timeouts, RAS reaping, retry backoff, and open-loop client periods all
+land on a handful of distinct deadlines at any instant, most of them
+near ``now``.  :class:`TimerWheel` exploits that shape with a
+hierarchical calendar:
+
+* **near level** — a dict keyed by *exact* float deadline holding FIFO
+  buckets, plus a small heap of the distinct deadlines.  Scheduling a
+  timer whose deadline already exists is one dict hit and a list
+  append — amortised O(1) — and a bucket needs no sorting on drain
+  because appends arrive in sequence order (time cannot advance into a
+  deadline while inserts at that deadline are still possible; a sort
+  only runs after a cascade merged two provenances, where timsort's
+  sorted-run detection keeps it near-linear).
+* **far levels** — coarse buckets of 2^12 / 2^20 / 2^28 ns spans keyed
+  by ``deadline >> shift``, for timers beyond the 4096 ns near window
+  (command timeouts, watchdogs).  A far bucket *cascades* toward the
+  near level only when the clock approaches its span, so a long-lived
+  timeout costs O(1) at schedule time and O(levels) total, not a heap
+  reshuffle under every nearer event.
+* **overflow** — a plain heap for deadlines ≥ 2^36 ns (~69 s) out;
+  effectively cold.
+
+Ordering is the engine's documented contract — *equal timestamps fire
+in scheduling order* — and holds bit-for-bit against the heap path:
+a drained bucket carries exactly the entries of one timestamp, sorted
+by the same global sequence numbers the heap would have compared
+(``tests/sim/test_engine_order.py`` replays interleaved schedules both
+ways and diffs the traces).
+
+Cancellation is **lazy**: :meth:`Timer.cancel` marks a tombstone; the
+entry still occupies its slot and still pops at its ``(time, seq)``
+position in *both* timer modes, where :meth:`Timer._fire` skips the
+user-visible trigger.  The clock therefore advances through cancelled
+deadlines identically with the wheel on or off, which is what keeps
+experiment outputs byte-identical — O(1) cancel is the point: reaping
+an armed offload timeout no longer pays a heap delete or a drift in
+queue shape.
+
+Mode control follows the bulk fast-forward idiom: ``REPRO_TIMERS=heap``
+(or :func:`set_timers`\\ ``("heap")``) routes every timer through the
+classic heap; the wheel is the default.  The choice is sampled at
+:class:`~repro.sim.engine.Simulator` construction.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "TimerWheel", "Timer", "WheelStats", "WHEEL_STATS",
+    "set_timers", "timers_mode", "wheel_enabled",
+    "NEAR_SPAN_NS", "LEVEL_SHIFTS",
+]
+
+# Deadlines closer than this (ns) go straight to the exact-time near
+# level; one level-0 span of the classic 256-slot / 2^4-tick geometry.
+NEAR_SPAN_NS = 4096.0
+_NEAR_SPAN_TICKS = 4096
+
+# Far-level spans: a level with shift ``s`` holds deadlines up to
+# ``1 << (s + 8)`` ticks ahead in buckets ``1 << s`` ticks wide — the
+# hierarchical-wheel geometry (256 buckets per level) without the fixed
+# slot array: only occupied buckets exist.
+LEVEL_SHIFTS = (12, 20, 28)
+
+_forced: Optional[str] = None
+
+
+def set_timers(mode: Optional[str]) -> None:
+    """Force the timer structure: ``"wheel"``, ``"heap"``, or ``None``
+    to defer to the ``REPRO_TIMERS`` environment variable."""
+    global _forced
+    if mode not in (None, "wheel", "heap"):
+        raise ValueError(f"set_timers expects 'wheel'/'heap'/None, "
+                         f"got {mode!r}")
+    _forced = mode
+
+
+def timers_mode() -> str:
+    """The effective timer mode for newly built simulators."""
+    if _forced is not None:
+        return _forced
+    env = os.environ.get("REPRO_TIMERS", "wheel").lower()
+    return "heap" if env in ("heap", "0", "false", "off") else "wheel"
+
+
+def wheel_enabled() -> bool:
+    return timers_mode() == "wheel"
+
+
+class WheelStats:
+    """Process-global wheel counters surfaced by ``repro speed``.
+
+    Everything is accounted on cold or amortised paths (refill,
+    cascade, far insert, cancel) so the hot schedule path carries no
+    counter traffic; ``scheduled`` is reconstructed as fired + live.
+    """
+
+    __slots__ = ("fired", "cancelled", "cascades", "far_inserts",
+                 "overflow_inserts", "refills", "max_distinct_deadlines")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.fired = 0
+        self.cancelled = 0
+        self.cascades = 0
+        self.far_inserts = 0
+        self.overflow_inserts = 0
+        self.refills = 0
+        self.max_distinct_deadlines = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "fired": self.fired,
+            "cancelled": self.cancelled,
+            "cascades": self.cascades,
+            "far_inserts": self.far_inserts,
+            "overflow_inserts": self.overflow_inserts,
+            "refills": self.refills,
+            "max_distinct_deadlines": self.max_distinct_deadlines,
+        }
+
+
+WHEEL_STATS = WheelStats()
+
+
+class TimerWheel:
+    """The hierarchical calendar described in the module docstring.
+
+    The engine's run loop and schedule fast paths touch ``near``,
+    ``near_times``, ``count``, ``ready`` and ``ready_time`` directly —
+    they are the hot interface, deliberately plain attributes.  Entries
+    are ``(time, seq, fn, args)`` tuples, the same shape the heap uses.
+    """
+
+    __slots__ = ("near", "near_times", "levels", "overflow", "count",
+                 "ready", "ready_time", "_far_next")
+
+    def __init__(self) -> None:
+        # time -> [(time, seq, fn, args), ...] in insertion (= seq) order.
+        self.near: dict = {}
+        self.near_times: list = []       # heap of distinct near deadlines
+        # [(shift, {bucket_id: [entry, ...]}, [bucket_id heap]), ...]
+        self.levels = tuple((s, {}, []) for s in LEVEL_SHIFTS)
+        self.overflow: list = []         # entry heap, deadlines >= 2^36 out
+        self.count = 0                   # live entries not yet handed out
+        self.ready: list = []            # current drained bucket, reversed
+        self.ready_time = 0.0
+        self._far_next = float("inf")    # lower bound on any far deadline
+
+    # -- scheduling (cold half; the near fast path is inlined in the
+    # -- engine, mirrored by insert() below for non-inlined callers) ----
+
+    def insert(self, t: float, seq: int, fn: Callable[..., None],
+               args: tuple, now: float) -> None:
+        """Schedule ``fn(*args)`` at absolute deadline ``t`` (> now)."""
+        if t - now < NEAR_SPAN_NS:
+            near = self.near
+            b = near.get(t)
+            if b is None:
+                near[t] = [(t, seq, fn, args)]
+                heappush(self.near_times, t)
+            else:
+                b.append((t, seq, fn, args))
+            self.count += 1
+        else:
+            self.insert_far(t, seq, fn, args, int(now))
+
+    def insert_far(self, t: float, seq: int, fn: Callable[..., None],
+                   args: tuple, base_tick: int) -> None:
+        """Place a beyond-near-window deadline on its hierarchy level."""
+        tick = int(t)
+        d = tick - base_tick
+        for shift, buckets, ids in self.levels:
+            if not d >> (shift + 8):
+                bucket_id = tick >> shift
+                b = buckets.get(bucket_id)
+                if b is None:
+                    buckets[bucket_id] = [(t, seq, fn, args)]
+                    heappush(ids, bucket_id)
+                    bound = float(bucket_id << shift)
+                    if bound < self._far_next:
+                        self._far_next = bound
+                else:
+                    b.append((t, seq, fn, args))
+                self.count += 1
+                WHEEL_STATS.far_inserts += 1
+                return
+        heappush(self.overflow, (t, seq, fn, args))
+        if t < self._far_next:
+            self._far_next = t
+        self.count += 1
+        WHEEL_STATS.overflow_inserts += 1
+
+    # -- draining -------------------------------------------------------
+
+    def refill(self) -> None:
+        """Pop the earliest deadline bucket into ``ready``/``ready_time``.
+
+        Call only with ``count > 0`` and ``ready`` empty.  Cascades far
+        buckets down first whenever one could still contain an entry at
+        (or before) the earliest near deadline, so the returned bucket
+        provably holds *every* live entry of its timestamp.
+        """
+        stats = WHEEL_STATS
+        near_times = self.near_times
+        while True:
+            if near_times:
+                tmin = near_times[0]
+                if self._far_next <= tmin:
+                    self._cascade_one()
+                    continue
+                t = heappop(near_times)
+                bucket = self.near.pop(t)
+                n = len(bucket)
+                if n > 1:
+                    # Appends arrive in seq order, so this is usually a
+                    # no-op pass; a cascade may have interleaved two
+                    # provenances, which timsort mends cheaply.
+                    bucket.sort()
+                    bucket.reverse()     # engine pops from the end
+                self.ready = bucket
+                self.ready_time = t
+                self.count -= n
+                stats.fired += n
+                stats.refills += 1
+                ndl = len(near_times)
+                if ndl > stats.max_distinct_deadlines:
+                    stats.max_distinct_deadlines = ndl
+                return
+            # Near level dry: everything live sits in the hierarchy.
+            self._cascade_one()
+
+    def _cascade_one(self) -> None:
+        """Redistribute the earliest far bucket one level down."""
+        best_level = None
+        best_bound = float("inf")
+        for level in self.levels:
+            ids = level[2]
+            if ids:
+                bound = float(ids[0] << level[0])
+                if bound < best_bound:
+                    best_bound = bound
+                    best_level = level
+        overflow = self.overflow
+        if overflow and overflow[0][0] < best_bound:
+            # Overflow cascades one entry at a time (cold by design).
+            entry = heappop(overflow)
+            self._place(entry, int(entry[0]) & ~(_NEAR_SPAN_TICKS - 1))
+        elif best_level is not None:
+            shift, buckets, ids = best_level
+            bucket_id = heappop(ids)
+            # Route each entry relative to the bucket's own base so it
+            # lands *strictly* below this level, never back onto it.
+            base = bucket_id << shift
+            for entry in buckets.pop(bucket_id):
+                self._place(entry, base)
+        else:  # pragma: no cover - refill precondition violated
+            raise RuntimeError("cascade on an empty wheel")
+        WHEEL_STATS.cascades += 1
+        # Recompute the far lower bound from scratch (cold path).
+        nxt = float("inf")
+        for shift, _buckets, ids in self.levels:
+            if ids:
+                bound = float(ids[0] << shift)
+                if bound < nxt:
+                    nxt = bound
+        if overflow and overflow[0][0] < nxt:
+            nxt = overflow[0][0]
+        self._far_next = nxt
+
+    def _place(self, entry: tuple, base_tick: int) -> None:
+        """Re-home a cascading entry relative to ``base_tick`` (no
+        count/stat changes — the entry never left the wheel)."""
+        t = entry[0]
+        tick = int(t)
+        d = tick - base_tick
+        if d < _NEAR_SPAN_TICKS:
+            near = self.near
+            b = near.get(t)
+            if b is None:
+                near[t] = [entry]
+                heappush(self.near_times, t)
+            else:
+                b.append(entry)
+            return
+        for shift, buckets, ids in self.levels:
+            if not d >> (shift + 8):
+                bucket_id = tick >> shift
+                b = buckets.get(bucket_id)
+                if b is None:
+                    buckets[bucket_id] = [entry]
+                    heappush(ids, bucket_id)
+                else:
+                    b.append(entry)
+                return
+        heappush(self.overflow, entry)
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.count + len(self.ready)
+
+    def snapshot(self) -> dict:
+        """Structure occupancy (live entries; see WHEEL_STATS for
+        cumulative counters)."""
+        return {
+            "live": len(self),
+            "near_deadlines": len(self.near),
+            "far_buckets": sum(len(level[1]) for level in self.levels),
+            "overflow": len(self.overflow),
+        }
+
+
+class Timer:
+    """A cancellable timer handle from :meth:`Simulator.timer`.
+
+    ``event`` triggers with the timer's value at the deadline unless
+    :meth:`cancel` ran first.  Cancellation is a tombstone: the
+    scheduled entry still pops at its ``(time, seq)`` — keeping the
+    clock's trajectory identical in wheel and heap modes — and the
+    trigger is simply skipped, so cancel is O(1) with no queue surgery.
+    """
+
+    __slots__ = ("event", "cancelled")
+
+    def __init__(self, event: Any) -> None:
+        self.event = event
+        self.cancelled = False
+
+    def cancel(self) -> bool:
+        """Stop the timer from triggering; returns False if it already
+        fired (too late), True otherwise.  Idempotent."""
+        if self.event._triggered:
+            return False
+        if not self.cancelled:
+            self.cancelled = True
+            WHEEL_STATS.cancelled += 1
+        return True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled and not self.event._triggered
+
+    def _fire(self, value: Any) -> None:
+        if not self.cancelled:
+            self.event.succeed(value)

@@ -419,6 +419,69 @@ def test_perf402_suppressible_on_the_loop_line(tmp_path):
     assert rules == []
 
 
+# -- PERF403: unbounded clock-sample accumulation ----------------------------
+
+
+def test_perf403_flags_clock_sample_append_in_loop(tmp_path):
+    rules = lint_source(tmp_path, """
+        def drive(sim, ops):
+            samples = []
+            for op in ops:
+                t0 = sim.now
+                yield op
+                samples.append(sim.now - t0)
+            return samples
+    """, name="repro/experiments/exp.py")
+    assert rules == ["PERF403"]
+
+
+def test_perf403_flags_while_loop_and_attribute_lists(tmp_path):
+    rules = lint_source(tmp_path, """
+        class Client:
+            def run(self, sim, until):
+                while sim.now < until:
+                    self.latencies.append(sim.now)
+    """, name="repro/apps/client.py")
+    assert rules == ["PERF403"]
+
+
+def test_perf403_only_applies_to_experiment_and_app_code(tmp_path):
+    rules = lint_source(tmp_path, """
+        def trace(sim, ops):
+            log = []
+            for op in ops:
+                log.append(sim.now)
+            return log
+    """, name="repro/sim/trace_helper.py")
+    assert rules == []
+
+
+def test_perf403_allows_recorders_and_non_clock_appends(tmp_path):
+    rules = lint_source(tmp_path, """
+        def drive(sim, stats, ops):
+            handles = []
+            for op in ops:
+                t0 = sim.now
+                yield op
+                stats.record(sim.now - t0)
+                handles.append(op)
+            return handles
+    """, name="repro/experiments/exp.py")
+    assert rules == []
+
+
+def test_perf403_suppressible_with_rationale(tmp_path):
+    rules = lint_source(tmp_path, """
+        def drive(sim, ops):
+            samples = []
+            for op in ops:
+                # Bounded by len(ops); vector is the result payload.
+                samples.append(sim.now)  # reprolint: disable=PERF403
+            return samples
+    """, name="repro/experiments/exp.py")
+    assert rules == []
+
+
 # -- suppressions ------------------------------------------------------------
 
 

@@ -343,3 +343,158 @@ def test_new_simulator_is_reproducible():
         return order
 
     assert drive() == drive()
+
+
+# ---------------------------------------------------------------------------
+# Timer wheel vs heap: the wheel (repro.sim.timers) must replay every
+# interleaving of wheel/heap/delta traffic byte-identically against the
+# classic heap path — which is the pre-wheel engine, unchanged, and so
+# serves as the pinned reference.
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings          # noqa: E402
+from hypothesis import strategies as st         # noqa: E402
+
+from repro.lint.races import RaceDetector       # noqa: E402
+from repro.sim.timers import NEAR_SPAN_NS, set_timers   # noqa: E402
+
+# Delays spanning the delta queue (0), the near level, every far level,
+# and the overflow heap (~69 s out) — plus a float-extreme tiny delay.
+_DELAYS = (0.0, 1e-9, 0.5, 7.0, NEAR_SPAN_NS - 1.0, NEAR_SPAN_NS,
+           50_000.0, 3_000_000.0, 400_000_000.0, 80_000_000_000.0)
+
+_op = st.one_of(
+    st.tuples(st.just("timeout_chain"), st.sampled_from(_DELAYS),
+              st.integers(min_value=1, max_value=4)),
+    st.tuples(st.just("schedule"), st.sampled_from(_DELAYS)),
+    st.tuples(st.just("call_soon")),
+    st.tuples(st.just("timer"), st.sampled_from(_DELAYS),
+              st.sampled_from(_DELAYS + (None,))),
+)
+
+
+def _replay(program, mode, armed=False):
+    """Run one generated schedule under the given timer mode; return the
+    full observable trace: (now, tag) in fire order, final clock, final
+    sequence counter."""
+    set_timers(mode)
+    try:
+        sim = Simulator()
+    finally:
+        set_timers(None)
+    if armed:
+        RaceDetector(sim, strict=False).arm()
+    trace = []
+
+    def chain(tag, delay, steps):
+        for k in range(steps):
+            yield Timeout(delay)
+            trace.append((sim.now, f"chain{tag}.{k}"))
+
+    def guarded(tag, work, timeout):
+        watchdog = sim.timer(timeout, f"{tag}-late")
+        index, value = yield sim.any_of(
+            [sim.timeout_event(work, f"{tag}-ok"), watchdog.event])
+        if index == 0:
+            watchdog.cancel()
+        trace.append((sim.now, f"{tag}={value}"))
+
+    for i, op in enumerate(program):
+        if op[0] == "timeout_chain":
+            sim.spawn(chain(i, op[1], op[2]))
+        elif op[0] == "schedule":
+            sim.schedule(op[1], trace.append, (i, "sched"))
+        elif op[0] == "call_soon":
+            sim.call_soon(trace.append, (i, "soon"))
+        else:
+            work = op[1]
+            timeout = op[2] if op[2] is not None else op[1] + 1.0
+            sim.spawn(guarded(f"g{i}", work, timeout))
+    sim.run()
+    return trace, sim.now, sim._seq
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=14))
+def test_property_wheel_replays_heap_trace_exactly(program):
+    assert _replay(program, "wheel") == _replay(program, "heap")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=10))
+def test_property_wheel_heap_parity_holds_with_race_detector_armed(program):
+    armed = _replay(program, "wheel", armed=True)
+    assert armed == _replay(program, "heap", armed=True)
+    # Arming only observes; it must not perturb the schedule either.
+    assert armed == _replay(program, "heap", armed=False)
+
+
+def test_wheel_heap_parity_pinned_reference():
+    """One handcrafted interleaving with its full trace pinned
+    literally (captured from the pre-wheel heap engine), so a
+    simultaneous regression of both modes cannot slip through the
+    differential tests above."""
+    program = [("call_soon",), ("schedule", 0.0), ("timeout_chain", 7.0, 2),
+               ("timer", 0.5, None), ("schedule", 50_000.0),
+               ("timeout_chain", 0.0, 1)]
+    expected = ([(0, "soon"), (1, "sched"), (0.0, "chain5.0"),
+                 (0.5, "g3=g3-ok"), (7.0, "chain2.0"), (14.0, "chain2.1"),
+                 (4, "sched")],
+                50_000.0, 13)
+    assert _replay(program, "heap") == expected
+    assert _replay(program, "wheel") == expected
+
+
+def test_experiment_cell_byte_identical_wheel_on_off_ras_armed(monkeypatch):
+    """A real fig8 zswap cell — doorbell watchdogs, RAS reaping, open
+    loop clients — produces identical results with the wheel on or off,
+    with sanitizers armed and disarmed."""
+    import dataclasses
+
+    import repro.experiments.fig8_tail_latency as fig8
+    from repro.config import SanitizerConfig
+    from repro.experiments.fig8_tail_latency import (ScenarioConfig,
+                                                     run_zswap_cell)
+    from repro.units import ms
+
+    scenario = ScenarioConfig(duration_ns=ms(20.0))
+
+    def cell(mode):
+        set_timers(mode)
+        try:
+            return run_zswap_cell("a", "cxl", scenario)
+        finally:
+            set_timers(None)
+
+    disarmed = cell("wheel")
+    assert disarmed == cell("heap")
+
+    armed = SanitizerConfig(coherence=True, races=True, strict=True)
+    base_config = fig8.sub_numa_half_system()
+    monkeypatch.setattr(
+        fig8, "sub_numa_half_system",
+        lambda: dataclasses.replace(base_config, sanitizers=armed))
+    assert cell("wheel") == cell("heap")
+
+
+def test_fig8_sweep_byte_identical_wheel_on_off_at_jobs_1_and_4():
+    """The full sweep fans out across worker processes; neither the job
+    count nor the timer structure may change a single cell."""
+    from repro.experiments.fig8_tail_latency import ScenarioConfig, run
+    from repro.units import ms
+
+    scenario = ScenarioConfig(duration_ns=ms(10.0))
+
+    def sweep(mode, jobs):
+        set_timers(mode)
+        try:
+            return run(features=("zswap",), workloads=("a",),
+                       backends=("none", "cxl"), scenario=scenario,
+                       jobs=jobs)
+        finally:
+            set_timers(None)
+
+    reference = sweep("heap", 1)
+    assert sweep("wheel", 1) == reference
+    assert sweep("wheel", 4) == reference
+    assert sweep("heap", 4) == reference

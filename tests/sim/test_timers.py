@@ -1,0 +1,198 @@
+"""Hierarchical timer wheel: structure, cancellation, and heap parity.
+
+The wheel (repro.sim.timers) is a pure performance structure — its
+contract is that no observable ordering changes against the classic
+heap.  These tests cover the wheel's own mechanics (near/far/overflow
+routing, cascades, tombstones); the byte-for-byte replay property lives
+in tests/sim/test_engine_order.py next to the ordering spec it extends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator, Timeout
+from repro.sim.timers import (LEVEL_SHIFTS, NEAR_SPAN_NS, TimerWheel,
+                              set_timers, timers_mode, wheel_enabled)
+
+
+@pytest.fixture(autouse=True)
+def _restore_timer_mode():
+    yield
+    set_timers(None)
+
+
+# ---------------------------------------------------------------------------
+# Mode plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_mode_switch_controls_simulator_structure():
+    set_timers("heap")
+    assert timers_mode() == "heap" and not wheel_enabled()
+    assert Simulator()._wheel is None
+    set_timers("wheel")
+    assert Simulator()._wheel is not None
+    with pytest.raises(ValueError):
+        set_timers("calendar")
+
+
+def test_env_default_is_wheel(monkeypatch):
+    set_timers(None)
+    monkeypatch.delenv("REPRO_TIMERS", raising=False)
+    assert timers_mode() == "wheel"
+    monkeypatch.setenv("REPRO_TIMERS", "heap")
+    assert timers_mode() == "heap"
+    monkeypatch.setenv("REPRO_TIMERS", "0")
+    assert timers_mode() == "heap"
+
+
+# ---------------------------------------------------------------------------
+# Wheel structure: routing and cascades
+# ---------------------------------------------------------------------------
+
+
+def _drain(wheel):
+    """Pop every entry in engine order: (time, seq) ascending."""
+    out = []
+    while len(wheel):
+        if not wheel.ready:
+            wheel.refill()
+        while wheel.ready:
+            e = wheel.ready.pop()
+            out.append((e[0], e[1]))
+    return out
+
+
+def test_near_entries_drain_in_time_then_seq_order():
+    wheel = TimerWheel()
+    seq = 0
+    for t in (8.0, 2.0, 8.0, 5.0, 2.0):
+        seq += 1
+        wheel.insert(t, seq, None, (), 0.0)
+    assert _drain(wheel) == [(2.0, 2), (2.0, 5), (5.0, 4),
+                             (8.0, 1), (8.0, 3)]
+
+
+def test_far_and_overflow_entries_route_by_horizon():
+    wheel = TimerWheel()
+    near_t = NEAR_SPAN_NS / 2
+    far_t = float(1 << (LEVEL_SHIFTS[0] + 4))
+    deep_t = float(1 << (LEVEL_SHIFTS[-1] + 4))
+    overflow_t = float(1 << (LEVEL_SHIFTS[-1] + 9))
+    wheel.insert(near_t, 1, None, (), 0.0)
+    wheel.insert(far_t, 2, None, (), 0.0)
+    wheel.insert(deep_t, 3, None, (), 0.0)
+    wheel.insert(overflow_t, 4, None, (), 0.0)
+    assert len(wheel.near) == 1
+    assert len(wheel.overflow) == 1
+    assert _drain(wheel) == [(near_t, 1), (far_t, 2), (deep_t, 3),
+                             (overflow_t, 4)]
+
+
+def test_cascade_preserves_global_order_across_levels():
+    """Deadlines sprinkled across every level and the overflow heap must
+    still drain in exact (time, seq) order."""
+    wheel = TimerWheel()
+    times = []
+    seq = 0
+    for shift in (0, *LEVEL_SHIFTS, LEVEL_SHIFTS[-1] + 8):
+        for k in (1, 3, 7):
+            seq += 1
+            t = float((k << shift) + seq)
+            wheel.insert(t, seq, None, (), 0.0)
+            times.append((t, seq))
+    assert _drain(wheel) == sorted(times)
+
+
+def test_same_deadline_appends_keep_fifo_without_sort():
+    wheel = TimerWheel()
+    t = 100.0
+    for seq in range(1, 50):
+        wheel.insert(t, seq, None, (), 0.0)
+    assert _drain(wheel) == [(t, seq) for seq in range(1, 50)]
+
+
+# ---------------------------------------------------------------------------
+# Timer handles: lazy cancellation
+# ---------------------------------------------------------------------------
+
+
+def test_cancelled_timer_never_fires():
+    sim = Simulator()
+    fired = []
+
+    def waiter(watchdog):
+        value = yield watchdog.event
+        fired.append(value)
+
+    def proc():
+        watchdog = sim.timer(100.0, "bang")
+        sim.spawn(waiter(watchdog))
+        yield Timeout(10.0)
+        assert watchdog.active
+        assert watchdog.cancel()
+        yield Timeout(500.0)
+
+    sim.run_process(proc())
+    assert fired == []
+    assert sim.now == 510.0
+
+
+def test_timer_fires_with_value_when_not_cancelled():
+    sim = Simulator()
+
+    def proc():
+        watchdog = sim.timer(100.0, "bang")
+        value = yield watchdog.event
+        assert not watchdog.active
+        assert not watchdog.cancel()      # too late: already fired
+        return value
+
+    assert sim.run_process(proc()) == "bang"
+
+
+def test_cancelled_timer_still_advances_clock_identically():
+    """Lazy cancel: the tombstone still pops at its deadline, so the
+    clock trajectory is identical with and without the cancel — the
+    property the byte-identity of experiment outputs rests on."""
+    def trajectory(cancel):
+        sim = Simulator()
+        ticks = []
+
+        def proc():
+            watchdog = sim.timer(50.0)
+            if cancel:
+                watchdog.cancel()
+            for _ in range(3):
+                yield Timeout(40.0)
+                ticks.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        return ticks, sim.now
+
+    assert trajectory(True) == trajectory(False)
+
+
+def test_cancel_in_both_modes_is_equivalent():
+    def run(mode):
+        set_timers(mode)
+        sim = Simulator()
+        out = []
+
+        def guarded(tag, work_ns, timeout_ns):
+            watchdog = sim.timer(timeout_ns, f"{tag}-timeout")
+            index, value = yield sim.any_of(
+                [sim.timeout_event(work_ns, f"{tag}-done"), watchdog.event])
+            if index == 0:
+                watchdog.cancel()
+            out.append((sim.now, tag, value))
+
+        sim.spawn(guarded("fast", 10.0, 1000.0))
+        sim.spawn(guarded("slow", 5000.0, 1000.0))
+        sim.spawn(guarded("tie", 1000.0, 1000.0))
+        sim.run()
+        return out, sim.now
+
+    assert run("wheel") == run("heap")
