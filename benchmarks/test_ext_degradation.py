@@ -1,0 +1,31 @@
+"""Extension bench: multi-tenant availability under fault storms with repair."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_degradation
+
+
+def test_degradation_table(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: ext_degradation.run(), rounds=1, iterations=1)
+    record_table(ext_degradation.format_table(result))
+
+    baseline = result.get("baseline")
+    kill = result.get("kill+repair")
+
+    # The headline claim: the service stays available in every bucket
+    # even while the link is dead — cpu fallbacks and hedges carry it.
+    for name, cell in result.cells.items():
+        assert cell.min_bucket_served > 0, name
+
+    # The storm visibly degrades (sheds, fallbacks, trips) and the
+    # scheduled repair visibly recovers (probe re-closes the breaker).
+    assert kill.requests < baseline.requests
+    assert kill.shed > 0 and kill.cpu_fallbacks > 0
+    assert kill.breaker_trips >= 1 and kill.repairs_seen >= 1
+    assert kill.breaker_state == "closed" and kill.health == "healthy"
+
+    # QoS ordering: gold is exempt from brownout; lower tiers pay for it.
+    assert kill.tenant("gold")["shed"] == 0
+    assert kill.tenant("silver")["shed"] > 0
+    assert kill.tenant("bronze")["shed"] > 0

@@ -16,6 +16,7 @@ from repro.apps.ycsb import YcsbOp, YcsbWorkload
 from repro.errors import WorkloadError
 from repro.sim.engine import Timeout
 from repro.sim.resources import Resource
+from repro.resilience import NO_RESILIENCE, Tenant
 from repro.sim.rng import DeterministicRng
 from repro.sim.stats import LatencyRecorder, LatencyStats
 
@@ -32,7 +33,9 @@ class OpenLoopClient:
                  direct_reclaim: Optional[Callable[[Resource],
                                                    Generator]] = None,
                  functional: bool = False,
-                 stats: Optional[LatencyRecorder] = None):
+                 stats: Optional[LatencyRecorder] = None,
+                 tenant: Optional[Tenant] = None,
+                 policy: Any = NO_RESILIENCE):
         if rate_per_s <= 0:
             raise WorkloadError(f"arrival rate must be positive: {rate_per_s}")
         self.node = node
@@ -48,6 +51,13 @@ class OpenLoopClient:
         # Injectable so scale sweeps can share one O(1)-memory streaming
         # recorder across every client; per-client exact stats otherwise.
         self.stats = LatencyStats() if stats is None else stats
+        # QoS identity + degradation policy: an armed policy may shed
+        # this client's arrivals during brownout and keeps the tenant's
+        # SLO ledger; the NO_RESILIENCE default admits everything with
+        # a single attribute test.
+        self.tenant = tenant
+        self.policy = policy
+        self.shed = 0
         self.direct_reclaim_hits = 0
         self.functional_errors = 0
         self._written: dict[str, bytes] = {}
@@ -55,11 +65,18 @@ class OpenLoopClient:
     # -- driving ------------------------------------------------------------------
 
     def run(self, until_ns: float) -> Generator[Any, Any, None]:
-        """Generate Poisson arrivals until the deadline."""
+        """Generate Poisson arrivals until the deadline.
+
+        Armed admission control sheds at *arrival* — a shed request
+        costs zero simulated work (no core acquire, no service), which
+        is the whole point of load shedding."""
         sim = self.node.sim
         while sim.now < until_ns:
             yield Timeout(self.rng.exponential(self.interarrival_ns))
             request = self.workload.next_request()
+            if self.policy.armed and not self.policy.admit(self.tenant):
+                self.shed += 1
+                continue
             sim.spawn(self._request(request.op, request.key), "redis.request")
 
     def _request(self, op: YcsbOp, key: str) -> Generator[Any, Any, None]:
@@ -85,7 +102,10 @@ class OpenLoopClient:
                     yield from self.direct_reclaim(self.core)
         finally:
             self.core.release()
-        self.stats.record(sim.now - arrived)
+        latency = sim.now - arrived
+        self.stats.record(latency)
+        if self.policy.armed:
+            self.policy.record_request(self.tenant, latency)
 
     def _execute(self, op: YcsbOp, key: str) -> None:
         """Really run the request against the KVS (functional mode)."""

@@ -101,6 +101,15 @@ def _run_faults(args) -> str:
         ext_fault_resilience.run(jobs=args.jobs))
 
 
+def _run_ext_degradation(args) -> str:
+    from repro.experiments import ext_degradation
+    # A fifth of the fig8 duration: the storm grid runs 5 cells whose
+    # per-op cost is dominated by the (expensive) fault windows.
+    result = ext_degradation.run(duration_ns=ms(args.duration_ms / 5.0),
+                                 jobs=args.jobs)
+    return ext_degradation.format_table(result)
+
+
 def _run_speed(args) -> str:
     from repro.analysis.speed import measure, render, write_json
     payload = measure(rounds=args.rounds)
@@ -127,6 +136,7 @@ RUNNERS: Dict[str, Callable] = {
     "ext_scale": _run_ext_scale,
     "calibration": _run_calibration,
     "faults": _run_faults,
+    "ext_degradation": _run_ext_degradation,
     "fig3": _run_fig3,
     "fig4": _run_fig4,
     "fig5": _run_fig5,

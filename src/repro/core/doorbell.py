@@ -77,6 +77,12 @@ class Doorbell:
         self.orphaned = 0
         self.late_completions = 0
 
+    @property
+    def queue_depth(self) -> int:
+        """Commands submitted but not yet completed or reaped — the
+        backlog signal the resilience layer's admission control reads."""
+        return len(self.inflight)
+
     # -- host side -------------------------------------------------------------
 
     def submit(self, command: Command) -> Generator[Any, Any, int]:

@@ -146,17 +146,23 @@ class OffloadEngine:
 
         Every :class:`FaultError` (link down, poison, viral rejection,
         completion timeout) is recorded against device health; a FAILED
-        device fast-fails so callers can fall back without waiting."""
+        device fast-fails so callers can fall back without waiting —
+        unless a recovery probe is due, in which case this attempt *is*
+        the probe (HALF_OPEN) and its outcome re-admits or re-fails the
+        device."""
+        now = self.p.sim.now
         if self.health.state is HealthState.FAILED:
-            raise FaultError(
-                f"device is FAILED: {op_name!r} offload not attempted")
+            if not self.health.probe_due(now):
+                raise FaultError(
+                    f"device is FAILED: {op_name!r} offload not attempted")
+            self.health.begin_probe(now)
         attempt = 0
         while True:
             try:
                 report = yield from self._attempt(op_name, handler, args)
             except FaultError:
                 self.fault_errors += 1
-                self.health.record_failure()
+                self.health.record_failure(self.p.sim.now)
                 if (self.health.state is HealthState.FAILED
                         or attempt >= self.max_retries):
                     raise
@@ -165,7 +171,7 @@ class OffloadEngine:
                 backoff = self.retry_backoff_ns * (2 ** (attempt - 1))
                 yield self.p.sim.timeout_event(backoff)
             else:
-                self.health.record_success()
+                self.health.record_success(self.p.sim.now)
                 return report
 
     def _attempt(self, op_name: str, handler: Any,

@@ -1,0 +1,279 @@
+"""Extension experiment: multi-tenant graceful degradation under storms.
+
+``ext_fault_resilience`` asks what one fault costs a single zswap loop.
+This experiment asks the *service-level* question: with three QoS
+classes of Redis tenants sharing one Type-2 device, does the stack stay
+**available** through a fault storm — and what do the degradation
+mechanisms (circuit breaker, hedged requests, load shedding) actually
+do while it burns?
+
+Per cell, a :class:`~repro.resilience.ResiliencePolicy` fronts the
+offload engine; three open-loop clients (gold / silver / bronze
+tenants) drive Redis on dedicated cores under memory pressure pinned
+below the min watermark, so a slice of write requests performs inline
+direct reclaim *through the policy-routed zswap* — coupling request
+tail latency to device health.  A background swap daemon keeps a steady
+stream of policy-routed offloads flowing so breaker and hedge dynamics
+are visible even between client allocations.  Availability is sampled
+as requests served per tenth of the run: the acceptance bar for the
+kill+repair storm is **every bucket non-zero** — the KVS serves through
+device death (cpu fallbacks) and returns to the fast path after repair.
+
+Scenarios:
+
+* ``baseline`` — armed, no faults (hedges/sheds should stay ~0);
+* ``crc storm`` — windowed ``link_crc`` burst mid-run (latency ripple,
+  no breaker trips);
+* ``drop storm`` — windowed ``offload_drop`` burst (timeouts, hedges
+  win, breaker may trip);
+* ``kill+repair`` — ``link_dead`` mid-run, scheduled
+  ``device_repair``/``link_up`` later: the breaker opens, traffic
+  fail-fasts to the cpu path, and the repair pulls the recovery probe
+  forward so the fast path resumes;
+* ``disarmed`` — the same workload with :data:`NO_RESILIENCE`, the
+  zero-cost control (also the off-leg of the ``repro speed`` overhead
+  gate).
+
+Determinism: every decision reads the simulated clock or forked RNG
+streams, so cells are byte-identical at any ``--jobs`` count (asserted
+in ``tests/experiments``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from repro.apps.kvs import RedisServer
+from repro.apps.latency import OpenLoopClient
+from repro.apps.node import MemoryPressure, ServerNode
+from repro.apps.ycsb import YcsbWorkload
+from repro.config import SystemConfig
+from repro.core.offload import OffloadEngine
+from repro.core.platform import Platform
+from repro.faults import FaultPlan
+from repro.kernel.swapdev import SwapDevice
+from repro.kernel.zswap import Zswap
+from repro.resilience import (
+    DEFAULT_TENANTS,
+    NO_RESILIENCE,
+    ResiliencePolicy,
+)
+from repro.sim.engine import Timeout
+from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
+from repro.units import ms, us
+
+DEFAULT_DURATION_NS = ms(40.0)
+DEFAULT_RATE_PER_S = 24_000.0       # per tenant (open loop)
+DEFAULT_SEED = 4242
+#: availability buckets per run (served-request deltas, all must be > 0)
+AVAILABILITY_BUCKETS = 10
+#: background swap daemon cadence — keeps offloads flowing between
+#: client allocations so breaker/hedge dynamics have traffic to act on
+DAEMON_PERIOD_NS = us(50.0)
+DAEMON_POOL_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class DegradationCell:
+    """One scenario's outcome: availability + per-tenant SLO ledger +
+    the degradation-mechanism counters."""
+
+    scenario: str
+    armed: bool
+    duration_ns: float
+    requests: int
+    served_per_bucket: Tuple[int, ...]
+    shed: int
+    hedges_fired: int
+    hedge_wins: int
+    hedge_losses: int
+    cpu_fallbacks: int
+    breaker_trips: int
+    breaker_probes: int
+    breaker_state: str
+    repairs_seen: int
+    retries: int
+    timeouts: int
+    fault_errors: int
+    health: str                      # final device health state
+    tenant_reports: Tuple[Dict[str, Any], ...]
+
+    @property
+    def min_bucket_served(self) -> int:
+        """The worst availability bucket — > 0 means the KVS never
+        went dark, even mid-storm."""
+        return min(self.served_per_bucket)
+
+    def tenant(self, name: str) -> Dict[str, Any]:
+        for report in self.tenant_reports:
+            if report["tenant"] == name:
+                return report
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class DegradationResult:
+    cells: Dict[str, DegradationCell]
+
+    def get(self, scenario: str) -> DegradationCell:
+        return self.cells[scenario]
+
+
+def scenario_specs(duration_ns: float) -> Tuple[Tuple[str, Optional[str]],
+                                                ...]:
+    """The storm grid, with windows/events placed relative to the run
+    length so every ``--duration-ms`` keeps the same story."""
+    d = duration_ns
+    return (
+        ("baseline", None),
+        ("crc storm", f"link_crc=2e-3@[{0.25 * d:g},{0.55 * d:g}]"),
+        ("drop storm", f"offload_drop=0.08@[{0.25 * d:g},{0.55 * d:g}]"),
+        ("kill+repair", f"link_dead@t={0.3 * d:g},"
+                        f"device_repair@t={0.62 * d:g},"
+                        f"link_up@t={0.62 * d:g}"),
+    )
+
+
+def run_cell(scenario: str, fault_spec: Optional[str] = None,
+             armed: bool = True,
+             duration_ns: float = DEFAULT_DURATION_NS,
+             rate_per_s: float = DEFAULT_RATE_PER_S,
+             seed: int = DEFAULT_SEED,
+             cfg: Optional[SystemConfig] = None) -> DegradationCell:
+    """Run one multi-tenant degradation scenario end to end."""
+    platform = Platform(cfg, seed=seed)
+    sim, rng = platform.sim, platform.rng
+    if fault_spec:
+        platform.arm_faults(FaultPlan.parse(fault_spec, seed=seed))
+    engine = OffloadEngine(platform)
+    swapdev = SwapDevice(sim, faults=platform.faults if fault_spec else None)
+    policy = ResiliencePolicy(engine) if armed else NO_RESILIENCE
+    zswap = Zswap(engine, swapdev, "cxl", managed_pages=4096, policy=policy)
+
+    # Pressure pinned below the min watermark: every eligible write
+    # allocation enters direct reclaim, which compresses a page out
+    # through the (policy-routed) zswap on the client's own core.
+    pressure = MemoryPressure.sized(1 << 17)
+    pressure.free_pages = max(0, pressure.min_pages - 64)
+    node = ServerNode(sim, rng.fork(1), len(DEFAULT_TENANTS), pressure)
+
+    def direct_reclaim(core):
+        __ = yield from zswap.store(None)
+
+    def swap_daemon(until_ns: float) -> Generator[Any, Any, None]:
+        handles: deque = deque()
+        while sim.now < until_ns:
+            yield Timeout(DAEMON_PERIOD_NS)
+            handle, __ = yield from zswap.store(None)
+            handles.append(handle)
+            if len(handles) > DAEMON_POOL_DEPTH:
+                __ = yield from zswap.load(handles.popleft())
+
+    sim.spawn(swap_daemon(duration_ns), "swap-daemon")
+
+    servers = []
+    clients = []
+    for i, tenant in enumerate(DEFAULT_TENANTS):
+        server = RedisServer(f"redis-{tenant.name}", rng.fork(10 + i))
+        workload = YcsbWorkload("a", rng.fork(20 + i))
+        client = OpenLoopClient(
+            node, server, node.core(i), workload, rng.fork(30 + i),
+            rate_per_s, direct_reclaim=direct_reclaim,
+            tenant=tenant, policy=policy)
+        servers.append(server)
+        clients.append(client)
+        sim.spawn(client.run(duration_ns), f"client-{tenant.name}")
+
+    # Availability sampling: cumulative served requests at each bucket
+    # boundary; the report carries the per-bucket deltas.
+    cumulative: list = []
+
+    def sample() -> None:
+        cumulative.append(sum(s.requests_served for s in servers))
+
+    for k in range(1, AVAILABILITY_BUCKETS + 1):
+        sim.schedule_at(duration_ns * k / AVAILABILITY_BUCKETS, sample)
+
+    sim.run(until=duration_ns + ms(5.0))
+
+    deltas = tuple(cumulative[k] - (cumulative[k - 1] if k else 0)
+                   for k in range(AVAILABILITY_BUCKETS))
+    if armed:
+        snap = policy.snapshot()
+        reports = tuple(policy.slo.report())
+    else:
+        snap = {}
+        reports = ()
+    return DegradationCell(
+        scenario=scenario,
+        armed=armed,
+        duration_ns=duration_ns,
+        requests=sum(s.requests_served for s in servers),
+        served_per_bucket=deltas,
+        shed=snap.get("shed", 0),
+        hedges_fired=snap.get("hedges_fired", 0),
+        hedge_wins=snap.get("hedge_wins", 0),
+        hedge_losses=snap.get("hedge_losses", 0),
+        cpu_fallbacks=snap.get("cpu_fallbacks", 0),
+        breaker_trips=snap.get("breaker_trips", 0),
+        breaker_probes=snap.get("breaker_probes", 0),
+        breaker_state=snap.get("breaker_state", "n/a"),
+        repairs_seen=snap.get("repairs_seen", 0),
+        retries=engine.retries,
+        timeouts=engine.timeouts,
+        fault_errors=engine.fault_errors,
+        health=engine.health.state.value,
+        tenant_reports=reports,
+    )
+
+
+def run(duration_ns: float = DEFAULT_DURATION_NS,
+        rate_per_s: float = DEFAULT_RATE_PER_S,
+        seed: int = DEFAULT_SEED,
+        cfg: Optional[SystemConfig] = None,
+        jobs: Optional[int] = None) -> DegradationResult:
+    points = [
+        SweepPoint(name, run_cell, (name, spec),
+                   {"duration_ns": duration_ns, "rate_per_s": rate_per_s,
+                    "seed": seed, "cfg": cfg})
+        for name, spec in scenario_specs(duration_ns)
+    ]
+    points.append(
+        SweepPoint("disarmed", run_cell, ("disarmed", None),
+                   {"armed": False, "duration_ns": duration_ns,
+                    "rate_per_s": rate_per_s, "seed": seed, "cfg": cfg}))
+    cells = run_sweep(SweepSpec("ext-degradation", tuple(points)), jobs=jobs)
+    return DegradationResult(cells)
+
+
+def format_table(result: DegradationResult) -> str:
+    lines = [
+        "Extension: multi-tenant graceful degradation under fault storms",
+        f"{'scenario':>12s} {'reqs':>6s} {'minbkt':>6s} {'shed':>5s} "
+        f"{'hedge':>5s} {'hwin':>4s} {'cpufb':>5s} {'trips':>5s} "
+        f"{'probes':>6s} {'breaker':>9s} {'health':>8s}",
+    ]
+    for name, cell in result.cells.items():
+        lines.append(
+            f"{name:>12s} {cell.requests:6d} {cell.min_bucket_served:6d} "
+            f"{cell.shed:5d} {cell.hedges_fired:5d} {cell.hedge_wins:4d} "
+            f"{cell.cpu_fallbacks:5d} {cell.breaker_trips:5d} "
+            f"{cell.breaker_probes:6d} {cell.breaker_state:>9s} "
+            f"{cell.health:>8s}")
+    lines.append("")
+    lines.append("per-tenant SLO accounting (armed scenarios)")
+    lines.append(
+        f"{'scenario':>12s} {'tenant':>7s} {'reqs':>6s} {'shed':>5s} "
+        f"{'p50(us)':>8s} {'p99(us)':>8s} {'slo(us)':>8s} {'viol':>5s} "
+        f"{'budget':>7s}")
+    for name, cell in result.cells.items():
+        for rep in cell.tenant_reports:
+            lines.append(
+                f"{name:>12s} {rep['tenant']:>7s} {rep['requests']:6d} "
+                f"{rep['shed']:5d} {rep['p50_ns'] / 1000:8.1f} "
+                f"{rep['p99_ns'] / 1000:8.1f} "
+                f"{rep['slo_p99_ns'] / 1000:8.1f} {rep['violations']:5d} "
+                f"{rep['budget_used']:7.2f}")
+    return "\n".join(lines)

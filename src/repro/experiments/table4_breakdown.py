@@ -38,11 +38,15 @@ def run(cfg: Optional[SystemConfig] = None, seed: int = 23,
     reports: Dict[str, OffloadReport] = {}
     for backend in BACKENDS:
         # Median-of-reps on totals; report the median run's breakdown.
-        runs = [platform.sim.run_process(engine.compress_page(backend))
+        # Raw-transport measurement: Table IV characterizes the device
+        # path itself, so it must not route through the policy layer.
+        runs = [platform.sim.run_process(
+                    engine.compress_page(backend))  # reprolint: disable=RAS501
                 for __ in range(reps)]
         runs.sort(key=lambda r: r.total_ns)
         reports[backend] = runs[len(runs) // 2]
-    cpu = platform.sim.run_process(engine.compress_page("cpu"))
+    cpu = platform.sim.run_process(
+        engine.compress_page("cpu"))  # reprolint: disable=RAS501 raw path
     return Table4Result(reports, cpu)
 
 

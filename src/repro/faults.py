@@ -40,19 +40,30 @@ point               kind                   queried by
 ``link_dead``       scheduled              fails the CXL link permanently
 ``device_hang``     scheduled (flag)       doorbell completions stop arriving
 ``device_viral``    scheduled              DCOH enters viral containment
+``link_up``         scheduled (repair)     revives a dead link (retrain stall)
+``device_repair``   scheduled (repair)     clears ``device_hang``, notifies
+                                           repair listeners (health probes)
 ==================  =====================  ================================
 
-Spec strings (the CLI's ``--fault-plan``) combine both styles::
+Spec strings (the CLI's ``--fault-plan``) combine all styles::
 
     link_crc=1e-6,device_hang@t=50ms
+    link_crc=1e-4@[2ms,5ms]                  # a windowed fault storm
+    link_dead@t=3ms,link_up@t=8ms            # kill, then repair
+
+Repair events close the loop from fault to *recovery*: components that
+registered a callback in :attr:`FaultPlan.repair_listeners` (the
+resilience layer's circuit breaker, the device health monitor) are told
+the moment a repair lands so probing can re-admit the device.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 import zlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.errors import ConfigError
 from repro.sim.rng import DeterministicRng
@@ -62,6 +73,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 # Scheduled fault names the plan knows how to deliver to a platform.
 SCHEDULED_TARGETS = ("link_down", "link_dead", "device_hang", "device_viral")
+# Scheduled *repair* names: the inverse events that bring hardware back.
+REPAIR_TARGETS = ("link_up", "device_repair")
+# Rate-based fault points a spec string may arm (the table above).
+RATE_POINTS = ("link_crc", "mem_poison", "offload_drop", "swap_read_error")
 
 _TIME_SUFFIXES = (("ns", 1.0), ("us", 1e3), ("ms", 1e6), ("s", 1e9))
 
@@ -97,6 +112,26 @@ class ScheduledFault:
     def __post_init__(self) -> None:
         if self.at_ns < 0:
             raise ConfigError(f"scheduled fault in the past: {self}")
+
+
+@dataclass(frozen=True)
+class WindowedFault:
+    """A rate fault armed only inside ``[start_ns, end_ns)`` — one burst
+    of a fault *storm*.  Outside the window the point draws nothing, so
+    a plan whose storms have all passed is as cheap as an idle one."""
+
+    name: str
+    rate: float
+    start_ns: float
+    end_ns: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(
+                f"storm rate for {self.name!r} out of [0, 1]: {self.rate}")
+        if self.start_ns < 0 or self.end_ns <= self.start_ns:
+            raise ConfigError(
+                f"storm window must satisfy 0 <= start < end: {self}")
 
 
 class _NoFaults:
@@ -136,7 +171,8 @@ class FaultPlan:
 
     def __init__(self, seed: int = 0,
                  rates: Optional[Dict[str, float]] = None,
-                 schedule: Optional[List[ScheduledFault]] = None):
+                 schedule: Optional[List[ScheduledFault]] = None,
+                 windows: Optional[List[WindowedFault]] = None):
         self.seed = int(seed)
         self.rates: Dict[str, float] = dict(rates or {})
         for point, rate in self.rates.items():
@@ -145,15 +181,29 @@ class FaultPlan:
                     f"fault rate for {point!r} out of [0, 1]: {rate}")
         self.schedule: List[ScheduledFault] = sorted(
             schedule or [], key=lambda f: f.at_ns)
+        self.windows: List[WindowedFault] = sorted(
+            windows or [], key=lambda w: (w.start_ns, w.end_ns, w.name))
+        for a, b in zip(self.windows, self.windows[1:]):
+            if a.name == b.name and b.start_ns < a.end_ns:
+                raise ConfigError(
+                    f"overlapping storm windows for {a.name!r}: {a} / {b}")
         root = DeterministicRng(self.seed)
+        # Every point that can ever be armed — base rates and windowed
+        # storms — forks its stream up front, keyed by name: the draw
+        # sequence of one point never depends on which others exist.
+        points = set(self.rates) | {w.name for w in self.windows}
         self._streams: Dict[str, DeterministicRng] = {
             point: root.fork(zlib.crc32(point.encode()))
-            for point in self.rates
+            for point in sorted(points)
         }
         self._counted: Dict[str, int] = {}
         self._flags: set[str] = set()
+        self._window_saved: Dict[str, float] = {}   # base rate to restore
         self.fired: Dict[str, int] = {}      # point -> times it fired
         self.fired_log: List[tuple[float, str]] = []   # scheduled firings
+        # Called as listener(name, now_ns) when a repair event lands;
+        # the resilience layer hooks its breaker/health probes in here.
+        self.repair_listeners: List[Callable[[str, float], None]] = []
 
     # -- parsing -----------------------------------------------------------
 
@@ -161,31 +211,94 @@ class FaultPlan:
     def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
         """Build a plan from a spec like ``link_crc=1e-6,device_hang@t=50ms``.
 
-        ``name=rate`` arms a rate fault; ``name@t=<time>`` schedules one
-        (times take ``ns``/``us``/``ms``/``s`` suffixes, bare = ns).
+        Grammar (entries comma-separated; full reference docs/RESILIENCE.md):
+
+        * ``name=rate`` arms a rate fault (``name`` from :data:`RATE_POINTS`);
+        * ``name=rate@[t0,t1]`` arms a windowed fault *storm*;
+        * ``name@t=<time>`` schedules a fault (:data:`SCHEDULED_TARGETS`)
+          or a repair (:data:`REPAIR_TARGETS`).
+
+        Times take ``ns``/``us``/``ms``/``s`` suffixes, bare = ns.
+        Malformed entries raise :class:`ConfigError` naming the token.
         """
+        # The storm window comes *after* the spec's outer comma-split, so
+        # windows are re-joined here: "a=1e-4@[1ms" + "5ms]" is one entry.
+        parts: List[str] = []
+        for raw in (p.strip() for p in spec.split(",")):
+            if not raw:
+                continue
+            if parts and "@[" in parts[-1] and "]" not in parts[-1]:
+                parts[-1] += "," + raw
+            else:
+                parts.append(raw)
         rates: Dict[str, float] = {}
         schedule: List[ScheduledFault] = []
-        for part in filter(None, (p.strip() for p in spec.split(","))):
+        windows: List[WindowedFault] = []
+        for part in parts:
             if "@t=" in part:
                 name, __, when = part.partition("@t=")
-                schedule.append(ScheduledFault(name.strip(),
-                                               parse_time_ns(when)))
-            elif "=" in part:
-                name, __, rate = part.partition("=")
+                name = name.strip()
+                if name not in SCHEDULED_TARGETS + REPAIR_TARGETS:
+                    raise ConfigError(
+                        f"unknown scheduled fault {name!r} in {part!r} "
+                        f"(known: {', '.join(SCHEDULED_TARGETS + REPAIR_TARGETS)})")
                 try:
-                    rates[name.strip()] = float(rate)
+                    at_ns = parse_time_ns(when)
+                except ConfigError as exc:
+                    raise ConfigError(f"bad time in {part!r}: {exc}") from None
+                schedule.append(ScheduledFault(name, at_ns))
+            elif "=" in part:
+                name, __, value = part.partition("=")
+                name, value = name.strip(), value.strip()
+                if name not in RATE_POINTS:
+                    raise ConfigError(
+                        f"unknown fault point {name!r} in {part!r} "
+                        f"(known rate points: {', '.join(RATE_POINTS)})")
+                window_txt = None
+                if "@[" in value:
+                    value, __, window_txt = value.partition("@[")
+                    value = value.strip()
+                if not value:
+                    raise ConfigError(
+                        f"missing rate in {part!r} "
+                        f"(want {name}=<probability>)")
+                try:
+                    rate = float(value)
                 except ValueError:
                     raise ConfigError(
-                        f"unparseable fault rate {part!r}") from None
+                        f"unparseable fault rate {value!r} in {part!r}") \
+                        from None
+                if not 0.0 <= rate <= 1.0:
+                    raise ConfigError(
+                        f"fault rate {rate:g} out of [0, 1] in {part!r}")
+                if window_txt is None:
+                    rates[name] = rate
+                    continue
+                if not window_txt.endswith("]"):
+                    raise ConfigError(
+                        f"unterminated storm window in {part!r} "
+                        f"(want {name}=rate@[t0,t1])")
+                t0_txt, comma, t1_txt = window_txt[:-1].partition(",")
+                if not comma:
+                    raise ConfigError(
+                        f"storm window needs two times in {part!r} "
+                        f"(want {name}=rate@[t0,t1])")
+                try:
+                    t0, t1 = parse_time_ns(t0_txt), parse_time_ns(t1_txt)
+                except ConfigError as exc:
+                    raise ConfigError(f"bad time in {part!r}: {exc}") from None
+                windows.append(WindowedFault(name, rate, t0, t1))
             else:
                 raise ConfigError(
                     f"unparseable fault spec entry {part!r} "
-                    "(want name=rate or name@t=time)")
-        return cls(seed=seed, rates=rates, schedule=schedule)
+                    "(want name=rate, name=rate@[t0,t1], or name@t=time)")
+        return cls(seed=seed, rates=rates, schedule=schedule,
+                   windows=windows)
 
     def describe(self) -> str:
         parts = [f"{p}={r:g}" for p, r in sorted(self.rates.items())]
+        parts += [f"{w.name}={w.rate:g}@[{w.start_ns:g},{w.end_ns:g}]"
+                  for w in self.windows]
         parts += [f"{f.name}@t={f.at_ns:g}ns" for f in self.schedule]
         return ",".join(parts) or "(empty)"
 
@@ -238,11 +351,17 @@ class FaultPlan:
     # -- scheduled-fault delivery ------------------------------------------
 
     def bind(self, platform: "Platform") -> None:
-        """Schedule this plan's timed faults against ``platform``'s clock
-        (called by :meth:`Platform.arm_faults`)."""
+        """Schedule this plan's timed faults, repairs, and storm windows
+        against ``platform``'s clock (called by
+        :meth:`Platform.arm_faults`)."""
         for fault in self.schedule:
             platform.sim.schedule(fault.at_ns, self._fire, fault.name,
                                   platform)
+        for window in self.windows:
+            platform.sim.schedule(window.start_ns, self._storm_start,
+                                  window, platform)
+            platform.sim.schedule(window.end_ns, self._storm_end,
+                                  window, platform)
 
     def _fire(self, name: str, platform: "Platform") -> None:
         self.fired_log.append((platform.sim.now, name))
@@ -253,10 +372,35 @@ class FaultPlan:
             platform.t2.port.link.fail()
         elif name == "device_viral":
             platform.t2.enter_viral()
+        elif name == "link_up":
+            # Repair: revive the (dead) link; senders stall through the
+            # retrain window, then traffic flows again.
+            platform.t2.port.link.hot_reset()
+        elif name == "device_repair":
+            # Repair: the hung device came back (firmware restart).
+            self.clear_flag("device_hang")
         else:
             # device_hang and any custom names become sticky flags that
             # components poll (the offload engine checks device_hang).
             self.set_flag(name)
+        if name in REPAIR_TARGETS:
+            for listener in list(self.repair_listeners):
+                listener(name, platform.sim.now)
+
+    def _storm_start(self, window: WindowedFault,
+                     platform: "Platform") -> None:
+        self.fired_log.append((platform.sim.now, f"{window.name}@storm-on"))
+        self._window_saved[window.name] = self.rates.get(window.name, 0.0)
+        self.rates[window.name] = window.rate
+
+    def _storm_end(self, window: WindowedFault,
+                   platform: "Platform") -> None:
+        self.fired_log.append((platform.sim.now, f"{window.name}@storm-off"))
+        base = self._window_saved.pop(window.name, 0.0)
+        if base:
+            self.rates[window.name] = base
+        else:
+            self.rates.pop(window.name, None)
 
 
 class HealthState(enum.Enum):
@@ -265,6 +409,7 @@ class HealthState(enum.Enum):
     HEALTHY = "healthy"
     DEGRADED = "degraded"      # at least one recent command failed
     FAILED = "failed"          # fault budget exhausted; fast-fail until reset
+    HALF_OPEN = "half-open"    # a recovery probe is in flight
 
 
 @dataclass
@@ -272,8 +417,18 @@ class DeviceHealthMonitor:
     """The offload framework's device health-state machine.
 
     One recorded failure moves HEALTHY -> DEGRADED; ``fail_threshold``
-    *consecutive* failures mark the device FAILED (sticky until
-    :meth:`reset`).  A success from DEGRADED returns to HEALTHY.
+    *consecutive* failures mark the device FAILED.  A success from
+    DEGRADED returns to HEALTHY and clears the streak.
+
+    Recovery is symmetric when probing is enabled
+    (``probe_interval_ns > 0``): a FAILED device accepts one *probe*
+    attempt every backed-off interval — :meth:`probe_due` gates it,
+    :meth:`begin_probe` moves to HALF_OPEN — and the probe's outcome
+    either re-admits the device (HEALTHY) or re-fails it with the next
+    probe pushed out by ``probe_backoff``.  With probing disabled (the
+    default) FAILED stays sticky until a manual :meth:`reset`, exactly
+    the pre-probe contract.  All timing comes from the caller's
+    simulated clock, so recovery is as deterministic as failure.
     """
 
     fail_threshold: int = 4
@@ -281,6 +436,11 @@ class DeviceHealthMonitor:
     consecutive_failures: int = 0
     failures: int = 0
     successes: int = 0
+    probe_interval_ns: float = 0.0     # 0 = probing disabled (sticky FAILED)
+    probe_backoff: float = 2.0
+    next_probe_at_ns: float = math.inf
+    probes: int = 0
+    probe_successes: int = 0
     transitions: List[tuple[HealthState, HealthState]] = field(
         default_factory=list)
 
@@ -288,30 +448,79 @@ class DeviceHealthMonitor:
         if self.fail_threshold < 1:
             raise ConfigError(
                 f"fail_threshold must be >= 1: {self.fail_threshold}")
+        if self.probe_interval_ns < 0:
+            raise ConfigError(
+                f"probe_interval_ns must be >= 0: {self.probe_interval_ns}")
+        if self.probe_backoff < 1.0:
+            raise ConfigError(
+                f"probe_backoff must be >= 1: {self.probe_backoff}")
+        self._backoff_mult = 1.0
 
     def _move(self, new: HealthState) -> None:
         if new is not self.state:
             self.transitions.append((self.state, new))
             self.state = new
 
-    def record_failure(self) -> None:
+    def record_failure(self, now: Optional[float] = None) -> None:
         self.failures += 1
-        self.consecutive_failures += 1
         if self.state is HealthState.FAILED:
+            return                      # already dead; streak stays frozen
+        if self.state is HealthState.HALF_OPEN:
+            # The probe failed: back off the next one and fail again.
+            self._backoff_mult *= self.probe_backoff
+            self._move(HealthState.FAILED)
+            self._arm_probe(now)
             return
+        self.consecutive_failures += 1
         if self.consecutive_failures >= self.fail_threshold:
             self._move(HealthState.FAILED)
+            self._arm_probe(now)
         else:
             self._move(HealthState.DEGRADED)
 
-    def record_success(self) -> None:
+    def record_success(self, now: Optional[float] = None) -> None:
         self.successes += 1
         if self.state is HealthState.FAILED:
-            return                      # only reset() revives a dead device
+            return                      # revive via probe_due/begin_probe
+        if self.state is HealthState.HALF_OPEN:
+            self.probe_successes += 1
+            self._backoff_mult = 1.0
+            self.next_probe_at_ns = math.inf
         self.consecutive_failures = 0
         self._move(HealthState.HEALTHY)
+
+    # -- recovery probes ---------------------------------------------------
+
+    def _arm_probe(self, now: Optional[float]) -> None:
+        if self.probe_interval_ns > 0 and now is not None:
+            self.next_probe_at_ns = (
+                now + self.probe_interval_ns * self._backoff_mult)
+        else:
+            self.next_probe_at_ns = math.inf
+
+    def probe_due(self, now: float) -> bool:
+        """May a FAILED device accept one recovery-probe attempt now?"""
+        return (self.state is HealthState.FAILED
+                and now >= self.next_probe_at_ns)
+
+    def begin_probe(self, now: float) -> None:
+        """Move FAILED -> HALF_OPEN for one probe attempt; the next
+        :meth:`record_failure`/:meth:`record_success` is its verdict."""
+        if self.state is not HealthState.FAILED:
+            return
+        self.probes += 1
+        self.next_probe_at_ns = math.inf   # one probe at a time
+        self._move(HealthState.HALF_OPEN)
+
+    def note_repair(self, now: float) -> None:
+        """A scheduled repair landed: probe immediately (fresh backoff)."""
+        if self.state is HealthState.FAILED and self.probe_interval_ns > 0:
+            self._backoff_mult = 1.0
+            self.next_probe_at_ns = now
 
     def reset(self) -> None:
         """Device reset: forgive everything (viral/hot-reset recovery)."""
         self.consecutive_failures = 0
+        self._backoff_mult = 1.0
+        self.next_probe_at_ns = math.inf
         self._move(HealthState.HEALTHY)

@@ -23,6 +23,7 @@ from repro.errors import FaultError, KernelError
 from repro.faults import HealthState
 from repro.kernel.vm import VirtualMachine, VmPage
 from repro.kernel.workcache import cached_xxhash32
+from repro.resilience import NO_RESILIENCE
 from repro.units import PAGE_SIZE
 
 
@@ -55,12 +56,14 @@ class Ksm:
 
     def __init__(self, engine: OffloadEngine, transport: str,
                  vms: list[VirtualMachine], functional: bool = True,
-                 fallback_transport: str = "cpu"):
+                 fallback_transport: str = "cpu",
+                 policy: Any = NO_RESILIENCE):
         if not vms:
             raise KernelError("ksm needs at least one VM to scan")
         self.engine = engine
         self.transport = transport
         self.fallback_transport = fallback_transport
+        self.policy = policy
         self.vms = vms
         self.functional = functional
         self._stable: Dict[bytes, SharedPage] = {}
@@ -76,14 +79,19 @@ class Ksm:
 
     def _transport_now(self) -> str:
         """Reroute to the fallback transport while the offload device is
-        FAILED (scanning must make progress through a device death)."""
+        FAILED (scanning must make progress through a device death).
+        A FAILED device with a due recovery probe gets the configured
+        transport back so the engine's half-open machinery can run."""
         if (self.transport != self.fallback_transport
-                and self.engine.health.state is HealthState.FAILED):
+                and self.engine.health.state is HealthState.FAILED
+                and not self.engine.health.probe_due(self.engine.p.sim.now)):
             self.stats.fallbacks += 1
             return self.fallback_transport
         return self.transport
 
     def _hash_op(self, data) -> Generator[Any, Any, OffloadReport]:
+        if self.policy.armed and self.transport == "cxl":
+            return (yield from self.policy.offload_op("hash", data=data))
         transport = self._transport_now()
         try:
             return (yield from self.engine.hash_page(transport, data=data))
@@ -97,6 +105,9 @@ class Ksm:
     def _compare_op(self, a, b,
                     nbytes: int = PAGE_SIZE) -> Generator[Any, Any,
                                                           OffloadReport]:
+        if self.policy.armed and self.transport == "cxl":
+            return (yield from self.policy.offload_op(
+                "compare", a=a, b=b, nbytes=nbytes))
         transport = self._transport_now()
         try:
             return (yield from self.engine.compare_pages(

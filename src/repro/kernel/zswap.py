@@ -25,6 +25,7 @@ from repro.errors import FaultError, KernelError
 from repro.faults import HealthState
 from repro.kernel.pagestore import PAGE_STORE, PageStore, pagestore_enabled
 from repro.kernel.swapdev import SwapDevice
+from repro.resilience import NO_RESILIENCE
 from repro.units import PAGE_SIZE
 
 
@@ -76,13 +77,15 @@ class Zswap:
     def __init__(self, engine: OffloadEngine, swapdev: SwapDevice,
                  transport: str, managed_pages: int,
                  max_pool_percent: int = 20,
-                 fallback_transport: str = "cpu"):
+                 fallback_transport: str = "cpu",
+                 policy: Any = NO_RESILIENCE):
         if not (0 < max_pool_percent < 100):
             raise KernelError(f"bad max_pool_percent {max_pool_percent}")
         self.engine = engine
         self.swapdev = swapdev
         self.transport = transport
         self.fallback_transport = fallback_transport
+        self.policy = policy
         self.managed_pages = managed_pages
         self.max_pool_percent = max_pool_percent
         self.zpool_in_device_memory = transport == "cxl"
@@ -122,9 +125,13 @@ class Zswap:
         """The transport for the next operation: the configured one,
         unless the offload device is FAILED — then reroute to the
         fallback without even attempting (mirrors Linux zswap rejecting
-        to swap when the compressor backend errors)."""
+        to swap when the compressor backend errors).  With an armed
+        health monitor a FAILED device still gets its due probe: the
+        configured transport is returned so the engine's half-open
+        probe machinery can run the recovery attempt."""
         if (self.transport != self.fallback_transport
-                and self.engine.health.state is HealthState.FAILED):
+                and self.engine.health.state is HealthState.FAILED
+                and not self.engine.health.probe_due(self.engine.p.sim.now)):
             self.stats.fallbacks += 1
             return self.fallback_transport
         return self.transport
@@ -133,7 +140,11 @@ class Zswap:
                      ) -> Generator[Any, Any, OffloadReport]:
         """Compress via the configured transport, falling back to the
         cpu path on a hardware fault (the page is never lost: the
-        original data is still in hand)."""
+        original data is still in hand).  With an armed resilience
+        policy the cxl path routes through the policy's breaker and
+        hedge machinery instead."""
+        if self.policy.armed and self.transport == "cxl":
+            return (yield from self.policy.offload_op("compress", data=data))
         transport = self._transport_now()
         try:
             return (yield from self.engine.compress_page(transport,
@@ -150,6 +161,9 @@ class Zswap:
         """Decompress via the configured transport with cpu fallback.
         Safe to redo: the compressed blob stays in the pool entry until
         the operation returns."""
+        if self.policy.armed and self.transport == "cxl":
+            return (yield from self.policy.offload_op(
+                "decompress", data=blob, stored_bytes=stored_bytes))
         transport = self._transport_now()
         try:
             return (yield from self.engine.decompress_page(

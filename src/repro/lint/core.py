@@ -241,12 +241,13 @@ def all_rules() -> List[Rule]:
         rules_determinism,
         rules_perf,
         rules_process,
+        rules_ras,
         rules_units,
     )
 
     rules: List[Rule] = []
     for module in (rules_determinism, rules_perf, rules_process,
-                   rules_units):
+                   rules_ras, rules_units):
         rules.extend(module.RULES)
     return sorted(rules, key=lambda r: r.id)
 

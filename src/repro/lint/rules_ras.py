@@ -1,0 +1,61 @@
+"""RAS / graceful-degradation rules (RAS5xx).
+
+The resilience layer (:mod:`repro.resilience`) only protects offloads
+that flow *through* it: a call site that drives the engine's data-plane
+generators directly gets no circuit breaker, no hedging, and no SLO
+accounting — it will hang on a dead device for the full timeout-retry
+budget that the rest of the service is already routing around.  These
+rules keep app- and experiment-level code honest about that.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, LintModule, Rule, dotted_name
+
+#: the engine's data-plane entry points the policy wraps
+_ENGINE_OPS = ("compress_page", "decompress_page", "hash_page",
+               "compare_pages")
+
+#: only app/experiment layers are held to the policy boundary — the
+#: kernel features (zswap/ksm) *are* the sanctioned wrappers, and the
+#: engine's own internals obviously call themselves
+_RAS501_PATHS = ("repro/apps", "repro/experiments")
+
+
+def check_ras501(module: LintModule) -> Iterator[Finding]:
+    """RAS501: offload call site bypasses the resilience wrapper.
+
+    In app/experiment code, calling ``engine.compress_page(...)`` (or
+    any engine data-plane generator) directly skips the degradation
+    layer: no breaker fail-fast, no hedged backup, no per-tenant
+    ledger.  Route through a feature object (``Zswap``/``Ksm`` with an
+    armed policy) or :meth:`ResiliencePolicy.offload_op` instead.
+    Deliberate raw-transport microbenchmarks (measuring the device, not
+    the service) should carry ``# reprolint: disable=RAS501`` with a
+    comment saying so.
+    """
+    path = module.path.replace("\\", "/")
+    if not any(fragment in path for fragment in _RAS501_PATHS):
+        return
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ENGINE_OPS):
+            continue
+        owner = dotted_name(node.func.value) or "<engine>"
+        yield Finding(
+            "RAS501", module.path, node.lineno, node.col_offset,
+            f"`{owner}.{node.func.attr}(...)` bypasses the resilience "
+            "layer — route the offload through Zswap/Ksm or "
+            "ResiliencePolicy.offload_op, or suppress with a comment if "
+            "this is a deliberate raw-transport measurement",
+        )
+
+
+RULES = [
+    Rule("RAS501", "offload call site bypasses the resilience wrapper",
+         check_ras501),
+]

@@ -113,6 +113,14 @@ class LatencyStats:
             raise ValueError("no samples recorded")
         return float(np.percentile(self._sorted_array(), pct))
 
+    def percentile_or(self, pct: float, default: float = 0.0) -> float:
+        """``percentile`` that answers ``default`` instead of raising on
+        an empty recorder — for SLO reports over tenants that may have
+        had every request shed."""
+        if not self._samples:
+            return default
+        return self.percentile(pct)
+
     def p50(self) -> float:
         return self.percentile(50.0)
 
@@ -280,6 +288,13 @@ class StreamingLatencyStats:
                 f"streaming recorder only tracks percentiles {tracked}; "
                 f"got {pct!r} — use exact LatencyStats for ad-hoc queries")
         return float(mark.value())
+
+    def percentile_or(self, pct: float, default: float = 0.0) -> float:
+        """``percentile`` that answers ``default`` instead of raising on
+        an empty recorder (untracked points still raise, loudly)."""
+        if self._count == 0:
+            return default
+        return self.percentile(pct)
 
     def p50(self) -> float:
         return self.percentile(50.0)

@@ -1,0 +1,92 @@
+"""Acceptance tests for the graceful-degradation extension experiment.
+
+The headline claim (ISSUE 6): under a ``link_dead`` -> ``device_repair``
+fault storm the KVS stays available in *every* availability bucket —
+requests drain through cpu fallbacks, hedges, and (for low-priority
+tenants) load shedding, and the fast path is re-admitted after repair.
+"""
+
+from __future__ import annotations
+
+from repro.units import ms
+
+import pytest
+
+from repro.experiments import ext_degradation as ext
+
+# A fifth of the default duration keeps the whole module under ~20 s
+# while leaving the storm windows (25..55 % and 30..62 % of the run)
+# wide enough for every counter the assertions touch to move.
+DURATION_NS = ms(8.0)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext.run(duration_ns=DURATION_NS)
+
+
+def test_every_scenario_serves_every_bucket(result):
+    for name, cell in result.cells.items():
+        assert cell.requests > 0, name
+        assert cell.min_bucket_served > 0, name
+        assert len(cell.served_per_bucket) == ext.AVAILABILITY_BUCKETS, name
+
+
+def test_kill_and_repair_degrades_then_recovers(result):
+    cell = result.get("kill+repair")
+    # The storm landed and the repair was observed by the policy...
+    assert cell.repairs_seen >= 1
+    assert cell.breaker_trips >= 1
+    assert cell.cpu_fallbacks > 0
+    # ...low-priority traffic was shed while gold stayed whole...
+    assert cell.shed > 0
+    assert cell.tenant("gold")["shed"] == 0
+    # ...and the probe re-admitted the fast path before the run ended.
+    assert cell.breaker_state == "closed"
+    assert cell.health == "healthy"
+
+
+def test_storm_scenarios_hedge_more_than_baseline(result):
+    baseline = result.get("baseline")
+    assert result.get("drop storm").hedges_fired > baseline.hedges_fired
+    assert result.get("drop storm").timeouts > baseline.timeouts
+    assert result.get("crc storm").retries >= baseline.retries
+
+
+def test_disarmed_cell_reports_no_policy_activity(result):
+    cell = result.get("disarmed")
+    assert not cell.armed
+    assert cell.requests > 0
+    assert cell.shed == 0
+    assert cell.hedges_fired == 0
+    assert cell.cpu_fallbacks == 0
+    assert cell.tenant_reports == ()
+
+
+def test_parallel_jobs_match_serial_bit_for_bit(result):
+    again = ext.run(duration_ns=DURATION_NS, jobs=4)
+    assert again.cells == result.cells
+
+
+def test_identical_seed_identical_cells(result):
+    again = ext.run_cell(
+        "kill+repair",
+        dict(ext.scenario_specs(DURATION_NS))["kill+repair"],
+        duration_ns=DURATION_NS)
+    assert again == result.get("kill+repair")
+
+
+def test_different_seed_differs(result):
+    other = ext.run_cell(
+        "kill+repair",
+        dict(ext.scenario_specs(DURATION_NS))["kill+repair"],
+        duration_ns=DURATION_NS, seed=ext.DEFAULT_SEED + 1)
+    assert other != result.get("kill+repair")
+
+
+def test_format_table_lists_every_scenario_and_tenant(result):
+    text = ext.format_table(result)
+    for name in result.cells:
+        assert name in text
+    for tenant in ("gold", "silver", "bronze"):
+        assert tenant in text

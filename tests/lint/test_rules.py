@@ -543,3 +543,42 @@ def test_select_and_ignore_filter_rules(tmp_path):
     report = lint_paths([str(path)], ignore={"DET102"})
     assert [f.rule for f in report.findings] == ["DET101"] or not any(
         f.rule == "DET102" for f in report.findings)
+
+
+# -- RAS501: offload call site bypasses the resilience wrapper ---------------
+
+
+def test_ras501_flags_raw_engine_call_in_apps_tree(tmp_path):
+    rules = lint_source(tmp_path, """
+        def hot_loop(engine, page):
+            yield from engine.compress_page("cxl", data=page)
+    """, name="repro/apps/kvs.py")
+    assert rules == ["RAS501"]
+
+
+def test_ras501_flags_every_data_plane_op_in_experiments_tree(tmp_path):
+    rules = lint_source(tmp_path, """
+        def sweep(engine, a, b):
+            yield from engine.decompress_page("cxl", data=a)
+            yield from engine.hash_page("cxl", data=a)
+            yield from engine.compare_pages("cxl", a=a, b=b)
+    """, name="repro/experiments/raw.py")
+    assert rules == ["RAS501", "RAS501", "RAS501"]
+
+
+def test_ras501_ignores_code_outside_the_policy_boundary(tmp_path):
+    rules = lint_source(tmp_path, """
+        def feature_path(engine, page):
+            yield from engine.compress_page("cxl", data=page)
+    """, name="repro/kernel/zswap_helper.py")
+    assert rules == []
+
+
+def test_ras501_suppressible_for_raw_transport_measurements(tmp_path):
+    rules = lint_source(tmp_path, """
+        def measure(engine, page):
+            # Raw-transport measurement: characterizing the device path.
+            yield from engine.compress_page(  # reprolint: disable=RAS501
+                "cxl", data=page)
+    """, name="repro/experiments/micro.py")
+    assert rules == []

@@ -11,6 +11,7 @@ from repro.faults import (
     FaultPlan,
     HealthState,
     ScheduledFault,
+    WindowedFault,
     parse_time_ns,
 )
 
@@ -237,3 +238,170 @@ def test_health_transition_log():
     mon.record_failure()
     states = [new for __, new in mon.transitions]
     assert states == [HealthState.DEGRADED, HealthState.FAILED]
+
+
+# ---------------------------------------------------------------------------
+# hardened spec grammar: windows, repairs, token-naming errors
+# ---------------------------------------------------------------------------
+
+def test_parse_window_storm():
+    plan = FaultPlan.parse("link_crc=1e-4@[2ms,5ms]")
+    assert plan.windows == [WindowedFault("link_crc", 1e-4, 2e6, 5e6)]
+    assert not plan.rates                  # armed only inside the window
+
+
+def test_parse_window_next_to_other_entries():
+    plan = FaultPlan.parse(
+        "mem_poison=0.25,link_crc=1e-4@[2ms,5ms],device_hang@t=50ms")
+    assert plan.rates == {"mem_poison": 0.25}
+    assert len(plan.windows) == 1
+    assert plan.schedule == [ScheduledFault("device_hang", 50e6)]
+
+
+def test_parse_repair_events():
+    plan = FaultPlan.parse("link_dead@t=3ms,link_up@t=8ms,device_repair@t=9ms")
+    assert [f.name for f in plan.schedule] == [
+        "link_dead", "link_up", "device_repair"]
+
+
+@pytest.mark.parametrize("spec", [
+    "link_crc=1e-06,device_hang@t=5e+07",
+    "link_crc=0.0001@[2e+06,5e+06]",
+    "link_dead@t=3e+06,link_up@t=8e+06",
+    "mem_poison=0.25,offload_drop=0.001@[1000,2000],device_repair@t=10us",
+])
+def test_every_documented_spec_form_roundtrips(spec):
+    plan = FaultPlan.parse(spec)
+    again = FaultPlan.parse(plan.describe())
+    assert again.rates == plan.rates
+    assert again.schedule == plan.schedule
+    assert again.windows == plan.windows
+    # and describe() itself is a fixed point modulo formatting
+    assert FaultPlan.parse(again.describe()).describe() == again.describe()
+
+
+@pytest.mark.parametrize("bad,needle", [
+    ("link_crc=", "missing rate"),                    # empty rate
+    ("link_crc=abc", "unparseable fault rate"),
+    ("link_crc=1.5", "out of [0, 1]"),
+    ("bogus_point=0.5", "unknown fault point"),
+    ("bogus_event@t=5ms", "unknown scheduled fault"),
+    ("link_dead@t=", "bad time"),                     # @t= without a time
+    ("link_dead@t=5 parsecs", "bad time"),
+    ("link_crc=0.5@[2ms", "unterminated storm window"),
+    ("link_crc=0.5@[2ms]", "needs two times"),
+    ("link_crc=0.5@[2ms,soon]", "bad time"),
+    ("link_crc=2.0@[1ms,2ms]", "out of [0, 1]"),
+])
+def test_malformed_specs_name_the_offending_token(bad, needle):
+    with pytest.raises(ConfigError) as err:
+        FaultPlan.parse(bad)
+    assert needle in str(err.value), str(err.value)
+
+
+def test_window_rejects_inverted_and_overlapping():
+    with pytest.raises(ConfigError):
+        WindowedFault("link_crc", 0.5, 5e6, 2e6)      # end before start
+    with pytest.raises(ConfigError):
+        FaultPlan(windows=[WindowedFault("link_crc", 0.5, 0.0, 5e6),
+                           WindowedFault("link_crc", 0.1, 3e6, 8e6)])
+    # Same span on *different* points is fine.
+    FaultPlan(windows=[WindowedFault("link_crc", 0.5, 0.0, 5e6),
+                       WindowedFault("mem_poison", 0.1, 3e6, 8e6)])
+
+
+def test_storm_window_arms_and_disarms_the_rate(platform):
+    plan = platform.arm_faults("offload_drop=1.0@[100ns,200ns]")
+    assert not plan.check("offload_drop")       # before: no rate, no draw
+    platform.sim.run(until=150.0)
+    assert plan.check("offload_drop")           # inside: rate 1.0 fires
+    platform.sim.run(until=250.0)
+    assert not plan.check("offload_drop")       # after: restored to nothing
+    assert [name for __, name in plan.fired_log] == [
+        "offload_drop@storm-on", "offload_drop@storm-off"]
+
+
+def test_storm_window_restores_base_rate(platform):
+    plan = platform.arm_faults("link_crc=1e-6,link_crc=1.0@[100ns,200ns]")
+    platform.sim.run(until=300.0)
+    assert plan.rates == {"link_crc": 1e-6}
+
+
+def test_repair_events_fire_and_notify_listeners(platform):
+    plan = platform.arm_faults("device_hang@t=100ns,device_repair@t=200ns")
+    heard = []
+    plan.repair_listeners.append(lambda name, now: heard.append((name, now)))
+    platform.sim.run(until=150.0)
+    assert plan.flag("device_hang")
+    platform.sim.run(until=250.0)
+    assert not plan.flag("device_hang")         # repair cleared it
+    assert heard == [("device_repair", 200.0)]
+
+
+def test_link_up_revives_a_dead_link(platform):
+    platform.arm_faults("link_dead@t=100ns,link_up@t=200ns")
+    platform.sim.run(until=150.0)
+    assert platform.t2.port.link.dead
+    platform.sim.run(until=250.0)
+    assert not platform.t2.port.link.dead
+
+
+# ---------------------------------------------------------------------------
+# health-monitor recovery probes
+# ---------------------------------------------------------------------------
+
+def test_failed_streak_stays_frozen_while_failed():
+    mon = DeviceHealthMonitor(fail_threshold=2)
+    mon.record_failure()
+    mon.record_failure()
+    assert mon.state is HealthState.FAILED
+    streak = mon.consecutive_failures
+    mon.record_failure()                 # late failures while dead
+    mon.record_failure()
+    assert mon.consecutive_failures == streak
+    assert mon.failures == 4             # ...but the raw count still moves
+
+
+def test_probe_cycle_recovers_a_failed_device():
+    mon = DeviceHealthMonitor(fail_threshold=2, probe_interval_ns=100.0)
+    mon.record_failure(now=0.0)
+    mon.record_failure(now=10.0)
+    assert mon.state is HealthState.FAILED
+    assert not mon.probe_due(50.0)       # interval not yet elapsed
+    assert mon.probe_due(110.0)
+    mon.begin_probe(110.0)
+    assert mon.state is HealthState.HALF_OPEN
+    assert not mon.probe_due(110.0)      # one probe at a time
+    mon.record_success(110.5)
+    assert mon.state is HealthState.HEALTHY
+    assert mon.probe_successes == 1
+    assert mon.consecutive_failures == 0
+
+
+def test_failed_probe_backs_off_the_next_one():
+    mon = DeviceHealthMonitor(fail_threshold=1, probe_interval_ns=100.0,
+                              probe_backoff=2.0)
+    mon.record_failure(now=0.0)
+    mon.begin_probe(100.0)
+    mon.record_failure(now=101.0)        # probe verdict: still broken
+    assert mon.state is HealthState.FAILED
+    assert mon.next_probe_at_ns == pytest.approx(301.0)   # 101 + 100*2
+    mon.begin_probe(301.0)
+    mon.record_failure(now=302.0)
+    assert mon.next_probe_at_ns == pytest.approx(702.0)   # 302 + 100*4
+
+
+def test_note_repair_pulls_the_probe_forward():
+    mon = DeviceHealthMonitor(fail_threshold=1, probe_interval_ns=1000.0)
+    mon.record_failure(now=0.0)
+    assert not mon.probe_due(5.0)
+    mon.note_repair(5.0)
+    assert mon.probe_due(5.0)
+
+
+def test_probing_disabled_keeps_failed_sticky():
+    mon = DeviceHealthMonitor(fail_threshold=1)        # probe_interval 0
+    mon.record_failure(now=0.0)
+    assert not mon.probe_due(float("1e18"))
+    mon.note_repair(1.0)                               # no-op when disabled
+    assert not mon.probe_due(float("1e18"))
