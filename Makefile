@@ -18,8 +18,10 @@ test-sanitized:
 
 # reprolint always runs (stdlib-only); ruff/mypy run when installed
 # (pip install -e '.[lint]') and are skipped gracefully otherwise.
+# --graph adds the whole-program passes; the content-hash cache
+# (.reprolint_cache.json) keeps warm runs incremental.
 lint:
-	$(PYTHON) -m repro lint src tests benchmarks examples
+	$(PYTHON) -m repro lint --graph src tests benchmarks examples
 	@$(PYTHON) -c "import ruff" 2>/dev/null \
 		&& $(PYTHON) -m ruff check src tests \
 		|| echo "ruff not installed; skipping (pip install -e '.[lint]')"

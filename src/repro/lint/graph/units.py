@@ -1,0 +1,472 @@
+"""Unit-dimension inference (UNIT4xx).
+
+All simulator time is float nanoseconds, all sizes are bytes, and
+transfer shapes count 64 B cache lines.  The :mod:`repro.units`
+constructors (``us``, ``ms``, ``kib``, ``mib``, ``cachelines``, ...) and
+the naming convention (``*_ns``, ``*_bytes``, ``*_per_ns``) declare the
+dimension of almost every quantity in the tree; this pass propagates
+those dimensions through assignments, arithmetic and call signatures
+(resolved through the call graph) and flags the flows the per-file
+UNIT3xx rules cannot see:
+
+``UNIT401`` — mixed-dimension arithmetic: ``ns + bytes`` has no meaning
+    at any magnitude and always indicates a dropped conversion.
+
+``UNIT402`` — an argument with a confidently inferred dimension passed
+    to a parameter whose name declares a *different* dimension — e.g. a
+    bytes value handed to a ``*_ns`` parameter two modules away.
+
+``UNIT403`` — a large raw numeric magnitude (>= 1 ms worth of ns, or
+    >= 64 KiB worth of bytes) flowing into a dimension-typed parameter
+    positionally or through a variable, where the per-file UNIT302 rule
+    (which only sees literal keywords) is blind.  State the magnitude
+    with a :mod:`repro.units` helper instead.
+
+Rates are understood just enough to stay quiet on clean code:
+``bytes / *_per_ns`` is ns, ``bytes / ns`` is a rate, and arithmetic
+with an unknown side is never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.core import Finding, dotted_name
+from repro.lint.graph.callgraph import CallGraph
+from repro.lint.graph.loader import FunctionInfo, Project
+
+NS = "ns"
+BYTES = "bytes"
+LINES = "lines"
+RATE = "bytes/ns"
+DIMLESS = "dimless"
+
+_CONCRETE = (NS, BYTES, LINES)
+
+_UNITS_RETURNS = {
+    "ns": NS, "us": NS, "ms": NS, "seconds": NS,
+    "ghz_period_ns": NS, "mhz_period_ns": NS,
+    "kib": BYTES, "mib": BYTES, "gib": BYTES,
+    "cachelines": LINES,
+    "gbps_to_bytes_per_ns": RATE, "gib_per_s_to_bytes_per_ns": RATE,
+}
+
+_UNITS_CONSTANTS = {
+    "NS": NS, "US": NS, "MS": NS, "SEC": NS,
+    "CACHELINE": BYTES, "PAGE_SIZE": BYTES,
+}
+
+# Raw-magnitude limits, matching the per-file UNIT302 thresholds.
+_NS_LIMIT = 1_000_000.0
+_BYTES_LIMIT = 64 * 1024
+
+
+class Dim:
+    """An inferred dimension, optionally carrying a literal magnitude."""
+
+    __slots__ = ("kind", "literal")
+
+    def __init__(self, kind: Optional[str],
+                 literal: Optional[float] = None):
+        self.kind = kind
+        self.literal = literal
+
+    @property
+    def concrete(self) -> bool:
+        return self.kind in _CONCRETE
+
+
+UNKNOWN = Dim(None)
+
+
+def name_dim(name: str) -> Optional[str]:
+    """The dimension a name's suffix declares, if any.
+
+    Lowercase ``*_rate`` is deliberately left unknown — in-tree it names
+    both fractions (``hit_rate``) and bytes/ns rates
+    (``input_ready_rate``); only the uppercase ``*_RATE`` constants are
+    uniformly bytes/ns.
+    """
+    lowered = name.lower()
+    if lowered.endswith("per_ns"):
+        return RATE
+    if name.endswith("_RATE"):
+        return RATE
+    if lowered.endswith("_ns") or name == "now":
+        return NS
+    if lowered.endswith(("_bytes", "nbytes")):
+        return BYTES
+    if lowered.endswith("_lines"):
+        return LINES
+    return None
+
+
+def check_units(project: Project, graph: CallGraph) -> List[Finding]:
+    analysis = _UnitAnalysis(project, graph)
+    return analysis.run()
+
+
+class _UnitAnalysis:
+
+    def __init__(self, project: Project, graph: CallGraph):
+        self.project = project
+        self.graph = graph
+        self.findings: List[Finding] = []
+        self._seen: set = set()
+        # qname -> return dimension, two rounds for pass-through returns.
+        self.return_dims: Dict[str, Optional[str]] = {}
+        self.module_consts: Dict[Tuple[str, str], Dim] = {}
+        self._collect_module_consts()
+        self._solve_return_dims()
+
+    # -- module-level constants -------------------------------------------
+
+    def _collect_module_consts(self) -> None:
+        for module in self.project.modules.values():
+            env: Dict[str, Dim] = {}
+            for node in module.lint.tree.body:
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    name = node.targets[0].id
+                    dim = self._dim_of(node.value, env, None, check=False)
+                    declared = name_dim(name)
+                    if declared is not None and dim.kind is None:
+                        dim = Dim(declared, dim.literal)
+                    env[name] = dim
+            for name, dim in env.items():
+                if dim.kind is not None or dim.literal is not None:
+                    self.module_consts[(module.name, name)] = dim
+
+    # -- function return dimensions ---------------------------------------
+
+    def _solve_return_dims(self) -> None:
+        for _ in range(3):
+            changed = False
+            for fn in self.project.functions.values():
+                dim = self._infer_return_dim(fn)
+                if self.return_dims.get(fn.qname) != dim:
+                    self.return_dims[fn.qname] = dim
+                    changed = True
+            if not changed:
+                break
+
+    def _infer_return_dim(self, fn: FunctionInfo) -> Optional[str]:
+        declared = name_dim(fn.name)
+        if declared is not None:
+            return declared
+        if fn.module.name == "repro.units":
+            return _UNITS_RETURNS.get(fn.name)
+        kinds = set()
+        env = self._param_env(fn)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                dim = self._dim_of(node.value, env, fn, check=False)
+                kinds.add(dim.kind)
+        kinds.discard(None)
+        if len(kinds) == 1:
+            return kinds.pop()
+        return None
+
+    def _param_env(self, fn: FunctionInfo) -> Dict[str, Dim]:
+        env: Dict[str, Dim] = {}
+        for name in fn.params:
+            declared = name_dim(name)
+            if declared is not None:
+                env[name] = Dim(declared)
+        return env
+
+    # -- the pass ----------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        for fn in self.project.functions.values():
+            env = self._param_env(fn)
+            # Two passes approximate loop-carried assignments; findings
+            # are deduplicated by location.
+            for check in (False, True):
+                self._exec_block(fn, fn.node.body, env, check)
+        self.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return self.findings
+
+    def _emit(self, rule: str, fn: FunctionInfo, node: ast.AST,
+              message: str) -> None:
+        mark = (rule, fn.path, node.lineno, node.col_offset)
+        if mark in self._seen:
+            return
+        self._seen.add(mark)
+        self.findings.append(Finding(rule, fn.path, node.lineno,
+                                     node.col_offset, message))
+
+    def _exec_block(self, fn: FunctionInfo, body: List[ast.stmt],
+                    env: Dict[str, Dim], check: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                dim = self._dim_of(stmt.value, env, fn, check)
+                name = stmt.targets[0].id
+                declared = name_dim(name)
+                if declared is not None and dim.kind is None:
+                    dim = Dim(declared, dim.literal)
+                env[name] = dim
+                continue
+            if isinstance(stmt, ast.AugAssign) and isinstance(
+                    stmt.target, ast.Name):
+                left = env.get(stmt.target.id, UNKNOWN)
+                right = self._dim_of(stmt.value, env, fn, check)
+                result = self._combine(stmt.op, left, right, stmt, fn, check)
+                env[stmt.target.id] = result
+                continue
+            # Generic statement: evaluate nested expressions for checks,
+            # then recurse into nested blocks.
+            for field in ast.iter_fields(stmt):
+                _, value = field
+                if isinstance(value, ast.expr):
+                    self._dim_of(value, env, fn, check)
+                elif isinstance(value, list):
+                    exprs = [v for v in value if isinstance(v, ast.expr)]
+                    for exprv in exprs:
+                        self._dim_of(exprv, env, fn, check)
+                    stmts = [v for v in value if isinstance(v, ast.stmt)]
+                    if stmts:
+                        self._exec_block(fn, stmts, env, check)
+                elif isinstance(value, ast.excepthandler):
+                    pass
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    self._exec_block(fn, handler.body, env, check)
+
+    # -- expression dimensions --------------------------------------------
+
+    def _dim_of(self, expr: ast.expr, env: Dict[str, Dim],
+                fn: Optional[FunctionInfo], check: bool) -> Dim:
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool) or not isinstance(
+                    expr.value, (int, float)):
+                return UNKNOWN
+            return Dim(None, float(expr.value))
+        if isinstance(expr, ast.UnaryOp):
+            inner = self._dim_of(expr.operand, env, fn, check)
+            if isinstance(expr.op, ast.USub) and inner.literal is not None:
+                return Dim(inner.kind, -inner.literal)
+            return inner
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return env[expr.id]
+            if fn is not None:
+                const = self.module_consts.get((fn.module.name, expr.id))
+                if const is not None:
+                    return const
+                if expr.id in _UNITS_CONSTANTS and \
+                        self._binds_units_constant(fn, expr.id):
+                    return Dim(_UNITS_CONSTANTS[expr.id])
+            declared = name_dim(expr.id)
+            return Dim(declared) if declared else UNKNOWN
+        if isinstance(expr, ast.Attribute):
+            declared = name_dim(expr.attr)
+            if declared is not None:
+                return Dim(declared)
+            if expr.attr in _UNITS_CONSTANTS:
+                return Dim(_UNITS_CONSTANTS[expr.attr])
+            return UNKNOWN
+        if isinstance(expr, ast.BinOp):
+            left = self._dim_of(expr.left, env, fn, check)
+            right = self._dim_of(expr.right, env, fn, check)
+            return self._combine(expr.op, left, right, expr, fn, check)
+        if isinstance(expr, ast.Call):
+            return self._dim_of_call(expr, env, fn, check)
+        if isinstance(expr, ast.IfExp):
+            self._dim_of(expr.test, env, fn, check)
+            body = self._dim_of(expr.body, env, fn, check)
+            orelse = self._dim_of(expr.orelse, env, fn, check)
+            if body.kind == orelse.kind:
+                return Dim(body.kind)
+            return UNKNOWN
+        if isinstance(expr, (ast.Yield, ast.YieldFrom, ast.Await)):
+            if expr.value is not None:
+                self._dim_of(expr.value, env, fn, check)
+            return UNKNOWN
+        if isinstance(expr, ast.Compare):
+            self._dim_of(expr.left, env, fn, check)
+            for comp in expr.comparators:
+                self._dim_of(comp, env, fn, check)
+            return UNKNOWN
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for elt in expr.elts:
+                self._dim_of(elt, env, fn, check)
+            return UNKNOWN
+        if isinstance(expr, ast.Subscript):
+            self._dim_of(expr.value, env, fn, check)
+            return UNKNOWN
+        return UNKNOWN
+
+    def _binds_units_constant(self, fn: FunctionInfo, name: str) -> bool:
+        target = fn.module.imports.get(name, "")
+        return target.startswith("repro.units")
+
+    def _combine(self, op: ast.operator, left: Dim, right: Dim,
+                 node: ast.AST, fn: Optional[FunctionInfo],
+                 check: bool) -> Dim:
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if left.concrete and right.concrete and left.kind != right.kind:
+                if check and fn is not None:
+                    self._emit(
+                        "UNIT401", fn, node,
+                        f"mixed-dimension arithmetic: `{left.kind}` "
+                        f"{'+' if isinstance(op, ast.Add) else '-'} "
+                        f"`{right.kind}` has no meaning; convert one side "
+                        "with repro.units first",
+                    )
+                return UNKNOWN
+            kind = left.kind if left.concrete else (
+                right.kind if right.concrete else
+                (left.kind or right.kind))
+            literal = None
+            if left.literal is not None and right.literal is not None:
+                literal = (left.literal + right.literal
+                           if isinstance(op, ast.Add)
+                           else left.literal - right.literal)
+            return Dim(kind, literal)
+        if isinstance(op, ast.Mult):
+            lit = None
+            if left.literal is not None and right.literal is not None:
+                lit = left.literal * right.literal
+            for a, b in ((left, right), (right, left)):
+                if a.concrete and (b.kind is None and b.literal is not None
+                                   or b.kind == DIMLESS):
+                    return Dim(a.kind, lit)
+                if a.kind == RATE and b.kind == NS:
+                    return Dim(BYTES)
+            if left.kind is None and right.kind is None:
+                return Dim(None, lit)
+            return UNKNOWN
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left.kind == BYTES and right.kind == RATE:
+                return Dim(NS)
+            if left.kind == BYTES and right.kind == NS:
+                return Dim(RATE)
+            if left.kind is not None and left.kind == right.kind:
+                return Dim(DIMLESS)
+            if left.concrete and (right.kind == DIMLESS or
+                                  (right.kind is None
+                                   and right.literal is not None)):
+                # Dividing by a plain number scales the magnitude; an
+                # *unknown* divisor could be a rate, so it erases the
+                # dimension rather than keeping it.
+                lit = None
+                if left.literal is not None and right.literal:
+                    lit = left.literal / right.literal
+                return Dim(left.kind, lit)
+            if left.literal is not None and right.literal:
+                return Dim(None, left.literal / right.literal)
+            return UNKNOWN
+        return UNKNOWN
+
+    # -- calls: signature checks ------------------------------------------
+
+    def _dim_of_call(self, node: ast.Call, env: Dict[str, Dim],
+                     fn: Optional[FunctionInfo], check: bool) -> Dim:
+        arg_dims = [self._dim_of(arg, env, fn, check) for arg in node.args]
+        kw_dims = {kw.arg: self._dim_of(kw.value, env, fn, check)
+                   for kw in node.keywords}
+        dotted = dotted_name(node.func)
+        leaf = dotted.split(".")[-1] if dotted else ""
+
+        if check and fn is not None:
+            self._check_args(node, leaf, arg_dims, kw_dims, fn)
+
+        # min/max/abs preserve a consistent argument dimension.
+        if leaf in ("min", "max", "abs") and arg_dims:
+            kinds = {d.kind for d in arg_dims}
+            if len(kinds) == 1 and None not in kinds:
+                return Dim(kinds.pop())
+            return UNKNOWN
+
+        # Return dimension.
+        if leaf in _UNITS_RETURNS and fn is not None and \
+                self._is_units_call(fn, dotted):
+            return Dim(_UNITS_RETURNS[leaf])
+        declared = name_dim(leaf)
+        if declared is not None:
+            return Dim(declared)
+        site = self._site_for(fn, node)
+        if site is not None and site.callees:
+            kinds = {self.return_dims.get(c.qname) for c in site.callees}
+            if len(kinds) == 1:
+                kind = kinds.pop()
+                if kind is not None:
+                    return Dim(kind)
+        return UNKNOWN
+
+    def _is_units_call(self, fn: FunctionInfo, dotted: str) -> bool:
+        head = dotted.split(".")[0]
+        target = fn.module.imports.get(head, "")
+        if target.startswith("repro.units") or target == "repro":
+            return True
+        # Fixtures and in-package code may define/import the helpers
+        # under the same canonical names; resolved symbols win.
+        symbol = self.project.resolve_dotted(fn.module, dotted)
+        return isinstance(symbol, FunctionInfo) and \
+            symbol.module.name.endswith("units")
+
+    def _site_for(self, fn: Optional[FunctionInfo], node: ast.Call):
+        if fn is None:
+            return None
+        for site in self.graph.sites_in(fn.qname):
+            if site.node is node:
+                return site
+        return None
+
+    def _check_args(self, node: ast.Call, leaf: str,
+                    arg_dims: List[Dim], kw_dims: Dict[Optional[str], Dim],
+                    fn: FunctionInfo) -> None:
+        # Keyword names declare dimensions even for unresolved callees.
+        for kw, dim in zip(node.keywords, [kw_dims[kw.arg]
+                                           for kw in node.keywords]):
+            if kw.arg is None:
+                continue
+            declared = name_dim(kw.arg)
+            if declared in _CONCRETE:
+                self._check_one(kw.value, dim, declared, kw.arg, fn)
+        # Resolved callees declare positional parameter dimensions.
+        site = self._site_for(fn, node)
+        if site is None or not site.callees:
+            return
+        callee = site.callees[0]
+        for idx, dim in enumerate(arg_dims):
+            if idx >= len(callee.params):
+                break
+            pname = callee.params[idx]
+            declared = name_dim(pname)
+            if declared in _CONCRETE:
+                self._check_one(node.args[idx], dim, declared, pname, fn)
+        for kw in node.keywords:
+            if kw.arg is None or kw.arg not in callee.params:
+                continue
+            declared = name_dim(kw.arg)
+            if declared in _CONCRETE:
+                self._check_one(kw.value, kw_dims[kw.arg], declared,
+                                kw.arg, fn)
+
+    def _check_one(self, anchor: ast.expr, dim: Dim, declared: str,
+                   pname: str, fn: FunctionInfo) -> None:
+        if dim.concrete and dim.kind != declared:
+            self._emit(
+                "UNIT402", fn, anchor,
+                f"`{pname}` expects {declared} but the argument is "
+                f"{dim.kind}; convert with repro.units before the call",
+            )
+            return
+        if dim.kind is None and dim.literal is not None:
+            limit = _NS_LIMIT if declared == NS else _BYTES_LIMIT
+            if declared in (NS, BYTES) and abs(dim.literal) >= limit:
+                helper = "us(...)/ms(...)" if declared == NS else \
+                    "kib(...)/mib(...)"
+                self._emit(
+                    "UNIT403", fn, anchor,
+                    f"raw magnitude {dim.literal:g} flows into "
+                    f"`{pname}` ({declared}); state the unit with "
+                    f"repro.units ({helper})",
+                )

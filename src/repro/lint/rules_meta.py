@@ -1,0 +1,59 @@
+"""LINT0xx: the linter checking its own directives.
+
+A suppression comment that does not parse used to degrade silently —
+``# reprolint: disable=sim401`` (lowercase) fell through the old regex
+as a blanket ``disable`` and hid *every* rule on the line.  Strict
+parsing in :mod:`repro.lint.core` now refuses to apply such directives;
+these rules make the refusal visible:
+
+``LINT001`` — the directive is malformed: unknown keyword, or rule ids
+    that are not uppercase identifiers.  It was ignored.
+``LINT002`` — the directive is well-formed but names a rule id the
+    linter does not know, so it suppresses nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set
+
+from repro.lint.core import Finding, LintModule, Rule
+
+_known_ids: Optional[Set[str]] = None
+
+
+def _known_rule_ids() -> Set[str]:
+    global _known_ids
+    if _known_ids is None:
+        from repro.lint.core import all_rules
+        from repro.lint.graph import GRAPH_RULE_IDS
+
+        _known_ids = {rule.id for rule in all_rules()} | set(GRAPH_RULE_IDS)
+        _known_ids.add("*")
+    return _known_ids
+
+
+def check_malformed_suppression(module: LintModule) -> Iterator[Finding]:
+    for problem in module.suppression_index().problems:
+        yield Finding(
+            "LINT001", module.path, problem.line, problem.col,
+            f"suppression not applied: {problem.reason}",
+        )
+
+
+def check_unknown_rule(module: LintModule) -> Iterator[Finding]:
+    known = _known_rule_ids()
+    for line, col, rule_id in module.suppression_index().mentioned:
+        if rule_id not in known:
+            yield Finding(
+                "LINT002", module.path, line, col,
+                f"suppression names unknown rule id `{rule_id}`; it "
+                "suppresses nothing (see `repro lint --list-rules`)",
+            )
+
+
+RULES = [
+    Rule("LINT001", "malformed reprolint directive was ignored",
+         check_malformed_suppression),
+    Rule("LINT002", "suppression names an unknown rule id",
+         check_unknown_rule),
+]

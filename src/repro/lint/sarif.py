@@ -1,0 +1,75 @@
+"""SARIF 2.1.0 serialisation of a lint report.
+
+Static Analysis Results Interchange Format — the one schema both GitHub
+code scanning and most editors ingest.  One ``run`` per report; the
+driver advertises the full rule catalogue (per-file and graph tiers) so
+viewers can show rule metadata even for rules with zero results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.lint.core import LintReport
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _all_rule_metadata() -> List[Tuple[str, str]]:
+    from repro.lint.core import all_rules
+    from repro.lint.graph import GRAPH_RULE_CATALOGUE
+
+    pairs = [(rule.id, rule.summary) for rule in all_rules()]
+    pairs += list(GRAPH_RULE_CATALOGUE)
+    return sorted(pairs)
+
+
+def report_to_sarif(report: LintReport) -> Dict[str, object]:
+    rules_meta = _all_rule_metadata()
+    rule_index = {rid: i for i, (rid, _) in enumerate(rules_meta)}
+    results = []
+    for finding in report.findings:
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index.get(finding.rule, -1),
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": finding.line,
+                               "startColumn": finding.col + 1},
+                },
+            }],
+        })
+    invocation = {
+        "executionSuccessful": not report.parse_errors,
+        "toolExecutionNotifications": [
+            {"level": "error", "message": {"text": err}}
+            for err in report.parse_errors
+        ],
+    }
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "reprolint",
+                "informationUri": "docs/LINT.md",
+                "rules": [
+                    {"id": rid, "shortDescription": {"text": summary}}
+                    for rid, summary in rules_meta
+                ],
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "invocations": [invocation],
+            "results": results,
+        }],
+    }
+
+
+def report_to_sarif_json(report: LintReport) -> str:
+    return json.dumps(report_to_sarif(report), indent=2)

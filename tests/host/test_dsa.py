@@ -7,6 +7,7 @@ import pytest
 from repro.config import cxl_link
 from repro.host.dsa import ENGINE_BYTES_PER_NS, ENGINE_STARTUP_NS, ENQCMD_NS, DsaEngine
 from repro.interconnect.link import Link
+from repro.units import kib
 
 
 def test_copy_cost_components(sim):
@@ -21,11 +22,12 @@ def test_copy_cost_components(sim):
 def test_copy_via_link_caps_rate_and_adds_flight(sim):
     dsa = DsaEngine(sim)
     link = Link(sim, cxl_link())
+    nbytes = kib(300)
     start = sim.now
-    sim.run_process(dsa.copy(300_000, via=link))
+    sim.run_process(dsa.copy(nbytes, via=link))
     elapsed = sim.now - start
     # engine (30 B/ns) is slower than the x16 link (64 B/ns): engine-bound
-    assert elapsed > 300_000 / ENGINE_BYTES_PER_NS
+    assert elapsed > nbytes / ENGINE_BYTES_PER_NS
 
 
 def test_engine_serializes_descriptors(sim):

@@ -1,0 +1,116 @@
+"""The new CLI surface: --graph, --summary, sarif, baselines, caching."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint.cli import main as lint_main
+
+ENV_TAINT = {
+    "knobs.py": """
+        import os
+
+
+        def read_scale():
+            return float(os.environ.get("SCALE", "1.0"))
+    """,
+    "proc.py": """
+        from knobs import read_scale
+
+
+        def run(sim):
+            yield Timeout(read_scale())
+    """,
+}
+
+
+def write(tmp_path, files):
+    for name, source in files.items():
+        (tmp_path / name).write_text(textwrap.dedent(source))
+
+
+def test_graph_flag_enables_the_interprocedural_tier(tmp_path, capsys):
+    write(tmp_path, ENV_TAINT)
+    assert lint_main([str(tmp_path), "--no-cache"]) == 0
+    assert lint_main([str(tmp_path), "--graph", "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "DET203" in out
+    assert "(+graph)" in out
+
+
+def test_summary_prints_per_rule_counts(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(
+        "import random\n"
+        "import time  # noqa\n")
+    (tmp_path / "hushed.py").write_text(
+        "import random  # reprolint: disable=DET102\n")
+    assert lint_main([str(tmp_path), "--summary", "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "rule" in out and "suppressed" in out
+    # DET102: one finding (bad.py), one suppressed (hushed.py).
+    (row,) = [line for line in out.splitlines()
+              if line.startswith("DET102")]
+    assert row.split() == ["DET102", "1", "1"]
+
+
+def test_sarif_format_and_output_file(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text("import random\n")
+    sarif_path = tmp_path / "out.sarif"
+    assert lint_main([str(tmp_path / "bad.py"), "--format", "sarif",
+                      "--output", str(sarif_path), "--no-cache"]) == 1
+    payload = json.loads(sarif_path.read_text())
+    assert payload["version"] == "2.1.0"
+    (result,) = payload["runs"][0]["results"]
+    assert result["ruleId"] == "DET102"
+    assert capsys.readouterr().out == ""
+
+
+def test_baseline_gates_only_new_findings(tmp_path, capsys):
+    (tmp_path / "legacy.py").write_text("import random\n")
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(tmp_path), "--baseline", str(baseline),
+                      "--write-baseline", "--no-cache"]) == 0
+    assert baseline.exists()
+    # The recorded finding no longer fails the run...
+    assert lint_main([str(tmp_path), "--baseline", str(baseline),
+                      "--no-cache"]) == 0
+    assert "[baseline]" in capsys.readouterr().out
+    # ...but a fresh finding does.
+    (tmp_path / "fresh.py").write_text("import random\n")
+    assert lint_main([str(tmp_path), "--baseline", str(baseline),
+                      "--no-cache"]) == 1
+
+
+def test_write_baseline_requires_a_path(capsys):
+    assert lint_main(["--write-baseline"]) == 2
+    assert "requires --baseline" in capsys.readouterr().err
+
+
+def test_graph_rule_ids_are_selectable(tmp_path, capsys):
+    write(tmp_path, ENV_TAINT)
+    assert lint_main([str(tmp_path), "--graph", "--select", "DET203",
+                      "--no-cache"]) == 1
+    assert lint_main([str(tmp_path), "--graph", "--ignore", "DET203",
+                      "--no-cache"]) == 0
+    capsys.readouterr()
+    assert lint_main([str(tmp_path), "--select", "NOPE123"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_list_rules_covers_both_tiers(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "DET102" in out
+    assert "SIM401" in out and "[--graph]" in out
+
+
+def test_cache_file_round_trip_via_cli(tmp_path, capsys):
+    write(tmp_path, ENV_TAINT)
+    cache_file = tmp_path / "cache.json"
+    args = [str(tmp_path), "--graph", "--cache-file", str(cache_file)]
+    assert lint_main(args) == 1
+    assert cache_file.exists()
+    first = capsys.readouterr().out
+    assert lint_main(args) == 1  # warm: same outcome from cache
+    assert capsys.readouterr().out == first

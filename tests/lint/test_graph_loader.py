@@ -1,0 +1,189 @@
+"""The project loader and call-graph builder, on fixture projects."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.core import LintModule
+from repro.lint.graph.callgraph import build_call_graph
+from repro.lint.graph.loader import Project, module_name_for
+
+
+def load(tmp_path, files):
+    modules = []
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        modules.append((module_name_for(str(path), [str(tmp_path)]),
+                        LintModule.parse(path)))
+    return Project.from_modules(modules)
+
+
+def test_module_names_strip_roots_and_init():
+    assert module_name_for("src/repro/sim/engine.py", ["src"]) == \
+        "repro.sim.engine"
+    assert module_name_for("src/repro/sim/__init__.py", ["src"]) == \
+        "repro.sim"
+    assert module_name_for("fixture.py", []) == "fixture"
+
+
+def test_symbols_and_imports_resolve_across_modules(tmp_path):
+    project = load(tmp_path, {
+        "pkg/util.py": """
+            def helper():
+                return 1
+        """,
+        "pkg/main.py": """
+            from pkg.util import helper
+
+            def entry():
+                return helper()
+        """,
+    })
+    main = project.modules["pkg.main"]
+    symbol = project.resolve_dotted(main, "helper")
+    assert symbol is project.functions["pkg.util:helper"]
+
+
+def test_call_graph_handles_cycles(tmp_path):
+    project = load(tmp_path, {
+        "a.py": """
+            from b import pong
+
+            def ping(n):
+                return pong(n - 1)
+        """,
+        "b.py": """
+            from a import ping
+
+            def pong(n):
+                if n > 0:
+                    return ping(n)
+                return 0
+        """,
+    })
+    graph = build_call_graph(project)
+    assert graph.callees_of("a:ping") == ["b:pong"]
+    assert graph.callees_of("b:pong") == ["a:ping"]
+    assert graph.callers.get("a:ping") == ["b:pong"]
+
+
+def test_decorated_functions_are_graphed(tmp_path):
+    project = load(tmp_path, {
+        "mod.py": """
+            def wrap(fn):
+                return fn
+
+            @wrap
+            def worker():
+                return 1
+
+            def entry():
+                return worker()
+        """,
+    })
+    worker = project.functions["mod:worker"]
+    assert worker.decorators == ["wrap"]
+    graph = build_call_graph(project)
+    assert "mod:worker" in graph.callees_of("mod:entry")
+
+
+def test_method_resolution_follows_mro_and_overrides(tmp_path):
+    project = load(tmp_path, {
+        "base.py": """
+            class Base:
+                def run(self):
+                    return self.step()
+
+                def step(self):
+                    return 0
+        """,
+        "sub.py": """
+            from base import Base
+
+            class Sub(Base):
+                def step(self):
+                    return 1
+        """,
+    })
+    base = project.classes["base:Base"]
+    sub = project.classes["sub:Sub"]
+    # MRO: inherited lookup lands on Base.run; override wins on Sub.
+    assert project.lookup_method(sub, "run").qname == "base:Base.run"
+    assert project.lookup_method(sub, "step").qname == "sub:Sub.step"
+    assert [c.qname for c in project.subclasses(base)] == ["sub:Sub"]
+    # Virtual dispatch: self.step() inside Base.run can land on either.
+    graph = build_call_graph(project)
+    assert sorted(graph.callees_of("base:Base.run")) == \
+        ["base:Base.step", "sub:Sub.step"]
+
+
+def test_typed_receivers_via_ctor_assignment(tmp_path):
+    project = load(tmp_path, {
+        "mod.py": """
+            class Worker:
+                def go(self):
+                    return 1
+
+            class Owner:
+                def __init__(self):
+                    self.worker = Worker()
+
+                def entry(self):
+                    return self.worker.go()
+
+            def local_entry():
+                w = Worker()
+                return w.go()
+        """,
+    })
+    graph = build_call_graph(project)
+    assert graph.callees_of("mod:Owner.entry") == ["mod:Worker.go"]
+    assert graph.callees_of("mod:local_entry") == ["mod:Worker.go"]
+
+
+def test_by_name_fallback_requires_a_unique_definition(tmp_path):
+    project = load(tmp_path, {
+        "mod.py": """
+            class A:
+                def unique_step(self):
+                    return 1
+
+            class B:
+                def ambiguous(self):
+                    return 1
+
+            class C:
+                def ambiguous(self):
+                    return 2
+
+            def entry(x):
+                x.unique_step()
+                x.ambiguous()
+        """,
+    })
+    graph = build_call_graph(project)
+    callees = graph.callees_of("mod:entry")
+    assert callees == ["mod:A.unique_step"]  # ambiguous name: no edge
+    (site,) = graph.sites_in("mod:entry")
+    assert site.via_fallback
+
+
+def test_relative_imports_resolve(tmp_path):
+    project = load(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/util.py": """
+            def helper():
+                return 1
+        """,
+        "pkg/main.py": """
+            from .util import helper
+
+            def entry():
+                return helper()
+        """,
+    })
+    graph = build_call_graph(project)
+    assert graph.callees_of("pkg.main:entry") == ["pkg.util:helper"]

@@ -1,0 +1,233 @@
+"""SIM4xx: grant pairing and failable-event escape on fixture projects."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.core import LintModule
+from repro.lint.graph import run_graph_passes
+from repro.lint.graph.loader import module_name_for
+
+
+def graph_rules(tmp_path, files):
+    modules = []
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        modules.append((module_name_for(str(path), [str(tmp_path)]),
+                        LintModule.parse(path)))
+    return [f.rule for f in run_graph_passes(modules)]
+
+
+# -- SIM401: grant leaks -----------------------------------------------------
+
+def test_sim401_local_resource_never_released(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "proc.py": """
+            def run(sim):
+                res = Resource(sim, 1)
+                yield res.acquire()
+                yield Timeout(5.0)
+        """,
+    })
+    assert rules == ["SIM401"]
+
+
+def test_sim401_quiet_when_released(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "proc.py": """
+            def run(sim):
+                res = Resource(sim, 1)
+                yield res.acquire()
+                try:
+                    yield Timeout(5.0)
+                finally:
+                    res.release()
+        """,
+    })
+    assert rules == []
+
+
+def test_sim401_quiet_when_the_resource_escapes(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "proc.py": """
+            def build(sim):
+                res = Resource(sim, 1)
+                yield res.acquire()
+                return res
+        """,
+    })
+    assert rules == []
+
+
+def test_sim401_helper_acquires_callers_resource(tmp_path):
+    # The acquire lives in another module; no per-file view can pair it.
+    rules = graph_rules(tmp_path, {
+        "gate.py": """
+            def admit(res):
+                yield res.acquire()
+        """,
+        "proc.py": """
+            from gate import admit
+
+            def run(sim):
+                res = Resource(sim, 1)
+                yield from admit(res)
+                yield Timeout(5.0)
+        """,
+    })
+    assert rules == ["SIM401"]
+
+
+def test_sim401_quiet_on_cross_function_handoff(tmp_path):
+    # MemoryChannel idiom: one method acquires, another releases.
+    rules = graph_rules(tmp_path, {
+        "chan.py": """
+            class Channel:
+                def __init__(self, sim):
+                    self._wq = Resource(sim, 4)
+
+                def write(self, line):
+                    yield self._wq.acquire()
+
+                def _drain_one(self):
+                    self._wq.release()
+        """,
+    })
+    assert rules == []
+
+
+# -- SIM402: unprotected yields ----------------------------------------------
+
+def test_sim402_grant_held_across_bare_yield(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "proc.py": """
+            def run(sim, res):
+                yield res.acquire()
+                yield Timeout(5.0)
+                res.release()
+        """,
+    })
+    assert rules == ["SIM402"]
+
+
+def test_sim402_quiet_with_try_finally(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "proc.py": """
+            def run(sim, res):
+                yield res.acquire()
+                try:
+                    yield Timeout(5.0)
+                finally:
+                    res.release()
+        """,
+    })
+    assert rules == []
+
+
+def test_sim402_quiet_after_release(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "proc.py": """
+            def run(sim, res):
+                yield res.acquire()
+                res.release()
+                yield Timeout(5.0)
+        """,
+    })
+    assert rules == []
+
+
+# -- SIM403: dropped failable events -----------------------------------------
+
+FAILABLE = """
+    def start(sim, ok):
+        ev = sim.event()
+        if ok:
+            ev.succeed(None)
+        else:
+            ev.fail(RuntimeError("boom"))
+        return ev
+"""
+
+
+def test_sim403_discarded_failable_result(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "engine.py": FAILABLE,
+        "proc.py": """
+            from engine import start
+
+            def run(sim):
+                start(sim, False)
+                yield Timeout(5.0)
+        """,
+    })
+    assert rules == ["SIM403"]
+
+
+def test_sim403_bound_but_never_used(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "engine.py": FAILABLE,
+        "proc.py": """
+            from engine import start
+
+            def run(sim):
+                ev = start(sim, False)
+                yield Timeout(5.0)
+        """,
+    })
+    assert rules == ["SIM403"]
+
+
+def test_sim403_quiet_when_yielded_or_defused(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "engine.py": FAILABLE,
+        "proc.py": """
+            from engine import start
+
+            def run(sim):
+                ev = start(sim, False)
+                yield ev
+
+            def fire_and_forget(sim):
+                ev = start(sim, False)
+                ev.defuse()
+        """,
+    })
+    assert rules == []
+
+
+def test_sim403_quiet_inside_pytest_raises(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "engine.py": FAILABLE,
+        "test_proc.py": """
+            import pytest
+
+            from engine import start
+
+            def test_failure_propagates(sim):
+                with pytest.raises(RuntimeError):
+                    start(sim, False)
+        """,
+    })
+    assert rules == []
+
+
+def test_sim403_follows_pass_through_returns(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "engine.py": FAILABLE,
+        "wrap.py": """
+            from engine import start
+
+            def kick(sim):
+                return start(sim, False)
+        """,
+        "proc.py": """
+            from wrap import kick
+
+            def run(sim):
+                kick(sim)
+                yield Timeout(5.0)
+        """,
+    })
+    assert rules == ["SIM403"]

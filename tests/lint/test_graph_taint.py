@@ -1,0 +1,199 @@
+"""DET2xx: interprocedural determinism taint on fixture projects."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.core import LintModule
+from repro.lint.graph import run_graph_passes
+from repro.lint.graph.loader import module_name_for
+
+
+def graph_findings(tmp_path, files):
+    modules = []
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        modules.append((module_name_for(str(path), [str(tmp_path)]),
+                        LintModule.parse(path)))
+    return run_graph_passes(modules)
+
+
+def graph_rules(tmp_path, files):
+    return [f.rule for f in graph_findings(tmp_path, files)]
+
+
+# -- DET201: wall clock ------------------------------------------------------
+
+def test_det201_wall_clock_crossing_modules_into_timeout(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "clock.py": """
+            import time
+
+            def stamp():
+                return time.time()
+        """,
+        "proc.py": """
+            from clock import stamp
+
+            def run(sim):
+                delay = stamp()
+                yield Timeout(delay)
+        """,
+    })
+    assert rules == ["DET201"]
+
+
+def test_det201_quiet_when_clock_feeds_only_logging(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "clock.py": """
+            import time
+
+            def stamp():
+                return time.time()
+        """,
+        "proc.py": """
+            from clock import stamp
+
+            def run(sim):
+                print("started at", stamp())
+                yield Timeout(5.0)
+        """,
+    })
+    assert rules == []
+
+
+# -- DET202: entropy ---------------------------------------------------------
+
+def test_det202_stdlib_random_reaches_schedule(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "jitter.py": """
+            import random
+
+            def jitter():
+                return random.random()
+        """,
+        "proc.py": """
+            from jitter import jitter
+
+            def run(sim):
+                sim.schedule(jitter(), None)
+        """,
+    })
+    assert rules == ["DET202"]
+
+
+def test_det202_sanitized_by_deterministic_rng(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "rng.py": """
+            class DeterministicRng:
+                def uniform(self, lo, hi):
+                    return lo
+        """,
+        "proc.py": """
+            from rng import DeterministicRng
+
+            def run(sim):
+                rng = DeterministicRng()
+                yield Timeout(rng.uniform(0.0, 1.0))
+        """,
+    })
+    assert rules == []
+
+
+def test_det202_tainted_seed_argument(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "boot.py": """
+            import os
+
+            def make(sim):
+                return sim.fork(seed=int.from_bytes(os.urandom(4), "little"))
+        """,
+    })
+    assert rules == ["DET202"]
+
+
+# -- DET203: environment -----------------------------------------------------
+
+def test_det203_env_read_crossing_modules(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "knobs.py": """
+            import os
+
+            def read_knob():
+                return float(os.environ.get("KNOB", "1.0"))
+        """,
+        "proc.py": """
+            from knobs import read_knob
+
+            def run(sim):
+                scale = read_knob()
+                yield Timeout(10.0 * scale)
+        """,
+    })
+    assert rules == ["DET203"]
+
+
+def test_det203_quiet_when_env_gates_a_mode_only(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "proc.py": """
+            import os
+
+            def run(sim):
+                if os.environ.get("FAST"):
+                    print("fast mode")
+                yield Timeout(10.0)
+        """,
+    })
+    assert rules == []
+
+
+# -- DET204: unordered iteration ---------------------------------------------
+
+def test_det204_set_order_reaches_sim_state(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "order.py": """
+            def targets():
+                return list({3, 1, 2})
+        """,
+        "proc.py": """
+            from order import targets
+
+            def run(sim):
+                first = targets()[0]
+                sim.schedule(first, None)
+        """,
+    })
+    assert rules == ["DET204"]
+
+
+def test_det204_sorted_sanitizes(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "order.py": """
+            def targets():
+                return sorted({3, 1, 2})
+        """,
+        "proc.py": """
+            from order import targets
+
+            def run(sim):
+                first = targets()[0]
+                sim.schedule(first, None)
+        """,
+    })
+    assert rules == []
+
+
+def test_taint_provenance_names_the_source(tmp_path):
+    (finding,) = graph_findings(tmp_path, {
+        "proc.py": """
+            import time
+
+            def run(sim):
+                yield Timeout(time.time())
+        """,
+    })
+    assert finding.rule == "DET201"
+    assert "time.time()" in finding.message
+    assert "Timeout" in finding.message

@@ -1,0 +1,163 @@
+"""UNIT4xx: unit-dimension inference on fixture projects."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.core import LintModule
+from repro.lint.graph import run_graph_passes
+from repro.lint.graph.loader import module_name_for
+
+
+def graph_rules(tmp_path, files):
+    modules = []
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        modules.append((module_name_for(str(path), [str(tmp_path)]),
+                        LintModule.parse(path)))
+    return [f.rule for f in run_graph_passes(modules)]
+
+
+# -- UNIT401: mixed-dimension arithmetic -------------------------------------
+
+def test_unit401_ns_plus_bytes(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "mod.py": """
+            from repro.units import mib, ns
+
+            def bad():
+                return ns(5.0) + mib(1)
+        """,
+    })
+    assert rules == ["UNIT401"]
+
+
+def test_unit401_same_dimension_is_fine(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "mod.py": """
+            from repro.units import ms, ns, us
+
+            def fine():
+                return ns(5.0) + us(1.0) + ms(0.5)
+        """,
+    })
+    assert rules == []
+
+
+def test_unit401_crosses_modules_through_returns(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "size.py": """
+            from repro.units import mib
+
+            def payload():
+                return mib(4)
+        """,
+        "mix.py": """
+            from repro.units import ns
+
+            from size import payload
+
+            def bad():
+                return payload() + ns(10.0)
+        """,
+    })
+    assert rules == ["UNIT401"]
+
+
+def test_unit401_rate_algebra_is_understood(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "mod.py": """
+            from repro.units import kib
+
+            LINK_BYTES_PER_NS = 32.0
+
+            def transfer_ns(nbytes):
+                return nbytes / LINK_BYTES_PER_NS
+
+            def total():
+                return transfer_ns(kib(64)) + 5.0
+        """,
+    })
+    assert rules == []
+
+
+# -- UNIT402: wrong-dimension argument ---------------------------------------
+
+def test_unit402_bytes_into_ns_parameter(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "mod.py": """
+            from repro.units import mib
+
+            def wait(delay_ns):
+                return delay_ns
+
+            def go():
+                return wait(mib(1))
+        """,
+    })
+    assert rules == ["UNIT402"]
+
+
+def test_unit402_matching_dimension_is_fine(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "mod.py": """
+            from repro.units import ms
+
+            def wait(delay_ns):
+                return delay_ns
+
+            def go():
+                return wait(ms(2.0))
+        """,
+    })
+    assert rules == []
+
+
+def test_unit402_cross_module_keyword_argument(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "sink.py": """
+            def record(total_bytes):
+                return total_bytes
+        """,
+        "src.py": """
+            from repro.units import us
+
+            from sink import record
+
+            def go():
+                return record(total_bytes=us(3.0))
+        """,
+    })
+    assert rules == ["UNIT402"]
+
+
+# -- UNIT403: raw magnitudes -------------------------------------------------
+
+def test_unit403_large_raw_literal_into_ns_parameter(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "mod.py": """
+            def wait(delay_ns):
+                return delay_ns
+
+            def go():
+                return wait(5_000_000)
+        """,
+    })
+    assert rules == ["UNIT403"]
+
+
+def test_unit403_small_literals_and_constructors_are_fine(tmp_path):
+    rules = graph_rules(tmp_path, {
+        "mod.py": """
+            from repro.units import ms
+
+            def wait(delay_ns):
+                return delay_ns
+
+            def go():
+                return wait(64) + wait(ms(5.0))
+        """,
+    })
+    assert rules == []

@@ -1,0 +1,112 @@
+"""Acceptance: cross-module bugs the graph tier catches and the
+per-file tier structurally cannot.
+
+Each fixture splits the hazard across two modules so no single-file view
+contains both halves; ``lint_paths`` without ``graph=True`` must stay
+quiet and with it must report the seeded rule.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.core import lint_paths
+
+TAINT_BUG = {
+    # DET203: the env read and the Timeout live in different modules.
+    "knobs.py": """
+        import os
+
+
+        def read_scale():
+            return float(os.environ.get("SCALE", "1.0"))
+    """,
+    "proc.py": """
+        from knobs import read_scale
+
+
+        def run(sim):
+            delay = 10.0 * read_scale()
+            yield Timeout(delay)
+    """,
+}
+
+LEAK_BUG = {
+    # SIM401: the acquire happens inside a helper in another module.
+    "gate.py": """
+        def admit(res):
+            yield res.acquire()
+    """,
+    "proc.py": """
+        from gate import admit
+
+
+        def run(sim):
+            res = Resource(sim, 1)
+            yield from admit(res)
+            yield Timeout(5.0)
+    """,
+}
+
+UNIT_BUG = {
+    # UNIT401: bytes produced in one module, added to ns in another.
+    "size.py": """
+        from repro.units import mib
+
+
+        def payload():
+            return mib(4)
+    """,
+    "mix.py": """
+        from repro.units import ns
+
+        from size import payload
+
+
+        def total():
+            return payload() + ns(10.0)
+    """,
+}
+
+
+def write_fixture(tmp_path, files):
+    for name, source in files.items():
+        (tmp_path / name).write_text(textwrap.dedent(source))
+    return [str(tmp_path)]
+
+
+def both_tiers(tmp_path, files):
+    paths = write_fixture(tmp_path, files)
+    per_file = lint_paths(paths)
+    graph = lint_paths(paths, graph=True)
+    assert not per_file.parse_errors and not graph.parse_errors
+    return ([f.rule for f in per_file.findings],
+            [f.rule for f in graph.findings])
+
+
+def test_cross_module_env_taint_needs_the_graph(tmp_path):
+    per_file, graph = both_tiers(tmp_path, TAINT_BUG)
+    assert per_file == []
+    assert graph == ["DET203"]
+
+
+def test_cross_module_grant_leak_needs_the_graph(tmp_path):
+    per_file, graph = both_tiers(tmp_path, LEAK_BUG)
+    assert per_file == []
+    assert graph == ["SIM401"]
+
+
+def test_cross_module_unit_mix_needs_the_graph(tmp_path):
+    per_file, graph = both_tiers(tmp_path, UNIT_BUG)
+    assert per_file == []
+    assert graph == ["UNIT401"]
+
+
+def test_graph_tier_is_additive_over_per_file_findings(tmp_path):
+    files = dict(TAINT_BUG)
+    files["dirty.py"] = """
+        import random
+    """
+    paths = write_fixture(tmp_path, files)
+    graph = lint_paths(paths, graph=True)
+    assert [f.rule for f in graph.findings] == ["DET102", "DET203"]

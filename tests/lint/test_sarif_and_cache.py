@@ -1,0 +1,127 @@
+"""SARIF serialisation and the content-hash result cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.cache import catalogue_signature, open_cache
+from repro.lint.core import lint_paths
+from repro.lint.sarif import report_to_sarif
+
+DIRTY = "import random\n"
+CLEAN = "def add(a, b):\n    return a + b\n"
+
+
+# -- SARIF -------------------------------------------------------------------
+
+def test_sarif_shape_and_result_mapping(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(DIRTY)
+    report = lint_paths([str(bad)])
+    sarif = report_to_sarif(report)
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    # Both tiers advertised, id-ordered, no duplicates.
+    assert rule_ids == sorted(set(rule_ids))
+    assert "DET102" in rule_ids and "SIM401" in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "DET102"
+    assert rule_ids[result["ruleIndex"]] == "DET102"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 1
+    assert region["startColumn"] == 1
+    assert json.dumps(sarif)  # round-trips
+
+
+def test_sarif_reports_parse_errors_as_notifications(tmp_path):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    report = lint_paths([str(tmp_path)])
+    (run,) = report_to_sarif(report)["runs"]
+    (invocation,) = run["invocations"]
+    assert invocation["executionSuccessful"] is False
+    assert invocation["toolExecutionNotifications"]
+
+
+# -- result cache ------------------------------------------------------------
+
+def test_cache_round_trips_findings_and_suppressed(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "bad.py").write_text(DIRTY)
+    (src / "hushed.py").write_text(
+        "import random  # reprolint: disable=DET102\n")
+    cache_file = tmp_path / "cache.json"
+
+    cache = open_cache(str(cache_file))
+    cold = lint_paths([str(src)], cache=cache)
+    cache.save()
+    assert cache_file.exists()
+
+    warm_cache = open_cache(str(cache_file))
+    warm = lint_paths([str(src)], cache=warm_cache)
+    assert [f.to_dict() for f in warm.findings] == \
+        [f.to_dict() for f in cold.findings]
+    assert warm.suppressed == cold.suppressed == {"DET102": 1}
+
+
+def test_cache_invalidates_on_content_change(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    target = src / "mod.py"
+    target.write_text(CLEAN)
+    cache_file = tmp_path / "cache.json"
+
+    cache = open_cache(str(cache_file))
+    assert lint_paths([str(src)], cache=cache).clean
+    cache.save()
+
+    target.write_text(DIRTY)
+    cache = open_cache(str(cache_file))
+    report = lint_paths([str(src)], cache=cache)
+    assert [f.rule for f in report.findings] == ["DET102"]
+
+
+def test_graph_results_are_cached_per_project(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "knobs.py").write_text(
+        "import os\n\n\ndef read():\n"
+        "    return float(os.environ.get(\"K\", \"1\"))\n")
+    (src / "proc.py").write_text(
+        "from knobs import read\n\n\ndef run(sim):\n"
+        "    yield Timeout(read())\n")
+    cache_file = tmp_path / "cache.json"
+
+    cache = open_cache(str(cache_file))
+    cold = lint_paths([str(src)], graph=True, cache=cache)
+    cache.save()
+    assert [f.rule for f in cold.findings] == ["DET203"]
+
+    warm_cache = open_cache(str(cache_file))
+    warm = lint_paths([str(src)], graph=True, cache=warm_cache)
+    assert [f.to_dict() for f in warm.findings] == \
+        [f.to_dict() for f in cold.findings]
+
+    # Touching any module invalidates the graph entry: fixing the
+    # helper clears the finding even though proc.py is unchanged.
+    (src / "knobs.py").write_text("def read():\n    return 1.0\n")
+    cache = open_cache(str(cache_file))
+    fixed = lint_paths([str(src)], graph=True, cache=cache)
+    assert fixed.clean
+
+
+def test_cache_rejects_stale_rule_catalogue(tmp_path):
+    cache_file = tmp_path / "cache.json"
+    cache = open_cache(str(cache_file))
+    cache.put("file:deadbeef", {"findings": [], "suppressed": {}})
+    cache.save()
+
+    payload = json.loads(cache_file.read_text())
+    assert payload["sig"] == catalogue_signature()
+    payload["sig"] = "not-the-real-signature"
+    cache_file.write_text(json.dumps(payload))
+    reopened = open_cache(str(cache_file))
+    assert reopened.get("file:deadbeef") is None

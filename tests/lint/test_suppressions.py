@@ -1,0 +1,152 @@
+"""Suppression semantics: statement spans, strict parsing, meta rules."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.core import lint_paths
+
+
+def run(tmp_path, source, name="mod.py", select=None):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    report = lint_paths([str(path)], select=select)
+    assert not report.parse_errors, report.parse_errors
+    return report
+
+
+def rules(tmp_path, source, **kw):
+    return [f.rule for f in run(tmp_path, source, **kw).findings]
+
+
+# -- multi-line statements ---------------------------------------------------
+
+MULTILINE = """
+    import time
+
+    def stamp():
+        return max(
+            time.time(),{comment}
+            0.0,
+        )
+"""
+
+
+def test_suppression_on_inner_line_of_multiline_statement(tmp_path):
+    # The finding anchors to the `return` statement's first line; the
+    # comment sits two lines below, still inside the same statement.
+    assert rules(tmp_path, MULTILINE.format(comment="")) == ["DET101"]
+    suppressed = MULTILINE.format(comment="  # reprolint: disable=DET101")
+    assert rules(tmp_path, suppressed) == []
+
+
+def test_suppression_on_last_line_of_multiline_statement(tmp_path):
+    source = """
+        import time
+
+        def stamp():
+            return (time.time()
+                    + 0.0)  # reprolint: disable=DET101
+    """
+    assert rules(tmp_path, source) == []
+
+
+def test_header_suppression_does_not_blanket_the_body(tmp_path):
+    source = """
+        import time
+
+        def stamp():  # reprolint: disable
+            return time.time()
+    """
+    assert rules(tmp_path, source) == ["DET101"]
+
+
+# -- disable-file ------------------------------------------------------------
+
+def test_disable_file_works_anywhere_in_the_file(tmp_path):
+    source = """
+        import time
+
+        def stamp():
+            return time.time()
+
+        # reprolint: disable-file=DET101
+    """
+    assert rules(tmp_path, source) == []
+
+
+def test_comma_list_with_spaces(tmp_path):
+    source = """
+        import time
+        import random  # reprolint: disable=DET102 , DET101
+
+        def stamp():
+            return time.time()  # reprolint: disable=DET101, DET102
+    """
+    assert rules(tmp_path, source) == []
+
+
+def test_trailing_justification_prose_is_tolerated(tmp_path):
+    source = """
+        import time
+
+        def stamp():
+            return time.time()  # reprolint: disable=DET101 timing the wall clock is the point
+    """
+    assert rules(tmp_path, source) == []
+
+
+# -- strict parsing: LINT001/LINT002 -----------------------------------------
+
+def test_lowercase_rule_id_is_rejected_not_blanket_applied(tmp_path):
+    # Under the old lax parser `disable=det101` degraded to a blanket
+    # `disable` and hid every rule on the line.
+    source = """
+        import time
+
+        def stamp():
+            return time.time()  # reprolint: disable=det101
+    """
+    assert sorted(rules(tmp_path, source)) == ["DET101", "LINT001"]
+
+
+def test_unknown_directive_keyword_warns(tmp_path):
+    source = """
+        x = 1  # reprolint: enable=DET101
+    """
+    assert rules(tmp_path, source) == ["LINT001"]
+
+
+def test_unknown_rule_name_warns_but_valid_ids_apply(tmp_path):
+    source = """
+        import time
+
+        def stamp():
+            return time.time()  # reprolint: disable=DET101, DET999
+    """
+    assert rules(tmp_path, source) == ["LINT002"]
+
+
+def test_directive_inside_docstring_is_ignored(tmp_path):
+    source = '''
+        def doc():
+            """Example: ``# reprolint: disable=not a real directive``."""
+            return 1
+    '''
+    assert rules(tmp_path, source) == []
+
+
+def test_suppressed_counts_are_reported(tmp_path):
+    source = """
+        import time
+        import random
+
+        def stamp():
+            return time.time()  # reprolint: disable=DET101
+
+        def draw():
+            return random.random()
+    """
+    report = run(tmp_path, source)
+    assert [f.rule for f in report.findings] == ["DET102"]
+    assert report.suppressed == {"DET101": 1}
