@@ -147,6 +147,66 @@ RUNNERS: Dict[str, Callable] = {
     "sec7": _run_sec7,
 }
 
+#: Experiment -> module whose transitive ``repro.*`` import closure is
+#: the experiment's code fingerprint (see repro.analysis.expcache).
+#: ``speed`` (prints wall times) and ``report`` (writes files / composes
+#: everything) are deliberately absent — they are never cached.
+CACHEABLE: Dict[str, str] = {
+    "ext_scale": "repro.experiments.ext_scale",
+    "calibration": "repro.analysis.calibration",
+    "faults": "repro.experiments.ext_fault_resilience",
+    "ext_degradation": "repro.experiments.ext_degradation",
+    "fig3": "repro.experiments.fig3_d2h",
+    "fig4": "repro.experiments.fig4_d2d",
+    "fig5": "repro.experiments.fig5_h2d",
+    "fig6": "repro.experiments.fig6_transfer",
+    "fig8": "repro.experiments.fig8_tail_latency",
+    "table3": "repro.experiments.table3_coherence",
+    "table4": "repro.experiments.table4_breakdown",
+    "sec7": "repro.experiments.sec7_accounting",
+}
+
+
+def _cache_key(name: str, args: argparse.Namespace) -> Dict:
+    """The content address of one experiment run: code fingerprint plus
+    every determinism-relevant argument and ambient mode.  ``--jobs``
+    and the byte-identity-pinned toggles are excluded on purpose — see
+    repro.analysis.expcache."""
+    from repro.analysis.expcache import ambient_modes, module_fingerprint
+    return {
+        "experiment": name,
+        "code": module_fingerprint(CACHEABLE[name]),
+        "args": {
+            "reps": args.reps,
+            "duration_ms": args.duration_ms,
+            "workloads": list(args.workloads),
+            "fault_plan": args.fault_plan,
+            "requests": args.requests,
+            "compare_exact": args.compare_exact,
+        },
+        "modes": ambient_modes(),
+    }
+
+
+def _run_cached(name: str, args: argparse.Namespace) -> str:
+    """Run one experiment through the content-addressed cache: an
+    unchanged (code, args, modes) cell is served from disk, skipping
+    the simulation entirely — sound because CI pins every experiment's
+    stdout as a pure function of exactly that key."""
+    from repro.analysis.expcache import ExperimentCache, expcache_enabled
+    if (name not in CACHEABLE or not expcache_enabled()
+            or getattr(args, "no_expcache", False)):
+        return RUNNERS[name](args)
+    cache = ExperimentCache()
+    key = _cache_key(name, args)
+    hit = cache.lookup(key)
+    if hit is not None:
+        print(f"[{name} served from expcache]", file=sys.stderr)
+        return hit
+    output = RUNNERS[name](args)
+    cache.store(key, output)
+    return output
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -184,13 +244,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 or 'auto' = one per CPU; default: "
                              "$REPRO_JOBS or 1).  Results are "
                              "byte-identical for every N.")
+    parser.add_argument("--checkpoint", choices=["on", "off"], default=None,
+                        help="fork sweep points from a shared warm-up "
+                             "snapshot (on, the default) or replay the "
+                             "warm-up per point (off).  Byte-identical "
+                             "either way; also $REPRO_CHECKPOINT.")
+    parser.add_argument("--no-expcache", action="store_true",
+                        help="always re-simulate, even when the "
+                             "content-addressed experiment cache has the "
+                             "cell (also REPRO_EXPCACHE=0; the cache "
+                             "directory defaults to .repro_expcache)")
     return parser
 
 
 def _run_named(name: str, args: argparse.Namespace) -> str:
     """Experiment-level worker for ``repro all`` (module-level so it
-    pickles into pool workers)."""
-    return RUNNERS[name](args)
+    pickles into pool workers).  Routes through the experiment cache,
+    so a warm ``repro all`` reads every unchanged cell from disk."""
+    return _run_cached(name, args)
 
 
 def _run_all(names, args, jobs: int):
@@ -213,6 +284,9 @@ def main(argv=None) -> int:
         return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     args.jobs = resolve_jobs(args.jobs)
+    if args.checkpoint is not None:
+        from repro.sim.checkpoint import set_checkpoint
+        set_checkpoint(args.checkpoint == "on")
     if args.experiment == "all":
         # "report" re-runs everything; "speed" prints wall times, which
         # would make `all` output nondeterministic; "ext_scale" is a
@@ -232,7 +306,7 @@ def main(argv=None) -> int:
         return 0
     name = args.experiment
     start = time.perf_counter()  # reprolint: disable=DET101
-    output = RUNNERS[name](args)
+    output = _run_cached(name, args)
     print(output)
     print(f"[{name} regenerated in {time.perf_counter() - start:.1f}s]",
           file=sys.stderr)

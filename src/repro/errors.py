@@ -49,6 +49,13 @@ class WorkloadError(ReproError):
     """A workload generator was configured inconsistently."""
 
 
+class CheckpointError(ReproError):
+    """A simulator snapshot could not be taken or restored (live
+    generator-based processes in the graph, unpicklable callbacks, a
+    corrupt snapshot file).  The message says which — and how to get to
+    a checkpointable state (usually: run the simulator to quiescence)."""
+
+
 class FaultError(ReproError):
     """Base class for *injected or modeled hardware faults* (RAS events).
 

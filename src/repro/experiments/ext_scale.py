@@ -37,6 +37,7 @@ from repro.core.platform import Platform
 from repro.errors import WorkloadError
 from repro.experiments.fig8_tail_latency import ScenarioConfig
 from repro.kernel.daemons import CostProfile, ReclaimDaemon
+from repro.sim.checkpoint import checkpoint_enabled, snapshot
 from repro.sim.stats import (LatencyRecorder, LatencyStats,
                              StreamingLatencyStats, stats_mode)
 from repro.units import ms
@@ -79,17 +80,37 @@ def _peak_rss_kb() -> int:
         return 0
 
 
-def _drive(requests: int, rate_per_s: float, servers: int,
-           workload_name: str, seed: int, recorder: LatencyRecorder,
-           checkpoints: int) -> Tuple[int, Tuple[int, ...]]:
-    """Run the fig8-style zswap pipeline until ``requests`` samples have
-    landed in ``recorder``; returns (count, rss trace)."""
+def _scale_warmup(rate_per_s: float, seed: int):
+    """The request-count-independent half of a scale run: platform,
+    pressure, node, the cxl-calibrated reclaim daemon (the calibration
+    sub-simulation is the expensive part), and the antagonist — built
+    but not spawned, so the returned root is quiescent and
+    checkpointable.  The headline and ``--compare-exact`` shadow runs
+    fork from one snapshot instead of calibrating twice."""
     scenario = ScenarioConfig(rate_per_s=rate_per_s)
     platform = Platform(sub_numa_half_system(), seed=seed)
     sim, rng = platform.sim, platform.rng
     pressure = MemoryPressure.sized(1 << 17)
     pressure.free_pages = pressure.low_pages + 2048
     node = ServerNode(sim, rng.fork(1), scenario.zswap_app_cores, pressure)
+    calib = Platform(seed=seed + 1)
+    profile = CostProfile.from_engine(calib, OffloadEngine(calib), "cxl")
+    daemon = ReclaimDaemon(node, profile)
+    antagonist = Antagonist(sim, pressure, rng.fork(2),
+                            burst_pages=scenario.antagonist_burst_pages,
+                            period_ns=scenario.antagonist_period_ns)
+    return (platform, node, daemon, antagonist)
+
+
+def _scale_drive(root, requests: int, rate_per_s: float, servers: int,
+                 workload_name: str, recorder: LatencyRecorder,
+                 checkpoints: int) -> Tuple[int, Tuple[int, ...]]:
+    """Run the fig8-style zswap pipeline until ``requests`` samples have
+    landed in ``recorder``; returns (count, rss trace).  Spawn order
+    matches the pre-split code (kswapd, antagonist, clients), so output
+    is byte-identical whether ``root`` is fresh or checkpoint-forked."""
+    platform, node, daemon, antagonist = root
+    sim, rng = platform.sim, platform.rng
 
     # Clients stop at their horizon; run long enough that the Poisson
     # arrival count comfortably clears the target, then stop stepping
@@ -97,13 +118,7 @@ def _drive(requests: int, rate_per_s: float, servers: int,
     est_ns = requests / (servers * rate_per_s) * 1e9
     horizon_ns = est_ns * 1.5 + ms(50.0)
 
-    calib = Platform(seed=seed + 1)
-    profile = CostProfile.from_engine(calib, OffloadEngine(calib), "cxl")
-    daemon = ReclaimDaemon(node, profile)
     sim.spawn(daemon.run(horizon_ns), "kswapd")
-    antagonist = Antagonist(sim, pressure, rng.fork(2),
-                            burst_pages=scenario.antagonist_burst_pages,
-                            period_ns=scenario.antagonist_period_ns)
     sim.spawn(antagonist.run(horizon_ns), "antagonist")
 
     for i in range(servers):
@@ -128,6 +143,15 @@ def _drive(requests: int, rate_per_s: float, servers: int,
     return recorder.count, tuple(rss)
 
 
+def _drive(requests: int, rate_per_s: float, servers: int,
+           workload_name: str, seed: int, recorder: LatencyRecorder,
+           checkpoints: int) -> Tuple[int, Tuple[int, ...]]:
+    """Cold path kept as the pinned reference: warm-up + drive."""
+    return _scale_drive(_scale_warmup(rate_per_s, seed), requests,
+                        rate_per_s, servers, workload_name, recorder,
+                        checkpoints)
+
+
 def run(requests: int = 5_000_000, rate_per_s: float = 32_000.0,
         servers: int = 4, workload: str = "a", seed: int = 61,
         mode: Optional[str] = None, checkpoints: int = 20,
@@ -143,14 +167,26 @@ def run(requests: int = 5_000_000, rate_per_s: float = 32_000.0,
     recorder: LatencyRecorder = (StreamingLatencyStats()
                                  if effective == "stream"
                                  else LatencyStats())
-    count, rss = _drive(requests, rate_per_s, servers, workload, seed,
-                        recorder, checkpoints)
+    if checkpoint_enabled():
+        # Warm up (platform + cxl cost calibration) once; the headline
+        # run — and the shadow run below, when requested — each fork
+        # from the snapshot.  Byte-identical to the cold path.
+        cp = snapshot(_scale_warmup(rate_per_s, seed), label="ext_scale")
+
+        def drive(rec: LatencyRecorder) -> Tuple[int, Tuple[int, ...]]:
+            return _scale_drive(cp.restore(), requests, rate_per_s,
+                                servers, workload, rec, checkpoints)
+    else:
+        def drive(rec: LatencyRecorder) -> Tuple[int, Tuple[int, ...]]:
+            return _drive(requests, rate_per_s, servers, workload, seed,
+                          rec, checkpoints)
+
+    count, rss = drive(recorder)
 
     exact_rel_err = None
     if compare_exact and effective == "stream":
         shadow = LatencyStats()
-        _drive(requests, rate_per_s, servers, workload, seed, shadow,
-               checkpoints)
+        drive(shadow)
         exact_rel_err = {
             name: abs(recorder.percentile(pct) - shadow.percentile(pct))
             / shadow.percentile(pct)

@@ -24,7 +24,7 @@ from repro.config import sub_numa_half_system
 from repro.core.offload import OffloadEngine
 from repro.core.platform import Platform
 from repro.kernel.daemons import CostProfile, ReclaimDaemon
-from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
+from repro.sim.parallel import ForkSpec, run_forked_sweep
 from repro.units import ms, us
 
 DEFAULT_SLEEPS_US = (2.0, 10.0, 40.0, 160.0)
@@ -47,10 +47,12 @@ class SleepTuningResult:
         return min(point.p99_ns for point in self.points.values())
 
 
-def run_point(sleep_us: float, duration_ns: float = ms(300.0),
-              rate_per_s: float = 32_000.0,
-              seed: int = 131) -> SleepPoint:
-    """One sweep point: a fresh platform with one kswapd sleep setting."""
+def _sleep_warmup(rate_per_s: float, seed: int):
+    """The sleep-setting-independent half of a point: platform, node,
+    the cxl cost calibration (the expensive part — its own throwaway
+    Platform), and the antagonist — built but not spawned, so the root
+    is quiescent and checkpointable.  Every swept sleep value forks from
+    one snapshot instead of recalibrating."""
     platform = Platform(sub_numa_half_system(), seed=seed)
     sim, rng = platform.sim, platform.rng
     pressure = MemoryPressure.sized(1 << 17)
@@ -58,11 +60,21 @@ def run_point(sleep_us: float, duration_ns: float = ms(300.0),
     node = ServerNode(sim, rng.fork(1), 8, pressure)
     calib = Platform(seed=seed + 1)
     profile = CostProfile.from_engine(calib, OffloadEngine(calib), "cxl")
+    antagonist = Antagonist(sim, pressure, rng.fork(2),
+                            burst_pages=1800, period_ns=ms(8.0))
+    return (platform, node, profile, antagonist)
+
+
+def _sleep_point(root, sleep_us: float, duration_ns: float,
+                 rate_per_s: float) -> SleepPoint:
+    """Drive one kswapd sleep setting against a warmed root.  Spawn
+    order matches the pre-split code (kswapd, antagonist, clients), so
+    output is byte-identical whether ``root`` is fresh or forked."""
+    platform, node, profile, antagonist = root
+    sim, rng = platform.sim, platform.rng
     daemon = ReclaimDaemon(node, profile,
                            device_sleep_ns=us(sleep_us))
     sim.spawn(daemon.run(duration_ns), "kswapd")
-    antagonist = Antagonist(sim, pressure, rng.fork(2),
-                            burst_pages=1800, period_ns=ms(8.0))
     sim.spawn(antagonist.run(duration_ns), "antagonist")
     clients = []
     for i in range(2):
@@ -83,14 +95,23 @@ def run_point(sleep_us: float, duration_ns: float = ms(300.0),
         sum(c.direct_reclaim_hits for c in clients))
 
 
+def run_point(sleep_us: float, duration_ns: float = ms(300.0),
+              rate_per_s: float = 32_000.0,
+              seed: int = 131) -> SleepPoint:
+    """Cold path kept as the pinned reference: warm-up + point."""
+    return _sleep_point(_sleep_warmup(rate_per_s, seed), sleep_us,
+                        duration_ns, rate_per_s)
+
+
 def run(sleeps_us: Sequence[float] = DEFAULT_SLEEPS_US,
         duration_ns: float = ms(300.0), rate_per_s: float = 32_000.0,
         seed: int = 131, jobs: Optional[int] = None) -> SleepTuningResult:
-    spec = SweepSpec("sleep-tuning", tuple(
-        SweepPoint(sleep_us, run_point,
-                    (sleep_us, duration_ns, rate_per_s, seed))
-        for sleep_us in sleeps_us))
-    return SleepTuningResult(run_sweep(spec, jobs=jobs))
+    spec = ForkSpec.build(
+        "sleep-tuning", _sleep_warmup,
+        [(sleep_us, _sleep_point, (sleep_us, duration_ns, rate_per_s), {})
+         for sleep_us in sleeps_us],
+        warmup_args=(rate_per_s, seed))
+    return SleepTuningResult(run_forked_sweep(spec, jobs=jobs))
 
 
 def format_table(result: SleepTuningResult) -> str:

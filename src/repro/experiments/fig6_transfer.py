@@ -17,7 +17,7 @@ from repro.core.transfer import (
     TransferBench,
     TransferResult,
 )
-from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
+from repro.sim.parallel import ForkSpec, run_forked_sweep
 
 DEFAULT_SIZES = (64, 256, 1024, 4096, 16384, 65536, 262144)
 
@@ -38,30 +38,45 @@ class Fig6Result:
         return 1.0 - m / b
 
 
-def run_mechanism(direction: str, mechanism: str,
-                  cfg: Optional[SystemConfig] = None, reps: int = 7,
-                  sizes: Sequence[int] = DEFAULT_SIZES,
-                  seed: int = 17) -> Dict[str, TransferResult]:
-    """All sizes for one (direction, mechanism) on a fresh platform —
-    the independent unit of the fig6 sweep."""
-    # A fresh platform per mechanism keeps queues independent.
-    platform = Platform(cfg, seed=seed)
+def _build_platform(cfg: Optional[SystemConfig], seed: int) -> Platform:
+    """The fig6 warm-up: every (direction, mechanism) cell measures on a
+    platform built from the same (cfg, seed) — one construction,
+    checkpointed, forked per cell."""
+    return Platform(cfg, seed=seed)
+
+
+def _measure_mechanism(platform: Platform, direction: str, mechanism: str,
+                       reps: int, sizes: Sequence[int]
+                       ) -> Dict[str, TransferResult]:
     bench = TransferBench(platform, reps=reps)
     return {f"{direction}/{mechanism}/{size}":
             bench.measure(mechanism, direction, size) for size in sizes}
 
 
+def run_mechanism(direction: str, mechanism: str,
+                  cfg: Optional[SystemConfig] = None, reps: int = 7,
+                  sizes: Sequence[int] = DEFAULT_SIZES,
+                  seed: int = 17) -> Dict[str, TransferResult]:
+    """All sizes for one (direction, mechanism) on a fresh platform —
+    the independent unit of the fig6 sweep (the pinned cold path)."""
+    # A fresh platform per mechanism keeps queues independent.
+    return _measure_mechanism(_build_platform(cfg, seed),
+                              direction, mechanism, reps, tuple(sizes))
+
+
 def run(cfg: Optional[SystemConfig] = None, reps: int = 7,
         sizes: Sequence[int] = DEFAULT_SIZES, seed: int = 17,
         jobs: Optional[int] = None) -> Fig6Result:
-    spec = SweepSpec("fig6", tuple(
-        SweepPoint((direction, mechanism), run_mechanism,
-                   (direction, mechanism, cfg, reps, tuple(sizes), seed))
-        for direction, mechanisms in (("h2d", H2D_MECHANISMS),
-                                      ("d2h", D2H_MECHANISMS))
-        for mechanism in mechanisms))
+    spec = ForkSpec.build(
+        "fig6", _build_platform,
+        [((direction, mechanism), _measure_mechanism,
+          (direction, mechanism, reps, tuple(sizes)), {})
+         for direction, mechanisms in (("h2d", H2D_MECHANISMS),
+                                       ("d2h", D2H_MECHANISMS))
+         for mechanism in mechanisms],
+        warmup_args=(cfg, seed))
     points: Dict[str, TransferResult] = {}
-    for cell in run_sweep(spec, jobs=jobs).values():
+    for cell in run_forked_sweep(spec, jobs=jobs).values():
         points.update(cell)
     return Fig6Result(points, sizes)
 

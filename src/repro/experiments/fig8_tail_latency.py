@@ -28,7 +28,7 @@ from repro.core.offload import OffloadEngine
 from repro.core.platform import Platform
 from repro.errors import WorkloadError
 from repro.kernel.daemons import CostProfile, ReclaimDaemon, ScanDaemon
-from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
+from repro.sim.parallel import ForkSpec, run_forked_sweep
 from repro.units import ms
 
 BACKENDS = ("none", "cpu", "pcie-rdma", "pcie-dma", "cxl")
@@ -89,30 +89,48 @@ def _profile_for(backend: str, seed: int) -> Optional[CostProfile]:
     return CostProfile.from_engine(calib, OffloadEngine(calib), backend)
 
 
-def run_zswap_cell(workload_name: str, backend: str,
-                   scenario: ScenarioConfig, seed: int = 29) -> CellResult:
-    """One zswap cell: Redis + antagonist + kswapd on a shared node."""
+def _zswap_warmup(backend: str, scenario: ScenarioConfig, seed: int):
+    """Everything of a zswap cell that does not depend on the workload:
+    platform, pressure, node, the calibrated reclaim daemon, and the
+    antagonist — all *constructed but not spawned* (constructors are
+    passive and ``rng.fork`` is pure, so nothing here advances the
+    simulator or any RNG stream).  The root this returns is quiescent
+    and therefore checkpointable; one warm-up serves every workload of
+    the (backend, scenario, seed) group."""
     platform = Platform(sub_numa_half_system(), seed=seed)
     sim, rng = platform.sim, platform.rng
     pressure = MemoryPressure.sized(1 << 17)
     # Start just above the low watermark so reclaim engages immediately.
     pressure.free_pages = pressure.low_pages + 2048
     node = ServerNode(sim, rng.fork(1), scenario.zswap_app_cores, pressure)
-
     daemon = None
-    direct = None
+    antagonist = None
     if backend != "none":
         profile = _profile_for(backend, seed + 1)
         assert profile is not None
         daemon = ReclaimDaemon(node, profile,
                                pollution_scale=scenario.pollution_scale)
-        sim.spawn(daemon.run(scenario.duration_ns), "kswapd")
-        direct = (daemon.inline_reclaim
-                  if scenario.direct_reclaim_enabled else None)
         antagonist = Antagonist(
             sim, pressure, rng.fork(2),
             burst_pages=scenario.antagonist_burst_pages,
             period_ns=scenario.antagonist_period_ns)
+    return (platform, node, daemon, antagonist)
+
+
+def _zswap_point(root, workload_name: str, backend: str,
+                 scenario: ScenarioConfig) -> CellResult:
+    """The workload-dependent half of a zswap cell: spawn the daemons,
+    build and spawn the clients, run, reduce.  Spawn order matches the
+    pre-split code exactly (kswapd, antagonist, client0, client1, ...),
+    so the ``(time, seq)`` schedule — and every output byte — is
+    unchanged whether ``root`` is freshly built or checkpoint-forked."""
+    platform, node, daemon, antagonist = root
+    sim, rng = platform.sim, platform.rng
+    direct = None
+    if daemon is not None:
+        sim.spawn(daemon.run(scenario.duration_ns), "kswapd")
+        direct = (daemon.inline_reclaim
+                  if scenario.direct_reclaim_enabled else None)
         sim.spawn(antagonist.run(scenario.duration_ns), "antagonist")
 
     clients = []
@@ -138,19 +156,34 @@ def run_zswap_cell(workload_name: str, backend: str,
     )
 
 
-def run_ksm_cell(workload_name: str, backend: str,
-                 scenario: ScenarioConfig, seed: int = 31) -> CellResult:
-    """One ksm cell: 16 pinned VMs, 4 Redis servers, floating ksmd."""
+def run_zswap_cell(workload_name: str, backend: str,
+                   scenario: ScenarioConfig, seed: int = 29) -> CellResult:
+    """One zswap cell: Redis + antagonist + kswapd on a shared node
+    (the pinned cold path: warm-up and point back to back)."""
+    return _zswap_point(_zswap_warmup(backend, scenario, seed),
+                        workload_name, backend, scenario)
+
+
+def _ksm_warmup(backend: str, scenario: ScenarioConfig, seed: int):
+    """The workload-independent half of a ksm cell (see
+    :func:`_zswap_warmup`): platform, node, calibrated scan daemon."""
     platform = Platform(sub_numa_half_system(), seed=seed)
     sim, rng = platform.sim, platform.rng
     node = ServerNode(sim, rng.fork(1), scenario.ksm_cores)
-
     daemon = None
     if backend != "none":
         profile = _profile_for(backend, seed + 1)
         assert profile is not None
         daemon = ScanDaemon(node, profile,
                             pollution_scale=scenario.pollution_scale)
+    return (platform, node, daemon)
+
+
+def _ksm_point(root, workload_name: str, backend: str,
+               scenario: ScenarioConfig) -> CellResult:
+    platform, node, daemon = root
+    sim, rng = platform.sim, platform.rng
+    if daemon is not None:
         sim.spawn(daemon.run(scenario.duration_ns), "ksmd")
 
     clients = []
@@ -175,6 +208,14 @@ def run_ksm_cell(workload_name: str, backend: str,
     )
 
 
+def run_ksm_cell(workload_name: str, backend: str,
+                 scenario: ScenarioConfig, seed: int = 31) -> CellResult:
+    """One ksm cell: 16 pinned VMs, 4 Redis servers, floating ksmd
+    (the pinned cold path: warm-up and point back to back)."""
+    return _ksm_point(_ksm_warmup(backend, scenario, seed),
+                      workload_name, backend, scenario)
+
+
 def _merge_stats(clients):
     if not clients:
         raise WorkloadError("no clients ran")
@@ -188,17 +229,32 @@ def run(features=("zswap", "ksm"), workloads=WORKLOAD_NAMES,
         backends=BACKENDS, scenario: Optional[ScenarioConfig] = None,
         seed: int = 37, jobs: Optional[int] = None) -> Fig8Result:
     scenario = scenario or ScenarioConfig()
-    # Every cell builds a fresh Platform from (workload, backend,
-    # scenario, seed) alone, so the grid fans out across processes
-    # without changing a single sample.
-    spec = SweepSpec("fig8", tuple(
-        SweepPoint(f"{feature}/{workload}/{backend}",
-                   run_zswap_cell if feature == "zswap" else run_ksm_cell,
-                   (workload, backend, scenario), {"seed": seed})
-        for feature in features
-        for workload in workloads
-        for backend in backends))
-    return Fig8Result(run_sweep(spec, jobs=jobs))
+    # Every cell is a pure function of (workload, backend, scenario,
+    # seed), and the expensive half — platform build plus backend cost
+    # calibration — depends only on (feature, backend).  Group the grid
+    # into one ForkSpec per (feature, backend): the warm-up runs (or
+    # checkpoint-restores) once per group and the workloads fork from
+    # it, byte-identical to per-cell cold runs at any --jobs count.
+    cells: Dict[str, CellResult] = {}
+    for feature in features:
+        warmup = _zswap_warmup if feature == "zswap" else _ksm_warmup
+        point = _zswap_point if feature == "zswap" else _ksm_point
+        for backend in backends:
+            spec = ForkSpec.build(
+                f"fig8/{feature}/{backend}", warmup,
+                [(f"{feature}/{workload}/{backend}", point,
+                  (workload, backend, scenario), {})
+                 for workload in workloads],
+                warmup_args=(backend, scenario, seed))
+            cells.update(run_forked_sweep(spec, jobs=jobs))
+    # Reassemble in the canonical feature -> workload -> backend order
+    # the pre-split sweep produced.
+    ordered = {f"{feature}/{workload}/{backend}":
+               cells[f"{feature}/{workload}/{backend}"]
+               for feature in features
+               for workload in workloads
+               for backend in backends}
+    return Fig8Result(ordered)
 
 
 def format_table(result: Fig8Result) -> str:

@@ -153,6 +153,13 @@ class _NoFaults:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "NO_FAULTS"
 
+    def __reduce__(self) -> str:
+        # Pickle as the module global: fast paths gate on *identity*
+        # (``faults is not NO_FAULTS``), so a checkpoint restore must
+        # yield this exact singleton, not a behaviorally equal copy that
+        # silently demotes every disarmed platform off the fast path.
+        return "NO_FAULTS"
+
 
 NO_FAULTS = _NoFaults()
 

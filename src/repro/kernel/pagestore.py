@@ -149,12 +149,24 @@ class PageStore:
         return self.hits / total if total else 0.0
 
     def assert_balanced(self) -> None:
-        """Every intern must have been released: the store is empty."""
+        """Every intern must have been released: the store is empty.
+
+        Leaks name their content hashes (with refcount and size) so a
+        checkpoint round-trip that double-installed or under-released a
+        store is debuggable from the message alone, not just countable.
+        """
         if self._entries:
-            leaked = self.live_refs
+            rows = [
+                f"0x{h:08x} ({pair[1]} ref(s), {len(pair[0])} B)"
+                for h in sorted(self._entries)
+                for pair in self._entries[h]
+            ]
+            shown, more = rows[:8], len(rows) - 8
+            detail = ", ".join(shown) + (f", ... {more} more" if more > 0
+                                         else "")
             raise AssertionError(
-                f"page store leaked {leaked} reference(s) across "
-                f"{self.live_contents} content(s)")
+                f"page store leaked {self.live_refs} reference(s) across "
+                f"{self.live_contents} content(s): {detail}")
 
     def reset(self) -> None:
         self._entries.clear()
@@ -163,6 +175,44 @@ class PageStore:
         self.releases = 0
         self.poison_rejects = 0
         self.bytes_deduped = 0
+
+    # -- checkpointing ----------------------------------------------------
+
+    def __reduce_ex__(self, protocol):
+        # The process-global store pickles by *identity* (a module-global
+        # reference, like NO_FAULTS): a snapshotted graph that holds
+        # PAGE_STORE — every interning VM does — must reconnect to the
+        # live global on restore, so its releases land where the
+        # checkpoint's ambient state was installed.  Private stores still
+        # deep-copy.
+        if self is PAGE_STORE:
+            return "PAGE_STORE"
+        return super().__reduce_ex__(protocol)
+
+    def state(self) -> dict:
+        """A detached copy of the full store state (chains *and*
+        counters) for :mod:`repro.sim.checkpoint`.  The canonical bytes
+        objects themselves are shared, not copied — pickling this dict
+        alongside a platform graph keeps a restored platform's pages and
+        the restored store's entries the same objects."""
+        return {
+            "entries": {h: [[pair[0], pair[1]] for pair in chain]
+                        for h, chain in self._entries.items()},
+            "counters": (self.hits, self.misses, self.releases,
+                         self.poison_rejects, self.bytes_deduped),
+        }
+
+    def install_state(self, state: Optional[dict]) -> None:
+        """Replace this store's contents with a captured :meth:`state`
+        (``None`` is a no-op: the snapshot skipped ambient capture).
+        Chains are re-copied so the installed store never aliases the
+        mutable pairs of whoever produced the state."""
+        if state is None:
+            return
+        self._entries = {h: [[pair[0], pair[1]] for pair in chain]
+                         for h, chain in state["entries"].items()}
+        (self.hits, self.misses, self.releases,
+         self.poison_rejects, self.bytes_deduped) = state["counters"]
 
     def snapshot(self) -> dict:
         return {

@@ -104,6 +104,37 @@ class WorkCache:
         self.evictions = 0
         self.by_kind = {}
 
+    # -- checkpointing ----------------------------------------------------
+
+    def __reduce_ex__(self, protocol):
+        # The process-global cache pickles by identity (module-global
+        # reference): a snapshotted graph holding WORK_CACHE reconnects
+        # to the live global on restore; contents travel in the
+        # checkpoint's ambient state.  Private caches still deep-copy.
+        if self is WORK_CACHE:
+            return "WORK_CACHE"
+        return super().__reduce_ex__(protocol)
+
+    def state(self) -> Dict[str, Any]:
+        """A detached copy of the cache (entries in LRU order plus
+        counters) for :mod:`repro.sim.checkpoint`.  Purely a warmth
+        carrier: correctness never depends on cache contents, but a
+        forked point should start exactly as warm as its cold twin."""
+        return {
+            "entries": list(self._entries.items()),
+            "counters": (self.hits, self.misses, self.evictions),
+            "by_kind": {k: dict(v) for k, v in self.by_kind.items()},
+        }
+
+    def install_state(self, state: Optional[Dict[str, Any]]) -> None:
+        """Replace contents with a captured :meth:`state` (``None`` is a
+        no-op).  Capacity stays this cache's own."""
+        if state is None:
+            return
+        self._entries = OrderedDict(state["entries"])
+        self.hits, self.misses, self.evictions = state["counters"]
+        self.by_kind = {k: dict(v) for k, v in state["by_kind"].items()}
+
     def snapshot(self) -> Dict[str, Any]:
         """Telemetry for ``repro speed`` / tests."""
         return {

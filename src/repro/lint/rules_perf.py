@@ -138,6 +138,66 @@ def check_perf403(module: LintModule) -> Iterator[Finding]:
             )
 
 
+def _sweep_point_fn_names(tree: ast.AST) -> set:
+    """Names referenced as the point-``fn`` of a cold sweep: the second
+    argument of ``SweepPoint(...)`` calls and the second element of the
+    ``(key, fn, args, kwargs)`` tuples fed to ``SweepSpec.build``.
+    ``ForkSpec`` warm-ups and points are deliberately not collected —
+    they already share their warm-up through a checkpoint."""
+    names = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = dotted_name(node.func) or ""
+        if func == "SweepPoint" or func.endswith(".SweepPoint"):
+            if len(node.args) >= 2 and isinstance(node.args[1], ast.Name):
+                names.add(node.args[1].id)
+        elif func == "SweepSpec.build" or func.endswith(".SweepSpec.build"):
+            for sub in ast.walk(node):
+                if (isinstance(sub, (ast.Tuple, ast.List))
+                        and len(sub.elts) >= 2
+                        and isinstance(sub.elts[1], ast.Name)):
+                    names.add(sub.elts[1].id)
+    return names
+
+
+def check_perf404(module: LintModule) -> Iterator[Finding]:
+    """PERF404: a sweep point that rebuilds Platforms on every point.
+
+    A point function that constructs two or more ``Platform`` instances
+    (typically its own plus a calibration throwaway) repeats the same
+    point-independent warm-up once per swept value — the shape
+    :func:`repro.sim.parallel.run_forked_sweep` exists to remove.  Split
+    the warm-up into a module-level function, declare the sweep as a
+    :class:`~repro.sim.parallel.ForkSpec`, and let every point fork from
+    one checkpoint (see ``docs/CHECKPOINT.md``).  Points whose warm-up
+    genuinely differs per value (e.g. per-point fault arming) should
+    carry ``# reprolint: disable=PERF404`` with a comment saying why.
+    """
+    point_fns = _sweep_point_fn_names(module.tree)
+    if not point_fns:
+        return
+    for node in module.tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name not in point_fns:
+            continue
+        sites = [sub for sub in ast.walk(node)
+                 if isinstance(sub, ast.Call)
+                 and ((dotted_name(sub.func) or "").split(".")[-1]
+                      == "Platform")]
+        if len(sites) >= 2:
+            yield Finding(
+                "PERF404", module.path, node.lineno, node.col_offset,
+                f"sweep point `{node.name}` constructs {len(sites)} "
+                "Platforms per point (its own plus calibration); hoist "
+                "the shared warm-up into a ForkSpec and fork each point "
+                "from a checkpoint (repro.sim.parallel.run_forked_sweep), "
+                "or suppress with a comment saying why every point must "
+                "rebuild",
+            )
+
+
 RULES = [
     Rule("PERF401", "redundant call_soon around an Event trigger",
          check_perf401),
@@ -145,4 +205,6 @@ RULES = [
          check_perf402),
     Rule("PERF403", "unbounded clock-sample accumulation in a bare list",
          check_perf403),
+    Rule("PERF404", "sweep point rebuilding Platforms per point",
+         check_perf404),
 ]

@@ -168,6 +168,11 @@ class _NoResilience:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "NO_RESILIENCE"
 
+    def __reduce__(self) -> str:
+        # Restore to the module global so disarmed-policy checks that
+        # compare identity survive a checkpoint round-trip.
+        return "NO_RESILIENCE"
+
 
 NO_RESILIENCE = _NoResilience()
 

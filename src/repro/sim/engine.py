@@ -413,6 +413,48 @@ class Simulator:
         """Current simulated time in nanoseconds."""
         return self._now
 
+    # -- checkpointing ----------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Live entries across all queues (heap/wheel/delta), cancelled-
+        timer tombstones included."""
+        n = len(self._heap) + len(self._delta)
+        wheel = self._wheel
+        if wheel is not None:
+            n += len(wheel)
+        return n
+
+    @property
+    def quiescent(self) -> bool:
+        """True when every queue has drained — the state :meth:`run`
+        leaves behind (absent an ``until`` cutoff), and the state
+        :meth:`checkpoint` wants: nothing pending means no live
+        generator frames can be waiting in the queues."""
+        return self.pending_count == 0
+
+    def checkpoint(self, root: Any = None, label: str = "") -> Any:
+        """Snapshot ``root`` (default: this simulator alone) and
+        everything reachable from it into an immutable, forkable
+        :class:`~repro.sim.checkpoint.Checkpoint`.
+
+        Pass the object graph that owns this simulator (a Platform, or
+        a tuple of platform + workload objects) as ``root`` — restoring
+        the checkpoint then yields an independent copy of the whole
+        graph, clock and ``(time, seq)`` ordering preserved, ambient
+        page-store/work-cache state included.  Raises
+        :class:`~repro.errors.CheckpointError` if the graph holds live
+        generator-based processes (run to quiescence first).
+        """
+        from repro.sim.checkpoint import snapshot
+        return snapshot(self if root is None else root, label=label)
+
+    @staticmethod
+    def restore(cp: Any) -> Any:
+        """Fork an independent copy of a checkpointed graph; see
+        :meth:`~repro.sim.checkpoint.Checkpoint.restore`."""
+        return cp.restore()
+
     # -- scheduling -------------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:

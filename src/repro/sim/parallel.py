@@ -39,9 +39,11 @@ from typing import Any, Callable, Dict, Hashable, Mapping, Sequence, Tuple
 __all__ = [
     "SweepPoint",
     "SweepSpec",
+    "ForkSpec",
     "derive_seed",
     "resolve_jobs",
     "run_sweep",
+    "run_forked_sweep",
 ]
 
 
@@ -117,8 +119,104 @@ def resolve_jobs(jobs: Any = None) -> int:
     return int(jobs)
 
 
+@dataclass(frozen=True)
+class ForkSpec:
+    """A sweep whose points share one warm-up.
+
+    ``warmup(*warmup_args, **warmup_kwargs)`` builds and warms a root
+    object graph (a Platform, or a tuple of platform + workload
+    objects), leaving its simulator *quiescent*; each point's ``fn``
+    then receives the root as its first argument, followed by the
+    point's own args/kwargs.  :func:`run_forked_sweep` runs the warm-up
+    **once**, snapshots it, and forks every point from the checkpoint —
+    or, with checkpointing disabled (``REPRO_CHECKPOINT=0``), replays
+    the warm-up per point.  Both paths produce byte-identical results;
+    the contract mirrors :class:`SweepSpec`, plus: the warm-up must be
+    a module-level callable with picklable arguments, and the root
+    graph must be checkpointable (quiescent — see
+    ``docs/CHECKPOINT.md``).
+    """
+
+    name: str
+    warmup: Callable[..., Any]
+    warmup_args: Tuple[Any, ...]
+    warmup_kwargs: Mapping[str, Any]
+    points: Tuple[SweepPoint, ...]
+
+    def __post_init__(self) -> None:
+        keys = [p.key for p in self.points]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"sweep {self.name!r} has duplicate point keys")
+
+    @classmethod
+    def build(cls, name: str, warmup: Callable[..., Any],
+              points: Sequence[Tuple[Hashable, Callable[..., Any],
+                                     Tuple[Any, ...], Mapping[str, Any]]],
+              warmup_args: Tuple[Any, ...] = (),
+              warmup_kwargs: Mapping[str, Any] = (),
+              ) -> "ForkSpec":
+        return cls(name, warmup, tuple(warmup_args),
+                   dict(warmup_kwargs or {}),
+                   tuple(SweepPoint(k, f, tuple(a), dict(kw))
+                         for k, f, a, kw in points))
+
+    def run_warmup(self) -> Any:
+        return self.warmup(*self.warmup_args, **dict(self.warmup_kwargs))
+
+
 def _run_point(point: SweepPoint) -> Any:
     return point.run()
+
+
+def _run_forked_point(task: Tuple[Any, SweepPoint]) -> Any:
+    """Pool worker for the checkpoint path: fork the shared snapshot,
+    then run the point against the private copy."""
+    cp, point = task
+    root = cp.restore()
+    return point.fn(root, *point.args, **dict(point.kwargs))
+
+
+def _run_cold_point(
+        task: Tuple[Callable[..., Any], Tuple, Mapping, SweepPoint]) -> Any:
+    """Pool worker for the cold path: replay the warm-up, then run the
+    point — the pre-checkpoint behavior, kept as the pinned reference."""
+    from repro.sim.checkpoint import CHECKPOINT_STATS
+    warmup, wargs, wkwargs, point = task
+    CHECKPOINT_STATS.cold_warmups += 1
+    root = warmup(*wargs, **dict(wkwargs))
+    return point.fn(root, *point.args, **dict(point.kwargs))
+
+
+def run_forked_sweep(spec: ForkSpec, jobs: Any = None) -> Dict[Hashable, Any]:
+    """Run every point of ``spec`` against its shared warm-up; return
+    ``{key: result}`` in submission order, byte-identical to
+    :func:`run_sweep` over per-point cold runs.
+
+    With checkpointing enabled (the default) the warm-up executes once
+    and every point — including the first, so all points see the same
+    restored-from-snapshot world — forks from the snapshot.  Each fork
+    reinstalls the warm-up's ambient page-store/work-cache state, so
+    per-point intern/release accounting balances exactly as a cold run's
+    would.  ``REPRO_CHECKPOINT=0`` replays the warm-up per point
+    instead; parallel jobs ship the checkpoint (or the warm-up thunk) to
+    workers and merge in submission order like :func:`run_sweep`.
+    """
+    from repro.sim.checkpoint import checkpoint_enabled, snapshot
+    jobs = resolve_jobs(jobs)
+    if checkpoint_enabled():
+        cp = snapshot(spec.run_warmup(), label=spec.name)
+        tasks = [(cp, p) for p in spec.points]
+        runner = _run_forked_point
+    else:
+        tasks = [(spec.warmup, spec.warmup_args, spec.warmup_kwargs, p)
+                 for p in spec.points]
+        runner = _run_cold_point
+    if jobs > 1 and len(tasks) > 1:
+        results = _map_parallel(spec.name, runner, tasks,
+                                min(jobs, len(tasks)))
+        if results is not None:
+            return dict(zip((p.key for p in spec.points), results))
+    return {p.key: runner(t) for p, t in zip(spec.points, tasks)}
 
 
 def run_sweep(spec: SweepSpec, jobs: Any = None) -> Dict[Hashable, Any]:
@@ -140,6 +238,13 @@ def run_sweep(spec: SweepSpec, jobs: Any = None) -> Dict[Hashable, Any]:
 def _run_parallel(spec: SweepSpec, jobs: int) -> Any:
     """Fan the points out to ``jobs`` workers; None means "fall back to
     serial" (pool setup failed — sandboxed /dev/shm, missing fork, ...)."""
+    return _map_parallel(spec.name, _run_point, spec.points, jobs)
+
+
+def _map_parallel(name: str, fn: Callable[[Any], Any],
+                  items: Sequence[Any], jobs: int) -> Any:
+    """``list(map(fn, items))`` across ``jobs`` worker processes, results
+    in submission order; None means "fall back to serial"."""
     try:
         import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
@@ -154,9 +259,9 @@ def _run_parallel(spec: SweepSpec, jobs: int) -> Any:
                                  mp_context=context) as pool:
             # map() yields results in submission order regardless of
             # which worker finishes first — the determinism keystone.
-            return list(pool.map(_run_point, spec.points))
+            return list(pool.map(fn, items))
     except (ImportError, OSError, PermissionError, NotImplementedError) as exc:
         warnings.warn(
-            f"sweep {spec.name!r}: process pool unavailable ({exc}); "
+            f"sweep {name!r}: process pool unavailable ({exc}); "
             "running serial", RuntimeWarning, stacklevel=3)
         return None

@@ -101,6 +101,19 @@ class LatencyStats:
     def count(self) -> int:
         return len(self._samples)
 
+    def __getstate__(self) -> dict:
+        # Checkpoint hygiene: the sorted cache never travels.  Dropping
+        # it keeps snapshot payloads lean and — more importantly — makes
+        # a restored recorder *provably* rebuild from ``_samples``: a
+        # carried cache of matching length would satisfy the staleness
+        # heuristic in ``_sorted_array`` whether or not its contents
+        # still corresponded to the samples.
+        return {"_samples": self._samples}
+
+    def __setstate__(self, state: dict) -> None:
+        self._samples = state["_samples"]
+        self._sorted = None
+
     def _sorted_array(self) -> np.ndarray:
         arr = self._sorted
         if arr is None or len(arr) != len(self._samples):

@@ -309,6 +309,19 @@ class TimerWheel:
     def __len__(self) -> int:
         return self.count + len(self.ready)
 
+    def entries(self):
+        """Yield every live ``(time, seq, fn, args)`` entry — near
+        buckets, far hierarchy, overflow, and the drained-but-unfired
+        ``ready`` remainder — in no particular order.  Checkpoint
+        diagnostics and tests use this; the run loop never does."""
+        for bucket in self.near.values():
+            yield from bucket
+        for _shift, buckets, _ids in self.levels:
+            for bucket in buckets.values():
+                yield from bucket
+        yield from self.overflow
+        yield from self.ready
+
     def snapshot(self) -> dict:
         """Structure occupancy (live entries; see WHEEL_STATS for
         cumulative counters)."""

@@ -218,3 +218,44 @@ def test_global_store_balances_across_fleet_teardown():
     for vm in vms:
         vm.unmap_all()
     assert (PAGE_STORE.live_refs, PAGE_STORE.live_contents) == before
+
+
+def test_assert_balanced_names_offending_hashes():
+    """Satellite of the checkpoint work: a leak report carries the
+    content hashes, refcounts and sizes, so an unbalanced fork is
+    debuggable from the message alone."""
+    store = PageStore()
+    a, b = _page(1), _page(2)
+    store.intern(a)
+    store.intern(b)
+    store.intern(b)
+    with pytest.raises(AssertionError) as exc:
+        store.assert_balanced()
+    msg = str(exc.value)
+    assert "0x" in msg and "2 ref(s)" in msg and f"{len(a)} B" in msg
+
+
+def test_state_install_round_trip_preserves_chains_and_counters():
+    store = PageStore()
+    content = store.intern(_page(3))
+    store.intern(_page(3))
+    state = store.state()
+    store.intern(_page(4))            # diverge after the capture
+    store.install_state(state)
+    assert store.live_refs == 2
+    assert store.live_contents == 1
+    # The canonical object is shared, not copied: a holder of the
+    # pre-capture bytes can still release against the installed state.
+    store.release(content)
+    store.release(content)
+    store.assert_balanced()
+
+
+def test_global_store_pickles_by_identity():
+    import pickle
+
+    from repro.kernel.pagestore import PAGE_STORE
+    clone = pickle.loads(pickle.dumps(PAGE_STORE, protocol=4))
+    assert clone is PAGE_STORE
+    private = PageStore()
+    assert pickle.loads(pickle.dumps(private, protocol=4)) is not private

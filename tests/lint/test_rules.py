@@ -582,3 +582,113 @@ def test_ras501_suppressible_for_raw_transport_measurements(tmp_path):
                 "cxl", data=page)
     """, name="repro/experiments/micro.py")
     assert rules == []
+
+
+# -- PERF404: sweep point rebuilding Platforms per point ---------------------
+
+
+def test_perf404_flags_double_platform_sweep_point(tmp_path):
+    rules = lint_source(tmp_path, """
+        from repro.core.platform import Platform
+        from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
+
+        def run_point(value, seed):
+            platform = Platform(seed=seed)
+            calib = Platform(seed=seed + 1)
+            return (value, platform, calib)
+
+        def run(values):
+            spec = SweepSpec("demo", tuple(
+                SweepPoint(v, run_point, (v, 7)) for v in values))
+            return run_sweep(spec)
+    """, select=["PERF404"])
+    assert rules == ["PERF404"]
+
+
+def test_perf404_flags_sweepspec_build_tuples(tmp_path):
+    rules = lint_source(tmp_path, """
+        from repro.core.platform import Platform
+        from repro.sim.parallel import SweepSpec, run_sweep
+
+        def run_cell(key, seed):
+            own = Platform(seed=seed)
+            calibration = Platform(seed=seed + 1)
+            return (key, own, calibration)
+
+        def run(keys):
+            spec = SweepSpec.build("demo", [
+                (k, run_cell, (k, 7), {}) for k in keys])
+            return run_sweep(spec)
+    """, select=["PERF404"])
+    assert rules == ["PERF404"]
+
+
+def test_perf404_allows_single_platform_point(tmp_path):
+    rules = lint_source(tmp_path, """
+        from repro.core.platform import Platform
+        from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
+
+        def run_point(value, seed):
+            return (value, Platform(seed=seed))
+
+        def run(values):
+            spec = SweepSpec("demo", tuple(
+                SweepPoint(v, run_point, (v, 7)) for v in values))
+            return run_sweep(spec)
+    """, select=["PERF404"])
+    assert rules == []
+
+
+def test_perf404_allows_forkspec_warmups(tmp_path):
+    """A ForkSpec warm-up legitimately builds its own platform plus a
+    calibration throwaway — it runs once and gets checkpointed."""
+    rules = lint_source(tmp_path, """
+        from repro.core.platform import Platform
+        from repro.sim.parallel import ForkSpec, run_forked_sweep
+
+        def warmup(seed):
+            platform = Platform(seed=seed)
+            calib = Platform(seed=seed + 1)
+            return (platform, calib)
+
+        def point(root, value):
+            return (root, value)
+
+        def run(values):
+            spec = ForkSpec.build("demo", warmup,
+                                  [(v, point, (v,), {}) for v in values],
+                                  warmup_args=(7,))
+            return run_forked_sweep(spec)
+    """, select=["PERF404"])
+    assert rules == []
+
+
+def test_perf404_allows_non_sweep_double_platform(tmp_path):
+    """Two Platforms outside any sweep-point context stay quiet — e.g.
+    a one-shot comparison harness."""
+    rules = lint_source(tmp_path, """
+        from repro.core.platform import Platform
+
+        def compare(seed):
+            return Platform(seed=seed), Platform(seed=seed + 1)
+    """, select=["PERF404"])
+    assert rules == []
+
+
+def test_perf404_suppressible(tmp_path):
+    rules = lint_source(tmp_path, """
+        from repro.core.platform import Platform
+        from repro.sim.parallel import SweepPoint, SweepSpec, run_sweep
+
+        # Per-point fault arming: the warm-up genuinely differs per cell.
+        def run_point(value, seed):  # reprolint: disable=PERF404
+            platform = Platform(seed=seed)
+            calib = Platform(seed=seed + 1)
+            return (value, platform, calib)
+
+        def run(values):
+            spec = SweepSpec("demo", tuple(
+                SweepPoint(v, run_point, (v, 7)) for v in values))
+            return run_sweep(spec)
+    """, select=["PERF404"])
+    assert rules == []

@@ -204,3 +204,35 @@ def test_latency_recorder_mode_switch():
         set_stats(None)
     with pytest.raises(ValueError):
         set_stats("bogus")
+
+
+def test_percentile_cache_invalidated_across_pickle():
+    """Checkpoint regression: a restored LatencyStats must recompute its
+    sorted-percentile cache.  A carried cache of matching length would
+    satisfy the staleness heuristic while holding pre-snapshot order, so
+    __getstate__ drops it and __setstate__ restores with it empty."""
+    import pickle
+
+    stats = LatencyStats()
+    stats.extend(float(i) for i in range(100))
+    assert stats.p99() > 0                     # populate the cache
+    restored = pickle.loads(pickle.dumps(stats, protocol=4))
+    assert restored._sorted is None
+    assert restored.p99() == stats.p99()
+    # Post-restore records must feed the percentiles, not a stale array.
+    restored.record(10_000.0)
+    assert restored.percentile(100.0) == 10_000.0
+
+
+def test_streaming_stats_survive_pickle_byte_identically():
+    import pickle
+
+    stream = StreamingLatencyStats()
+    stream.extend(float((i * 37) % 1009) for i in range(5_000))
+    restored = pickle.loads(pickle.dumps(stream, protocol=4))
+    tail = [float((i * 41) % 2017) for i in range(500)]
+    stream.extend(tail)
+    restored.extend(tail)
+    assert restored.p50() == stream.p50()
+    assert restored.p99() == stream.p99()
+    assert restored.p999() == stream.p999()

@@ -84,3 +84,44 @@ def test_committed_baseline_parses():
     assert baseline["schema"] == speed.SCHEMA
     for cell in baseline["engine"].values():
         assert cell["events_per_sec"] > 0
+
+
+class TestSpeedupFloors:
+    def test_checkpoint_and_expcache_cells_are_gated(self):
+        assert speed.SPEEDUP_FLOORS["checkpoint_fork"] == 2.0
+        assert speed.SPEEDUP_FLOORS["expcache_warm"] == 5.0
+
+    def test_speedup_below_floor_fails(self):
+        current = dict(_payload(), speedups={
+            "checkpoint_fork": {"feature": "checkpoint-fork",
+                                "off_wall_s": 1.0, "on_wall_s": 0.8,
+                                "speedup": 1.25}})
+        failures = speed.compare(current, _payload())
+        assert len(failures) == 1
+        assert "checkpoint_fork" in failures[0] and "2x" in failures[0]
+
+    def test_speedup_above_floor_passes(self):
+        current = dict(_payload(), speedups={
+            "expcache_warm": {"feature": "expcache",
+                              "off_wall_s": 1.0, "on_wall_s": 0.01,
+                              "speedup": 100.0}})
+        assert speed.compare(current, _payload()) == []
+
+    def test_render_covers_new_cells(self):
+        payload = dict(
+            _payload(), peak_rss_kb=1,
+            speedups={
+                "checkpoint_fork": {
+                    "feature": "checkpoint-fork", "off_wall_s": 2.0,
+                    "on_wall_s": 0.5, "speedup": 4.0,
+                    "stats": {"snapshots": 1, "restores": 8,
+                              "cold_warmups": 0, "snapshot_bytes": 1000,
+                              "largest_snapshot_bytes": 1000}},
+                "expcache_warm": {
+                    "feature": "expcache", "off_wall_s": 1.0,
+                    "on_wall_s": 0.001, "speedup": 1000.0,
+                    "stats": {"hits": 3, "misses": 0, "stores": 0,
+                              "fingerprints": 0}},
+            })
+        text = speed.render(payload)
+        assert "restores" in text and "hits" in text
