@@ -42,6 +42,42 @@ class KeyValueStore:
         return len(self._data)
 
 
+class BoundedKeyValueStore(KeyValueStore):
+    """A capacity-capped hot tier over the functional store.
+
+    The rack keeps each shard's resident working set bounded: inserting
+    a new key at capacity evicts the oldest resident (FIFO via dict
+    insertion order), modeling demotion to the CXL-backed cold tier.
+    This is what keeps a 10M-user rack run's RSS flat — the store holds
+    ``capacity`` entries no matter how many users cycle through.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.evictions = 0
+
+    def _make_room(self) -> None:
+        data = self._data
+        while len(data) >= self.capacity:
+            del data[next(iter(data))]
+            self.evictions += 1
+
+    def set(self, key: str, value: bytes) -> None:
+        if key not in self._data:
+            self._make_room()
+        super().set(key, value)
+
+    def install(self, key: str, value: bytes) -> None:
+        """Admit a migrated record without counting it as a client SET
+        (rebalance traffic is not workload traffic)."""
+        if key not in self._data:
+            self._make_room()
+        self._data[key] = value
+
+
 class RedisServer:
     """One single-threaded server instance pinned to a core."""
 

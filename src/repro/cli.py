@@ -130,10 +130,21 @@ def _run_ext_scale(args) -> str:
     return ext_scale.format_table(result)
 
 
+def _run_ext_rack(args) -> str:
+    from repro.experiments import ext_rack
+    result = ext_rack.run(hosts=args.hosts, users=args.users,
+                          jobs=args.jobs)
+    # The RSS trace is wall-clock process state — operator feedback on
+    # stderr, never part of the deterministic stdout record.
+    print(ext_rack.format_rss_trace(result), file=sys.stderr)
+    return ext_rack.format_table(result)
+
+
 RUNNERS: Dict[str, Callable] = {
     "report": _run_report,
     "speed": _run_speed,
     "ext_scale": _run_ext_scale,
+    "ext_rack": _run_ext_rack,
     "calibration": _run_calibration,
     "faults": _run_faults,
     "ext_degradation": _run_ext_degradation,
@@ -153,6 +164,7 @@ RUNNERS: Dict[str, Callable] = {
 #: everything) are deliberately absent — they are never cached.
 CACHEABLE: Dict[str, str] = {
     "ext_scale": "repro.experiments.ext_scale",
+    "ext_rack": "repro.experiments.ext_rack",
     "calibration": "repro.analysis.calibration",
     "faults": "repro.experiments.ext_fault_resilience",
     "ext_degradation": "repro.experiments.ext_degradation",
@@ -183,6 +195,8 @@ def _cache_key(name: str, args: argparse.Namespace) -> Dict:
             "fault_plan": args.fault_plan,
             "requests": args.requests,
             "compare_exact": args.compare_exact,
+            "hosts": args.hosts,
+            "users": args.users,
         },
         "modes": ambient_modes(),
     }
@@ -236,6 +250,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="speed: benchmark repetitions (best-of)")
     parser.add_argument("--requests", type=int, default=5_000_000,
                         help="ext_scale: total requests to drive")
+    parser.add_argument("--hosts", type=int, default=16,
+                        help="ext_rack: simulated hosts in the rack")
+    parser.add_argument("--users", type=int, default=10_000_000,
+                        help="ext_rack: simulated users to shard")
     parser.add_argument("--compare-exact", action="store_true",
                         help="ext_scale: shadow-run with exact stats and "
                              "report the streamed percentiles' error")
@@ -289,10 +307,11 @@ def main(argv=None) -> int:
         set_checkpoint(args.checkpoint == "on")
     if args.experiment == "all":
         # "report" re-runs everything; "speed" prints wall times, which
-        # would make `all` output nondeterministic; "ext_scale" is a
-        # multi-minute scale run.  All three stay opt-in.
+        # would make `all` output nondeterministic; "ext_scale" and
+        # "ext_rack" are multi-minute scale runs.  All four stay opt-in.
         names = [name for name in sorted(RUNNERS)
-                 if name not in ("report", "speed", "ext_scale")]
+                 if name not in ("report", "speed", "ext_scale",
+                                 "ext_rack")]
         # Elapsed wall time is operator feedback on stderr, not simulated
         # time — the monotonic clock is the right tool for it.
         start = time.perf_counter()  # reprolint: disable=DET101

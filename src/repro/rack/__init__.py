@@ -1,0 +1,26 @@
+"""Deterministic multi-host rack: sharded KVS over a CXL message fabric.
+
+The paper studies one host/device pair; this package scales the same
+platform out the way Cohet/CXL-DMSim treat CXL — as multi-host pooled
+infrastructure.  ``N`` simulated hosts (each a full
+:class:`~repro.core.platform.Platform` with its own CXL Type-2 device)
+shard the KVS by a consistent-hash ring and exchange cross-shard
+requests over a deterministic message fabric; shards execute as
+long-lived worker processes (``repro.sim.parallel.ShardPool``), and the
+whole rack is byte-identical for any ``--jobs``.  See docs/RACK.md.
+"""
+
+from repro.rack.cluster import RackConfig, RackResult, run_rack
+from repro.rack.fabric import Fabric, FabricConfig, FabricPort, Wire
+from repro.rack.ring import HashRing
+
+__all__ = [
+    "Fabric",
+    "FabricConfig",
+    "FabricPort",
+    "HashRing",
+    "RackConfig",
+    "RackResult",
+    "Wire",
+    "run_rack",
+]

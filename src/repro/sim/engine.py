@@ -682,6 +682,10 @@ class Simulator:
                 self.current_actor = owner if isinstance(owner, Process) \
                     else fn
                 fn(*args)
+        # A bounded run may break with a refilled bucket still unfired
+        # (its timestamp past ``until``); hand it back so timers the
+        # caller schedules before the next run can fire ahead of it.
+        wheel.unready()
         if until is not None and until > self._now:
             self._now = until
         return self._now

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Mapping, Sequence, Tuple
 
 __all__ = [
+    "ShardPool",
     "SweepPoint",
     "SweepSpec",
     "ForkSpec",
@@ -241,22 +242,191 @@ def _run_parallel(spec: SweepSpec, jobs: int) -> Any:
     return _map_parallel(spec.name, _run_point, spec.points, jobs)
 
 
+def _pool_context():
+    """The preferred multiprocessing context (fork where available)."""
+    import multiprocessing
+    if sys.platform != "win32" and \
+            "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _shard_worker_main(conn: Any, boot: Callable[..., Any],
+                       boot_args: Tuple[Any, ...],
+                       sids: Tuple[Hashable, ...]) -> None:
+    """Worker loop: boot this worker's shards once, then serve ``step``
+    batches until told to stop.  Shard state lives here for the whole
+    run — only per-epoch payloads and reports cross the pipe."""
+    try:
+        shards = {sid: boot(sid, *boot_args) for sid in sids}
+        conn.send(("ready", len(shards)))
+        while True:
+            cmd, data = conn.recv()
+            if cmd == "stop":
+                break
+            results = [(sid, shards[sid].step(payload))
+                       for sid, payload in data]
+            conn.send(("ok", results))
+    except EOFError:  # pragma: no cover - coordinator died
+        pass
+    except BaseException:
+        import traceback
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, BrokenPipeError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class ShardPool:
+    """Long-lived shard workers for epoch-stepped cluster simulations.
+
+    :func:`run_sweep` fits one-shot points; a rack run instead steps
+    ``n`` stateful shards through thousands of epochs, and shipping
+    each shard's full state per epoch would drown the win.  ShardPool
+    keeps the sweep layer's determinism contract with a different
+    execution shape:
+
+    * each shard boots **once** (``boot(sid, *boot_args)``) inside a
+      sticky worker — shard ``i`` always runs in worker ``i % jobs``,
+      so its state never moves between processes;
+    * :meth:`step` delivers one payload per shard and returns the
+      reports merged **in shard-id order** (the submission-order rule),
+      so the coordinator observes the same sequence for any worker
+      count — including ``jobs=1``, which runs the shards in-process
+      with no multiprocessing at all;
+    * shards must be pure functions of ``(sid, boot_args, payloads so
+      far)`` — no shared mutable state — which is what makes worker
+      *grouping* (which shards share a process) unobservable;
+    * pool-setup failures degrade to the serial path with a warning,
+      mirroring :func:`run_sweep`.
+
+    Use as a context manager; :meth:`close` tears the workers down.
+    """
+
+    def __init__(self, name: str, shard_ids: Sequence[Hashable],
+                 boot: Callable[..., Any], boot_args: Tuple[Any, ...] = (),
+                 jobs: Any = None):
+        self.name = name
+        self._sids = sorted(shard_ids)
+        if len(set(self._sids)) != len(self._sids):
+            raise ValueError(f"pool {name!r} has duplicate shard ids")
+        if not self._sids:
+            raise ValueError(f"pool {name!r} has no shards")
+        jobs = resolve_jobs(jobs)
+        self._workers = max(1, min(jobs, len(self._sids)))
+        self._shards: Any = None      # serial mode: {sid: shard}
+        self._procs: list = []
+        self._conns: list = []
+        self._worker_of: Dict[Hashable, int] = {
+            sid: i % self._workers for i, sid in enumerate(self._sids)}
+        if self._workers == 1 or not self._spawn(boot, boot_args):
+            self._shards = {sid: boot(sid, *boot_args)
+                            for sid in self._sids}
+
+    def _spawn(self, boot: Callable[..., Any],
+               boot_args: Tuple[Any, ...]) -> bool:
+        """Start the workers; False means "fall back to serial"."""
+        per_worker: list = [[] for _ in range(self._workers)]
+        for sid in self._sids:
+            per_worker[self._worker_of[sid]].append(sid)
+        try:
+            import multiprocessing  # noqa: F401 - availability probe
+            ctx = _pool_context()
+            for sids in per_worker:
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child, boot, boot_args, tuple(sids)),
+                    daemon=True)
+                proc.start()
+                child.close()
+                self._procs.append(proc)
+                self._conns.append(parent)
+        except (ImportError, OSError, PermissionError,
+                NotImplementedError) as exc:
+            self.close()
+            warnings.warn(
+                f"pool {self.name!r}: shard workers unavailable ({exc}); "
+                "running serial", RuntimeWarning, stacklevel=3)
+            return False
+        for conn in self._conns:
+            tag, data = conn.recv()
+            if tag != "ready":
+                detail = data
+                self.close()
+                raise RuntimeError(
+                    f"pool {self.name!r}: shard boot failed:\n{detail}")
+        return True
+
+    @property
+    def jobs(self) -> int:
+        """Effective worker count (1 when running serial)."""
+        return 1 if self._shards is not None else self._workers
+
+    def step(self, payloads: Mapping[Hashable, Any]) -> Dict[Hashable, Any]:
+        """Deliver one payload per shard; return ``{sid: report}`` in
+        shard-id order regardless of which worker finished first."""
+        order = sorted(payloads)
+        if self._shards is not None:
+            return {sid: self._shards[sid].step(payloads[sid])
+                    for sid in order}
+        batches: list = [[] for _ in range(self._workers)]
+        for sid in order:
+            batches[self._worker_of[sid]].append((sid, payloads[sid]))
+        for conn, batch in zip(self._conns, batches):
+            conn.send(("step", batch))
+        merged: Dict[Hashable, Any] = {}
+        for conn in self._conns:
+            try:
+                tag, data = conn.recv()
+            except EOFError:
+                self.close()
+                raise RuntimeError(
+                    f"pool {self.name!r}: a shard worker died")
+            if tag != "ok":
+                detail = data
+                self.close()
+                raise RuntimeError(
+                    f"pool {self.name!r}: shard step failed:\n{detail}")
+            merged.update(data)
+        return {sid: merged[sid] for sid in order}
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
 def _map_parallel(name: str, fn: Callable[[Any], Any],
                   items: Sequence[Any], jobs: int) -> Any:
     """``list(map(fn, items))`` across ``jobs`` worker processes, results
     in submission order; None means "fall back to serial"."""
     try:
-        import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
 
         # fork is measurably cheaper than spawn and inherits sys.path;
         # platforms without it (Windows) use their default start method.
-        context = (multiprocessing.get_context("fork")
-                   if sys.platform != "win32" and
-                   "fork" in multiprocessing.get_all_start_methods()
-                   else multiprocessing.get_context())
         with ProcessPoolExecutor(max_workers=jobs,
-                                 mp_context=context) as pool:
+                                 mp_context=_pool_context()) as pool:
             # map() yields results in submission order regardless of
             # which worker finishes first — the determinism keystone.
             return list(pool.map(fn, items))

@@ -89,3 +89,30 @@ class DeterministicRng:
 
     def random(self) -> float:
         return float(self._gen.random())
+
+    # -- vector draws ------------------------------------------------------
+    # Batched variants for per-epoch request serving (repro.rack): one
+    # generator call per epoch instead of one per request.  Each consumes
+    # exactly ``size`` draws regardless of parameter values, so stream
+    # positions stay aligned across code paths.
+
+    def random_array(self, size: int) -> np.ndarray:
+        """``size`` uniform floats in ``[0, 1)``."""
+        return self._gen.random(size)
+
+    def integers_array(self, low: int, high: int, size: int) -> np.ndarray:
+        """``size`` uniform integers in ``[low, high)``."""
+        return self._gen.integers(low, high, size=size)
+
+    def exponential_array(self, mean: float, size: int) -> np.ndarray:
+        """``size`` exponential interarrival samples."""
+        return self._gen.exponential(mean, size)
+
+    def jitter_array(self, base: np.ndarray, rel_std: float) -> np.ndarray:
+        """Vector :meth:`jitter`: one positive sample per element of
+        ``base``, with the same 10 %-of-base clamp."""
+        base = np.asarray(base, dtype=float)
+        if rel_std <= 0:
+            return base.copy()
+        sample = self._gen.normal(base, base * rel_std)
+        return np.maximum(sample, base * 0.1)

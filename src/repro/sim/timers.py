@@ -277,6 +277,37 @@ class TimerWheel:
             nxt = overflow[0][0]
         self._far_next = nxt
 
+    def unready(self) -> None:
+        """Return a drained-but-unfired ``ready`` bucket to the near
+        level.
+
+        ``Simulator.run(until=...)`` can stop *before* the popped
+        bucket's timestamp.  Leaving the bucket parked in ``ready``
+        would pin the wheel's notion of "earliest" at that future time,
+        so timers inserted later at earlier deadlines (the next run's
+        work) would sit behind it forever.  Re-homing the bucket — and
+        refunding the refill's accounting — restores the invariant that
+        ``ready`` is only ever the authoritative earliest bucket while a
+        run loop is actively draining it.
+        """
+        bucket = self.ready
+        if not bucket:
+            return
+        self.ready = []
+        bucket.reverse()                 # back to ascending seq order
+        t = self.ready_time
+        existing = self.near.get(t)
+        if existing is None:
+            self.near[t] = bucket
+            heappush(self.near_times, t)
+        else:
+            # Inserts at this exact deadline may have landed while the
+            # bucket was out; merge and let the seq sort restore order.
+            existing.extend(bucket)
+            existing.sort()
+        self.count += len(bucket)
+        WHEEL_STATS.fired -= len(bucket)
+
     def _place(self, entry: tuple, base_tick: int) -> None:
         """Re-home a cascading entry relative to ``base_tick`` (no
         count/stat changes — the entry never left the wheel)."""

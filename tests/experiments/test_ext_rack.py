@@ -1,0 +1,55 @@
+"""ext_rack: the rack experiment at CI-sized populations.
+
+The 16-host / 10M-user acceptance run lives in CI's ``rack-smoke`` job
+(and the default CLI invocation); these tests pin the experiment's
+semantics cheaply — report structure, deterministic stdout, the
+availability floor in the kill cell, and the RSS trace contract.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_rack
+from repro.rack.cluster import AVAIL_BUCKETS
+
+HOSTS = 4
+USERS = 2000
+
+
+def _small_report(**kw):
+    return ext_rack.run(hosts=HOSTS, users=USERS, seed=42,
+                        checkpoints=4, **kw)
+
+
+def test_report_structure_and_coverage():
+    report = _small_report(skip_kill=True)
+    assert report.host_kill is None
+    cell = report.baseline
+    assert cell.stats["distinct_users"] == USERS
+    assert cell.stats["served"] >= USERS
+    assert cell.stats["rebalances"] == 0
+    assert cell.rss_kb and cell.rss_growth >= 1.0
+
+
+def test_kill_cell_rebalances_with_no_outage_slice():
+    report = _small_report()
+    cell = report.host_kill
+    assert cell is not None
+    assert cell.stats["rebalances"] == 1
+    assert cell.stats["migrated_records"] > 0
+    avail = [cell.stats[f"avail_{i}"] for i in range(AVAIL_BUCKETS)]
+    assert min(avail) > 0, avail
+
+
+def test_stdout_is_deterministic_and_flags_outages():
+    a = _small_report()
+    b = _small_report()
+    assert ext_rack.format_table(a) == ext_rack.format_table(b)
+    table = ext_rack.format_table(a)
+    assert "-- baseline --" in table and "-- host_kill --" in table
+    assert "ok" in table.splitlines()[-1]
+    assert "OUTAGE" not in table
+    # The RSS trace is operator telemetry (stderr), never part of the
+    # deterministic stdout payload.
+    trace = ext_rack.format_rss_trace(a)
+    assert "rss" in trace and "growth" in trace
+    assert trace not in table

@@ -1,0 +1,82 @@
+"""Rack trajectory determinism: jobs-independence, kill/rebalance.
+
+The determinism contract (docs/RACK.md): a rack run is a pure function
+of :class:`~repro.rack.host.RackConfig` — the worker count changes only
+wall-clock, never a byte of the result.  These tests pin that at small
+scale; CI's ``rack-smoke`` job re-pins it on the full CLI stdout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rack import RackConfig, run_rack
+
+HOSTS = 4
+USERS = 2000          # >= cfg.buckets; ~7 epochs, sub-second serial
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_rack(RackConfig(hosts=HOSTS, users=USERS, seed=42), jobs=1)
+
+
+def test_config_guards():
+    with pytest.raises(ValueError):
+        RackConfig(hosts=4, users=100, seed=42)        # users < buckets
+    with pytest.raises(ValueError):
+        RackConfig(hosts=4, users=2000, seed=42, kill=(1, 0.0))
+    with pytest.raises(ValueError):
+        RackConfig(hosts=4, users=2000, seed=42, kill=(9, 0.4))
+
+
+def test_every_user_served_at_least_once(serial_result):
+    assert serial_result.distinct_users == USERS
+    assert serial_result.served >= USERS
+    assert serial_result.rebalances == 0
+    assert serial_result.killed is None
+
+
+def test_result_is_byte_identical_across_worker_counts(serial_result):
+    """jobs=2 and jobs=4 reproduce the serial trajectory exactly."""
+    cfg = RackConfig(hosts=HOSTS, users=USERS, seed=42)
+    base = serial_result.stats()
+    for jobs in (2, 4):
+        stats = run_rack(cfg, jobs=jobs).stats()
+        assert stats == base, f"jobs={jobs} diverged"
+
+
+def test_probe_hook_does_not_perturb_the_trajectory(serial_result):
+    cfg = RackConfig(hosts=HOSTS, users=USERS, seed=42)
+    probed = run_rack(cfg, jobs=1, probe=lambda epoch: None, probe_every=2)
+    assert probed.stats() == serial_result.stats()
+
+
+def test_host_kill_rebalances_and_keeps_every_slice_served():
+    cfg = RackConfig(hosts=HOSTS, users=2 * USERS, seed=42, kill=(1, 0.4))
+    result = run_rack(cfg, jobs=1)
+    assert result.killed == 1
+    assert result.rebalances == 1
+    assert result.migrated_records > 0
+    # Availability: completions in every time slice of the run — the
+    # outage is a dip, never a hole.
+    assert len(result.availability) == 10
+    assert min(result.availability) > 0, result.availability
+    # Requests in flight against the dead host are dropped or nacked,
+    # never silently lost; survivors still cover most users (the short
+    # run leaves only ~10 % request slack to re-reach users whose
+    # arrivals fell inside the outage window).
+    assert result.dropped + result.nacked > 0
+    assert result.distinct_users >= int(2 * USERS * 0.8)
+    # The kill trajectory is jobs-independent too.
+    assert run_rack(cfg, jobs=2).stats() == result.stats()
+
+
+def test_disarmed_kill_plan_is_byte_identical_to_no_plan(serial_result):
+    """A fault armed past the end of the run (kill frac >= 1) must not
+    change a byte: the armed-plan code path is observationally identical
+    to the unarmed one when nothing fires."""
+    cfg = RackConfig(hosts=HOSTS, users=USERS, seed=42, kill=(1, 5.0))
+    armed = run_rack(cfg, jobs=1)
+    assert armed.killed is None and armed.rebalances == 0
+    assert armed.stats() == serial_result.stats()

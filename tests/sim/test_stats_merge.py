@@ -1,0 +1,117 @@
+"""StreamingLatencyStats.merge: exactness and the documented P2 bound.
+
+Moments (count/mean/variance/min/max) combine exactly — Chan's parallel
+update.  Percentiles combine by inverting the count-weighted mixture of
+the two P2 sketch CDFs (see ``_P2Quantile.merge``); the error contract
+pinned here, against the exact percentile of the pooled samples, is
+well under 1 % relative on p50 and roughly 10 % worst-case on the tail
+points (p99/p999) for the shifted-exponential populations the rack's
+shards produce — a 5-marker sketch has little resolution beyond its
+outermost markers, so merging cannot beat the banks' own tail error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.stats import StreamingLatencyStats
+
+#: Per-shard populations: a service-time floor plus exponential
+#: queueing, with a slight per-shard scale spread — the shape the
+#: rack's near-iid shard recorders actually hold.
+SIZES = (20_000, 12_000, 8_000, 4_000)
+
+
+def _split_streams(rng, sizes=SIZES):
+    return [3000.0 + rng.exponential(scale=1500.0 * (1 + 0.05 * i), size=n)
+            for i, n in enumerate(sizes)]
+
+
+def _merged(streams):
+    recs = []
+    for s in streams:
+        r = StreamingLatencyStats()
+        r.extend(s)
+        recs.append(r)
+    out = recs[0]
+    for r in recs[1:]:
+        out.merge(r)
+    return out
+
+
+def test_merged_moments_are_exact():
+    rng = np.random.default_rng(7)
+    streams = _split_streams(rng, (4000, 2500, 1500, 800))
+    pooled = np.concatenate(streams)
+    merged = _merged(streams)
+    s = merged.summary()
+    assert merged.count == pooled.size
+    assert s.mean == pytest.approx(float(pooled.mean()), rel=1e-12)
+    assert s.minimum == float(pooled.min())
+    assert s.maximum == float(pooled.max())
+    assert s.std == pytest.approx(float(pooled.std(ddof=0)), rel=1e-9)
+
+
+def test_merged_percentiles_within_documented_bound():
+    for seed in (7, 11, 13):
+        rng = np.random.default_rng(seed)
+        streams = _split_streams(rng)
+        pooled = np.concatenate(streams)
+        merged = _merged(streams)
+        for pct, rel in ((50.0, 0.01), (99.0, 0.12), (99.9, 0.15)):
+            exact = float(np.percentile(pooled, pct))
+            err = abs(merged.percentile(pct) - exact) / exact
+            assert err < rel, f"seed {seed} p{pct}: rel err {err:.4f}"
+
+
+def test_merge_vs_single_stream_sketch():
+    """Merging K shard sketches lands close to the one-bank sketch fed
+    the pooled stream — the merge's own contribution stays within the
+    tail bound rather than compounding per merge."""
+    rng = np.random.default_rng(13)
+    streams = _split_streams(rng)
+    pooled = np.concatenate(streams)
+    single = StreamingLatencyStats()
+    single.extend(pooled)
+    merged = _merged(streams)
+    assert merged.percentile(50.0) == pytest.approx(
+        single.percentile(50.0), rel=0.01)
+    for pct in (99.0, 99.9):
+        assert merged.percentile(pct) == pytest.approx(
+            single.percentile(pct), rel=0.12)
+
+
+def test_merge_handles_empty_and_tiny_sides():
+    a = StreamingLatencyStats()
+    b = StreamingLatencyStats()
+    b.extend([10.0, 20.0, 30.0])           # < 5 samples: replayed exactly
+    a.merge(b)
+    assert a.count == 3
+    assert a.summary().minimum == 10.0 and a.summary().maximum == 30.0
+    a.merge(StreamingLatencyStats())       # empty right side: no-op
+    assert a.count == 3
+    big = StreamingLatencyStats()
+    big.extend(float(x) for x in range(100))
+    big.merge(a)                           # tiny right side into live bank
+    assert big.count == 103
+    assert big.summary().maximum == 99.0
+
+
+def test_merge_rejects_mismatched_quantile_banks():
+    a = StreamingLatencyStats(quantiles=(0.5, 0.99))
+    b = StreamingLatencyStats()
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_merge_is_deterministic_for_a_fixed_order():
+    """Same inputs, same order -> byte-identical state (the rack merges
+    shard recorders in shard-id order for exactly this reason)."""
+    rng = np.random.default_rng(17)
+    streams = _split_streams(rng, (2000, 1500, 1000))
+    x = _merged([s.copy() for s in streams])
+    y = _merged([s.copy() for s in streams])
+    for pct in (50.0, 99.0, 99.9):
+        assert x.percentile(pct) == y.percentile(pct)
+    assert x.mean() == y.mean() and x.count == y.count

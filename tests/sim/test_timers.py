@@ -196,3 +196,44 @@ def test_cancel_in_both_modes_is_equivalent():
         return out, sim.now
 
     assert run("wheel") == run("heap")
+
+
+# ---------------------------------------------------------------------------
+# Bounded runs: a refilled-but-unfired bucket must not wedge the wheel
+# ---------------------------------------------------------------------------
+
+
+def test_unready_rehomes_a_refilled_bucket():
+    """refill() pops the earliest bucket into ``ready``; unready() must
+    put it back so later, *earlier* inserts still drain first."""
+    wheel = TimerWheel()
+    wheel.insert(900.0, 1, None, (), 0.0)
+    wheel.refill()
+    assert wheel.ready and wheel.ready_time == 900.0
+    wheel.unready()
+    assert not wheel.ready and len(wheel) == 1
+    wheel.insert(100.0, 2, None, (), 0.0)
+    assert _drain(wheel) == [(100.0, 2), (900.0, 1)]
+
+
+def test_bounded_run_does_not_wedge_later_earlier_timers():
+    """Regression: ``run(until=X)`` breaking before a refilled bucket's
+    deadline used to leave that bucket parked in ``ready`` — every
+    timer scheduled afterwards at an earlier deadline sat behind it and
+    never fired (the rack's per-epoch heartbeats hit exactly this)."""
+    set_timers("wheel")
+    sim = Simulator()
+
+    def sleeper(delay):
+        yield Timeout(delay)
+
+    far = sim.spawn(sleeper(6_080_000.0))
+    # The bounded run refills the far bucket into ready, fires nothing.
+    sim.run(until=0.0)
+    assert not far.finished
+    near = sim.spawn(sleeper(500.0))
+    sim.run(until=1_000.0)
+    assert near.finished, "near-deadline timer wedged behind a stale bucket"
+    assert not far.finished
+    sim.run()
+    assert far.finished
