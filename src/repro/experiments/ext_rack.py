@@ -54,6 +54,9 @@ class RackCell:
     name: str
     stats: Dict[str, float]
     rss_kb: Tuple[int, ...]
+    #: Per-run fabric/fast-forward counter delta (stderr telemetry only;
+    #: the stdout table never includes it).
+    fabric_stats: Dict[str, int] = None  # type: ignore[assignment]
 
     @property
     def rss_growth(self) -> float:
@@ -85,7 +88,8 @@ def _run_cell(name: str, cfg: RackConfig, jobs,
     every = max(1, n_epochs // max(checkpoints, 2))
     result = run_rack(cfg, jobs=jobs, probe=probe, probe_every=every)
     trace.append(_peak_rss_kb())
-    return RackCell(name=name, stats=result.stats(), rss_kb=tuple(trace))
+    return RackCell(name=name, stats=result.stats(), rss_kb=tuple(trace),
+                    fabric_stats=result.fabric_stats)
 
 
 def run(hosts: int = 16, users: int = 10_000_000, seed: int = 42,
@@ -153,15 +157,26 @@ def format_table(report: RackReport) -> str:
 
 
 def format_rss_trace(report: RackReport) -> str:
-    """Operator-facing RSS trace (stderr: wall-clock process state)."""
+    """Operator-facing RSS + fabric telemetry (stderr: wall-clock and
+    counter state — never part of the deterministic stdout contract)."""
     out = []
     for cell in (report.baseline, report.host_kill):
         if cell is None:
             continue
         if not cell.rss_kb:
             out.append(f"{cell.name}: rss trace unavailable")
-            continue
-        out.append(f"{cell.name}: rss {cell.rss_kb[0]:,d} -> "
-                   f"{cell.rss_kb[-1]:,d} KiB over {len(cell.rss_kb)} "
-                   f"samples (growth {cell.rss_growth:.3f}x)")
+        else:
+            out.append(f"{cell.name}: rss {cell.rss_kb[0]:,d} -> "
+                       f"{cell.rss_kb[-1]:,d} KiB over {len(cell.rss_kb)} "
+                       f"samples (growth {cell.rss_growth:.3f}x)")
+        fs = cell.fabric_stats
+        if fs:
+            demoted = (fs["demoted_inflight"] + fs["demoted_backlog"]
+                       + fs["demoted_directives"] + fs["demoted_kill"])
+            out.append(
+                f"{cell.name}: fabric epochs {fs['epochs_run']:,d} run "
+                f"/ {fs['epochs_skipped']:,d} skipped "
+                f"({fs['ff_jumps']:,d} jumps, {demoted:,d} demoted); "
+                f"{fs['wires']:,d} wires ({fs['frames']:,d} framed, "
+                f"{fs['framed_bytes']:,d} B), {fs['bounces']:,d} bounces")
     return "\n".join(out)

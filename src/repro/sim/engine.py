@@ -19,7 +19,8 @@ from typing import TYPE_CHECKING, Any, Callable, Deque, Generator, Iterable, Opt
 from collections import deque
 
 from repro.errors import SimulationError
-from repro.sim.timers import Timer, TimerWheel, wheel_enabled
+from repro.sim.timers import (WHEEL_STATS, Timer, TimerWheel,
+                              timers_reap_enabled, wheel_enabled)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint.races import RaceDetector
@@ -394,6 +395,13 @@ class Simulator:
         # therefore every output byte — is identical either way.
         self._wheel: Optional[TimerWheel] = \
             TimerWheel() if wheel_enabled() else None
+        # Tombstone reaping (repro.sim.timers): cancelled timers register
+        # their carrier key so compaction can drop them instead of
+        # replaying the pop.  The heap carrier keeps its dead-set and
+        # phantom horizon here; the wheel carries its own.
+        self._reap = timers_reap_enabled()
+        self._heap_dead: set = set()
+        self._dead_horizon = 0.0
         # Zero-delay callbacks at the current time, FIFO in seq order.
         # Invariant: entries are only drained at the timestamp they were
         # appended at — time cannot advance while the queue is non-empty.
@@ -546,10 +554,103 @@ class Simulator:
         this for timeout races that usually *don't* fire (doorbell
         completion waits, RAS watchdogs): the skipped trigger saves the
         dead event delivery that ``timeout_event`` would still pay.
+
+        With reaping enabled (the default) the handle also remembers its
+        carrier ``(time, seq)`` key, so a cancel can note the tombstone
+        for compaction — see :meth:`_note_timer_cancel`.
         """
-        handle = Timer(Event(self, name="timer"))
-        self.schedule(delay, handle._fire, value)
+        if not self._reap or delay <= 0.0:
+            # Legacy path (REPRO_TIMERS_REAP=0 kill switch): eager event,
+            # lazy tombstone pop, no registration.
+            handle = Timer(Event(self, name="timer"))
+            self.schedule(delay, handle._fire, value)
+            return handle
+        handle = Timer(None, self)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq = seq = self._seq + 1
+        t = self._now + delay
+        key = (t, seq)
+        wheel = self._wheel
+        if wheel is None:
+            heapq.heappush(self._heap, (t, seq, handle._fire, (value,)))
+        else:
+            # Stage rather than insert: refill flushes the nursery
+            # before handing out any bucket at or past ``t``, and a
+            # cancel that beats the flush skips the wheel entirely.
+            wheel.nursery[key] = (t, seq, handle._fire, (value,))
+            wheel.count += 1
+            if t < wheel.nursery_min:
+                wheel.nursery_min = t
+        if self.race_detector is not None:
+            self.race_detector.note_schedule(seq, self.current_task)
+        handle._key = key
         return handle
+
+    # -- tombstone reaping -------------------------------------------------
+    # Cancel-side bookkeeping lives inline in Timer.cancel (the hot
+    # path); the heap-carrier sweep lives here because the heap is the
+    # simulator's own structure.
+
+    def _reap_heap(self) -> int:
+        """Compact tombstoned entries out of the heap carrier; returns
+        the number removed.  Mutates ``self._heap`` in place so the
+        local binding a running :meth:`run` loop holds stays valid."""
+        dead = self._heap_dead
+        if not dead:
+            return 0
+        heap = self._heap
+        kept = []
+        horizon = self._dead_horizon
+        removed = 0
+        for entry in heap:
+            if (entry[0], entry[1]) in dead:
+                dead.discard((entry[0], entry[1]))
+                removed += 1
+                if entry[0] > horizon:
+                    horizon = entry[0]
+            else:
+                kept.append(entry)
+        if not removed:
+            return 0
+        heap[:] = kept
+        heapq.heapify(heap)
+        self._dead_horizon = horizon
+        stats = WHEEL_STATS
+        stats.reaped += removed
+        stats.reap_sweeps += 1
+        return removed
+
+    def horizon(self) -> float:
+        """Earliest pending live timestamp, or ``+inf`` when idle.
+
+        Pending zero-delay work reads as ``now``.  Tombstones are
+        compacted first so a cancelled watchdog cannot pin the horizon —
+        the rack fast-forward eligibility check depends on this: a
+        per-epoch heartbeat leaves one tombstone behind every window,
+        and without the sweep the rack could never look idle."""
+        if self._delta:
+            return self._now
+        wheel = self._wheel
+        if wheel is not None:
+            if wheel.dead:
+                wheel.reap()
+            if wheel.ready:
+                return wheel.ready_time
+            nxt = wheel._far_next
+            near_times = wheel.near_times
+            if near_times and near_times[0] < nxt:
+                nxt = near_times[0]
+            # nursery_min is a (possibly stale-low) lower bound on the
+            # staged deadlines — a pessimistic horizon is safe: callers
+            # (the rack fast-forward) just jump a little shorter.
+            if wheel.nursery and wheel.nursery_min < nxt:
+                nxt = wheel.nursery_min
+            return nxt
+        if self._heap_dead:
+            self._reap_heap()
+        heap = self._heap
+        return heap[0][0] if heap else float("inf")
 
     def spawn(self, gen: ProcessGen, name: str = "") -> Process:
         """Start a process; it takes its first step at the current time."""
@@ -618,8 +719,14 @@ class Simulator:
                 self.current_actor = owner if isinstance(owner, Process) \
                     else fn
                 fn(*args)
-        if until is not None and until > self._now:
-            self._now = until
+        if until is not None:
+            if until > self._now:
+                self._now = until
+        elif self._dead_horizon > self._now:
+            # Phantom horizon: reaped tombstones would have popped (and
+            # advanced the clock) before the queues drained; land on the
+            # same final reading the lazy pops would have produced.
+            self._now = self._dead_horizon
         return self._now
 
     def _run_wheel(self, until: Optional[float]) -> float:
@@ -655,7 +762,7 @@ class Simulator:
                     entry = delta.popleft()
                     entry[1](*entry[2])
                 elif wheel.count:
-                    wheel.refill()
+                    wheel.refill(self._now)
                     ready = wheel.ready
                 else:
                     break
@@ -672,7 +779,7 @@ class Simulator:
                         break
                     seq, fn, args = delta.popleft()
                 elif wheel.count:
-                    wheel.refill()
+                    wheel.refill(self._now)
                     ready = wheel.ready
                     continue
                 else:
@@ -686,8 +793,12 @@ class Simulator:
         # (its timestamp past ``until``); hand it back so timers the
         # caller schedules before the next run can fire ahead of it.
         wheel.unready()
-        if until is not None and until > self._now:
-            self._now = until
+        if until is not None:
+            if until > self._now:
+                self._now = until
+        elif wheel.dead_horizon > self._now:
+            # Same phantom-horizon fold as the heap loops (see run()).
+            self._now = wheel.dead_horizon
         return self._now
 
     def run_process(self, gen: ProcessGen, name: str = "") -> Any:

@@ -40,21 +40,38 @@ experiment outputs byte-identical — O(1) cancel is the point: reaping
 an armed offload timeout no longer pays a heap delete or a drift in
 queue shape.
 
+**Tombstone reaping** (``REPRO_TIMERS_REAP``, default on) keeps the
+lazy-cancel contract without the drain cost.  Each cancel stays O(1) —
+a set-add of the entry's ``(time, seq)`` key — and the structure is
+*compacted* on cold paths only: when a cascade redistributes a far
+bucket its dead entries are dropped instead of re-homed, and when the
+tombstone ratio exceeds 1/2 a full sweep (:meth:`TimerWheel.reap`, or
+the heap-mode rebuild in the engine) removes every dead entry at once.
+The amortized cost per cancel is O(1) because a sweep only runs once
+the dead entries are the majority of the structure.  Byte-identity is
+preserved by the *dead horizon*: the maximum deadline among reaped
+tombstones is folded into the clock when an unbounded run drains —
+exactly where the lazily-popped tombstone would have left it — so the
+``(time, seq)`` trajectory of live work and the final ``now`` match
+the non-reaped run bit for bit (pinned in ``tests/sim``).
+
 Mode control follows the bulk fast-forward idiom: ``REPRO_TIMERS=heap``
 (or :func:`set_timers`\\ ``("heap")``) routes every timer through the
 classic heap; the wheel is the default.  The choice is sampled at
-:class:`~repro.sim.engine.Simulator` construction.
+:class:`~repro.sim.engine.Simulator` construction, as is the reaping
+flag.
 """
 
 from __future__ import annotations
 
 import os
-from heapq import heappop, heappush
+from heapq import heapify as _heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 __all__ = [
     "TimerWheel", "Timer", "WheelStats", "WHEEL_STATS",
     "set_timers", "timers_mode", "wheel_enabled",
+    "set_timers_reap", "timers_reap_enabled",
     "NEAR_SPAN_NS", "LEVEL_SHIFTS",
 ]
 
@@ -94,6 +111,31 @@ def wheel_enabled() -> bool:
     return timers_mode() == "wheel"
 
 
+_forced_reap: Optional[bool] = None
+
+
+def set_timers_reap(enabled: Optional[bool]) -> None:
+    """Force tombstone reaping on/off; ``None`` defers to the
+    ``REPRO_TIMERS_REAP`` environment variable (default: on).  Sampled
+    at :class:`~repro.sim.engine.Simulator` construction."""
+    global _forced_reap
+    if enabled not in (None, True, False):
+        raise ValueError(f"set_timers_reap expects True/False/None, "
+                         f"got {enabled!r}")
+    _forced_reap = enabled
+
+
+def timers_reap_enabled() -> bool:
+    """Whether cancelled-timer tombstones are compacted out of the timer
+    structure (on) or drained lazily through their slots (off).  The
+    live-event trajectory and final clock are byte-identical either
+    way; only wall-clock differs."""
+    if _forced_reap is not None:
+        return _forced_reap
+    return os.environ.get("REPRO_TIMERS_REAP", "1").lower() not in (
+        "0", "false", "off")
+
+
 class WheelStats:
     """Process-global wheel counters surfaced by ``repro speed``.
 
@@ -103,7 +145,8 @@ class WheelStats:
     """
 
     __slots__ = ("fired", "cancelled", "cascades", "far_inserts",
-                 "overflow_inserts", "refills", "max_distinct_deadlines")
+                 "overflow_inserts", "refills", "max_distinct_deadlines",
+                 "reaped", "reap_sweeps", "dead_fired")
 
     def __init__(self) -> None:
         self.reset()
@@ -116,6 +159,9 @@ class WheelStats:
         self.overflow_inserts = 0
         self.refills = 0
         self.max_distinct_deadlines = 0
+        self.reaped = 0        # tombstones compacted out of a structure
+        self.reap_sweeps = 0   # full-structure compaction passes
+        self.dead_fired = 0    # tombstones that drained through a slot
 
     def snapshot(self) -> dict:
         return {
@@ -126,7 +172,23 @@ class WheelStats:
             "overflow_inserts": self.overflow_inserts,
             "refills": self.refills,
             "max_distinct_deadlines": self.max_distinct_deadlines,
+            "reaped": self.reaped,
+            "reap_sweeps": self.reap_sweeps,
+            "dead_fired": self.dead_fired,
         }
+
+    def describe(self) -> dict:
+        """:meth:`snapshot` plus the reconciled outstanding-tombstone
+        count.  ``cancelled`` only ever increments (in
+        :meth:`Timer.cancel`), so on its own it over-reports pending
+        tombstones on long-running racks; every cancelled timer is
+        eventually either *reaped* (compacted out) or *dead-fired*
+        (drained through its slot), and the difference is what is still
+        occupying the structures."""
+        out = self.snapshot()
+        out["tombstones_pending"] = max(
+            0, self.cancelled - self.reaped - self.dead_fired)
+        return out
 
 
 WHEEL_STATS = WheelStats()
@@ -142,7 +204,8 @@ class TimerWheel:
     """
 
     __slots__ = ("near", "near_times", "levels", "overflow", "count",
-                 "ready", "ready_time", "_far_next")
+                 "ready", "ready_time", "_far_next", "dead", "dead_horizon",
+                 "nursery", "nursery_min")
 
     def __init__(self) -> None:
         # time -> [(time, seq, fn, args), ...] in insertion (= seq) order.
@@ -155,6 +218,21 @@ class TimerWheel:
         self.ready: list = []            # current drained bucket, reversed
         self.ready_time = 0.0
         self._far_next = float("inf")    # lower bound on any far deadline
+        # Tombstone bookkeeping (see module docstring): (time, seq) keys
+        # of cancelled entries still occupying a slot, and the maximum
+        # deadline among entries compacted *out* — the engine folds it
+        # into the clock where the lazy pop would have left it.
+        self.dead: set = set()
+        self.dead_horizon = 0.0
+        # Cancellable-timer staging area: (time, seq) -> entry.  Entries
+        # rest here until a refill is about to hand out a bucket at or
+        # past ``nursery_min`` (a lower bound; cancels leave it stale);
+        # a cancel that beats that flush deletes the entry outright — no
+        # insert, no tombstone, no sweep.  Watchdog races that almost
+        # never fire (the whole point of Simulator.timer) thus cost two
+        # dict ops total.
+        self.nursery: dict = {}
+        self.nursery_min = float("inf")
 
     # -- scheduling (cold half; the near fast path is inlined in the
     # -- engine, mirrored by insert() below for non-inlined callers) ----
@@ -200,21 +278,65 @@ class TimerWheel:
         self.count += 1
         WHEEL_STATS.overflow_inserts += 1
 
+    def flush_nursery(self, now: Optional[float] = None) -> None:
+        """Move staged cancellable timers into the wheel proper.
+
+        :meth:`refill` calls this whenever the bucket it is about to
+        hand out lies at or past ``nursery_min`` — i.e. strictly before
+        the wheel fires anything at or after a staged deadline — so
+        staging is invisible to firing order.  With ``now`` the entries
+        take the normal near/far routing; without it (bare test
+        callers) each entry lands on the near level under its own
+        window base, which is always correct, just heavier on
+        ``near_times``.
+        """
+        nursery = self.nursery
+        if not nursery:
+            self.nursery_min = float("inf")
+            return
+        if now is None:
+            for entry in nursery.values():
+                self._place(entry, int(entry[0]) & ~(_NEAR_SPAN_TICKS - 1))
+        else:
+            near = self.near
+            base = int(now)
+            for entry in nursery.values():
+                t = entry[0]
+                if t - now < NEAR_SPAN_NS:
+                    b = near.get(t)
+                    if b is None:
+                        near[t] = [entry]
+                        heappush(self.near_times, t)
+                    else:
+                        b.append(entry)
+                else:
+                    # insert_far re-counts the entry; staging already did.
+                    self.count -= 1
+                    self.insert_far(t, entry[1], entry[2], entry[3], base)
+        nursery.clear()
+        self.nursery_min = float("inf")
+
     # -- draining -------------------------------------------------------
 
-    def refill(self) -> None:
+    def refill(self, now: Optional[float] = None) -> None:
         """Pop the earliest deadline bucket into ``ready``/``ready_time``.
 
-        Call only with ``count > 0`` and ``ready`` empty.  Cascades far
-        buckets down first whenever one could still contain an entry at
-        (or before) the earliest near deadline, so the returned bucket
-        provably holds *every* live entry of its timestamp.
+        Call only with ``count > 0`` and ``ready`` empty.  Flushes the
+        nursery whenever a staged deadline could be at or before the
+        bucket about to be handed out, and cascades far buckets down
+        whenever one could still contain an entry at (or before) the
+        earliest near deadline — so the returned bucket provably holds
+        *every* live entry of its timestamp, staged or not.
         """
         stats = WHEEL_STATS
         near_times = self.near_times
+        nursery = self.nursery
         while True:
             if near_times:
                 tmin = near_times[0]
+                if nursery and self.nursery_min <= tmin:
+                    self.flush_nursery(now)
+                    continue
                 if self._far_next <= tmin:
                     self._cascade_one()
                     continue
@@ -236,6 +358,17 @@ class TimerWheel:
                 if ndl > stats.max_distinct_deadlines:
                     stats.max_distinct_deadlines = ndl
                 return
+            if not self.count:
+                # A cascade reaped away the remaining tombstones: the
+                # wheel is empty and ``ready`` stays empty — the run
+                # loop re-checks ``count`` and stops cleanly.
+                return
+            if nursery and self.nursery_min <= self._far_next:
+                # Near level dry and a staged deadline could precede
+                # anything in the hierarchy (or everything live is
+                # staged).
+                self.flush_nursery(now)
+                continue
             # Near level dry: everything live sits in the hierarchy.
             self._cascade_one()
 
@@ -251,18 +384,27 @@ class TimerWheel:
                     best_bound = bound
                     best_level = level
         overflow = self.overflow
+        dead = self.dead
         if overflow and overflow[0][0] < best_bound:
             # Overflow cascades one entry at a time (cold by design).
             entry = heappop(overflow)
-            self._place(entry, int(entry[0]) & ~(_NEAR_SPAN_TICKS - 1))
+            if dead and (entry[0], entry[1]) in dead:
+                self._drop_dead(entry)
+            else:
+                self._place(entry, int(entry[0]) & ~(_NEAR_SPAN_TICKS - 1))
         elif best_level is not None:
             shift, buckets, ids = best_level
             bucket_id = heappop(ids)
             # Route each entry relative to the bucket's own base so it
-            # lands *strictly* below this level, never back onto it.
+            # lands *strictly* below this level, never back onto it —
+            # dead entries are dropped here instead of re-homed (the
+            # cascade half of tombstone reaping).
             base = bucket_id << shift
             for entry in buckets.pop(bucket_id):
-                self._place(entry, base)
+                if dead and (entry[0], entry[1]) in dead:
+                    self._drop_dead(entry)
+                else:
+                    self._place(entry, base)
         else:  # pragma: no cover - refill precondition violated
             raise RuntimeError("cascade on an empty wheel")
         WHEEL_STATS.cascades += 1
@@ -335,6 +477,118 @@ class TimerWheel:
                 return
         heappush(self.overflow, entry)
 
+    # -- tombstone reaping ----------------------------------------------
+
+    def _drop_dead(self, entry: tuple) -> None:
+        """Discard one tombstoned entry leaving a structure (cascade
+        path): deregister its key, refund the live count, and advance
+        the dead horizon to where its lazy pop would have left the
+        clock."""
+        self.dead.discard((entry[0], entry[1]))
+        self.count -= 1
+        if entry[0] > self.dead_horizon:
+            self.dead_horizon = entry[0]
+        WHEEL_STATS.reaped += 1
+
+    def reap(self) -> int:
+        """Compact every tombstoned entry out of the wheel; returns the
+        number removed.  O(live) — amortized O(1) per cancel because the
+        engine only triggers it when tombstones outnumber live entries
+        (ratio > 1/2).  Mutates ``near_times``/level id-heaps *in
+        place* so locals captured by an in-progress run loop stay
+        valid.  Entries parked in ``ready`` are left to drain lazily
+        (they are already accounted as fired)."""
+        dead = self.dead
+        if not dead:
+            return 0
+        removed = 0
+        horizon = self.dead_horizon
+        # Scan order: far levels, overflow, then near — cancelled timers
+        # are overwhelmingly long-dated watchdogs, so the (live-heavy)
+        # near scan usually short-circuits on an already-empty dead set.
+        for _shift, buckets, ids in self.levels:
+            if not dead:
+                break
+            rebuilt = False
+            for bucket_id in list(buckets):
+                bucket = buckets[bucket_id]
+                kept = []
+                for entry in bucket:
+                    if (entry[0], entry[1]) in dead:
+                        dead.discard((entry[0], entry[1]))
+                        removed += 1
+                        if entry[0] > horizon:
+                            horizon = entry[0]
+                    else:
+                        kept.append(entry)
+                if len(kept) == len(bucket):
+                    continue
+                if kept:
+                    buckets[bucket_id] = kept
+                else:
+                    del buckets[bucket_id]
+                    rebuilt = True
+            if rebuilt:
+                ids[:] = list(buckets)
+                _heapify(ids)
+        if dead and self.overflow:
+            kept = []
+            for entry in self.overflow:
+                if (entry[0], entry[1]) in dead:
+                    dead.discard((entry[0], entry[1]))
+                    removed += 1
+                    if entry[0] > horizon:
+                        horizon = entry[0]
+                else:
+                    kept.append(entry)
+            if len(kept) != len(self.overflow):
+                self.overflow[:] = kept
+                _heapify(self.overflow)
+        if dead:
+            near = self.near
+            rebuilt_near = False
+            for t in list(near):
+                bucket = near[t]
+                kept = []
+                for entry in bucket:
+                    if (entry[0], entry[1]) in dead:
+                        dead.discard((entry[0], entry[1]))
+                        removed += 1
+                        if entry[0] > horizon:
+                            horizon = entry[0]
+                    else:
+                        kept.append(entry)
+                if len(kept) == len(bucket):
+                    continue
+                if kept:
+                    near[t] = kept
+                else:
+                    del near[t]
+                    rebuilt_near = True
+            if rebuilt_near:
+                self.near_times[:] = list(near)
+                _heapify(self.near_times)
+        if not removed:
+            return 0
+        self.count -= removed
+        self.dead_horizon = horizon
+        # Recompute the far lower bound: reaping may have emptied the
+        # bucket that anchored it (same cold-path recompute a cascade
+        # does).
+        nxt = float("inf")
+        for shift, _buckets, ids in self.levels:
+            if ids:
+                bound = float(ids[0] << shift)
+                if bound < nxt:
+                    nxt = bound
+        if self.overflow and self.overflow[0][0] < nxt:
+            nxt = self.overflow[0][0]
+        self._far_next = nxt
+        stats = WHEEL_STATS
+        stats.reaped += removed
+        stats.reap_sweeps += 1
+        return removed
+
     # -- introspection --------------------------------------------------
 
     def __len__(self) -> int:
@@ -342,15 +596,17 @@ class TimerWheel:
 
     def entries(self):
         """Yield every live ``(time, seq, fn, args)`` entry — near
-        buckets, far hierarchy, overflow, and the drained-but-unfired
-        ``ready`` remainder — in no particular order.  Checkpoint
-        diagnostics and tests use this; the run loop never does."""
+        buckets, far hierarchy, overflow, staged nursery, and the
+        drained-but-unfired ``ready`` remainder — in no particular
+        order.  Checkpoint diagnostics and tests use this; the run loop
+        never does."""
         for bucket in self.near.values():
             yield from bucket
         for _shift, buckets, _ids in self.levels:
             for bucket in buckets.values():
                 yield from bucket
         yield from self.overflow
+        yield from self.nursery.values()
         yield from self.ready
 
     def snapshot(self) -> dict:
@@ -372,28 +628,94 @@ class Timer:
     scheduled entry still pops at its ``(time, seq)`` — keeping the
     clock's trajectory identical in wheel and heap modes — and the
     trigger is simply skipped, so cancel is O(1) with no queue surgery.
+    When reaping is enabled the engine registers the carrier key on the
+    handle so cancel can also note the tombstone for later compaction
+    (still O(1): one set-add plus a counter check).
+
+    The ``event`` itself is allocated lazily: timeout races that never
+    fire — the whole reason this API exists — usually never wait on it
+    either (``sim.any_of`` holds its own reference; watchdogs that are
+    cancelled every period touch only the handle), so the common
+    cancel-before-fire path allocates no Event at all.
     """
 
-    __slots__ = ("event", "cancelled")
+    __slots__ = ("_event", "cancelled", "_sim", "_key")
 
-    def __init__(self, event: Any) -> None:
-        self.event = event
+    def __init__(self, event: Any = None, sim: Any = None) -> None:
+        self._event = event
         self.cancelled = False
+        self._sim = sim if sim is not None else getattr(event, "sim", None)
+        self._key = None
+
+    @property
+    def event(self) -> Any:
+        """The completion event (created on first access)."""
+        ev = self._event
+        if ev is None:
+            from repro.sim.engine import Event
+            ev = self._event = Event(self._sim, name="timer")
+        return ev
 
     def cancel(self) -> bool:
         """Stop the timer from triggering; returns False if it already
         fired (too late), True otherwise.  Idempotent."""
-        if self.event._triggered:
+        ev = self._event
+        if ev is not None and ev._triggered:
             return False
         if not self.cancelled:
             self.cancelled = True
             WHEEL_STATS.cancelled += 1
+            key = self._key
+            if key is not None:
+                # Inlined tombstone note (this is the hot path the
+                # timers_reap speed cell measures): register the carrier
+                # key and compact once tombstones outnumber live
+                # entries.  The entry would otherwise pop lazily at its
+                # (time, seq); reaping drops it early and folds the
+                # skipped deadline into the carrier's phantom horizon so
+                # an unbounded run ends at the same clock reading.
+                sim = self._sim
+                wheel = sim._wheel
+                if wheel is not None:
+                    if wheel.nursery.pop(key, None) is not None:
+                        # Cancel beat the flush: the entry never reached
+                        # the wheel.  Fold where its lazy pop would have
+                        # left the clock and we are done.
+                        wheel.count -= 1
+                        if key[0] > wheel.dead_horizon:
+                            wheel.dead_horizon = key[0]
+                        WHEEL_STATS.reaped += 1
+                    else:
+                        dead = wheel.dead
+                        dead.add(key)
+                        if len(dead) * 2 > wheel.count:
+                            wheel.reap()
+                else:
+                    dead = sim._heap_dead
+                    dead.add(key)
+                    if len(dead) * 2 > len(sim._heap):
+                        sim._reap_heap()
         return True
 
     @property
     def active(self) -> bool:
-        return not self.cancelled and not self.event._triggered
+        if self.cancelled:
+            return False
+        ev = self._event
+        return ev is None or not ev._triggered
 
     def _fire(self, value: Any) -> None:
         if not self.cancelled:
             self.event.succeed(value)
+        else:
+            # A tombstone popped lazily before any sweep reached it:
+            # deregister the key so a later sweep cannot double-count.
+            WHEEL_STATS.dead_fired += 1
+            key = self._key
+            if key is not None:
+                sim = self._sim
+                wheel = sim._wheel
+                if wheel is not None:
+                    wheel.dead.discard(key)
+                else:
+                    sim._heap_dead.discard(key)

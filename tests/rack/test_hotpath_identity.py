@@ -1,0 +1,152 @@
+"""ISSUE-10 hot-path byte-identity: fast-forward and packed codec.
+
+The quiescent-epoch fast-forward and the packed wire codec are pure
+accelerators — `docs/RACK.md`_ promises the rack trajectory is the same
+byte for byte with either (or both) disabled, at any worker count,
+including runs where the host-kill fault plan is armed.  These tests
+pin the contract at small scale; CI's ``rack-smoke`` job re-pins it on
+the full ``ext_rack`` CLI stdout.
+
+Gating caveat pinned here too: ``set_rack_ff`` is coordinator-side and
+works at any ``--jobs``; ``set_wire_codec`` is sampled by each
+``FabricPort`` at construction, so spawned shard workers only see the
+*environment* value — cross-worker codec tests must use
+``REPRO_WIRE_CODEC``, not the in-process override.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rack import RackConfig, run_rack
+from repro.rack.cluster import rack_ff_enabled, set_rack_ff
+from repro.rack.fabric import set_wire_codec, wire_codec_enabled
+
+HOSTS = 4
+USERS = 2000
+
+#: Arrivals land epochs apart at this utilization: most barriers are
+#: empty, so fast-forward actually jumps (the dense default would make
+#: the identity tests vacuous).
+SPARSE = dict(hosts=HOSTS, users=256, buckets=64, servers_per_host=1,
+              target_utilization=0.001, seed=42)
+
+
+@pytest.fixture(autouse=True)
+def _restore_gates():
+    yield
+    set_rack_ff(None)
+    set_wire_codec(None)
+
+
+@pytest.fixture(scope="module")
+def dense_base():
+    return run_rack(RackConfig(hosts=HOSTS, users=USERS, seed=42),
+                    jobs=1).stats()
+
+
+def test_gate_plumbing(monkeypatch):
+    set_rack_ff(False)
+    assert not rack_ff_enabled()
+    set_rack_ff(None)
+    monkeypatch.delenv("REPRO_RACK_FF", raising=False)
+    assert rack_ff_enabled()
+    monkeypatch.setenv("REPRO_RACK_FF", "0")
+    assert not rack_ff_enabled()
+    with pytest.raises(ValueError):
+        set_rack_ff("yes")
+
+    set_wire_codec(False)
+    assert not wire_codec_enabled()
+    set_wire_codec(None)
+    monkeypatch.delenv("REPRO_WIRE_CODEC", raising=False)
+    assert wire_codec_enabled()
+    monkeypatch.setenv("REPRO_WIRE_CODEC", "off")
+    assert not wire_codec_enabled()
+    with pytest.raises(ValueError):
+        set_wire_codec("packed")
+
+
+def test_fastforward_skips_and_is_byte_identical():
+    cfg = RackConfig(**SPARSE)
+    set_rack_ff(True)
+    ff = run_rack(cfg, jobs=1)
+    set_rack_ff(False)
+    legacy = run_rack(cfg, jobs=1)
+    # The accelerator is live (it skipped most of the run) ...
+    assert ff.fabric_stats["epochs_skipped"] > ff.fabric_stats["epochs_run"]
+    assert ff.fabric_stats["ff_jumps"] > 0
+    # ... the legacy loop stepped every epoch ...
+    assert legacy.fabric_stats["epochs_skipped"] == 0
+    assert legacy.fabric_stats["epochs_run"] == legacy.epochs
+    # ... and the results agree byte for byte, epochs stat included.
+    assert ff.stats() == legacy.stats()
+    # Stepped + skipped partitions the run exactly.
+    assert (ff.fabric_stats["epochs_run"]
+            + ff.fabric_stats["epochs_skipped"]) == ff.epochs
+
+
+def test_fastforward_identity_on_dense_rack(dense_base):
+    set_rack_ff(True)
+    assert run_rack(RackConfig(hosts=HOSTS, users=USERS, seed=42),
+                    jobs=1).stats() == dense_base
+
+
+def test_fastforward_identity_across_jobs():
+    cfg = RackConfig(**SPARSE)
+    set_rack_ff(True)
+    base = run_rack(cfg, jobs=1).stats()
+    for jobs in (2, 4):
+        assert run_rack(cfg, jobs=jobs).stats() == base, f"jobs={jobs}"
+
+
+def test_fastforward_identity_with_kill_armed_and_firing():
+    """The armed window demotes to per-epoch stepping until the fault
+    fires (or is disarmed); either way the trajectory is unchanged."""
+    for frac in (0.5, 2.0):        # fires mid-run / armed-never-fires
+        cfg = RackConfig(hosts=HOSTS, users=USERS, seed=42,
+                         kill=(1, frac))
+        set_rack_ff(False)
+        legacy = run_rack(cfg, jobs=1)
+        set_rack_ff(True)
+        ff = run_rack(cfg, jobs=1)
+        assert ff.stats() == legacy.stats(), f"kill frac {frac}"
+        assert ff.killed == legacy.killed
+
+
+def test_codec_identity_in_process(dense_base):
+    set_wire_codec(False)
+    assert run_rack(RackConfig(hosts=HOSTS, users=USERS, seed=42),
+                    jobs=1).stats() == dense_base
+
+
+def test_codec_identity_across_jobs(monkeypatch, dense_base):
+    """Workers inherit the environment at spawn: pin the codec off via
+    ``REPRO_WIRE_CODEC`` and re-run the dense rack at jobs=1/4."""
+    monkeypatch.setenv("REPRO_WIRE_CODEC", "0")
+    cfg = RackConfig(hosts=HOSTS, users=USERS, seed=42)
+    for jobs in (1, 4):
+        assert run_rack(cfg, jobs=jobs).stats() == dense_base, f"jobs={jobs}"
+
+
+def test_codec_identity_with_kill_firing():
+    """Migrations (the richest frame: blob table) flow during the
+    rebalance; codec on/off must agree through it."""
+    cfg = RackConfig(hosts=HOSTS, users=2 * USERS, seed=42, kill=(1, 0.4))
+    set_wire_codec(True)
+    packed = run_rack(cfg, jobs=1)
+    set_wire_codec(False)
+    legacy = run_rack(cfg, jobs=1)
+    assert packed.killed == legacy.killed == 1
+    assert packed.migrated_records == legacy.migrated_records > 0
+    assert packed.stats() == legacy.stats()
+
+
+def test_both_accelerators_off_vs_both_on():
+    cfg = RackConfig(**SPARSE)
+    set_rack_ff(False)
+    set_wire_codec(False)
+    off = run_rack(cfg, jobs=1).stats()
+    set_rack_ff(True)
+    set_wire_codec(True)
+    assert run_rack(cfg, jobs=1).stats() == off
